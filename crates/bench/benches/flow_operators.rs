@@ -1,0 +1,59 @@
+//! Criterion bench: the three anti-Trojan ECO operators (Cell Shift, LDA,
+//! RWS re-route) in isolation on a small design — the per-candidate cost
+//! structure behind the §IV-D runtime comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdsii_guard::cell_shift::cell_shift;
+use gdsii_guard::lda::{local_density_adjustment, LdaParams};
+use gdsii_guard::pipeline::implement_baseline;
+use secmetrics::THRESH_ER;
+use tech::{RouteRule, Technology};
+
+fn bench_operators(c: &mut Criterion) {
+    let tech = Technology::nangate45_like();
+    let spec = netlist::bench::spec_by_name("PRESENT").expect("known design");
+    let base = implement_baseline(&spec, &tech);
+    let mut group = c.benchmark_group("flow_operators");
+
+    group.bench_function("cell_shift/PRESENT", |b| {
+        b.iter_batched(
+            || base.layout.clone(),
+            |mut layout| {
+                cell_shift(&mut layout, &tech, THRESH_ER);
+                std::hint::black_box(layout)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("lda_n8/PRESENT", |b| {
+        b.iter_batched(
+            || base.layout.clone(),
+            |mut layout| {
+                local_density_adjustment(&mut layout, &tech, LdaParams { n: 8, n_iter: 1 }, 1);
+                std::hint::black_box(layout)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("rws_reroute/PRESENT", |b| {
+        b.iter_batched(
+            || {
+                let mut l = base.layout.clone();
+                l.set_route_rule(RouteRule::uniform(1.2));
+                l
+            },
+            |layout| std::hint::black_box(route::route_design(&layout, &tech)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_operators
+}
+criterion_main!(benches);

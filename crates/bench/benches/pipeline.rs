@@ -1,0 +1,38 @@
+//! Criterion bench: the full implementation pipeline per design-size
+//! bucket (place → route → STA → power → security), i.e. one flow-candidate
+//! evaluation end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdsii_guard::flow::{run_flow, FlowConfig};
+use gdsii_guard::pipeline::implement_baseline;
+use tech::Technology;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let tech = Technology::nangate45_like();
+    let mut group = c.benchmark_group("pipeline");
+    for name in ["PRESENT", "TDEA", "CAST"] {
+        let spec = netlist::bench::spec_by_name(name).expect("known design");
+        group.bench_function(format!("implement_baseline/{name}"), |b| {
+            b.iter(|| std::hint::black_box(implement_baseline(&spec, &tech)))
+        });
+        let base = implement_baseline(&spec, &tech);
+        group.bench_function(format!("flow_candidate_cs/{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(run_flow(
+                    &base,
+                    &tech,
+                    &FlowConfig::cell_shift_default(),
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: cost of the security analysis itself — exploitable
+//! distance + region extraction + ERsites/ERtracks — on a placed-and-routed
+//! design. This is the inner loop the flow optimizer pays on every
+//! candidate evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdsii_guard::pipeline::implement_baseline;
+use secmetrics::{analyze_regions, THRESH_ER};
+use tech::Technology;
+
+fn bench_security_metrics(c: &mut Criterion) {
+    let tech = Technology::nangate45_like();
+    let mut group = c.benchmark_group("security_metrics");
+    for name in ["PRESENT", "CAST"] {
+        let spec = netlist::bench::spec_by_name(name).expect("known design");
+        let snap = implement_baseline(&spec, &tech);
+        group.bench_function(format!("analyze_regions/{name}"), |b| {
+            b.iter(|| {
+                let a = analyze_regions(
+                    std::hint::black_box(&snap.layout),
+                    &snap.routing,
+                    &snap.timing,
+                    &tech,
+                    THRESH_ER,
+                );
+                std::hint::black_box(a.er_sites)
+            })
+        });
+        group.bench_function(format!("attack_battery/{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(secmetrics::attack::battery_success_rate(
+                    &snap.security,
+                    &tech,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_security_metrics
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! **EXP-ATK** — Trojan-insertion validation: runs the A2-style attack
+//! battery against the baseline and every hardened layout, closing the
+//! loop on the exploitable-region metrics (a layout with no qualifying
+//! region must defeat the insertion attempt).
+
+use gg_bench::driver::evaluate_design_cached;
+use tech::Technology;
+
+const ROWS: [&str; 5] = ["Original", "ICAS", "BISA", "Ba", "GDSII-Guard"];
+
+fn main() {
+    let tech = Technology::nangate45_like();
+    let specs = netlist::bench::all_specs();
+    println!("Trojan battery success rate (a2-analog / a2-digital / privilege-escalation)\n");
+    print!("{:<14}", "design");
+    for d in ROWS {
+        print!(" {:>12}", d);
+    }
+    println!();
+    let mut avg = [0.0f64; 5];
+    for spec in &specs {
+        let rows = evaluate_design_cached(spec, &tech);
+        print!("{:<14}", spec.name);
+        for (i, d) in ROWS.iter().enumerate() {
+            let m = rows.iter().find(|m| m.defense == *d).expect("sweep");
+            avg[i] += m.attack_success;
+            print!(" {:>11.0}%", m.attack_success * 100.0);
+        }
+        println!();
+    }
+    println!("{:-<80}", "");
+    print!("{:<14}", "average");
+    for a in avg {
+        print!(" {:>11.0}%", a / specs.len() as f64 * 100.0);
+    }
+    println!();
+    println!("\nexpected shape: Original highly attackable; GDSII-Guard and BISA defeat \
+              (nearly) the whole battery; ICAS/Ba in between.");
+}

@@ -1,0 +1,58 @@
+//! **EXP-F5** — regenerates Fig. 5 of the paper: the explored search space
+//! and Pareto fronts of the GDSII-Guard flow optimizer on AES_1, AES_3,
+//! MISTY, and openMSP430_2, rendered as ASCII scatter plots
+//! (security vs −TNS, both minimized).
+
+use gdsii_guard::nsga2::{explore, ExploreResult};
+use gdsii_guard::pipeline::implement_baseline;
+use gg_bench::driver::GG_GA_PARAMS;
+use gg_bench::plot::scatter;
+use tech::Technology;
+
+const DESIGNS: [&str; 4] = ["AES_1", "AES_3", "MISTY", "openMSP430_2"];
+
+fn main() {
+    let tech = Technology::nangate45_like();
+    for name in DESIGNS {
+        let spec = netlist::bench::spec_by_name(name).expect("known design");
+        let result: ExploreResult =
+            gg_bench::cache::load_or_compute(&format!("fig5_{name}"), || {
+                let base = implement_baseline(&spec, &tech);
+                explore(&base, &tech, &GG_GA_PARAMS)
+            });
+        let explored: Vec<(f64, f64)> = result
+            .points
+            .iter()
+            .map(|p| (p.metrics.security, -p.metrics.tns_ps / 1_000.0))
+            .collect();
+        let front: Vec<(f64, f64)> = result
+            .pareto_front()
+            .iter()
+            .map(|p| (p.metrics.security, -p.metrics.tns_ps / 1_000.0))
+            .collect();
+        println!("\n=== Fig. 5 — {name}: explored points ({}) and Pareto front ({}) ===",
+            explored.len(), front.len());
+        print!(
+            "{}",
+            scatter(
+                &[("explored", '.', &explored), ("pareto", '#', &front)],
+                64,
+                18,
+                "Security (normalized, lower=better)",
+                "-TNS (ns, lower=better)",
+            )
+        );
+        // Convergence indicator: evaluations per generation that land on
+        // the final front (the paper notes growing point density near it).
+        let max_gen = result.points.iter().map(|p| p.generation).max().unwrap_or(0);
+        for g in 0..=max_gen {
+            let n = result.points.iter().filter(|p| p.generation == g).count();
+            let on_front = result
+                .pareto_front()
+                .iter()
+                .filter(|p| p.generation == g)
+                .count();
+            println!("  generation {g}: {n} new points, {on_front} on the final front");
+        }
+    }
+}

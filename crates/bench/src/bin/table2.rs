@@ -1,0 +1,53 @@
+//! **EXP-T2** — regenerates Table II of the paper: TNS, power, and DRC
+//! violation counts for the original design and every defense, across all
+//! twelve benchmarks.
+
+use gg_bench::driver::evaluate_design_cached;
+use tech::Technology;
+
+const ROWS: [&str; 5] = ["Original", "ICAS", "BISA", "Ba", "GDSII-Guard"];
+
+fn main() {
+    let tech = Technology::nangate45_like();
+    let specs = netlist::bench::all_specs();
+    let all: Vec<(String, Vec<gg_bench::DefenseMetrics>)> = specs
+        .iter()
+        .map(|s| (s.name.to_string(), evaluate_design_cached(s, &tech)))
+        .collect();
+
+    let col = |design: &str, defense: &str| -> &gg_bench::DefenseMetrics {
+        all.iter()
+            .find(|(n, _)| n == design)
+            .and_then(|(_, rows)| rows.iter().find(|m| m.defense == defense))
+            .expect("complete sweep")
+    };
+
+    for (title, fmt) in [
+        ("TNS (ns)", 0usize),
+        ("Power (mW)", 1),
+        ("#DRC", 2),
+    ] {
+        println!("\nTable II — {title}");
+        print!("{:<13}", "");
+        for s in &specs {
+            print!(" {:>12}", s.name);
+        }
+        println!();
+        for defense in ROWS {
+            print!("{:<13}", defense);
+            for s in &specs {
+                let m = col(s.name, defense);
+                match fmt {
+                    0 => print!(" {:>12.3}", m.tns_ns),
+                    1 => print!(" {:>12.3}", m.power_mw),
+                    _ => print!(" {:>12}", m.drc),
+                }
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nshape reference (paper): BISA worst TNS/power/DRC, Ba intermediate, \
+         ICAS mild, GDSII-Guard closest to the original design"
+    );
+}

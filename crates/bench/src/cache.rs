@@ -1,0 +1,63 @@
+//! Disk cache for experiment results, so `fig4`, `table2`, and `runtime`
+//! can share one expensive evaluation sweep.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Directory the experiment binaries write their results into.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+fn path_for(key: &str) -> PathBuf {
+    results_dir().join(format!("{key}.json"))
+}
+
+/// Loads a cached result by key.
+pub fn load<T: DeserializeOwned>(key: &str) -> Option<T> {
+    let bytes = fs::read(path_for(key)).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+/// Stores a result under the key (best effort; failures only disable the
+/// cache, they never fail the experiment).
+pub fn store<T: Serialize>(key: &str, value: &T) {
+    let _ = fs::create_dir_all(results_dir());
+    if let Ok(json) = serde_json::to_vec_pretty(value) {
+        let _ = fs::write(path_for(key), json);
+    }
+}
+
+/// Loads the cached value or computes and stores it.
+pub fn load_or_compute<T, F>(key: &str, compute: F) -> T
+where
+    T: Serialize + DeserializeOwned,
+    F: FnOnce() -> T,
+{
+    if let Some(v) = load(key) {
+        return v;
+    }
+    let v = compute();
+    store(key, &v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let key = "unit_test_cache_entry";
+        let _ = std::fs::remove_file(path_for(key));
+        let v: Vec<u32> = load_or_compute(key, || vec![1, 2, 3]);
+        assert_eq!(v, vec![1, 2, 3]);
+        // Second load must come from disk (compute would panic).
+        let v2: Vec<u32> = load_or_compute(key, || panic!("must hit cache"));
+        assert_eq!(v2, vec![1, 2, 3]);
+        let _ = std::fs::remove_file(path_for(key));
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness for the GDSII-Guard reproduction: one driver per
+//! paper artifact (Fig. 4, Fig. 5, Table II, §IV-D runtime), shared result
+//! caching, and a tiny ASCII scatter plotter for Pareto fronts.
+//!
+//! The binaries in `src/bin/` regenerate each artifact:
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `fig4` | Fig. 4 — normalized free sites/tracks per defense |
+//! | `fig5` | Fig. 5 — explored Pareto fronts on four designs |
+//! | `table2` | Table II — TNS / power / DRC per defense |
+//! | `runtime` | §IV-D — optimization runtime comparison on AES_2 |
+//! | `attack` | validation — Trojan insertion battery success rates |
+//! | `ablation` | design-choice ablations flagged in DESIGN.md |
+
+pub mod cache;
+pub mod driver;
+pub mod plot;
+
+pub use driver::{evaluate_design, DefenseMetrics, GG_GA_PARAMS};

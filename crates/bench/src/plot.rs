@@ -1,0 +1,94 @@
+//! Minimal ASCII scatter plotting for terminal-rendered figures.
+
+/// Renders `(x, y)` points into a `width × height` character grid. Series
+/// are drawn in order, later series overwriting earlier ones; each series
+/// has its own glyph.
+pub fn scatter(
+    series: &[(&str, char, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, _, pts)| pts.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no points)\n");
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    let pad = |lo: &mut f64, hi: &mut f64| {
+        if (*hi - *lo).abs() < 1e-12 {
+            *lo -= 0.5;
+            *hi += 0.5;
+        } else {
+            let m = (*hi - *lo) * 0.05;
+            *lo -= m;
+            *hi += m;
+        }
+    };
+    pad(&mut x0, &mut x1);
+    pad(&mut y0, &mut y1);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (_, glyph, pts) in series {
+        for &(x, y) in *pts {
+            let cx = (((x - x0) / (x1 - x0)) * (width as f64 - 1.0)).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height as f64 - 1.0)).round() as usize;
+            let cy = height - 1 - cy.min(height - 1);
+            grid[cy][cx.min(width - 1)] = *glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label} ({y1:.2} top, {y0:.2} bottom)\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat('-').take(width));
+    out.push('\n');
+    out.push_str(&format!(
+        " {x_label}: {x0:.3} .. {x1:.3}   legend: {}\n",
+        series
+            .iter()
+            .map(|(n, g, _)| format!("{g}={n}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_points_in_bounds() {
+        let pts = [(0.0, 0.0), (1.0, 1.0), (0.5, 0.25)];
+        let s = scatter(&[("front", '*', &pts)], 20, 8, "security", "-tns");
+        assert!(s.contains('*'));
+        assert!(s.lines().count() >= 10);
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let s = scatter(&[("none", '*', &[])], 10, 4, "x", "y");
+        assert!(s.contains("no points"));
+    }
+
+    #[test]
+    fn degenerate_range_is_padded() {
+        let pts = [(0.5, 2.0), (0.5, 2.0)];
+        let s = scatter(&[("p", 'o', &pts)], 10, 4, "x", "y");
+        assert!(s.contains('o'));
+    }
+}

@@ -1,0 +1,16 @@
+use layout::Layout;
+use netlist::bench;
+use tech::Technology;
+
+fn main() {
+    let tech = Technology::nangate45_like();
+    let spec = bench::spec_by_name("AES_1").unwrap();
+    let design = bench::generate(&spec, &tech);
+    let mut layout = Layout::empty_floorplan(design, &tech, spec.utilization);
+    place::global_place(&mut layout, &tech, spec.seed);
+    println!("h0 {:.0}", place::hpwl_total(&layout, &tech));
+    for i in 0..10 {
+        let moves = place::refine_wirelength(&mut layout, &tech, 1, spec.seed + i);
+        println!("iter {i}: hpwl {:.0} moves {moves}", place::hpwl_total(&layout, &tech));
+    }
+}

@@ -1,0 +1,175 @@
+//! `ggd` — the GDSII-Guard command-line front end.
+//!
+//! ```text
+//! ggd analyze <design>                      # implement + report baseline metrics
+//! ggd harden  <design> [cs|lda] [out.gds]   # apply one flow config, export GDSII
+//! ggd explore <design> [pop] [gens]         # NSGA-II Pareto exploration
+//! ggd list                                  # list the benchmark designs
+//! ```
+//!
+//! Designs are the twelve benchmark specs of `netlist::bench` (AES_1 …
+//! TDEA). All runs are deterministic.
+
+use gdsii_guard::flow::{apply_flow, FlowConfig, FlowMetrics};
+use gdsii_guard::nsga2::{explore, Nsga2Params};
+use gdsii_guard::pipeline::{implement_baseline, Snapshot};
+use gdsii_guard::OpSelect;
+use tech::Technology;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ggd <command> [args]\n\
+         \n\
+         commands:\n\
+         \x20 list                                  list benchmark designs\n\
+         \x20 analyze <design>                      baseline metrics\n\
+         \x20 harden  <design> [cs|lda] [out.gds]   harden + optional GDSII export\n\
+         \x20 explore <design> [pop] [gens]         NSGA-II Pareto front"
+    );
+    std::process::exit(2);
+}
+
+fn spec_or_die(name: &str) -> netlist::bench::DesignSpec {
+    netlist::bench::spec_by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown design '{name}'; run `ggd list`");
+        std::process::exit(2);
+    })
+}
+
+fn print_snapshot(label: &str, s: &Snapshot) {
+    println!(
+        "{label}: {} cells, {} exploitable sites in {} regions, {:.0} free tracks",
+        s.layout.design().cells.len(),
+        s.security.er_sites,
+        s.security.regions.len(),
+        s.security.er_tracks
+    );
+    println!(
+        "  TNS {:.1} ps (WNS {:.1}), power {:.3} mW, {} DRC violations, utilization {:.1} %",
+        s.tns_ps(),
+        s.timing.wns_ps(),
+        s.power_mw(),
+        s.drc,
+        s.layout.utilization() * 100.0
+    );
+}
+
+fn cmd_list() {
+    println!(
+        "{:<14} {:>7} {:>6} {:>10} {:>8}",
+        "design", "cells", "util%", "clock(ps)", "timing"
+    );
+    for s in netlist::bench::all_specs() {
+        println!(
+            "{:<14} {:>7} {:>6.0} {:>10.0} {:>8}",
+            s.name,
+            s.target_cells,
+            s.utilization * 100.0,
+            s.clock_period(),
+            if s.period_factor > 1.0 { "loose" } else { "tight" }
+        );
+    }
+}
+
+fn cmd_analyze(name: &str) {
+    let tech = Technology::nangate45_like();
+    let base = implement_baseline(&spec_or_die(name), &tech);
+    print_snapshot("baseline", &base);
+    let battery = secmetrics::attack::battery_success_rate(&base.security, &tech);
+    println!("  Trojan battery success rate: {:.0} %", battery * 100.0);
+}
+
+fn cmd_harden(name: &str, op: &str, out: Option<&str>) {
+    let tech = Technology::nangate45_like();
+    let base = implement_baseline(&spec_or_die(name), &tech);
+    print_snapshot("baseline", &base);
+    let cfg = match op {
+        "cs" => FlowConfig::cell_shift_default(),
+        "lda" => FlowConfig::lda_default(),
+        other => {
+            eprintln!("unknown operator '{other}' (expected cs or lda)");
+            std::process::exit(2);
+        }
+    };
+    let mut hardened = apply_flow(&base, &tech, &cfg, 1);
+    print_snapshot("hardened", &hardened);
+    let m = FlowMetrics::from_snapshot(&hardened, &base);
+    println!(
+        "  security {:.3} (risk reduced {:.1} %), battery success {:.0} %",
+        m.security,
+        (1.0 - m.security) * 100.0,
+        secmetrics::attack::battery_success_rate(&hardened.security, &tech) * 100.0
+    );
+    if let Some(path) = out {
+        layout::insert_fillers(hardened.layout.occupancy_mut(), &tech);
+        let lib = gdsii::layout_to_gds(&hardened.layout, &tech, Some(&hardened.routing));
+        match std::fs::write(path, lib.to_bytes()) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn cmd_explore(name: &str, pop: usize, gens: usize) {
+    let tech = Technology::nangate45_like();
+    let base = implement_baseline(&spec_or_die(name), &tech);
+    print_snapshot("baseline", &base);
+    let params = Nsga2Params {
+        population: pop,
+        generations: gens,
+        ..Nsga2Params::default()
+    };
+    let result = explore(&base, &tech, &params);
+    println!(
+        "evaluated {} configurations; Pareto front:",
+        result.points.len()
+    );
+    let mut front = result.pareto_front();
+    front.sort_by(|a, b| {
+        a.metrics
+            .security
+            .partial_cmp(&b.metrics.security)
+            .expect("finite")
+    });
+    for p in front {
+        let op = match p.config.op {
+            OpSelect::CellShift => "CS".to_owned(),
+            OpSelect::Lda { n, n_iter } => format!("LDA(N={n},it={n_iter})"),
+        };
+        println!(
+            "  security {:.3}  TNS {:>9.1} ps  power {:.3} mW  DRC {:>3}  {}",
+            p.metrics.security, p.metrics.tns_ps, p.metrics.power_mw, p.metrics.drc, op
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("analyze") => match args.get(1) {
+            Some(name) => cmd_analyze(name),
+            None => usage(),
+        },
+        Some("harden") => match args.get(1) {
+            Some(name) => cmd_harden(
+                name,
+                args.get(2).map_or("cs", String::as_str),
+                args.get(3).map(String::as_str),
+            ),
+            None => usage(),
+        },
+        Some("explore") => match args.get(1) {
+            Some(name) => {
+                let pop = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+                let gens = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3);
+                cmd_explore(name, pop, gens);
+            }
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,466 @@
+//! **Cell Shift (CS)** — anti-Trojan ECO placement operator, Algorithm 1.
+//!
+//! Erases exploitable regions globally by row-wise shifting of cells: the
+//! empty sites of each row form graph vertices, vertically touching
+//! vertices of adjacent rows form connected components, and any component
+//! reaching `Thresh_ER` sites is an exploitable region. Rows are processed
+//! bottom-up; within a row, each vertex in an exploitable component pulls
+//! its neighboring cell into it until the component drops below the
+//! threshold or the vertex is consumed — moving cells as little as
+//! possible to minimize timing impact. A mirrored second pass sweeps the
+//! remaining space off the other edge of the core.
+
+use geom::{Interval, SitePos};
+use layout::{Layout, SiteState};
+use tech::Technology;
+
+/// Outcome of a [`cell_shift`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellShiftStats {
+    /// Total site-steps of cell movement.
+    pub shifted_sites: u64,
+    /// Individual cell moves.
+    pub moves: u64,
+    /// Vertices skipped because the adjacent cell was locked or absent.
+    pub skipped: u64,
+}
+
+/// Scan/shift direction of one pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    /// Visit vertices left-to-right, pulling cells leftward (Algorithm 1).
+    Forward,
+    /// Mirrored pass: right-to-left, pulling cells rightward.
+    Backward,
+}
+
+/// Empty-run vertices of rows `0..=row_limit` with their component weights.
+/// Returns `(vertices, weight_of_component_containing_vertex)`.
+/// Reference implementation used by the tests to validate the incremental
+/// bookkeeping of [`run_pass`].
+#[cfg(test)]
+fn components_up_to(
+    layout: &Layout,
+    row_limit: u32,
+) -> (Vec<(u32, Interval)>, Vec<u64>) {
+    let occ = layout.occupancy();
+    let mut verts: Vec<(u32, Interval)> = Vec::new();
+    let mut row_start: Vec<usize> = Vec::with_capacity(row_limit as usize + 2);
+    for row in 0..=row_limit {
+        row_start.push(verts.len());
+        for run in occ.empty_runs(row) {
+            verts.push((row, run));
+        }
+    }
+    row_start.push(verts.len());
+
+    // Union-find over vertices.
+    let mut parent: Vec<u32> = (0..verts.len() as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut r = x;
+        while parent[r as usize] != r {
+            r = parent[r as usize];
+        }
+        let mut c = x;
+        while parent[c as usize] != r {
+            let n = parent[c as usize];
+            parent[c as usize] = r;
+            c = n;
+        }
+        r
+    }
+    for row in 1..=row_limit {
+        let (a0, a1) = (row_start[row as usize - 1], row_start[row as usize]);
+        let (b0, b1) = (row_start[row as usize], row_start[row as usize + 1]);
+        let (mut i, mut j) = (a0, b0);
+        while i < a1 && j < b1 {
+            let ia = verts[i].1;
+            let ib = verts[j].1;
+            if ia.overlaps(&ib) {
+                let (ra, rb) = (find(&mut parent, i as u32), find(&mut parent, j as u32));
+                if ra != rb {
+                    parent[rb as usize] = ra;
+                }
+            }
+            if ia.hi <= ib.hi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    let mut weight_of_root = vec![0u64; verts.len()];
+    for i in 0..verts.len() {
+        let r = find(&mut parent, i as u32);
+        weight_of_root[r as usize] += verts[i].1.len() as u64;
+    }
+    let weights = (0..verts.len())
+        .map(|i| weight_of_root[find(&mut parent, i as u32) as usize])
+        .collect();
+    (verts, weights)
+}
+
+/// Static context for one row being processed: the connected components of
+/// the *already-final* rows below, exposed through the runs of the row
+/// immediately underneath (the only row the current one can touch).
+struct BelowContext {
+    /// Empty runs of row `i - 1` (empty when processing row 0).
+    prev_runs: Vec<Interval>,
+    /// Component root of each prev run (roots are arbitrary but stable ids).
+    prev_root: Vec<u32>,
+    /// Total weight of each root's component across all below rows.
+    root_weight: std::collections::HashMap<u32, u64>,
+}
+
+impl BelowContext {
+    /// Builds the context from the accumulated below-row vertices.
+    fn build(below: &[(u32, Interval)], below_row_start: &[usize], row: u32) -> Self {
+        let n = below.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut r = x;
+            while parent[r as usize] != r {
+                r = parent[r as usize];
+            }
+            let mut c = x;
+            while parent[c as usize] != r {
+                let nx = parent[c as usize];
+                parent[c as usize] = r;
+                c = nx;
+            }
+            r
+        }
+        let n_rows_below = below_row_start.len().saturating_sub(1);
+        for r in 1..n_rows_below {
+            let (a0, a1) = (below_row_start[r - 1], below_row_start[r]);
+            let (b0, b1) = (below_row_start[r], below_row_start[r + 1]);
+            let (mut i, mut j) = (a0, b0);
+            while i < a1 && j < b1 {
+                let ia = below[i].1;
+                let ib = below[j].1;
+                if ia.overlaps(&ib) {
+                    let (ra, rb) = (find(&mut parent, i as u32), find(&mut parent, j as u32));
+                    if ra != rb {
+                        parent[rb as usize] = ra;
+                    }
+                }
+                if ia.hi <= ib.hi {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        let mut root_weight: std::collections::HashMap<u32, u64> = Default::default();
+        for i in 0..n {
+            let r = find(&mut parent, i as u32);
+            *root_weight.entry(r).or_insert(0) += below[i].1.len() as u64;
+        }
+        let (prev_runs, prev_root) = if row == 0 || n_rows_below < row as usize {
+            (Vec::new(), Vec::new())
+        } else {
+            let (a0, a1) = (
+                below_row_start[row as usize - 1],
+                below_row_start[row as usize],
+            );
+            let runs: Vec<Interval> = below[a0..a1].iter().map(|&(_, iv)| iv).collect();
+            let roots: Vec<u32> = (a0..a1)
+                .map(|i| find(&mut parent, i as u32))
+                .collect();
+            (runs, roots)
+        };
+        Self {
+            prev_runs,
+            prev_root,
+            root_weight,
+        }
+    }
+
+    /// Weight of the component containing current-row vertex `vi`, over the
+    /// graph of rows `0..=i`: a breadth-first walk of the bipartite graph
+    /// between current-row runs and below-component roots.
+    fn component_weight(&self, cur: &[Interval], vi: usize) -> u64 {
+        let mut vert_seen = vec![false; cur.len()];
+        let mut root_seen: std::collections::HashSet<u32> = Default::default();
+        let mut stack = vec![vi];
+        vert_seen[vi] = true;
+        let mut weight = 0u64;
+        while let Some(v) = stack.pop() {
+            weight += cur[v].len() as u64;
+            for (j, r) in self.prev_runs.iter().enumerate() {
+                if r.overlaps(&cur[v]) {
+                    let root = self.prev_root[j];
+                    if root_seen.insert(root) {
+                        weight += self.root_weight[&root];
+                        // Any other current-row vertex touching a run of
+                        // this same component joins too.
+                        for (u, cu) in cur.iter().enumerate() {
+                            if !vert_seen[u]
+                                && self
+                                    .prev_runs
+                                    .iter()
+                                    .zip(&self.prev_root)
+                                    .any(|(rr, rt)| *rt == root && rr.overlaps(cu))
+                            {
+                                vert_seen[u] = true;
+                                stack.push(u);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        weight
+    }
+}
+
+/// One directional pass over all rows, shifting one site at a time exactly
+/// as Algorithm 1 prescribes (the component weight is re-queried after
+/// every single-site shift, so component splits are detected immediately).
+fn run_pass(layout: &mut Layout, thresh: u32, pass: Pass, stats: &mut CellShiftStats) {
+    let rows = layout.floorplan().rows();
+    let cols = layout.floorplan().cols();
+    let mut below: Vec<(u32, Interval)> = Vec::new();
+    let mut below_row_start: Vec<usize> = vec![0];
+    for row in 0..rows {
+        let ctx = BelowContext::build(&below, &below_row_start, row);
+        // The current row's runs, maintained incrementally across shifts.
+        let mut cur: Vec<Interval> = layout.occupancy().empty_runs(row);
+        // Index of the vertex being processed, in scan order.
+        let mut idx: isize = match pass {
+            Pass::Forward => 0,
+            Pass::Backward => cur.len() as isize - 1,
+        };
+        while idx >= 0 && (idx as usize) < cur.len() {
+            let vi = idx as usize;
+            let v = cur[vi];
+            let resolved_step: isize = match pass {
+                Pass::Forward => 1,
+                Pass::Backward => -1,
+            };
+            // Neighbor cell to pull into the vertex.
+            let neighbor_col = match pass {
+                Pass::Forward if v.hi >= cols => None,
+                Pass::Forward => Some(v.hi),
+                Pass::Backward if v.lo == 0 => None,
+                Pass::Backward => Some(v.lo - 1),
+            };
+            let Some(ncol) = neighbor_col else {
+                stats.skipped += 1;
+                idx += resolved_step;
+                continue;
+            };
+            let cell = match layout.occupancy().state(SitePos::new(row, ncol)) {
+                SiteState::Cell(c) => c,
+                SiteState::Empty | SiteState::Filler => {
+                    stats.skipped += 1;
+                    idx += resolved_step;
+                    continue;
+                }
+            };
+            if layout.occupancy().is_locked(cell) {
+                stats.skipped += 1;
+                idx += resolved_step;
+                continue;
+            }
+            if ctx.component_weight(&cur, vi) < thresh as u64 {
+                idx += resolved_step;
+                continue;
+            }
+            // Inner loop of Algorithm 1: shift one site at a time while the
+            // vertex survives and its component stays exploitable. `vcur`
+            // tracks the working vertex across run-list insertions.
+            let mut vcur = vi;
+            let mut removed = false;
+            loop {
+                let origin = layout
+                    .occupancy()
+                    .cell_pos(cell)
+                    .expect("grid cell is placed");
+                let w_c = layout.occupancy().cell_width(cell).expect("placed");
+                let target = match pass {
+                    Pass::Forward => SitePos::new(row, origin.col - 1),
+                    Pass::Backward => SitePos::new(row, origin.col + 1),
+                };
+                if layout.occupancy_mut().move_cell(cell, target).is_err() {
+                    stats.skipped += 1;
+                    break;
+                }
+                stats.shifted_sites += 1;
+                // Update the run list: the vertex shrinks by one site and
+                // the freed site appears on the far side of the cell.
+                match pass {
+                    Pass::Forward => {
+                        cur[vcur].hi -= 1;
+                        let freed = origin.col + w_c - 1;
+                        if vcur + 1 < cur.len() && cur[vcur + 1].lo == freed + 1 {
+                            cur[vcur + 1].lo = freed;
+                        } else {
+                            cur.insert(vcur + 1, Interval::new(freed, freed + 1));
+                        }
+                    }
+                    Pass::Backward => {
+                        cur[vcur].lo += 1;
+                        let freed = origin.col;
+                        if vcur > 0 && cur[vcur - 1].hi == freed {
+                            cur[vcur - 1].hi = freed + 1;
+                        } else {
+                            cur.insert(vcur, Interval::new(freed, freed + 1));
+                            vcur += 1; // the working vertex moved one slot
+                        }
+                    }
+                }
+                if cur[vcur].is_empty() {
+                    cur.remove(vcur);
+                    removed = true;
+                    break;
+                }
+                if ctx.component_weight(&cur, vcur) < thresh as u64 {
+                    break;
+                }
+            }
+            stats.moves += 1;
+            match pass {
+                // Forward: after a removal the slot at `vcur` already holds
+                // the next vertex; otherwise step right past the resolved
+                // vertex.
+                Pass::Forward => idx = if removed { vcur as isize } else { vcur as isize + 1 },
+                // Backward: step left of the resolved/removed position.
+                Pass::Backward => idx = vcur as isize - 1,
+            }
+        }
+        // Row resolved: its final runs become part of the static substrate
+        // for the rows above.
+        let final_runs = layout.occupancy().empty_runs(row);
+        below.extend(final_runs.iter().map(|&iv| (row, iv)));
+        below_row_start.push(below.len());
+    }
+}
+
+/// Runs the Cell Shift operator on a layout whose fillers have been
+/// stripped. Both the forward (leftward) and the mirrored (rightward)
+/// passes of §III-B are executed.
+///
+/// Locked cells are never moved; vertices whose only neighbor is locked are
+/// skipped, exactly like the paper's preprocessing demands.
+pub fn cell_shift(layout: &mut Layout, tech: &Technology, thresh: u32) -> CellShiftStats {
+    layout.occupancy_mut().clear_fillers();
+    let mut stats = CellShiftStats::default();
+    run_pass(layout, thresh, Pass::Forward, &mut stats);
+    run_pass(layout, thresh, Pass::Backward, &mut stats);
+    // Note: exploitable components hugging *locked* cells (the critical
+    // bank) can survive both passes — the greedy cannot pull space through
+    // a wall it may not move. The flow optimizer compensates by pairing CS
+    // with routing width scaling or by choosing LDA; see EXPERIMENTS.md.
+    debug_assert!(layout.check_consistency(tech).is_ok());
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::bench;
+    use secmetrics::THRESH_ER;
+
+    fn placed(seed: u64) -> (Technology, Layout) {
+        // CS targets adequately dense designs (the paper pairs low-density
+        // or timing-tight designs with LDA instead).
+        let tech = Technology::nangate45_like();
+        let design = bench::generate(&bench::tiny_spec(), &tech);
+        let mut layout = Layout::empty_floorplan(design, &tech, 0.70);
+        place::global_place(&mut layout, &tech, seed);
+        place::refine_wirelength(&mut layout, &tech, 2, seed);
+        (tech, layout)
+    }
+
+    /// Sum of component weights ≥ thresh over the full core (a layout-wide
+    /// upper bound on ERsites, independent of timing).
+    fn exploitable_free_sites(layout: &Layout, thresh: u32) -> u64 {
+        let rows = layout.floorplan().rows();
+        let (verts, weights) = components_up_to(layout, rows - 1);
+        let mut total = 0;
+        for i in 0..verts.len() {
+            if weights[i] >= thresh as u64 {
+                // Accumulating per-vertex widths counts each component
+                // exactly once in aggregate.
+                total += verts[i].1.len() as u64;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn shift_eliminates_most_exploitable_space() {
+        let (tech, mut layout) = placed(23);
+        let before = exploitable_free_sites(&layout, THRESH_ER);
+        assert!(before > 0);
+        let stats = cell_shift(&mut layout, &tech, THRESH_ER);
+        let after = exploitable_free_sites(&layout, THRESH_ER);
+        assert!(stats.moves > 0);
+        assert!(
+            (after as f64) < before as f64 * 0.25,
+            "cell shift left {after} of {before} exploitable sites"
+        );
+        layout.check_consistency(&tech).unwrap();
+    }
+
+    #[test]
+    fn locked_cells_stay_put() {
+        let (tech, mut layout) = placed(29);
+        crate::preprocess::lock_critical_cells(&mut layout);
+        let before: Vec<_> = layout
+            .design()
+            .critical_cells
+            .iter()
+            .map(|&c| layout.cell_pos(c))
+            .collect();
+        cell_shift(&mut layout, &tech, THRESH_ER);
+        let after: Vec<_> = layout
+            .design()
+            .critical_cells
+            .iter()
+            .map(|&c| layout.cell_pos(c))
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn shift_preserves_cell_count_and_rows() {
+        let (tech, mut layout) = placed(31);
+        let rows_before: Vec<_> = layout
+            .design()
+            .cells_iter()
+            .map(|(id, _)| layout.cell_pos(id).unwrap().row)
+            .collect();
+        cell_shift(&mut layout, &tech, THRESH_ER);
+        for (i, (id, _)) in layout.design().cells_iter().enumerate() {
+            let pos = layout.cell_pos(id).expect("still placed");
+            assert_eq!(pos.row, rows_before[i], "row-wise shift only");
+        }
+    }
+
+    #[test]
+    fn idempotent_second_run_moves_little() {
+        let (tech, mut layout) = placed(37);
+        cell_shift(&mut layout, &tech, THRESH_ER);
+        let second = cell_shift(&mut layout, &tech, THRESH_ER);
+        assert!(
+            second.shifted_sites <= 4,
+            "second run should be a near-noop, shifted {}",
+            second.shifted_sites
+        );
+    }
+
+    #[test]
+    fn components_weights_are_consistent() {
+        let (_, layout) = placed(41);
+        let (verts, weights) = components_up_to(&layout, layout.floorplan().rows() - 1);
+        let total_sites: u64 = verts.iter().map(|(_, iv)| iv.len() as u64).sum();
+        // Every vertex weight is at least its own size and at most the
+        // total free space.
+        for (i, (_, iv)) in verts.iter().enumerate() {
+            assert!(weights[i] >= iv.len() as u64);
+            assert!(weights[i] <= total_sites);
+        }
+    }
+}

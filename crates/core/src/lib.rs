@@ -1,0 +1,57 @@
+//! **GDSII-Guard**: an ECO framework hardening finalized physical layouts
+//! against fabrication-time hardware-Trojan insertion while co-optimizing
+//! timing — a from-scratch Rust reproduction of the DAC 2023 paper
+//! *"GDSII-Guard: ECO Anti-Trojan Optimization with Exploratory
+//! Timing-Security Trade-Offs"* (Wei, Zhang, Luo).
+//!
+//! The framework (paper Fig. 2):
+//!
+//! 1. [`pipeline`] — implement the baseline layout (place, route, STA,
+//!    power, security analysis) and re-evaluate modified layouts.
+//! 2. [`preprocess`] — lock security-critical cell assets so no operator
+//!    disturbs them.
+//! 3. ECO operators: [`cell_shift`] (Algorithm 1), [`lda`] (Algorithm 2 —
+//!    dynamic local density adjustment), and [`rws`] (routing width
+//!    scaling via non-default rules).
+//! 4. [`flow`] — the composed security flow `f(L_base; x)` over the
+//!    Table-I parameter space.
+//! 5. [`nsga2`] — the multi-objective (security, timing) exploration with
+//!    DRC and power constraints, yielding Pareto-optimal hardened layouts.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gdsii_guard::{flow::FlowConfig, nsga2::{Nsga2Params, explore}, pipeline};
+//! use netlist::bench;
+//! use tech::Technology;
+//!
+//! let tech = Technology::nangate45_like();
+//! let spec = bench::spec_by_name("PRESENT").unwrap();
+//! let base = pipeline::implement_baseline(&spec, &tech);
+//! let result = explore(&base, &tech, &Nsga2Params::default());
+//! for point in result.pareto_front() {
+//!     println!("security {:.3} tns {:.1}", point.metrics.security, point.metrics.tns_ps);
+//! }
+//! ```
+
+pub mod cell_shift;
+pub mod flow;
+pub mod lda;
+pub mod nsga2;
+pub mod pipeline;
+pub mod preprocess;
+pub mod rws;
+
+pub use flow::{FlowConfig, FlowMetrics, OpSelect};
+pub use nsga2::{explore, ExploreResult, Nsga2Params};
+pub use pipeline::Snapshot;
+
+/// Default hard constraint on DRC violations (`N_DRC` in §IV-A).
+pub const N_DRC: u32 = 20;
+
+/// Default power budget multiplier over baseline (`β_power` in §IV-A).
+pub const BETA_POWER: f64 = 1.2;
+
+/// Default weight between free sites and free tracks in the security
+/// objective (`α` in §IV-A).
+pub const ALPHA: f64 = 0.5;

@@ -1,0 +1,559 @@
+//! Multi-objective flow-parameter exploration with NSGA-II (§III-D).
+//!
+//! The Table-I parameter space is encoded as a 13-gene chromosome
+//! (`op_select`, `LDA::N`, `LDA::n_iter`, ten `RWS::scale_M[i]` genes).
+//! Fitness follows the paper: solutions must first satisfy the hard DRC and
+//! power constraints of §II-C (constrained domination à la Deb), then
+//! better `(Security, −TNS)` prevails under Pareto domination with
+//! crowding-distance diversity. Evaluations are cached per chromosome and
+//! run in parallel across worker threads, mirroring the paper's
+//! process-level parallelism.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tech::{RouteRule, Technology, NUM_METAL_LAYERS};
+
+use crate::flow::{run_flow, FlowConfig, FlowMetrics, OpSelect};
+use crate::lda::LdaParams;
+use crate::pipeline::Snapshot;
+
+/// Chromosome over the Table-I space, stored as candidate indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Genome {
+    /// 0 = Cell Shift, 1 = LDA.
+    pub op: u8,
+    /// Index into [`LdaParams::N_CANDIDATES`].
+    pub n_idx: u8,
+    /// Index into [`LdaParams::ITER_CANDIDATES`].
+    pub iter_idx: u8,
+    /// Index into [`RouteRule::CANDIDATES`] per metal layer.
+    pub scale_idx: [u8; NUM_METAL_LAYERS],
+}
+
+impl Genome {
+    /// Decodes the chromosome into a flow configuration.
+    pub fn to_config(self) -> FlowConfig {
+        let op = if self.op == 0 {
+            OpSelect::CellShift
+        } else {
+            OpSelect::Lda {
+                n: LdaParams::N_CANDIDATES[self.n_idx as usize],
+                n_iter: LdaParams::ITER_CANDIDATES[self.iter_idx as usize],
+            }
+        };
+        let mut scales = [1.0; NUM_METAL_LAYERS];
+        for (i, s) in scales.iter_mut().enumerate() {
+            *s = RouteRule::CANDIDATES[self.scale_idx[i] as usize];
+        }
+        FlowConfig { op, scales }
+    }
+
+    /// Uniformly random chromosome.
+    pub fn random(rng: &mut StdRng) -> Self {
+        let mut scale_idx = [0u8; NUM_METAL_LAYERS];
+        for s in &mut scale_idx {
+            *s = rng.gen_range(0..RouteRule::CANDIDATES.len() as u8);
+        }
+        Self {
+            op: rng.gen_range(0..2),
+            n_idx: rng.gen_range(0..LdaParams::N_CANDIDATES.len() as u8),
+            iter_idx: rng.gen_range(0..LdaParams::ITER_CANDIDATES.len() as u8),
+            scale_idx,
+        }
+    }
+
+    /// Uniform crossover.
+    pub fn crossover(a: &Genome, b: &Genome, rng: &mut StdRng) -> Genome {
+        let pick = |rng: &mut StdRng, x: u8, y: u8| if rng.gen_bool(0.5) { x } else { y };
+        let mut scale_idx = [0u8; NUM_METAL_LAYERS];
+        for i in 0..NUM_METAL_LAYERS {
+            scale_idx[i] = pick(rng, a.scale_idx[i], b.scale_idx[i]);
+        }
+        Genome {
+            op: pick(rng, a.op, b.op),
+            n_idx: pick(rng, a.n_idx, b.n_idx),
+            iter_idx: pick(rng, a.iter_idx, b.iter_idx),
+            scale_idx,
+        }
+    }
+
+    /// Per-gene categorical mutation with probability `p`.
+    pub fn mutate(&mut self, rng: &mut StdRng, p: f64) {
+        if rng.gen_bool(p) {
+            self.op = rng.gen_range(0..2);
+        }
+        if rng.gen_bool(p) {
+            self.n_idx = rng.gen_range(0..LdaParams::N_CANDIDATES.len() as u8);
+        }
+        if rng.gen_bool(p) {
+            self.iter_idx = rng.gen_range(0..LdaParams::ITER_CANDIDATES.len() as u8);
+        }
+        for s in &mut self.scale_idx {
+            if rng.gen_bool(p) {
+                *s = rng.gen_range(0..RouteRule::CANDIDATES.len() as u8);
+            }
+        }
+    }
+
+    /// A deterministic per-genome seed for the flow's internal RNG.
+    fn flow_seed(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// NSGA-II hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Nsga2Params {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations after the initial population.
+    pub generations: usize,
+    /// Crossover probability (else clone a parent).
+    pub crossover_p: f64,
+    /// Per-gene mutation probability.
+    pub mutation_p: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads for parallel flow evaluation.
+    pub threads: usize,
+}
+
+impl Default for Nsga2Params {
+    fn default() -> Self {
+        Self {
+            population: 16,
+            generations: 6,
+            crossover_p: 0.9,
+            mutation_p: 0.15,
+            seed: 0x65A2,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalPoint {
+    /// The chromosome.
+    pub genome: Genome,
+    /// Decoded configuration.
+    pub config: FlowConfig,
+    /// Measured metrics.
+    pub metrics: FlowMetrics,
+    /// Generation at which the point was first evaluated (0 = initial).
+    pub generation: usize,
+}
+
+/// Full exploration trace plus the data needed to judge feasibility.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExploreResult {
+    /// Every unique evaluated point, in evaluation order.
+    pub points: Vec<EvalPoint>,
+    /// Baseline power, the reference for the power constraint.
+    pub base_power_mw: f64,
+    /// Baseline DRC count, the reference for the DRC constraint.
+    pub base_drc: u32,
+    /// Baseline TNS in ps, for plotting the trade-off origin.
+    pub base_tns_ps: f64,
+}
+
+impl ExploreResult {
+    /// The feasible, non-dominated subset of all evaluated points
+    /// (the explored Pareto front of Fig. 5).
+    pub fn pareto_front(&self) -> Vec<&EvalPoint> {
+        let feasible: Vec<&EvalPoint> = self
+            .points
+            .iter()
+            .filter(|p| p.metrics.feasible(self.base_power_mw, self.base_drc))
+            .collect();
+        feasible
+            .iter()
+            .filter(|a| {
+                !feasible
+                    .iter()
+                    .any(|b| dominates(&b.metrics.objectives(), &a.metrics.objectives()))
+            })
+            .copied()
+            .collect()
+    }
+}
+
+/// Plain Pareto domination on minimization objectives.
+fn dominates(a: &[f64; 2], b: &[f64; 2]) -> bool {
+    a[0] <= b[0] && a[1] <= b[1] && (a[0] < b[0] || a[1] < b[1])
+}
+
+/// Constrained domination (Deb): feasibility first, then violation, then
+/// Pareto domination.
+fn constrained_dominates(a: &FlowMetrics, b: &FlowMetrics, base_power: f64, base_drc: u32) -> bool {
+    let (cva, cvb) = (
+        a.constraint_violation(base_power, base_drc),
+        b.constraint_violation(base_power, base_drc),
+    );
+    match (cva == 0.0, cvb == 0.0) {
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => cva < cvb,
+        (true, true) => dominates(&a.objectives(), &b.objectives()),
+    }
+}
+
+/// Fast non-dominated sort; returns the front index of each individual.
+fn non_dominated_sort(metrics: &[FlowMetrics], base_power: f64, base_drc: u32) -> Vec<usize> {
+    let n = metrics.len();
+    let mut dominated_by = vec![0usize; n];
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && constrained_dominates(&metrics[i], &metrics[j], base_power, base_drc) {
+                dominates_list[i].push(j);
+                dominated_by[j] += 1;
+            }
+        }
+    }
+    let mut rank = vec![usize::MAX; n];
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    let mut r = 0;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            rank[i] = r;
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        r += 1;
+    }
+    rank
+}
+
+/// Crowding distance within one front (indices into `metrics`).
+fn crowding_distance(front: &[usize], metrics: &[FlowMetrics]) -> HashMap<usize, f64> {
+    let mut dist: HashMap<usize, f64> = front.iter().map(|&i| (i, 0.0)).collect();
+    for obj in 0..2 {
+        let mut sorted: Vec<usize> = front.to_vec();
+        sorted.sort_by(|&a, &b| {
+            metrics[a].objectives()[obj]
+                .partial_cmp(&metrics[b].objectives()[obj])
+                .expect("objectives are finite")
+        });
+        let lo = metrics[sorted[0]].objectives()[obj];
+        let hi = metrics[*sorted.last().expect("front non-empty")].objectives()[obj];
+        *dist.get_mut(&sorted[0]).expect("present") = f64::INFINITY;
+        *dist.get_mut(sorted.last().expect("non-empty")).expect("present") = f64::INFINITY;
+        if hi - lo <= f64::EPSILON {
+            continue;
+        }
+        for w in sorted.windows(3) {
+            let d = (metrics[w[2]].objectives()[obj] - metrics[w[0]].objectives()[obj]) / (hi - lo);
+            *dist.get_mut(&w[1]).expect("present") += d;
+        }
+    }
+    dist
+}
+
+/// Evaluates genomes against the cache, running misses in parallel.
+fn evaluate_all(
+    genomes: &[Genome],
+    base: &Snapshot,
+    tech: &Technology,
+    cache: &mut HashMap<Genome, FlowMetrics>,
+    threads: usize,
+) {
+    let mut missing: Vec<Genome> = genomes
+        .iter()
+        .copied()
+        .filter(|g| !cache.contains_key(g))
+        .collect();
+    missing.sort_by_key(Genome::flow_seed);
+    missing.dedup();
+    if missing.is_empty() {
+        return;
+    }
+    let threads = threads.max(1).min(missing.len());
+    let chunk = missing.len().div_ceil(threads);
+    let results = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in missing.chunks(chunk) {
+            handles.push(scope.spawn(move |_| {
+                part.iter()
+                    .map(|g| (*g, run_flow(base, tech, &g.to_config(), g.flow_seed())))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("evaluation scope");
+    cache.extend(results);
+}
+
+/// Binary tournament by `(rank, crowding)`.
+fn tournament(
+    rng: &mut StdRng,
+    pop: &[Genome],
+    rank: &[usize],
+    crowd: &HashMap<usize, f64>,
+) -> Genome {
+    let a = rng.gen_range(0..pop.len());
+    let b = rng.gen_range(0..pop.len());
+    let better = if rank[a] != rank[b] {
+        if rank[a] < rank[b] {
+            a
+        } else {
+            b
+        }
+    } else {
+        let (ca, cb) = (
+            crowd.get(&a).copied().unwrap_or(0.0),
+            crowd.get(&b).copied().unwrap_or(0.0),
+        );
+        if ca >= cb {
+            a
+        } else {
+            b
+        }
+    };
+    pop[better]
+}
+
+/// Runs the NSGA-II exploration over the flow parameter space.
+///
+/// Returns every evaluated point; use [`ExploreResult::pareto_front`] for
+/// the final trade-off set.
+pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> ExploreResult {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut cache: HashMap<Genome, FlowMetrics> = HashMap::new();
+    let mut order: Vec<(Genome, usize)> = Vec::new();
+
+    // Initial population: the two canonical operators plus random samples.
+    let mut pop: Vec<Genome> = Vec::with_capacity(params.population);
+    pop.push(Genome {
+        op: 0,
+        n_idx: 0,
+        iter_idx: 0,
+        scale_idx: [0; NUM_METAL_LAYERS],
+    });
+    pop.push(Genome {
+        op: 1,
+        n_idx: 2,
+        iter_idx: 0,
+        scale_idx: [0; NUM_METAL_LAYERS],
+    });
+    while pop.len() < params.population {
+        pop.push(Genome::random(&mut rng));
+    }
+    evaluate_all(&pop, base, tech, &mut cache, params.threads);
+    for g in &pop {
+        if !order.iter().any(|(og, _)| og == g) {
+            order.push((*g, 0));
+        }
+    }
+
+    for generation in 1..=params.generations {
+        // Parent selection state.
+        let metrics: Vec<FlowMetrics> = pop.iter().map(|g| cache[g]).collect();
+        let rank = non_dominated_sort(&metrics, base.power_mw(), base.drc);
+        let all: Vec<usize> = (0..pop.len()).collect();
+        let crowd = crowding_distance(&all, &metrics);
+
+        // Offspring.
+        let mut offspring: Vec<Genome> = Vec::with_capacity(params.population);
+        while offspring.len() < params.population {
+            let p1 = tournament(&mut rng, &pop, &rank, &crowd);
+            let p2 = tournament(&mut rng, &pop, &rank, &crowd);
+            let mut child = if rng.gen_bool(params.crossover_p) {
+                Genome::crossover(&p1, &p2, &mut rng)
+            } else {
+                p1
+            };
+            child.mutate(&mut rng, params.mutation_p);
+            offspring.push(child);
+        }
+        evaluate_all(&offspring, base, tech, &mut cache, params.threads);
+        for g in &offspring {
+            if !order.iter().any(|(og, _)| og == g) {
+                order.push((*g, generation));
+            }
+        }
+
+        // Environmental selection over the union.
+        let mut union: Vec<Genome> = pop.iter().chain(offspring.iter()).copied().collect();
+        union.sort_by_key(Genome::flow_seed);
+        union.dedup();
+        let union_metrics: Vec<FlowMetrics> = union.iter().map(|g| cache[g]).collect();
+        let union_rank = non_dominated_sort(&union_metrics, base.power_mw(), base.drc);
+        let max_rank = union_rank.iter().copied().max().unwrap_or(0);
+        let mut next: Vec<Genome> = Vec::with_capacity(params.population);
+        for r in 0..=max_rank {
+            let front: Vec<usize> = (0..union.len()).filter(|&i| union_rank[i] == r).collect();
+            if next.len() + front.len() <= params.population {
+                next.extend(front.iter().map(|&i| union[i]));
+            } else {
+                let crowd = crowding_distance(&front, &union_metrics);
+                let mut by_crowd = front.clone();
+                by_crowd.sort_by(|a, b| {
+                    crowd[b].partial_cmp(&crowd[a]).expect("crowding is comparable")
+                });
+                for &i in by_crowd.iter().take(params.population - next.len()) {
+                    next.push(union[i]);
+                }
+                break;
+            }
+            if next.len() == params.population {
+                break;
+            }
+        }
+        // Top up if deduplication shrank the union below the population.
+        while next.len() < params.population {
+            next.push(Genome::random(&mut rng));
+        }
+        evaluate_all(&next, base, tech, &mut cache, params.threads);
+        for g in &next {
+            if !order.iter().any(|(og, _)| og == g) {
+                order.push((*g, generation));
+            }
+        }
+        pop = next;
+    }
+
+    let points = order
+        .into_iter()
+        .map(|(genome, generation)| EvalPoint {
+            genome,
+            config: genome.to_config(),
+            metrics: cache[&genome],
+            generation,
+        })
+        .collect();
+    ExploreResult {
+        points,
+        base_power_mw: base.power_mw(),
+        base_drc: base.drc,
+        base_tns_ps: base.tns_ps(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::implement_baseline;
+    use netlist::bench;
+
+    fn m(sec: f64, tns: f64, drc: u32, power: f64) -> FlowMetrics {
+        FlowMetrics {
+            security: sec,
+            er_sites: 0,
+            er_tracks: 0.0,
+            tns_ps: tns,
+            power_mw: power,
+            drc,
+        }
+    }
+
+    #[test]
+    fn domination_rules() {
+        assert!(dominates(&[0.1, 5.0], &[0.2, 6.0]));
+        assert!(dominates(&[0.1, 5.0], &[0.1, 6.0]));
+        assert!(!dominates(&[0.1, 5.0], &[0.1, 5.0]));
+        assert!(!dominates(&[0.1, 7.0], &[0.2, 6.0]));
+    }
+
+    #[test]
+    fn constrained_domination_prefers_feasible() {
+        let feas = m(0.9, -100.0, 0, 1.0);
+        let infeas = m(0.01, 0.0, 100, 1.0);
+        assert!(constrained_dominates(&feas, &infeas, 1.0, 0));
+        assert!(!constrained_dominates(&infeas, &feas, 1.0, 0));
+        // Between two infeasible points the lesser violation wins.
+        let worse = m(0.01, 0.0, 200, 1.0);
+        assert!(constrained_dominates(&infeas, &worse, 1.0, 0));
+    }
+
+    #[test]
+    fn sort_ranks_are_consistent() {
+        let ms = vec![
+            m(0.1, -10.0, 0, 1.0),
+            m(0.2, -20.0, 0, 1.0), // dominated by the first
+            m(0.05, -30.0, 0, 1.0),
+        ];
+        let rank = non_dominated_sort(&ms, 1.0, 0);
+        assert_eq!(rank[0], 0);
+        assert_eq!(rank[2], 0);
+        assert_eq!(rank[1], 1);
+    }
+
+    #[test]
+    fn genome_round_trip_and_mutation_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let mut g = Genome::random(&mut rng);
+            g.mutate(&mut rng, 0.5);
+            let cfg = g.to_config();
+            for s in cfg.scales {
+                assert!(RouteRule::CANDIDATES.contains(&s));
+            }
+            if let OpSelect::Lda { n, n_iter } = cfg.op {
+                assert!(LdaParams::N_CANDIDATES.contains(&n));
+                assert!(LdaParams::ITER_CANDIDATES.contains(&n_iter));
+            }
+        }
+    }
+
+    #[test]
+    fn explore_finds_a_nonempty_pareto_front() {
+        let tech = Technology::nangate45_like();
+        let base = implement_baseline(&bench::tiny_spec(), &tech);
+        let params = Nsga2Params {
+            population: 6,
+            generations: 2,
+            threads: 2,
+            ..Nsga2Params::default()
+        };
+        let result = explore(&base, &tech, &params);
+        assert!(result.points.len() >= params.population);
+        let front = result.pareto_front();
+        assert!(!front.is_empty(), "no feasible point found");
+        // Every front point improves security over baseline.
+        for p in &front {
+            assert!(p.metrics.security < 1.0, "security {}", p.metrics.security);
+        }
+        // Front members must not dominate each other.
+        for a in &front {
+            for b in &front {
+                assert!(!dominates(&a.metrics.objectives(), &b.metrics.objectives()));
+            }
+        }
+    }
+
+    #[test]
+    fn explore_is_deterministic_per_seed() {
+        let tech = Technology::nangate45_like();
+        let base = implement_baseline(&bench::tiny_spec(), &tech);
+        let params = Nsga2Params {
+            population: 4,
+            generations: 1,
+            threads: 2,
+            ..Nsga2Params::default()
+        };
+        let a = explore(&base, &tech, &params);
+        let b = explore(&base, &tech, &params);
+        assert_eq!(a.points.len(), b.points.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.genome, pb.genome);
+            assert_eq!(pa.metrics.security, pb.metrics.security);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! **Routing Width Scaling (RWS)** — anti-Trojan ECO routing operator.
+//!
+//! GDSII-Guard edits the non-default rule (NDR) and selectively widens the
+//! routing wires of individual metal layers (§III-C). Wider nets consume
+//! extra track pitch — shrinking the free tracks a Trojan could route on —
+//! while simultaneously lowering wire resistance, which can *improve*
+//! timing on long nets. The trade-off per layer is explored by the flow
+//! optimizer; this module just installs the rule (the effect materializes
+//! at the re-route in [`crate::pipeline::evaluate`]).
+
+use layout::Layout;
+use tech::{RouteRule, NUM_METAL_LAYERS};
+
+/// Installs per-layer width scale factors on the layout's NDR.
+///
+/// # Panics
+///
+/// Panics if any factor is below 1.0.
+pub fn apply_width_scaling(layout: &mut Layout, scales: [f64; NUM_METAL_LAYERS]) {
+    layout.set_route_rule(RouteRule::from_scales(scales));
+}
+
+/// Convenience: scale every layer by the same factor.
+pub fn apply_uniform_scaling(layout: &mut Layout, s: f64) {
+    layout.set_route_rule(RouteRule::uniform(s));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::bench;
+    use tech::Technology;
+
+    #[test]
+    fn install_and_reroute_changes_free_tracks() {
+        let tech = Technology::nangate45_like();
+        let design = bench::generate(&bench::tiny_spec(), &tech);
+        let mut layout = Layout::empty_floorplan(design, &tech, 0.6);
+        place::global_place(&mut layout, &tech, 61);
+        let base = route::route_design(&layout, &tech);
+        apply_uniform_scaling(&mut layout, 1.5);
+        let wide = route::route_design(&layout, &tech);
+        let sum = |r: &route::RoutingState| -> f64 {
+            let g = r.grid();
+            let mut t = 0.0;
+            for y in 0..g.ny() {
+                for x in 0..g.nx() {
+                    t += g.free_tracks_all_layers(geom::GcellPos::new(x, y));
+                }
+            }
+            t
+        };
+        assert!(sum(&wide) < sum(&base));
+    }
+
+    #[test]
+    fn per_layer_rule_reaches_the_layout() {
+        let tech = Technology::nangate45_like();
+        let design = bench::generate(&bench::tiny_spec(), &tech);
+        let mut layout = Layout::empty_floorplan(design, &tech, 0.6);
+        let mut scales = [1.0; NUM_METAL_LAYERS];
+        scales[6] = 1.5; // widen M7 only
+        apply_width_scaling(&mut layout, scales);
+        assert_eq!(layout.route_rule().scale(7), 1.5);
+        assert_eq!(layout.route_rule().scale(2), 1.0);
+    }
+}

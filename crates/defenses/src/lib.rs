@@ -1,0 +1,24 @@
+//! State-of-the-art layout-level anti-Trojan defenses the paper compares
+//! against (§IV-A):
+//!
+//! * [`icas`] — Trippel et al., *ICAS* (IEEE S&P 2020): undirected CAD
+//!   parameter tuning, chiefly re-running global P&R at higher core
+//!   density to squeeze free space.
+//! * [`bisa`] — Xiao & Tehranipoor, *BISA* (HOST 2013): fill every unused
+//!   site with functional, tamper-evident logic wired into a built-in
+//!   self-authentication chain.
+//! * [`ba`] — Ba et al. (ECCTD'15 / ISVLSI'16): BISA-style filling applied
+//!   locally around the security-critical cells, at ≥90 % local density.
+//!
+//! Every defense consumes a baseline [`gdsii_guard::Snapshot`] and returns
+//! the hardened snapshot re-analyzed by the same pipeline, so Fig. 4 and
+//! Table II comparisons are apples-to-apples.
+
+pub mod ba;
+pub mod bisa;
+mod fill;
+pub mod icas;
+
+pub use ba::apply_ba;
+pub use bisa::apply_bisa;
+pub use icas::apply_icas;

@@ -1,0 +1,157 @@
+use layout::Layout;
+use route::RoutingState;
+use tech::{LayerDir, Technology, SITE_H, SITE_W};
+
+use crate::model::{GdsElement, GdsLibrary, GdsStruct};
+
+/// GDSII layer used for cell outlines (a common convention for the
+/// "prBoundary" placement abstract).
+const OUTLINE_LAYER: i16 = 235;
+
+/// Exports a placed (and optionally routed) layout to a GDSII library.
+///
+/// Every referenced cell master becomes one structure holding its footprint
+/// outline; the top structure holds one `SREF` per placed cell and filler,
+/// plus a `PATH` per committed global-routing segment (center-line at gcell
+/// resolution, width from the layer's default width times the active NDR
+/// scale).
+///
+/// ```
+/// # use netlist::bench; use tech::Technology; use layout::Layout;
+/// let tech = Technology::nangate45_like();
+/// let design = bench::generate(&bench::tiny_spec(), &tech);
+/// let mut layout = Layout::empty_floorplan(design, &tech, 0.6);
+/// place::global_place(&mut layout, &tech, 1);
+/// let lib = gdsii::layout_to_gds(&layout, &tech, None);
+/// assert!(lib.find_struct("TOP").is_some());
+/// ```
+pub fn layout_to_gds(
+    layout: &Layout,
+    tech: &Technology,
+    routing: Option<&RoutingState>,
+) -> GdsLibrary {
+    let design = layout.design();
+    let mut lib = GdsLibrary::new(&design.name);
+
+    // One structure per referenced master.
+    let mut used_kinds: Vec<tech::KindId> = design.cells.iter().map(|c| c.kind).collect();
+    used_kinds.extend(layout.occupancy().fillers().iter().map(|f| f.kind));
+    used_kinds.sort_unstable();
+    used_kinds.dedup();
+    for kind in &used_kinds {
+        let master = tech.library.kind(*kind);
+        let w = master.width_sites as i32 * SITE_W as i32;
+        let h = SITE_H as i32;
+        let mut s = GdsStruct::new(master.name);
+        s.elements.push(GdsElement::Boundary {
+            layer: OUTLINE_LAYER,
+            xy: vec![(0, 0), (w, 0), (w, h), (0, h), (0, 0)],
+        });
+        lib.structs.push(s);
+    }
+
+    let mut top = GdsStruct::new("TOP");
+    let fp = layout.floorplan();
+    for (id, cell) in design.cells_iter() {
+        if let Some(pos) = layout.cell_pos(id) {
+            let r = fp.sites_rect(pos, tech.library.kind(cell.kind).width_sites);
+            top.elements.push(GdsElement::Sref {
+                name: tech.library.kind(cell.kind).name.to_owned(),
+                at: (r.lo.x as i32, r.lo.y as i32),
+            });
+        }
+    }
+    for f in layout.occupancy().fillers() {
+        let r = fp.sites_rect(f.pos, f.width);
+        top.elements.push(GdsElement::Sref {
+            name: tech.library.kind(f.kind).name.to_owned(),
+            at: (r.lo.x as i32, r.lo.y as i32),
+        });
+    }
+
+    if let Some(routing) = routing {
+        let grid = routing.grid();
+        for (nid, _) in design.nets_iter() {
+            for seg in routing.net_segs(nid) {
+                let layer = tech.layer(seg.layer);
+                let scale = grid.scale(seg.layer);
+                let width = (layer.width as f64 * scale).round() as i32;
+                let cx = |x: u32| (x as i64 * grid.span_x() + grid.span_x() / 2) as i32;
+                let cy = |y: u32| (y as i64 * grid.span_y() + grid.span_y() / 2) as i32;
+                let xy = match layer.dir {
+                    LayerDir::Horizontal => {
+                        vec![(cx(seg.from.x), cy(seg.from.y)), (cx(seg.to.x), cy(seg.to.y))]
+                    }
+                    LayerDir::Vertical => {
+                        vec![(cx(seg.from.x), cy(seg.from.y)), (cx(seg.to.x), cy(seg.to.y))]
+                    }
+                };
+                top.elements.push(GdsElement::Path {
+                    layer: seg.layer as i16,
+                    width,
+                    xy,
+                });
+            }
+        }
+    }
+
+    lib.structs.push(top);
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::bench;
+
+    fn exported(with_routes: bool) -> GdsLibrary {
+        let tech = Technology::nangate45_like();
+        let design = bench::generate(&bench::tiny_spec(), &tech);
+        let mut layout = Layout::empty_floorplan(design, &tech, 0.6);
+        place::global_place(&mut layout, &tech, 2);
+        layout::insert_fillers(layout.occupancy_mut(), &tech);
+        if with_routes {
+            let routing = route::route_design(&layout, &tech);
+            layout_to_gds(&layout, &tech, Some(&routing))
+        } else {
+            layout_to_gds(&layout, &tech, None)
+        }
+    }
+
+    #[test]
+    fn every_cell_is_referenced() {
+        let lib = exported(false);
+        let tech = Technology::nangate45_like();
+        let design = bench::generate(&bench::tiny_spec(), &tech);
+        let top = lib.find_struct("TOP").unwrap();
+        let srefs = top
+            .elements
+            .iter()
+            .filter(|e| matches!(e, GdsElement::Sref { .. }))
+            .count();
+        assert!(srefs >= design.cells.len(), "fillers add extra refs");
+    }
+
+    #[test]
+    fn routed_export_round_trips_through_bytes() {
+        let lib = exported(true);
+        let bytes = lib.to_bytes();
+        let back = GdsLibrary::from_bytes(&bytes).unwrap();
+        assert_eq!(back, lib);
+        let top = back.find_struct("TOP").unwrap();
+        assert!(top
+            .elements
+            .iter()
+            .any(|e| matches!(e, GdsElement::Path { .. })));
+    }
+
+    #[test]
+    fn masters_have_outline_geometry() {
+        let lib = exported(false);
+        let inv = lib.find_struct("DFF_X1").expect("flops exist");
+        assert!(matches!(
+            inv.elements[0],
+            GdsElement::Boundary { layer: OUTLINE_LAYER, .. }
+        ));
+    }
+}

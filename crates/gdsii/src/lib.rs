@@ -1,0 +1,36 @@
+//! GDSII stream-format I/O and layout export.
+//!
+//! The paper's threat model begins "right after tapeout \[when\] the attacker
+//! in the untrusted foundry starts with the GDSII file". This crate
+//! implements the actual Calma GDSII binary stream format — record framing,
+//! excess-64 reals, `BOUNDARY`/`PATH`/`SREF` elements — so hardened layouts
+//! can be exported to (and attack tooling can consume) the same artifact a
+//! real foundry receives.
+//!
+//! # Examples
+//!
+//! ```
+//! use gdsii::{GdsElement, GdsLibrary, GdsStruct};
+//!
+//! let mut lib = GdsLibrary::new("DEMO");
+//! let mut top = GdsStruct::new("TOP");
+//! top.elements.push(GdsElement::Boundary {
+//!     layer: 1,
+//!     xy: vec![(0, 0), (100, 0), (100, 50), (0, 50), (0, 0)],
+//! });
+//! lib.structs.push(top);
+//! let bytes = lib.to_bytes();
+//! let back = GdsLibrary::from_bytes(&bytes).unwrap();
+//! assert_eq!(back.structs[0].name, "TOP");
+//! ```
+
+mod export;
+mod model;
+mod reader;
+mod records;
+mod writer;
+
+pub use export::layout_to_gds;
+pub use model::{GdsElement, GdsLibrary, GdsStruct};
+pub use reader::ReadGdsError;
+pub use records::{read_real8, write_real8};

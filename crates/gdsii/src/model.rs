@@ -1,0 +1,106 @@
+/// An element inside a GDSII structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GdsElement {
+    /// A filled polygon on a layer; `xy` is a closed vertex list (first
+    /// point repeated last, per the GDSII convention).
+    Boundary {
+        /// GDSII layer number.
+        layer: i16,
+        /// Closed vertex list in DBU.
+        xy: Vec<(i32, i32)>,
+    },
+    /// A wire of the given width along a center-line.
+    Path {
+        /// GDSII layer number.
+        layer: i16,
+        /// Wire width in DBU.
+        width: i32,
+        /// Center-line vertices in DBU.
+        xy: Vec<(i32, i32)>,
+    },
+    /// A reference to another structure placed at `at`.
+    Sref {
+        /// Referenced structure name.
+        name: String,
+        /// Placement origin in DBU.
+        at: (i32, i32),
+    },
+}
+
+/// A named GDSII structure (a reusable cell).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GdsStruct {
+    /// Structure name.
+    pub name: String,
+    /// Contained elements.
+    pub elements: Vec<GdsElement>,
+}
+
+impl GdsStruct {
+    /// Creates an empty structure.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            elements: Vec::new(),
+        }
+    }
+}
+
+/// A GDSII library: units plus a list of structures. The last structure is
+/// conventionally the top cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GdsLibrary {
+    /// Library name.
+    pub name: String,
+    /// User units per database unit (1e-3 → DBU is a nanometre when the
+    /// user unit is a micron).
+    pub user_units_per_dbu: f64,
+    /// Metres per database unit (1e-9 for nanometre DBU).
+    pub meters_per_dbu: f64,
+    /// Structures in definition order.
+    pub structs: Vec<GdsStruct>,
+}
+
+impl GdsLibrary {
+    /// Creates an empty library with nanometre database units.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            user_units_per_dbu: 1e-3,
+            meters_per_dbu: 1e-9,
+            structs: Vec::new(),
+        }
+    }
+
+    /// Finds a structure by name.
+    pub fn find_struct(&self, name: &str) -> Option<&GdsStruct> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// Total element count across all structures.
+    pub fn num_elements(&self) -> usize {
+        self.structs.iter().map(|s| s.elements.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_lookup() {
+        let mut lib = GdsLibrary::new("L");
+        lib.structs.push(GdsStruct::new("A"));
+        lib.structs.push(GdsStruct::new("B"));
+        assert!(lib.find_struct("A").is_some());
+        assert!(lib.find_struct("C").is_none());
+        assert_eq!(lib.num_elements(), 0);
+    }
+
+    #[test]
+    fn default_units_are_nanometres() {
+        let lib = GdsLibrary::new("L");
+        assert_eq!(lib.meters_per_dbu, 1e-9);
+        assert_eq!(lib.user_units_per_dbu, 1e-3);
+    }
+}

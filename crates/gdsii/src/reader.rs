@@ -1,0 +1,265 @@
+use crate::model::{GdsElement, GdsLibrary, GdsStruct};
+use crate::records::read_real8;
+
+/// Errors from [`GdsLibrary::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadGdsError {
+    /// The stream ended inside a record.
+    Truncated,
+    /// A record had an impossible length field.
+    BadRecordLength {
+        /// Byte offset of the offending record.
+        offset: usize,
+    },
+    /// A record appeared in an invalid position.
+    UnexpectedRecord {
+        /// Record type byte.
+        record_type: u8,
+        /// Byte offset.
+        offset: usize,
+    },
+    /// The stream did not terminate with `ENDLIB`.
+    MissingEndLib,
+}
+
+impl core::fmt::Display for ReadGdsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "stream truncated inside a record"),
+            Self::BadRecordLength { offset } => {
+                write!(f, "invalid record length at byte {offset}")
+            }
+            Self::UnexpectedRecord { record_type, offset } => {
+                write!(f, "unexpected record 0x{record_type:02x} at byte {offset}")
+            }
+            Self::MissingEndLib => write!(f, "stream ended without ENDLIB"),
+        }
+    }
+}
+
+impl std::error::Error for ReadGdsError {}
+
+struct Record<'a> {
+    rt: u8,
+    payload: &'a [u8],
+    offset: usize,
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Result<Option<Record<'a>>, ReadGdsError> {
+        if self.pos + 4 > self.data.len() {
+            if self.pos == self.data.len() {
+                return Ok(None);
+            }
+            return Err(ReadGdsError::Truncated);
+        }
+        let offset = self.pos;
+        let len = u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]) as usize;
+        if len < 4 {
+            return Err(ReadGdsError::BadRecordLength { offset });
+        }
+        if self.pos + len > self.data.len() {
+            return Err(ReadGdsError::Truncated);
+        }
+        let rt = self.data[self.pos + 2];
+        let payload = &self.data[self.pos + 4..self.pos + len];
+        self.pos += len;
+        Ok(Some(Record { rt, payload, offset }))
+    }
+}
+
+fn ascii(payload: &[u8]) -> String {
+    let end = payload.iter().position(|&b| b == 0).unwrap_or(payload.len());
+    String::from_utf8_lossy(&payload[..end]).into_owned()
+}
+
+fn i16_at(payload: &[u8]) -> i16 {
+    i16::from_be_bytes([payload[0], payload[1]])
+}
+
+fn i32s(payload: &[u8]) -> Vec<i32> {
+    payload
+        .chunks_exact(4)
+        .map(|c| i32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+fn xy_pairs(payload: &[u8]) -> Vec<(i32, i32)> {
+    i32s(payload).chunks_exact(2).map(|p| (p[0], p[1])).collect()
+}
+
+impl GdsLibrary {
+    /// Parses a GDSII stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReadGdsError`] on malformed framing, truncation, or
+    /// records in invalid positions. Unknown record types inside elements
+    /// are skipped (forward compatibility), mirroring common readers.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ReadGdsError> {
+        let mut cur = Cursor { data, pos: 0 };
+        let mut lib = GdsLibrary::new("");
+        let mut current: Option<GdsStruct> = None;
+        // Element assembly state.
+        let mut pending_kind: Option<u8> = None;
+        let mut layer: i16 = 0;
+        let mut width: i32 = 0;
+        let mut sname = String::new();
+        let mut xy: Vec<(i32, i32)> = Vec::new();
+        let mut saw_endlib = false;
+
+        while let Some(rec) = cur.next()? {
+            match rec.rt {
+                0x00 /* HEADER */ | 0x01 /* BGNLIB */ | 0x05 /* BGNSTR */ => {}
+                0x02 /* LIBNAME */ => lib.name = ascii(rec.payload),
+                0x03 /* UNITS */ => {
+                    if rec.payload.len() >= 16 {
+                        lib.user_units_per_dbu = read_real8(&rec.payload[0..8]);
+                        lib.meters_per_dbu = read_real8(&rec.payload[8..16]);
+                    }
+                }
+                0x06 /* STRNAME */ => {
+                    if current.is_none() {
+                        current = Some(GdsStruct::new(""));
+                    }
+                    if let Some(s) = current.as_mut() {
+                        s.name = ascii(rec.payload);
+                    }
+                }
+                0x07 /* ENDSTR */ => {
+                    let s = current.take().ok_or(ReadGdsError::UnexpectedRecord {
+                        record_type: rec.rt,
+                        offset: rec.offset,
+                    })?;
+                    lib.structs.push(s);
+                }
+                0x08 /* BOUNDARY */ | 0x09 /* PATH */ | 0x0A /* SREF */ => {
+                    if current.is_none() {
+                        return Err(ReadGdsError::UnexpectedRecord {
+                            record_type: rec.rt,
+                            offset: rec.offset,
+                        });
+                    }
+                    pending_kind = Some(rec.rt);
+                    layer = 0;
+                    width = 0;
+                    sname.clear();
+                    xy.clear();
+                }
+                0x0D /* LAYER */ => layer = i16_at(rec.payload),
+                0x0E /* DATATYPE */ => {}
+                0x0F /* WIDTH */ => width = i32s(rec.payload).first().copied().unwrap_or(0),
+                0x10 /* XY */ => xy = xy_pairs(rec.payload),
+                0x12 /* SNAME */ => sname = ascii(rec.payload),
+                0x11 /* ENDEL */ => {
+                    let kind = pending_kind.take().ok_or(ReadGdsError::UnexpectedRecord {
+                        record_type: rec.rt,
+                        offset: rec.offset,
+                    })?;
+                    let element = match kind {
+                        0x08 => GdsElement::Boundary {
+                            layer,
+                            xy: std::mem::take(&mut xy),
+                        },
+                        0x09 => GdsElement::Path {
+                            layer,
+                            width,
+                            xy: std::mem::take(&mut xy),
+                        },
+                        0x0A => GdsElement::Sref {
+                            name: std::mem::take(&mut sname),
+                            at: xy.first().copied().unwrap_or((0, 0)),
+                        },
+                        _ => unreachable!("pending_kind is one of the three elements"),
+                    };
+                    current
+                        .as_mut()
+                        .expect("inside a structure")
+                        .elements
+                        .push(element);
+                }
+                0x04 /* ENDLIB */ => {
+                    saw_endlib = true;
+                    break;
+                }
+                _ => {} // skip unknown records
+            }
+        }
+        if !saw_endlib {
+            return Err(ReadGdsError::MissingEndLib);
+        }
+        Ok(lib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GdsLibrary {
+        let mut lib = GdsLibrary::new("LIB");
+        let mut kind = GdsStruct::new("NAND2_X1");
+        kind.elements.push(GdsElement::Boundary {
+            layer: 1,
+            xy: vec![(0, 0), (570, 0), (570, 1400), (0, 1400), (0, 0)],
+        });
+        let mut top = GdsStruct::new("TOP");
+        top.elements.push(GdsElement::Sref {
+            name: "NAND2_X1".into(),
+            at: (1900, 2800),
+        });
+        top.elements.push(GdsElement::Path {
+            layer: 3,
+            width: 70,
+            xy: vec![(0, 0), (5000, 0), (5000, 3000)],
+        });
+        lib.structs.push(kind);
+        lib.structs.push(top);
+        lib
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let lib = sample();
+        let back = GdsLibrary::from_bytes(&lib.to_bytes()).unwrap();
+        assert_eq!(back, lib);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().to_bytes();
+        let cut = &bytes[..bytes.len() - 6];
+        assert!(matches!(
+            GdsLibrary::from_bytes(cut),
+            Err(ReadGdsError::Truncated | ReadGdsError::MissingEndLib)
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let garbage = vec![0u8, 1, 2, 3, 4, 5];
+        assert!(GdsLibrary::from_bytes(&garbage).is_err());
+    }
+
+    #[test]
+    fn element_outside_struct_rejected() {
+        // Hand-craft: HEADER then BOUNDARY with no BGNSTR/STRNAME.
+        let mut bytes = Vec::new();
+        crate::records::push_i16_record(&mut bytes, crate::records::RecordType::Header, &[600]);
+        crate::records::push_record(
+            &mut bytes,
+            crate::records::RecordType::Boundary,
+            crate::records::DataType::NoData,
+            &[],
+        );
+        assert!(matches!(
+            GdsLibrary::from_bytes(&bytes),
+            Err(ReadGdsError::UnexpectedRecord { .. })
+        ));
+    }
+}

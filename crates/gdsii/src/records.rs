@@ -1,0 +1,162 @@
+//! GDSII record framing primitives and the excess-64 floating-point format.
+
+/// GDSII record types used by this implementation (record type byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum RecordType {
+    Header = 0x00,
+    BgnLib = 0x01,
+    LibName = 0x02,
+    Units = 0x03,
+    EndLib = 0x04,
+    BgnStr = 0x05,
+    StrName = 0x06,
+    EndStr = 0x07,
+    Boundary = 0x08,
+    Path = 0x09,
+    Sref = 0x0A,
+    Layer = 0x0D,
+    DataType = 0x0E,
+    Width = 0x0F,
+    Xy = 0x10,
+    EndEl = 0x11,
+    SName = 0x12,
+}
+
+/// GDSII data type byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum DataType {
+    NoData = 0x00,
+    Int16 = 0x02,
+    Int32 = 0x03,
+    Real8 = 0x05,
+    Ascii = 0x06,
+}
+
+/// Encodes an `f64` as a GDSII 8-byte excess-64 real.
+///
+/// Layout: sign bit, 7-bit base-16 exponent biased by 64, 56-bit mantissa
+/// in `[1/16, 1)`.
+///
+/// ```
+/// let b = gdsii::write_real8(1e-9);
+/// assert!((gdsii::read_real8(&b) - 1e-9).abs() < 1e-24);
+/// ```
+pub fn write_real8(v: f64) -> [u8; 8] {
+    if v == 0.0 {
+        return [0; 8];
+    }
+    let sign = if v < 0.0 { 0x80u8 } else { 0 };
+    let mut m = v.abs();
+    let mut e: i32 = 64;
+    while m >= 1.0 {
+        m /= 16.0;
+        e += 1;
+    }
+    while m < 1.0 / 16.0 {
+        m *= 16.0;
+        e -= 1;
+    }
+    debug_assert!((0..=127).contains(&e), "exponent out of range");
+    let mantissa = (m * 2f64.powi(56)) as u64;
+    let mut out = [0u8; 8];
+    out[0] = sign | (e as u8);
+    for i in 0..7 {
+        out[7 - i] = ((mantissa >> (8 * i)) & 0xFF) as u8;
+    }
+    out
+}
+
+/// Decodes a GDSII 8-byte excess-64 real.
+///
+/// # Panics
+///
+/// Panics if fewer than eight bytes are supplied.
+pub fn read_real8(b: &[u8]) -> f64 {
+    assert!(b.len() >= 8, "real8 needs eight bytes");
+    let sign = if b[0] & 0x80 != 0 { -1.0 } else { 1.0 };
+    let e = (b[0] & 0x7F) as i32 - 64;
+    let mut mantissa = 0u64;
+    for &byte in &b[1..8] {
+        mantissa = (mantissa << 8) | byte as u64;
+    }
+    sign * (mantissa as f64 / 2f64.powi(56)) * 16f64.powi(e)
+}
+
+/// Appends one framed record: 2-byte big-endian length (including the
+/// 4-byte header), record type, data type, payload.
+pub(crate) fn push_record(out: &mut Vec<u8>, rt: RecordType, dt: DataType, payload: &[u8]) {
+    let len = payload.len() + 4;
+    assert!(len <= u16::MAX as usize, "record too long");
+    out.extend_from_slice(&(len as u16).to_be_bytes());
+    out.push(rt as u8);
+    out.push(dt as u8);
+    out.extend_from_slice(payload);
+}
+
+pub(crate) fn push_i16_record(out: &mut Vec<u8>, rt: RecordType, values: &[i16]) {
+    let mut p = Vec::with_capacity(values.len() * 2);
+    for v in values {
+        p.extend_from_slice(&v.to_be_bytes());
+    }
+    push_record(out, rt, DataType::Int16, &p);
+}
+
+pub(crate) fn push_i32_record(out: &mut Vec<u8>, rt: RecordType, values: &[i32]) {
+    let mut p = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        p.extend_from_slice(&v.to_be_bytes());
+    }
+    push_record(out, rt, DataType::Int32, &p);
+}
+
+pub(crate) fn push_ascii_record(out: &mut Vec<u8>, rt: RecordType, s: &str) {
+    let mut p: Vec<u8> = s.bytes().collect();
+    if p.len() % 2 == 1 {
+        p.push(0); // pad to even length per spec
+    }
+    push_record(out, rt, DataType::Ascii, &p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real8_round_trip() {
+        for v in [0.0, 1.0, -1.0, 1e-9, 1e-3, 0.001, 123456.789, -2.5e-7] {
+            let enc = write_real8(v);
+            let dec = read_real8(&enc);
+            let err = if v == 0.0 { dec.abs() } else { ((dec - v) / v).abs() };
+            assert!(err < 1e-12, "{v} -> {dec}");
+        }
+    }
+
+    #[test]
+    fn real8_known_encoding_of_one() {
+        // 1.0 = 0.0625 * 16^1 → exponent 65, mantissa 2^52.
+        let b = write_real8(1.0);
+        assert_eq!(b[0], 0x41);
+        assert_eq!(b[1], 0x10);
+    }
+
+    #[test]
+    fn record_framing() {
+        let mut out = Vec::new();
+        push_i16_record(&mut out, RecordType::Header, &[600]);
+        assert_eq!(out.len(), 6);
+        assert_eq!(&out[0..2], &[0, 6]);
+        assert_eq!(out[2], 0x00);
+        assert_eq!(out[3], 0x02);
+        assert_eq!(&out[4..6], &600i16.to_be_bytes());
+    }
+
+    #[test]
+    fn ascii_padded_to_even() {
+        let mut out = Vec::new();
+        push_ascii_record(&mut out, RecordType::LibName, "ABC");
+        assert_eq!(out.len(), 8);
+        assert_eq!(&out[4..8], b"ABC\0");
+    }
+}

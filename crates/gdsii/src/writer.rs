@@ -1,0 +1,96 @@
+use crate::model::{GdsElement, GdsLibrary, GdsStruct};
+use crate::records::{
+    push_ascii_record, push_i16_record, push_i32_record, push_record, write_real8, DataType,
+    RecordType,
+};
+
+/// Fixed timestamp written into `BGNLIB`/`BGNSTR` (year, month, day, hour,
+/// minute, second, twice). Deterministic output makes byte-level round-trip
+/// tests meaningful.
+const TIMESTAMP: [i16; 12] = [2023, 7, 10, 0, 0, 0, 2023, 7, 10, 0, 0, 0];
+
+impl GdsLibrary {
+    /// Serializes the library to GDSII stream bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1024 + self.num_elements() * 48);
+        push_i16_record(&mut out, RecordType::Header, &[600]);
+        push_i16_record(&mut out, RecordType::BgnLib, &TIMESTAMP);
+        push_ascii_record(&mut out, RecordType::LibName, &self.name);
+        let mut units = Vec::with_capacity(16);
+        units.extend_from_slice(&write_real8(self.user_units_per_dbu));
+        units.extend_from_slice(&write_real8(self.meters_per_dbu));
+        push_record(&mut out, RecordType::Units, DataType::Real8, &units);
+        for s in &self.structs {
+            write_struct(&mut out, s);
+        }
+        push_record(&mut out, RecordType::EndLib, DataType::NoData, &[]);
+        out
+    }
+}
+
+fn write_struct(out: &mut Vec<u8>, s: &GdsStruct) {
+    push_i16_record(out, RecordType::BgnStr, &TIMESTAMP);
+    push_ascii_record(out, RecordType::StrName, &s.name);
+    for e in &s.elements {
+        write_element(out, e);
+    }
+    push_record(out, RecordType::EndStr, DataType::NoData, &[]);
+}
+
+fn xy_payload(xy: &[(i32, i32)]) -> Vec<i32> {
+    let mut v = Vec::with_capacity(xy.len() * 2);
+    for &(x, y) in xy {
+        v.push(x);
+        v.push(y);
+    }
+    v
+}
+
+fn write_element(out: &mut Vec<u8>, e: &GdsElement) {
+    match e {
+        GdsElement::Boundary { layer, xy } => {
+            push_record(out, RecordType::Boundary, DataType::NoData, &[]);
+            push_i16_record(out, RecordType::Layer, &[*layer]);
+            push_i16_record(out, RecordType::DataType, &[0]);
+            push_i32_record(out, RecordType::Xy, &xy_payload(xy));
+        }
+        GdsElement::Path { layer, width, xy } => {
+            push_record(out, RecordType::Path, DataType::NoData, &[]);
+            push_i16_record(out, RecordType::Layer, &[*layer]);
+            push_i16_record(out, RecordType::DataType, &[0]);
+            push_i32_record(out, RecordType::Width, &[*width]);
+            push_i32_record(out, RecordType::Xy, &xy_payload(xy));
+        }
+        GdsElement::Sref { name, at } => {
+            push_record(out, RecordType::Sref, DataType::NoData, &[]);
+            push_ascii_record(out, RecordType::SName, name);
+            push_i32_record(out, RecordType::Xy, &[at.0, at.1]);
+        }
+    }
+    push_record(out, RecordType::EndEl, DataType::NoData, &[]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_starts_with_header_and_ends_with_endlib() {
+        let lib = GdsLibrary::new("T");
+        let b = lib.to_bytes();
+        assert_eq!(&b[0..4], &[0, 6, 0x00, 0x02]);
+        assert_eq!(&b[b.len() - 4..], &[0, 4, 0x04, 0x00]);
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let mut lib = GdsLibrary::new("T");
+        let mut s = GdsStruct::new("TOP");
+        s.elements.push(GdsElement::Sref {
+            name: "INV_X1".into(),
+            at: (190, 1400),
+        });
+        lib.structs.push(s);
+        assert_eq!(lib.to_bytes(), lib.to_bytes());
+    }
+}

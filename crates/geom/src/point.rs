@@ -1,0 +1,102 @@
+use crate::Dbu;
+
+/// A point in DBU coordinates.
+///
+/// ```
+/// let p = geom::Point::new(100, 200);
+/// assert_eq!(p.manhattan(geom::Point::new(150, 180)), 70);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// X coordinate in DBU.
+    pub x: Dbu,
+    /// Y coordinate in DBU.
+    pub y: Dbu,
+}
+
+impl Point {
+    /// Creates a point from DBU coordinates.
+    pub fn new(x: Dbu, y: Dbu) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to `other` in DBU.
+    pub fn manhattan(self, other: Point) -> Dbu {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Chebyshev distance to `other` in DBU.
+    pub fn chebyshev(self, other: Point) -> Dbu {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+}
+
+impl core::ops::Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl core::ops::Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl core::fmt::Display for Point {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(Dbu, Dbu)> for Point {
+    fn from((x, y): (Dbu, Dbu)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(3, 4);
+        let b = Point::new(1, 10);
+        assert_eq!(a + b, Point::new(4, 14));
+        assert_eq!(a - b, Point::new(2, -6));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0, 0);
+        let b = Point::new(-3, 4);
+        assert_eq!(a.manhattan(b), 7);
+        assert_eq!(a.chebyshev(b), 4);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Point::new(3, 9);
+        let b = Point::new(5, 2);
+        assert_eq!(a.min(b), Point::new(3, 2));
+        assert_eq!(a.max(b), Point::new(5, 9));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(Point::new(1, 2).to_string(), "(1, 2)");
+    }
+}

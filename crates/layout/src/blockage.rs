@@ -1,0 +1,84 @@
+/// A partial placement blockage: a density upper bound over a rectangular
+/// window of sites, in row/column space.
+///
+/// This is the Innovus `createPlaceBlockage -type partial` analogue the LDA
+/// operator uses: ECO placement must keep the functional-cell density inside
+/// `rows × cols` at or below `max_density`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blockage {
+    /// First covered row (inclusive).
+    pub row0: u32,
+    /// Last covered row (exclusive).
+    pub row1: u32,
+    /// First covered column (inclusive).
+    pub col0: u32,
+    /// Last covered column (exclusive).
+    pub col1: u32,
+    /// Density upper bound in `[0, 1]`.
+    pub max_density: f64,
+}
+
+impl Blockage {
+    /// Creates a blockage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or the density is outside `[0, 1]`.
+    pub fn new(row0: u32, row1: u32, col0: u32, col1: u32, max_density: f64) -> Self {
+        assert!(row0 < row1 && col0 < col1, "empty blockage window");
+        assert!(
+            (0.0..=1.0).contains(&max_density),
+            "density must be in [0, 1]"
+        );
+        Self {
+            row0,
+            row1,
+            col0,
+            col1,
+            max_density,
+        }
+    }
+
+    /// Whether a site lies inside the blockage window.
+    pub fn contains(&self, row: u32, col: u32) -> bool {
+        row >= self.row0 && row < self.row1 && col >= self.col0 && col < self.col1
+    }
+
+    /// Number of sites covered.
+    pub fn num_sites(&self) -> u64 {
+        (self.row1 - self.row0) as u64 * (self.col1 - self.col0) as u64
+    }
+
+    /// Maximum number of occupied sites the bound allows.
+    pub fn site_budget(&self) -> u64 {
+        (self.num_sites() as f64 * self.max_density).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let b = Blockage::new(2, 4, 10, 20, 0.5);
+        assert!(b.contains(2, 10));
+        assert!(b.contains(3, 19));
+        assert!(!b.contains(4, 10));
+        assert!(!b.contains(2, 20));
+        assert_eq!(b.num_sites(), 20);
+        assert_eq!(b.site_budget(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn density_validated() {
+        Blockage::new(0, 1, 0, 1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn window_validated() {
+        Blockage::new(3, 3, 0, 1, 0.5);
+    }
+}

@@ -1,0 +1,88 @@
+use geom::SitePos;
+use tech::{KindId, Technology};
+
+use crate::occupancy::Occupancy;
+
+/// A placed non-functional filler cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillerInstance {
+    /// Origin site.
+    pub pos: SitePos,
+    /// Filler master.
+    pub kind: KindId,
+    /// Width in sites.
+    pub width: u32,
+}
+
+/// Tiles every empty run of the layout with filler cells, widest first.
+///
+/// Returns the number of filler instances added. After this pass no site is
+/// `Empty`; exploitable-region analysis treats fillers as free, so the
+/// security metrics are unchanged — this is a tapeout-hygiene step that
+/// matters for GDSII export realism.
+pub fn insert_fillers(occ: &mut Occupancy, tech: &Technology) -> usize {
+    let fillers = tech.library.fillers_desc();
+    debug_assert!(!fillers.is_empty(), "library has no filler cells");
+    let mut added = 0;
+    for row in 0..occ.floorplan().rows() {
+        for run in occ.empty_runs(row) {
+            let mut col = run.lo;
+            let mut left = run.len();
+            while left > 0 {
+                let kind = fillers
+                    .iter()
+                    .copied()
+                    .find(|k| tech.library.kind(*k).width_sites <= left)
+                    .expect("1-site filler guarantees progress");
+                let w = tech.library.kind(kind).width_sites;
+                occ.add_filler(SitePos::new(row, col), kind, w)
+                    .expect("run is empty by construction");
+                col += w;
+                left -= w;
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use netlist::CellId;
+    use tech::Technology;
+
+    #[test]
+    fn fills_everything() {
+        let tech = Technology::nangate45_like();
+        let mut occ = Occupancy::new(Floorplan::new(3, 25));
+        occ.place_cell(CellId(0), 4, SitePos::new(1, 3)).unwrap();
+        let n = insert_fillers(&mut occ, &tech);
+        assert!(n > 0);
+        for row in 0..3 {
+            assert!(occ.empty_runs(row).is_empty(), "row {row} has empty sites");
+        }
+        // Exploitable structure unchanged: fillers still count as free.
+        assert_eq!(occ.exploitable_runs(1).len(), 2);
+    }
+
+    #[test]
+    fn widest_fillers_preferred() {
+        let tech = Technology::nangate45_like();
+        let mut occ = Occupancy::new(Floorplan::new(1, 16));
+        let n = insert_fillers(&mut occ, &tech);
+        // 16 sites tile as two FILL_X8.
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn clear_restores_empty() {
+        let tech = Technology::nangate45_like();
+        let mut occ = Occupancy::new(Floorplan::new(2, 10));
+        insert_fillers(&mut occ, &tech);
+        occ.clear_fillers();
+        assert_eq!(occ.empty_runs(0).len(), 1);
+        assert_eq!(occ.empty_runs(0)[0].len(), 10);
+    }
+}

@@ -1,0 +1,157 @@
+use geom::{Dbu, Point, Rect, SitePos};
+use netlist::Design;
+use tech::{Technology, SITE_H, SITE_W};
+
+/// The core area: `rows` uniform placement rows of `cols` sites each,
+/// with the lower-left corner of the core at the origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Floorplan {
+    rows: u32,
+    cols: u32,
+}
+
+impl Floorplan {
+    /// Builds a floorplan with explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: u32, cols: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "floorplan must be non-degenerate");
+        Self { rows, cols }
+    }
+
+    /// Sizes a roughly square core so the design occupies `utilization`
+    /// of the available sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not within `(0, 1]`.
+    pub fn for_design(design: &Design, tech: &Technology, utilization: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        let need = design.total_cell_sites(tech) as f64;
+        let total = (need / utilization).ceil();
+        // Slightly tall core (width ≈ 0.75 × height): the metal stack has
+        // ~34 % more vertical than horizontal track capacity, so a taller
+        // die shifts wire spans toward the richer direction.
+        const ASPECT: f64 = 0.75;
+        let rows = (total * SITE_W as f64 / (SITE_H as f64 * ASPECT)).sqrt().ceil() as u32;
+        let rows = rows.max(1);
+        let cols = (total / rows as f64).ceil() as u32;
+        Self::new(rows, cols.max(1))
+    }
+
+    /// Number of core rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of sites per row.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Total number of placement sites.
+    pub fn num_sites(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    /// Core bounding box in DBU.
+    pub fn core_rect(&self) -> Rect {
+        Rect::from_wh(
+            Point::new(0, 0),
+            self.cols as Dbu * SITE_W,
+            self.rows as Dbu * SITE_H,
+        )
+    }
+
+    /// Whether the site position lies inside the core.
+    pub fn contains(&self, pos: SitePos) -> bool {
+        pos.row < self.rows && pos.col < self.cols
+    }
+
+    /// DBU rectangle of a run of `width_sites` sites starting at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run leaves the core.
+    pub fn sites_rect(&self, pos: SitePos, width_sites: u32) -> Rect {
+        assert!(
+            pos.row < self.rows && pos.col + width_sites <= self.cols,
+            "site run out of core"
+        );
+        Rect::from_wh(
+            Point::new(pos.col as Dbu * SITE_W, pos.row as Dbu * SITE_H),
+            width_sites as Dbu * SITE_W,
+            SITE_H,
+        )
+    }
+
+    /// Center of a single site in DBU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site lies outside the core.
+    pub fn site_center(&self, pos: SitePos) -> Point {
+        self.sites_rect(pos, 1).center()
+    }
+
+    /// The site containing a DBU point (points outside the core clamp to
+    /// the nearest site).
+    pub fn site_at(&self, p: Point) -> SitePos {
+        let col = (p.x / SITE_W).clamp(0, self.cols as Dbu - 1) as u32;
+        let row = (p.y / SITE_H).clamp(0, self.rows as Dbu - 1) as u32;
+        SitePos::new(row, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::bench;
+
+    #[test]
+    fn for_design_is_roughly_square() {
+        let tech = Technology::nangate45_like();
+        let d = bench::generate(&bench::tiny_spec(), &tech);
+        let fp = Floorplan::for_design(&d, &tech, 0.6);
+        let r = fp.core_rect();
+        let aspect = r.width() as f64 / r.height() as f64;
+        assert!(aspect > 0.6 && aspect < 1.7, "aspect {aspect}");
+    }
+
+    #[test]
+    fn site_round_trip() {
+        let fp = Floorplan::new(10, 50);
+        for pos in [SitePos::new(0, 0), SitePos::new(9, 49), SitePos::new(4, 17)] {
+            assert_eq!(fp.site_at(fp.site_center(pos)), pos);
+        }
+    }
+
+    #[test]
+    fn site_at_clamps() {
+        let fp = Floorplan::new(4, 4);
+        let far = Point::new(1_000_000, 1_000_000);
+        assert_eq!(fp.site_at(far), SitePos::new(3, 3));
+        assert_eq!(fp.site_at(Point::new(-5, -5)), SitePos::new(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of core")]
+    fn sites_rect_bounds_checked() {
+        let fp = Floorplan::new(4, 4);
+        fp.sites_rect(SitePos::new(0, 3), 2);
+    }
+
+    #[test]
+    fn capacity_scales_inverse_with_utilization() {
+        let tech = Technology::nangate45_like();
+        let d = bench::generate(&bench::tiny_spec(), &tech);
+        let loose = Floorplan::for_design(&d, &tech, 0.5);
+        let tight = Floorplan::for_design(&d, &tech, 0.9);
+        assert!(loose.num_sites() > tight.num_sites());
+    }
+}

@@ -1,0 +1,544 @@
+use geom::{Interval, SitePos};
+use netlist::{CellId, Design};
+use tech::{KindId, Technology};
+
+use crate::filler::FillerInstance;
+use crate::floorplan::Floorplan;
+
+const EMPTY: u32 = u32::MAX;
+const FILLER: u32 = u32::MAX - 1;
+
+/// What occupies a single placement site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteState {
+    /// No cell here.
+    Empty,
+    /// Part of the footprint of a functional cell.
+    Cell(CellId),
+    /// Part of a non-functional filler cell.
+    Filler,
+}
+
+impl SiteState {
+    /// Whether the site counts as *free for Trojan insertion* under
+    /// Definition 2.2 (empty, or occupied by a non-functional filler).
+    pub fn is_exploitable(self) -> bool {
+        matches!(self, SiteState::Empty | SiteState::Filler)
+    }
+}
+
+/// Errors from [`Occupancy::place_cell`] and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaceCellError {
+    /// The requested run leaves the core area.
+    OutOfCore,
+    /// Some site in the requested run is already occupied.
+    Occupied,
+    /// The cell is already placed (remove it first).
+    AlreadyPlaced,
+    /// The cell is locked against modification.
+    Locked,
+}
+
+impl core::fmt::Display for PlaceCellError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Self::OutOfCore => "placement leaves the core area",
+            Self::Occupied => "target sites are occupied",
+            Self::AlreadyPlaced => "cell is already placed",
+            Self::Locked => "cell is locked",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for PlaceCellError {}
+
+/// Row/site occupancy map plus per-cell placement records.
+///
+/// The grid is the ground truth for free-site queries (exploitable-region
+/// extraction, cell shift); the per-cell table is the ground truth for
+/// wirelength and timing queries. [`check_consistency`](Self::check_consistency)
+/// verifies they agree.
+#[derive(Debug, Clone)]
+pub struct Occupancy {
+    fp: Floorplan,
+    grid: Vec<u32>,
+    cell_pos: Vec<Option<SitePos>>,
+    cell_width: Vec<u32>,
+    locked: Vec<bool>,
+    fillers: Vec<FillerInstance>,
+    occupied: u64,
+}
+
+impl Occupancy {
+    /// Creates an empty occupancy map for the floorplan.
+    pub fn new(fp: Floorplan) -> Self {
+        Self {
+            fp,
+            grid: vec![EMPTY; fp.num_sites() as usize],
+            cell_pos: Vec::new(),
+            cell_width: Vec::new(),
+            locked: Vec::new(),
+            fillers: Vec::new(),
+            occupied: 0,
+        }
+    }
+
+    fn idx(&self, pos: SitePos) -> usize {
+        pos.row as usize * self.fp.cols() as usize + pos.col as usize
+    }
+
+    fn ensure_cell(&mut self, cell: CellId) {
+        let need = cell.0 as usize + 1;
+        if self.cell_pos.len() < need {
+            self.cell_pos.resize(need, None);
+            self.cell_width.resize(need, 0);
+            self.locked.resize(need, false);
+        }
+    }
+
+    /// The floorplan this map covers.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.fp
+    }
+
+    /// State of one site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` lies outside the core.
+    pub fn state(&self, pos: SitePos) -> SiteState {
+        assert!(self.fp.contains(pos), "site out of core");
+        match self.grid[self.idx(pos)] {
+            EMPTY => SiteState::Empty,
+            FILLER => SiteState::Filler,
+            id => SiteState::Cell(CellId(id)),
+        }
+    }
+
+    /// Origin site of a placed cell (None when unplaced or unknown).
+    pub fn cell_pos(&self, cell: CellId) -> Option<SitePos> {
+        self.cell_pos.get(cell.0 as usize).copied().flatten()
+    }
+
+    /// Footprint width of a placed cell in sites.
+    pub fn cell_width(&self, cell: CellId) -> Option<u32> {
+        let w = *self.cell_width.get(cell.0 as usize)?;
+        (w > 0).then_some(w)
+    }
+
+    /// Number of sites covered by functional cells.
+    pub fn occupied_sites(&self) -> u64 {
+        self.occupied
+    }
+
+    /// Marks a cell as immovable (the paper's preprocessing step locks the
+    /// security-critical assets so ECO operators cannot disturb them).
+    pub fn lock(&mut self, cell: CellId) {
+        self.ensure_cell(cell);
+        self.locked[cell.0 as usize] = true;
+    }
+
+    /// Removes the lock from a cell.
+    pub fn unlock(&mut self, cell: CellId) {
+        if let Some(l) = self.locked.get_mut(cell.0 as usize) {
+            *l = false;
+        }
+    }
+
+    /// Whether the cell is locked.
+    pub fn is_locked(&self, cell: CellId) -> bool {
+        self.locked.get(cell.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether `width` sites starting at `pos` are all inside the core and
+    /// empty (fillers do not count as empty here; strip them first).
+    pub fn fits(&self, pos: SitePos, width: u32) -> bool {
+        if pos.row >= self.fp.rows() || pos.col + width > self.fp.cols() {
+            return false;
+        }
+        let base = self.idx(pos);
+        self.grid[base..base + width as usize].iter().all(|&s| s == EMPTY)
+    }
+
+    /// Places a cell of `width` sites at `pos`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the run leaves the core, overlaps anything, or the cell is
+    /// already placed.
+    pub fn place_cell(&mut self, cell: CellId, width: u32, pos: SitePos) -> Result<(), PlaceCellError> {
+        self.ensure_cell(cell);
+        if self.cell_pos[cell.0 as usize].is_some() {
+            return Err(PlaceCellError::AlreadyPlaced);
+        }
+        if pos.row >= self.fp.rows() || pos.col + width > self.fp.cols() {
+            return Err(PlaceCellError::OutOfCore);
+        }
+        if !self.fits(pos, width) {
+            return Err(PlaceCellError::Occupied);
+        }
+        let base = self.idx(pos);
+        for s in &mut self.grid[base..base + width as usize] {
+            *s = cell.0;
+        }
+        self.cell_pos[cell.0 as usize] = Some(pos);
+        self.cell_width[cell.0 as usize] = width;
+        self.occupied += width as u64;
+        Ok(())
+    }
+
+    /// Removes a cell from the grid, returning its former origin.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PlaceCellError::Locked`] on locked cells.
+    pub fn remove_cell(&mut self, cell: CellId) -> Result<Option<SitePos>, PlaceCellError> {
+        if self.is_locked(cell) {
+            return Err(PlaceCellError::Locked);
+        }
+        let Some(pos) = self.cell_pos(cell) else {
+            return Ok(None);
+        };
+        let width = self.cell_width[cell.0 as usize];
+        let base = self.idx(pos);
+        for s in &mut self.grid[base..base + width as usize] {
+            debug_assert_eq!(*s, cell.0);
+            *s = EMPTY;
+        }
+        self.cell_pos[cell.0 as usize] = None;
+        self.occupied -= width as u64;
+        Ok(Some(pos))
+    }
+
+    /// Moves a placed cell to `new_pos` (which may overlap its old
+    /// footprint).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cell is locked or unplaced, or the destination does not
+    /// fit; on failure the cell stays where it was.
+    pub fn move_cell(&mut self, cell: CellId, new_pos: SitePos) -> Result<(), PlaceCellError> {
+        if self.is_locked(cell) {
+            return Err(PlaceCellError::Locked);
+        }
+        let Some(old) = self.cell_pos(cell) else {
+            return Err(PlaceCellError::Occupied);
+        };
+        let width = self.cell_width[cell.0 as usize];
+        if new_pos.row >= self.fp.rows() || new_pos.col + width > self.fp.cols() {
+            return Err(PlaceCellError::OutOfCore);
+        }
+        // Temporarily vacate, test, then commit or roll back.
+        let base_old = self.idx(old);
+        for s in &mut self.grid[base_old..base_old + width as usize] {
+            *s = EMPTY;
+        }
+        if self.fits(new_pos, width) {
+            let base_new = self.idx(new_pos);
+            for s in &mut self.grid[base_new..base_new + width as usize] {
+                *s = cell.0;
+            }
+            self.cell_pos[cell.0 as usize] = Some(new_pos);
+            Ok(())
+        } else {
+            for s in &mut self.grid[base_old..base_old + width as usize] {
+                *s = cell.0;
+            }
+            Err(PlaceCellError::Occupied)
+        }
+    }
+
+    /// Adds a filler instance over empty sites.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the target run is not entirely empty.
+    pub fn add_filler(&mut self, pos: SitePos, kind: KindId, width: u32) -> Result<(), PlaceCellError> {
+        if pos.row >= self.fp.rows() || pos.col + width > self.fp.cols() {
+            return Err(PlaceCellError::OutOfCore);
+        }
+        if !self.fits(pos, width) {
+            return Err(PlaceCellError::Occupied);
+        }
+        let base = self.idx(pos);
+        for s in &mut self.grid[base..base + width as usize] {
+            *s = FILLER;
+        }
+        self.fillers.push(FillerInstance { pos, kind, width });
+        Ok(())
+    }
+
+    /// Removes every filler instance, restoring their sites to empty.
+    pub fn clear_fillers(&mut self) {
+        let fillers = std::mem::take(&mut self.fillers);
+        for f in fillers {
+            let base = self.idx(f.pos);
+            for s in &mut self.grid[base..base + f.width as usize] {
+                debug_assert_eq!(*s, FILLER);
+                *s = EMPTY;
+            }
+        }
+    }
+
+    /// The placed filler instances.
+    pub fn fillers(&self) -> &[FillerInstance] {
+        &self.fillers
+    }
+
+    /// Maximal runs of sites in `row` matching `pred`.
+    fn runs_matching(&self, row: u32, pred: impl Fn(SiteState) -> bool) -> Vec<Interval> {
+        let mut runs = Vec::new();
+        let mut start = None;
+        for col in 0..self.fp.cols() {
+            let matches = pred(self.state(SitePos::new(row, col)));
+            match (matches, start) {
+                (true, None) => start = Some(col),
+                (false, Some(s)) => {
+                    runs.push(Interval::new(s, col));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            runs.push(Interval::new(s, self.fp.cols()));
+        }
+        runs
+    }
+
+    /// Maximal runs of strictly empty sites in `row`.
+    pub fn empty_runs(&self, row: u32) -> Vec<Interval> {
+        self.runs_matching(row, |s| s == SiteState::Empty)
+    }
+
+    /// Maximal runs of exploitable (empty-or-filler) sites in `row`.
+    pub fn exploitable_runs(&self, row: u32) -> Vec<Interval> {
+        self.runs_matching(row, SiteState::is_exploitable)
+    }
+
+    /// Functional-cell density inside a site-space window
+    /// (`rows = row0..row1`, `cols = col0..col1`, half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or leaves the core.
+    pub fn density_in(&self, row0: u32, row1: u32, col0: u32, col1: u32) -> f64 {
+        assert!(row0 < row1 && col0 < col1, "empty density window");
+        assert!(row1 <= self.fp.rows() && col1 <= self.fp.cols(), "window out of core");
+        let mut used = 0u64;
+        for row in row0..row1 {
+            let base = row as usize * self.fp.cols() as usize;
+            for col in col0..col1 {
+                let v = self.grid[base + col as usize];
+                if v != EMPTY && v != FILLER {
+                    used += 1;
+                }
+            }
+        }
+        used as f64 / ((row1 - row0) as u64 * (col1 - col0) as u64) as f64
+    }
+
+    /// Finds the empty gap of at least `width` sites whose location is
+    /// closest (Chebyshev, in sites) to `near`, searching outward up to
+    /// `max_radius` rows/columns. Returns the placement origin.
+    pub fn find_gap(&self, width: u32, near: SitePos, max_radius: u32) -> Option<SitePos> {
+        let mut best: Option<(u32, SitePos)> = None;
+        let row_lo = near.row.saturating_sub(max_radius);
+        let row_hi = (near.row + max_radius + 1).min(self.fp.rows());
+        for row in row_lo..row_hi {
+            let dr = row.abs_diff(near.row);
+            if let Some((d, _)) = best {
+                if dr >= d {
+                    continue;
+                }
+            }
+            for run in self.empty_runs(row) {
+                if run.len() < width {
+                    continue;
+                }
+                // Best origin within the run: clamp the target column.
+                let lo = run.lo;
+                let hi = run.hi - width;
+                let col = near.col.clamp(lo, hi);
+                let d = dr.max(col.abs_diff(near.col));
+                if d <= max_radius && best.map_or(true, |(bd, _)| d < bd) {
+                    best = Some((d, SitePos::new(row, col)));
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// Verifies grid/table agreement and absence of overlaps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn check_consistency(&self, design: &Design, tech: &Technology) -> Result<(), String> {
+        let mut seen = vec![0u64; self.cell_pos.len()];
+        for row in 0..self.fp.rows() {
+            for col in 0..self.fp.cols() {
+                let pos = SitePos::new(row, col);
+                if let SiteState::Cell(c) = self.state(pos) {
+                    let i = c.0 as usize;
+                    if i >= seen.len() {
+                        return Err(format!("grid references unknown cell {}", c.0));
+                    }
+                    seen[i] += 1;
+                }
+            }
+        }
+        for (i, pos) in self.cell_pos.iter().enumerate() {
+            let cell = CellId(i as u32);
+            match pos {
+                Some(p) => {
+                    let w = self.cell_width[i];
+                    let master_w = tech
+                        .library
+                        .kind(design.cell(cell).kind)
+                        .width_sites;
+                    if w != master_w {
+                        return Err(format!(
+                            "cell {} placed with width {w}, master says {master_w}",
+                            cell.0
+                        ));
+                    }
+                    if seen[i] != w as u64 {
+                        return Err(format!(
+                            "cell {} covers {} sites, expected {w}",
+                            cell.0, seen[i]
+                        ));
+                    }
+                    let base = self.idx(*p);
+                    if self.grid[base..base + w as usize].iter().any(|&s| s != cell.0) {
+                        return Err(format!("cell {} footprint mismatch", cell.0));
+                    }
+                }
+                None => {
+                    if seen[i] != 0 {
+                        return Err(format!("unplaced cell {} appears in grid", cell.0));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ() -> Occupancy {
+        Occupancy::new(Floorplan::new(4, 20))
+    }
+
+    #[test]
+    fn place_remove_round_trip() {
+        let mut o = occ();
+        let c = CellId(0);
+        o.place_cell(c, 3, SitePos::new(1, 5)).unwrap();
+        assert_eq!(o.state(SitePos::new(1, 5)), SiteState::Cell(c));
+        assert_eq!(o.state(SitePos::new(1, 7)), SiteState::Cell(c));
+        assert_eq!(o.state(SitePos::new(1, 8)), SiteState::Empty);
+        assert_eq!(o.occupied_sites(), 3);
+        assert_eq!(o.remove_cell(c).unwrap(), Some(SitePos::new(1, 5)));
+        assert_eq!(o.occupied_sites(), 0);
+        assert_eq!(o.state(SitePos::new(1, 5)), SiteState::Empty);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut o = occ();
+        o.place_cell(CellId(0), 3, SitePos::new(0, 5)).unwrap();
+        assert_eq!(
+            o.place_cell(CellId(1), 3, SitePos::new(0, 7)),
+            Err(PlaceCellError::Occupied)
+        );
+        assert_eq!(
+            o.place_cell(CellId(1), 3, SitePos::new(0, 18)),
+            Err(PlaceCellError::OutOfCore)
+        );
+    }
+
+    #[test]
+    fn move_can_overlap_self() {
+        let mut o = occ();
+        let c = CellId(0);
+        o.place_cell(c, 4, SitePos::new(2, 4)).unwrap();
+        o.move_cell(c, SitePos::new(2, 3)).unwrap();
+        assert_eq!(o.cell_pos(c), Some(SitePos::new(2, 3)));
+        assert_eq!(o.state(SitePos::new(2, 7)), SiteState::Empty);
+        assert_eq!(o.state(SitePos::new(2, 3)), SiteState::Cell(c));
+    }
+
+    #[test]
+    fn move_failure_rolls_back() {
+        let mut o = occ();
+        o.place_cell(CellId(0), 3, SitePos::new(0, 0)).unwrap();
+        o.place_cell(CellId(1), 3, SitePos::new(0, 10)).unwrap();
+        let err = o.move_cell(CellId(1), SitePos::new(0, 1));
+        assert_eq!(err, Err(PlaceCellError::Occupied));
+        assert_eq!(o.cell_pos(CellId(1)), Some(SitePos::new(0, 10)));
+        assert_eq!(o.state(SitePos::new(0, 12)), SiteState::Cell(CellId(1)));
+    }
+
+    #[test]
+    fn locked_cells_are_immovable() {
+        let mut o = occ();
+        let c = CellId(2);
+        o.place_cell(c, 2, SitePos::new(3, 3)).unwrap();
+        o.lock(c);
+        assert_eq!(o.move_cell(c, SitePos::new(3, 5)), Err(PlaceCellError::Locked));
+        assert_eq!(o.remove_cell(c), Err(PlaceCellError::Locked));
+        o.unlock(c);
+        assert!(o.move_cell(c, SitePos::new(3, 5)).is_ok());
+    }
+
+    #[test]
+    fn runs_and_fillers() {
+        let mut o = occ();
+        o.place_cell(CellId(0), 3, SitePos::new(0, 5)).unwrap();
+        let runs = o.empty_runs(0);
+        assert_eq!(runs, vec![Interval::new(0, 5), Interval::new(8, 20)]);
+        let fk = KindId(0);
+        o.add_filler(SitePos::new(0, 0), fk, 5).unwrap();
+        assert_eq!(o.empty_runs(0), vec![Interval::new(8, 20)]);
+        // Fillers still count as exploitable.
+        assert_eq!(o.exploitable_runs(0), vec![Interval::new(0, 5), Interval::new(8, 20)]);
+        o.clear_fillers();
+        assert_eq!(o.empty_runs(0).len(), 2);
+    }
+
+    #[test]
+    fn density_window() {
+        let mut o = occ();
+        o.place_cell(CellId(0), 10, SitePos::new(0, 0)).unwrap();
+        assert!((o.density_in(0, 1, 0, 20) - 0.5).abs() < 1e-9);
+        assert!((o.density_in(0, 4, 0, 20) - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn find_gap_prefers_nearby() {
+        let mut o = occ();
+        // Fill row 1 almost fully, leave gaps in rows 0 and 3.
+        o.place_cell(CellId(0), 20, SitePos::new(1, 0)).unwrap();
+        let near = SitePos::new(1, 10);
+        let gap = o.find_gap(4, near, 10).unwrap();
+        assert_eq!(gap.row, 0); // row 0 is closer than row 3? both distance 1 and 2.
+        assert_eq!(gap.col, 10);
+        assert!(o.find_gap(50, near, 10).is_none());
+    }
+
+    #[test]
+    fn consistency_checker_detects_ok_state() {
+        // Full consistency needs a real design; covered in the layout-level
+        // and place-crate tests. Here: empty map is trivially consistent.
+        let o = occ();
+        let tech = Technology::nangate45_like();
+        let design = netlist::bench::generate(&netlist::bench::tiny_spec(), &tech);
+        assert!(o.check_consistency(&design, &tech).is_ok());
+    }
+}

@@ -1,0 +1,272 @@
+use tech::Technology;
+
+use crate::design::{
+    Cell, CellId, Constraints, Design, Net, NetDriver, NetId, Sink,
+};
+
+/// Incremental netlist constructor maintaining driver/sink consistency.
+///
+/// ```
+/// use netlist::NetlistBuilder;
+/// use tech::Technology;
+///
+/// let tech = Technology::nangate45_like();
+/// let mut b = NetlistBuilder::new("adder_bit", &tech);
+/// let a = b.add_primary_input("a");
+/// let bb = b.add_primary_input("b");
+/// let sum = b.add_gate("XOR2_X1", &[a, bb]);
+/// b.add_primary_output(sum);
+/// let design = b.finish();
+/// assert!(design.validate(&tech).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder<'t> {
+    tech: &'t Technology,
+    name: String,
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+    clock: Option<NetId>,
+    constraints: Constraints,
+    critical: Vec<CellId>,
+}
+
+impl<'t> NetlistBuilder<'t> {
+    /// Starts a new design with default constraints.
+    pub fn new(name: &str, tech: &'t Technology) -> Self {
+        Self {
+            tech,
+            name: name.to_owned(),
+            cells: Vec::new(),
+            nets: Vec::new(),
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+            clock: None,
+            constraints: Constraints::default(),
+            critical: Vec::new(),
+        }
+    }
+
+    /// Sets the SDC-style constraints.
+    pub fn set_constraints(&mut self, c: Constraints) -> &mut Self {
+        self.constraints = c;
+        self
+    }
+
+    fn new_net(&mut self, name: String, driver: NetDriver) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            name,
+            driver,
+            sinks: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a primary input and returns the net it drives.
+    pub fn add_primary_input(&mut self, name: &str) -> NetId {
+        let idx = self.primary_inputs.len() as u32;
+        let net = self.new_net(name.to_owned(), NetDriver::PrimaryInput(idx));
+        self.primary_inputs.push(net);
+        net
+    }
+
+    /// Declares the global clock as a primary input and returns its net.
+    /// Subsequent [`add_dff`](Self::add_dff) calls connect to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a clock was already declared.
+    pub fn add_clock(&mut self, name: &str) -> NetId {
+        assert!(self.clock.is_none(), "clock already declared");
+        let net = self.add_primary_input(name);
+        self.clock = Some(net);
+        net
+    }
+
+    /// Marks `net` as observed by a primary output.
+    pub fn add_primary_output(&mut self, net: NetId) {
+        let idx = self.primary_outputs.len() as u32;
+        self.nets[net.0 as usize].sinks.push(Sink::PrimaryOutput(idx));
+        self.primary_outputs.push(net);
+    }
+
+    /// Instantiates a combinational gate of library kind `kind_name` driven
+    /// by `inputs`, returning its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is unknown, sequential, or the input count does
+    /// not match the master.
+    pub fn add_gate(&mut self, kind_name: &str, inputs: &[NetId]) -> NetId {
+        let kind = self
+            .tech
+            .library
+            .kind_by_name(kind_name)
+            .unwrap_or_else(|| panic!("unknown cell kind {kind_name}"));
+        let master = self.tech.library.kind(kind);
+        assert!(
+            !master.is_sequential(),
+            "use add_dff for sequential cells"
+        );
+        assert_eq!(
+            master.inputs as usize,
+            inputs.len(),
+            "wrong input count for {kind_name}"
+        );
+        let id = CellId(self.cells.len() as u32);
+        let out = self.new_net(format!("n{}", self.nets.len()), NetDriver::Cell(id));
+        for (pin, &net) in inputs.iter().enumerate() {
+            self.nets[net.0 as usize].sinks.push(Sink::CellInput {
+                cell: id,
+                pin: pin as u8,
+            });
+        }
+        self.cells.push(Cell {
+            name: format!("u{}", id.0),
+            kind,
+            inputs: inputs.to_vec(),
+            output: Some(out),
+            clock: None,
+        });
+        out
+    }
+
+    /// Instantiates a flip-flop of kind `kind_name` with data input `d`,
+    /// returning `(cell, q_net)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no clock was declared or the kind is not sequential.
+    pub fn add_dff(&mut self, kind_name: &str, d: NetId) -> (CellId, NetId) {
+        let clock = self.clock.expect("declare a clock before adding flops");
+        let kind = self
+            .tech
+            .library
+            .kind_by_name(kind_name)
+            .unwrap_or_else(|| panic!("unknown cell kind {kind_name}"));
+        assert!(
+            self.tech.library.kind(kind).is_sequential(),
+            "{kind_name} is not sequential"
+        );
+        let id = CellId(self.cells.len() as u32);
+        let q = self.new_net(format!("n{}", self.nets.len()), NetDriver::Cell(id));
+        self.nets[d.0 as usize].sinks.push(Sink::CellInput {
+            cell: id,
+            pin: 0,
+        });
+        self.nets[clock.0 as usize].sinks.push(Sink::CellClock(id));
+        self.cells.push(Cell {
+            name: format!("ff{}", id.0),
+            kind,
+            inputs: vec![d],
+            output: Some(q),
+            clock: Some(clock),
+        });
+        (id, q)
+    }
+
+    /// Replaces the data input of an existing flip-flop (used to close
+    /// register feedback loops after the combinational cloud is built).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not a flip-flop created by this builder.
+    pub fn rewire_dff_d(&mut self, cell: CellId, new_d: NetId) {
+        let old_d = {
+            let c = &self.cells[cell.0 as usize];
+            assert!(c.clock.is_some(), "rewire_dff_d on a non-flop");
+            c.inputs[0]
+        };
+        self.nets[old_d.0 as usize]
+            .sinks
+            .retain(|s| !matches!(s, Sink::CellInput { cell: c, pin: 0 } if *c == cell));
+        self.nets[new_d.0 as usize].sinks.push(Sink::CellInput {
+            cell,
+            pin: 0,
+        });
+        self.cells[cell.0 as usize].inputs[0] = new_d;
+    }
+
+    /// Adds `cell` to the security-critical asset list.
+    pub fn mark_critical(&mut self, cell: CellId) {
+        if !self.critical.contains(&cell) {
+            self.critical.push(cell);
+        }
+    }
+
+    /// Number of cells added so far.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Finalizes the design.
+    pub fn finish(self) -> Design {
+        Design {
+            name: self.name,
+            cells: self.cells,
+            nets: self.nets,
+            primary_inputs: self.primary_inputs,
+            primary_outputs: self.primary_outputs,
+            clock: self.clock,
+            constraints: self.constraints,
+            critical_cells: self.critical,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tech::Technology;
+
+    #[test]
+    fn dff_loop_with_rewire() {
+        let tech = Technology::nangate45_like();
+        let mut b = NetlistBuilder::new("loop", &tech);
+        let clk = b.add_clock("clk");
+        let seed = b.add_primary_input("seed");
+        let (ff, q) = b.add_dff("DFF_X1", seed);
+        let nq = b.add_gate("INV_X1", &[q]);
+        b.rewire_dff_d(ff, nq);
+        b.add_primary_output(q);
+        let d = b.finish();
+        assert!(d.validate(&tech).is_ok());
+        assert_eq!(d.clock, Some(clk));
+        // The seed net lost its sink after the rewire.
+        assert!(d.net(seed).sinks.is_empty());
+    }
+
+    #[test]
+    fn critical_marking_is_idempotent() {
+        let tech = Technology::nangate45_like();
+        let mut b = NetlistBuilder::new("c", &tech);
+        b.add_clock("clk");
+        let x = b.add_primary_input("x");
+        let (ff, q) = b.add_dff("DFF_X1", x);
+        b.add_primary_output(q);
+        b.mark_critical(ff);
+        b.mark_critical(ff);
+        let d = b.finish();
+        assert_eq!(d.critical_cells, vec![ff]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input count")]
+    fn gate_arity_checked() {
+        let tech = Technology::nangate45_like();
+        let mut b = NetlistBuilder::new("bad", &tech);
+        let a = b.add_primary_input("a");
+        b.add_gate("NAND2_X1", &[a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "declare a clock")]
+    fn dff_requires_clock() {
+        let tech = Technology::nangate45_like();
+        let mut b = NetlistBuilder::new("bad", &tech);
+        let a = b.add_primary_input("a");
+        b.add_dff("DFF_X1", a);
+    }
+}

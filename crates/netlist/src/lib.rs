@@ -1,0 +1,29 @@
+//! Gate-level netlist model and synthetic benchmark generator.
+//!
+//! The paper evaluates on the ISPD'22 security-closure benchmark suite
+//! (crypto cores and microprocessors), each design annotated with a list of
+//! *security-critical cell assets* (key registers and key-control logic) and
+//! SDC timing constraints. Those artifacts are not redistributable, so this
+//! crate generates structurally equivalent designs: register banks feeding
+//! XOR-rich combinational cones (crypto rounds), with the key registers and
+//! the logic they directly feed marked as security-critical, plus a clock
+//! constraint per design (see `DESIGN.md` §1 for the substitution argument).
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::{bench, Design};
+//! use tech::Technology;
+//!
+//! let tech = Technology::nangate45_like();
+//! let design = bench::generate(&bench::spec_by_name("PRESENT").unwrap(), &tech);
+//! assert!(design.validate(&tech).is_ok());
+//! assert!(!design.critical_cells.is_empty());
+//! ```
+
+pub mod bench;
+mod builder;
+mod design;
+
+pub use builder::NetlistBuilder;
+pub use design::{Cell, CellId, Constraints, Design, Net, NetDriver, NetId, Sink, ValidateDesignError};

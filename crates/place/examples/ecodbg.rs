@@ -1,0 +1,17 @@
+use layout::{Blockage, Layout};
+use netlist::bench;
+use tech::Technology;
+
+fn main() {
+    let tech = Technology::nangate45_like();
+    let design = bench::generate(&bench::tiny_spec(), &tech);
+    let mut layout = Layout::empty_floorplan(design, &tech, 0.6);
+    place::global_place(&mut layout, &tech, 11);
+    let fp = *layout.floorplan();
+    let b = Blockage::new(0, fp.rows() / 2, 0, fp.cols() / 2, 0.10);
+    layout.set_blockages(vec![b]);
+    let before = layout.occupancy().density_in(b.row0, b.row1, b.col0, b.col1);
+    let stats = place::eco_place(&mut layout, &tech, 2);
+    let after = layout.occupancy().density_in(b.row0, b.row1, b.col0, b.col1);
+    println!("before {before} after {after} stats {stats:?} budget {} sites {}", b.site_budget(), b.num_sites());
+}

@@ -1,0 +1,425 @@
+use geom::{Point, SitePos};
+use layout::{Blockage, Layout};
+use netlist::CellId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tech::Technology;
+
+/// Outcome of an [`eco_place`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EcoPlaceStats {
+    /// Cells evicted from over-budget blockage windows.
+    pub evicted: usize,
+    /// Cells successfully re-placed under all density bounds.
+    pub replaced_in_bounds: usize,
+    /// Cells re-placed by the fallback path (no in-bounds gap was found).
+    pub replaced_fallback: usize,
+}
+
+/// Overlap in sites between a cell footprint on `row` spanning
+/// `[col, col + width)` and a blockage window.
+fn overlap_sites(b: &Blockage, row: u32, col: u32, width: u32) -> u32 {
+    if row < b.row0 || row >= b.row1 {
+        return 0;
+    }
+    let lo = col.max(b.col0);
+    let hi = (col + width).min(b.col1);
+    hi.saturating_sub(lo)
+}
+
+/// Current functional-cell occupancy of each blockage window, in sites.
+fn blockage_occupancy(layout: &Layout) -> Vec<u64> {
+    layout
+        .blockages()
+        .iter()
+        .map(|b| {
+            let d = layout.occupancy().density_in(b.row0, b.row1, b.col0, b.col1);
+            (d * b.num_sites() as f64).round() as u64
+        })
+        .collect()
+}
+
+/// Incremental, blockage-aware ECO placement.
+///
+/// Innovus-style contract: cells already satisfying every partial placement
+/// blockage stay put; windows whose functional-cell density exceeds their
+/// bound evict their least-connected movable cells, which are then re-placed
+/// as close as possible to the wirelength-optimal location *without*
+/// violating any other window's budget. Locked (security-critical) cells are
+/// never moved.
+///
+/// Returns statistics about the incremental changes.
+pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceStats {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xEC0_91ACE);
+    let design = layout.design().clone();
+    let clock = design.clock;
+    let blockages: Vec<Blockage> = layout.blockages().to_vec();
+    let mut stats = EcoPlaceStats::default();
+    if blockages.is_empty() {
+        return stats;
+    }
+    let mut occupied = blockage_occupancy(layout);
+    let debug = std::env::var_os("GG_LDA_DEBUG").is_some();
+    let t_phase1 = std::time::Instant::now();
+
+    // Phase 1: evict from over-budget windows.
+    let mut evicted: Vec<CellId> = Vec::new();
+    for (bi, b) in blockages.iter().enumerate() {
+        if occupied[bi] <= b.site_budget() {
+            continue;
+        }
+        // Movable cells whose footprint overlaps this window, least
+        // connected first (cheapest to displace far away).
+        let mut candidates: Vec<(usize, u32, CellId)> = Vec::new();
+        for (id, _) in design.cells_iter() {
+            if layout.occupancy().is_locked(id) {
+                continue;
+            }
+            let Some(pos) = layout.cell_pos(id) else { continue };
+            let w = layout.occupancy().cell_width(id).expect("placed");
+            let ov = overlap_sites(b, pos.row, pos.col, w);
+            if ov > 0 {
+                let degree = crate::global::neighbors(&design, id, clock).len();
+                candidates.push((degree, ov, id));
+            }
+        }
+        candidates.sort_by_key(|&(deg, ov, id)| (deg, std::cmp::Reverse(ov), id));
+        for (_, ov, id) in candidates {
+            if occupied[bi] <= b.site_budget() {
+                break;
+            }
+            let pos = layout.cell_pos(id).expect("still placed");
+            let w = layout.occupancy().cell_width(id).expect("placed");
+            layout.occupancy_mut().remove_cell(id).expect("not locked");
+            // Update every window the footprint overlapped.
+            for (bj, bb) in blockages.iter().enumerate() {
+                occupied[bj] -= overlap_sites(bb, pos.row, pos.col, w) as u64;
+            }
+            debug_assert!(ov > 0);
+            evicted.push(id);
+            stats.evicted += 1;
+        }
+    }
+
+    if debug {
+        eprintln!("  eco phase1 {:.2}s", t_phase1.elapsed().as_secs_f64());
+    }
+    let t_phase2 = std::time::Instant::now();
+    let mut n_fallback_compact = 0usize;
+    // Phase 2: re-place evicted cells near their wirelength-optimal spots.
+    // Widest first: wide cells (flops) need long gaps, which narrower cells
+    // would otherwise fragment.
+    evicted.shuffle(&mut rng);
+    evicted.sort_by_key(|&id| {
+        std::cmp::Reverse(tech.library.kind(design.cell(id).kind).width_sites)
+    });
+    // Per-row empty-run cache: recomputing runs from the site grid for
+    // every candidate would dominate the whole ECO pass.
+    let fp_rows = layout.floorplan().rows();
+    let mut runs_cache: Vec<Vec<geom::Interval>> = (0..fp_rows)
+        .map(|r| layout.occupancy().empty_runs(r))
+        .collect();
+    for id in evicted {
+        let w = tech.library.kind(design.cell(id).kind).width_sites;
+        let neigh = crate::global::neighbors(&design, id, clock);
+        let ideal = {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for &n in &neigh {
+                if layout.cell_pos(n).is_some() {
+                    let p = layout.cell_center(n, tech);
+                    xs.push(p.x);
+                    ys.push(p.y);
+                }
+            }
+            if xs.is_empty() {
+                layout.floorplan().core_rect().center()
+            } else {
+                xs.sort_unstable();
+                ys.sort_unstable();
+                Point::new(xs[xs.len() / 2], ys[ys.len() / 2])
+            }
+        };
+        let near = layout.floorplan().site_at(ideal);
+        let dest = find_gap_under_budgets(&runs_cache, &blockages, &occupied, w, near);
+        match dest {
+            Some(pos) => {
+                layout
+                    .occupancy_mut()
+                    .place_cell(id, w, pos)
+                    .expect("gap verified free");
+                runs_cache[pos.row as usize] = layout.occupancy().empty_runs(pos.row);
+                for (bj, bb) in blockages.iter().enumerate() {
+                    occupied[bj] += overlap_sites(bb, pos.row, pos.col, w) as u64;
+                }
+                stats.replaced_in_bounds += 1;
+            }
+            None => {
+                // No ready-made gap: compact a row segment to create one
+                // (still respecting budgets), like a real incremental
+                // placer. Only if even that fails, place anywhere.
+                n_fallback_compact += 1;
+                let pos = make_gap_by_compaction(
+                    layout,
+                    &blockages,
+                    &mut occupied,
+                    w,
+                    near,
+                )
+                .unwrap_or_else(|| {
+                    let fp = *layout.floorplan();
+                    layout
+                        .occupancy()
+                        .find_gap(w, fp.site_at(ideal), fp.rows().max(fp.cols()))
+                        .expect("core has capacity for all cells")
+                });
+                layout
+                    .occupancy_mut()
+                    .place_cell(id, w, pos)
+                    .expect("gap verified free");
+                runs_cache[pos.row as usize] = layout.occupancy().empty_runs(pos.row);
+                for (bj, bb) in blockages.iter().enumerate() {
+                    occupied[bj] += overlap_sites(bb, pos.row, pos.col, w) as u64;
+                }
+                stats.replaced_fallback += 1;
+            }
+        }
+    }
+    if debug {
+        eprintln!(
+            "  eco phase2 {:.2}s (fallbacks {})",
+            t_phase2.elapsed().as_secs_f64(),
+            n_fallback_compact
+        );
+    }
+    debug_assert!(layout.check_consistency(tech).is_ok());
+    stats
+}
+
+/// Creates a gap of `width` contiguous sites by compacting the cells of a
+/// row window leftward, then returns the placement origin at the window's
+/// right end. Rows are tried nearest-first; a window qualifies when it
+/// holds `width` free sites, contains no locked cell, and every blockage it
+/// touches has at least `width` sites of headroom left. Moved cells update
+/// `occupied` incrementally.
+pub(crate) fn make_gap_by_compaction(
+    layout: &mut Layout,
+    blockages: &[Blockage],
+    occupied: &mut [u64],
+    width: u32,
+    near: SitePos,
+) -> Option<SitePos> {
+    let fp = *layout.floorplan();
+    let cols = fp.cols();
+    let mut rows: Vec<u32> = (0..fp.rows()).collect();
+    rows.sort_by_key(|r| r.abs_diff(near.row));
+    // Dense layouts need wider windows to scrape `width` free sites
+    // together; escalate the window span until one qualifies.
+    for span in [width * 3, width * 8, width * 20, cols] {
+        let span = span.min(cols);
+        for &row in &rows {
+        // Sliding window: count free sites in [c0, c0 + span).
+        let mut c0 = 0u32;
+        while c0 + span <= cols {
+            let window_free: u32 = (c0..c0 + span)
+                .filter(|&c| {
+                    layout.occupancy().state(SitePos::new(row, c)) == layout::SiteState::Empty
+                })
+                .count() as u32;
+            if window_free < width {
+                c0 += span / 2 + 1;
+                continue;
+            }
+            // Collect the cells whose origin lies in the window; reject
+            // windows with locked or boundary-straddling cells.
+            let mut cells: Vec<(netlist::CellId, SitePos, u32)> = Vec::new();
+            let mut ok = true;
+            let mut c = c0;
+            while c < c0 + span {
+                match layout.occupancy().state(SitePos::new(row, c)) {
+                    layout::SiteState::Cell(id) => {
+                        let pos = layout.occupancy().cell_pos(id).expect("placed");
+                        let w = layout.occupancy().cell_width(id).expect("placed");
+                        if pos.col < c0 || pos.col + w > c0 + span || layout.occupancy().is_locked(id) {
+                            ok = false;
+                            break;
+                        }
+                        if cells.last().map(|&(l, _, _)| l) != Some(id) {
+                            cells.push((id, pos, w));
+                        }
+                        c = pos.col + w;
+                    }
+                    _ => c += 1,
+                }
+            }
+            let headroom_ok = blockages.iter().enumerate().all(|(bi, b)| {
+                overlap_sites(b, row, c0, span) == 0
+                    || occupied[bi] + width as u64 <= b.site_budget()
+            });
+            if !ok || !headroom_ok {
+                c0 += span / 2 + 1;
+                continue;
+            }
+            // Compact leftward.
+            let mut cursor = c0;
+            for &(id, pos, w) in &cells {
+                if pos.col > cursor {
+                    layout
+                        .occupancy_mut()
+                        .move_cell(id, SitePos::new(row, cursor))
+                        .expect("window is self-contained");
+                    for (bi, b) in blockages.iter().enumerate() {
+                        occupied[bi] -= overlap_sites(b, row, pos.col, w) as u64;
+                        occupied[bi] += overlap_sites(b, row, cursor, w) as u64;
+                    }
+                }
+                cursor += w;
+            }
+            debug_assert!(c0 + span - cursor >= width);
+            return Some(SitePos::new(row, c0 + span - width));
+        }
+        }
+    }
+    None
+}
+
+/// Nearest empty gap of `width` sites around `near` whose occupation keeps
+/// every blockage within budget. Searches outward in expanding Chebyshev
+/// rings up to half the core size.
+fn find_gap_under_budgets(
+    runs_cache: &[Vec<geom::Interval>],
+    blockages: &[Blockage],
+    occupied: &[u64],
+    width: u32,
+    near: SitePos,
+) -> Option<SitePos> {
+    let n_rows = runs_cache.len() as u32;
+    let max_radius = n_rows.max(
+        runs_cache
+            .iter()
+            .filter_map(|r| r.last().map(|iv| iv.hi))
+            .max()
+            .unwrap_or(0),
+    );
+    // Bucket the blockages per row so each candidate only checks the few
+    // windows that can actually overlap it (LDA tiles the whole core, so a
+    // flat scan over all N² windows per candidate would dominate runtime).
+    let mut by_row: Vec<Vec<usize>> = vec![Vec::new(); n_rows as usize];
+    for (bi, b) in blockages.iter().enumerate() {
+        for row in b.row0..b.row1.min(n_rows) {
+            by_row[row as usize].push(bi);
+        }
+    }
+    let mut best: Option<(u32, SitePos)> = None;
+    for row in 0..n_rows {
+        let dr = row.abs_diff(near.row);
+        if dr > max_radius {
+            continue;
+        }
+        if let Some((bd, _)) = best {
+            if dr >= bd {
+                continue;
+            }
+        }
+        for run in runs_cache[row as usize].iter().copied() {
+            if run.len() < width {
+                continue;
+            }
+            let lo = run.lo;
+            let hi = run.hi - width;
+            // Try the distance-optimal origin plus the run ends, so budget
+            // rejections can slide along the run.
+            let clamped = near.col.clamp(lo, hi);
+            for col in [clamped, lo, hi] {
+                let d = dr.max(col.abs_diff(near.col));
+                if best.map_or(false, |(bd, _)| d >= bd) {
+                    continue;
+                }
+                let fits_budget = by_row[row as usize].iter().all(|&bi| {
+                    let b = &blockages[bi];
+                    let ov = overlap_sites(b, row, col, width) as u64;
+                    ov == 0 || occupied[bi] + ov <= b.site_budget()
+                });
+                if fits_budget {
+                    best = Some((d, SitePos::new(row, col)));
+                }
+            }
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::bench;
+
+    fn placed() -> (Technology, Layout) {
+        let tech = Technology::nangate45_like();
+        let design = bench::generate(&bench::tiny_spec(), &tech);
+        let mut layout = Layout::empty_floorplan(design, &tech, 0.6);
+        crate::global_place(&mut layout, &tech, 11);
+        (tech, layout)
+    }
+
+    #[test]
+    fn noop_without_blockages() {
+        let (tech, mut layout) = placed();
+        let stats = eco_place(&mut layout, &tech, 1);
+        assert_eq!(stats, EcoPlaceStats::default());
+    }
+
+    #[test]
+    fn enforces_density_bound() {
+        let (tech, mut layout) = placed();
+        let fp = *layout.floorplan();
+        // Cap the lower-left quadrant at 10 % density.
+        let b = Blockage::new(0, fp.rows() / 2, 0, fp.cols() / 2, 0.10);
+        layout.set_blockages(vec![b]);
+        let before = layout.occupancy().density_in(b.row0, b.row1, b.col0, b.col1);
+        let stats = eco_place(&mut layout, &tech, 2);
+        let after = layout.occupancy().density_in(b.row0, b.row1, b.col0, b.col1);
+        assert!(before > 0.3, "quadrant was not populated: {before}");
+        assert!(after <= 0.11, "bound not enforced: {after}");
+        assert!(stats.evicted > 0);
+        assert_eq!(
+            stats.evicted,
+            stats.replaced_in_bounds + stats.replaced_fallback
+        );
+        layout.check_consistency(&tech).unwrap();
+    }
+
+    #[test]
+    fn locked_cells_survive_eviction() {
+        let (tech, mut layout) = placed();
+        let fp = *layout.floorplan();
+        let critical = layout.design().critical_cells.clone();
+        for &c in &critical {
+            layout.occupancy_mut().lock(c);
+        }
+        let before: Vec<_> = critical.iter().map(|&c| layout.cell_pos(c)).collect();
+        layout.set_blockages(vec![Blockage::new(0, fp.rows(), 0, fp.cols(), 0.05)]);
+        eco_place(&mut layout, &tech, 3);
+        let after: Vec<_> = critical.iter().map(|&c| layout.cell_pos(c)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn every_cell_remains_placed() {
+        let (tech, mut layout) = placed();
+        let fp = *layout.floorplan();
+        layout.set_blockages(vec![Blockage::new(
+            0,
+            fp.rows(),
+            0,
+            fp.cols() / 2,
+            0.0,
+        )]);
+        eco_place(&mut layout, &tech, 4);
+        for (id, _) in layout.design().cells_iter() {
+            assert!(layout.cell_pos(id).is_some(), "cell {} lost", id.0);
+        }
+        layout.check_consistency(&tech).unwrap();
+    }
+}

@@ -1,0 +1,259 @@
+use geom::{Dbu, GcellPos, SitePos};
+use layout::Floorplan;
+use tech::{LayerDir, RouteRule, Technology, NUM_METAL_LAYERS, SITE_H, SITE_W};
+
+/// Width of a gcell in placement sites (3.8 µm).
+pub const GCELL_W_SITES: u32 = 20;
+
+/// Height of a gcell in core rows (4.2 µm).
+pub const GCELL_H_ROWS: u32 = 3;
+
+/// The routing grid: gcell tiling of the core plus per-layer, per-gcell
+/// track capacities and usage counters.
+///
+/// M1 is reserved for intra-cell routing and pin access and carries no
+/// global-routing capacity; layers M2–M10 route signals in their preferred
+/// direction.
+#[derive(Debug, Clone)]
+pub struct RouteGrid {
+    nx: u32,
+    ny: u32,
+    /// Capacity in tracks per gcell per layer (index 0 = M1, always 0.0).
+    cap: [f64; NUM_METAL_LAYERS],
+    /// Usage in track-equivalents, `usage[layer][y * nx + x]`.
+    usage: Vec<Vec<f64>>,
+    /// Active NDR scale per layer.
+    scales: [f64; NUM_METAL_LAYERS],
+    dirs: [LayerDir; NUM_METAL_LAYERS],
+    /// Gcell span in DBU along x and y.
+    span_x: Dbu,
+    span_y: Dbu,
+}
+
+impl RouteGrid {
+    /// Builds the grid for a floorplan under the given NDR rule.
+    pub fn new(fp: &Floorplan, tech: &Technology, rule: &RouteRule) -> Self {
+        let nx = fp.cols().div_ceil(GCELL_W_SITES).max(1);
+        let ny = fp.rows().div_ceil(GCELL_H_ROWS).max(1);
+        let span_x = GCELL_W_SITES as Dbu * SITE_W;
+        let span_y = GCELL_H_ROWS as Dbu * SITE_H;
+        let mut cap = [0.0; NUM_METAL_LAYERS];
+        let mut scales = [1.0; NUM_METAL_LAYERS];
+        let mut dirs = [LayerDir::Horizontal; NUM_METAL_LAYERS];
+        for (i, layer) in tech.layers.iter().enumerate() {
+            dirs[i] = layer.dir;
+            scales[i] = rule.scale(i + 1);
+            if i == 0 {
+                continue; // M1: pin access only.
+            }
+            // A horizontal layer's tracks stack vertically across the gcell
+            // height; a vertical layer's tracks stack across the width.
+            let span = match layer.dir {
+                LayerDir::Horizontal => span_y,
+                LayerDir::Vertical => span_x,
+            };
+            cap[i] = layer.tracks_in_span(span, scales[i]) as f64;
+        }
+        let usage = vec![vec![0.0; (nx * ny) as usize]; NUM_METAL_LAYERS];
+        Self {
+            nx,
+            ny,
+            cap,
+            usage,
+            scales,
+            dirs,
+            span_x,
+            span_y,
+        }
+    }
+
+    /// Grid width in gcells.
+    pub fn nx(&self) -> u32 {
+        self.nx
+    }
+
+    /// Grid height in gcells.
+    pub fn ny(&self) -> u32 {
+        self.ny
+    }
+
+    /// Gcell span along x in DBU.
+    pub fn span_x(&self) -> Dbu {
+        self.span_x
+    }
+
+    /// Gcell span along y in DBU.
+    pub fn span_y(&self) -> Dbu {
+        self.span_y
+    }
+
+    /// Gcell containing a placement site.
+    pub fn gcell_of_site(&self, pos: SitePos) -> GcellPos {
+        GcellPos::new(
+            (pos.col / GCELL_W_SITES).min(self.nx - 1),
+            (pos.row / GCELL_H_ROWS).min(self.ny - 1),
+        )
+    }
+
+    /// Gcell containing a DBU point.
+    pub fn gcell_of_point(&self, p: geom::Point) -> GcellPos {
+        GcellPos::new(
+            ((p.x / self.span_x).max(0) as u32).min(self.nx - 1),
+            ((p.y / self.span_y).max(0) as u32).min(self.ny - 1),
+        )
+    }
+
+    /// Track capacity of 1-based layer `m` per gcell.
+    pub fn capacity(&self, m: usize) -> f64 {
+        self.cap[m - 1]
+    }
+
+    /// NDR scale of 1-based layer `m`.
+    pub fn scale(&self, m: usize) -> f64 {
+        self.scales[m - 1]
+    }
+
+    /// Preferred direction of 1-based layer `m`.
+    pub fn dir(&self, m: usize) -> LayerDir {
+        self.dirs[m - 1]
+    }
+
+    /// 1-based routable layers with the given direction (M1 excluded).
+    pub fn layers_with_dir(&self, dir: LayerDir) -> Vec<usize> {
+        (2..=NUM_METAL_LAYERS)
+            .filter(|&m| self.dirs[m - 1] == dir)
+            .collect()
+    }
+
+    fn idx(&self, g: GcellPos) -> usize {
+        (g.y * self.nx + g.x) as usize
+    }
+
+    /// Track usage of layer `m` at `g`.
+    pub fn usage(&self, m: usize, g: GcellPos) -> f64 {
+        self.usage[m - 1][self.idx(g)]
+    }
+
+    /// Adds `tracks` of usage on layer `m` at `g`.
+    pub fn add_usage(&mut self, m: usize, g: GcellPos, tracks: f64) {
+        let i = self.idx(g);
+        self.usage[m - 1][i] += tracks;
+    }
+
+    /// Free tracks on layer `m` at `g` (clamped at zero when overflowed).
+    pub fn free_tracks(&self, m: usize, g: GcellPos) -> f64 {
+        (self.cap[m - 1] - self.usage(m, g)).max(0.0)
+    }
+
+    /// Free tracks summed over all routable layers at `g` — the quantity
+    /// ERtracks aggregates over exploitable regions.
+    pub fn free_tracks_all_layers(&self, g: GcellPos) -> f64 {
+        (2..=NUM_METAL_LAYERS).map(|m| self.free_tracks(m, g)).sum()
+    }
+
+    /// Total capacity over all routable layers at one gcell.
+    pub fn capacity_all_layers(&self) -> f64 {
+        (2..=NUM_METAL_LAYERS).map(|m| self.cap[m - 1]).sum()
+    }
+
+    /// Number of `(layer, gcell)` pairs whose usage exceeds capacity by
+    /// more than `tol` tracks. Detailed routing absorbs fractional
+    /// overflows; only deep overflow surfaces as DRC violations.
+    pub fn deep_overflow_pairs(&self, tol: f64) -> u32 {
+        let mut n = 0;
+        for m in 2..=NUM_METAL_LAYERS {
+            for u in &self.usage[m - 1] {
+                if *u > self.cap[m - 1] + tol {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Number of `(layer, gcell)` pairs whose usage exceeds capacity.
+    pub fn overflow_pairs(&self) -> u32 {
+        let mut n = 0;
+        for m in 2..=NUM_METAL_LAYERS {
+            for u in &self.usage[m - 1] {
+                if *u > self.cap[m - 1] + 1e-9 {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Total usage above capacity, in track-equivalents.
+    pub fn total_overflow(&self) -> f64 {
+        let mut t = 0.0;
+        for m in 2..=NUM_METAL_LAYERS {
+            for u in &self.usage[m - 1] {
+                t += (u - self.cap[m - 1]).max(0.0);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> RouteGrid {
+        let tech = Technology::nangate45_like();
+        let fp = Floorplan::new(21, 200);
+        RouteGrid::new(&fp, &tech, &RouteRule::default())
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = grid();
+        assert_eq!(g.nx(), 10);
+        assert_eq!(g.ny(), 7);
+        assert_eq!(g.capacity(1), 0.0, "M1 carries no global routing");
+        assert!(g.capacity(2) > 0.0);
+    }
+
+    #[test]
+    fn ndr_reduces_capacity() {
+        let tech = Technology::nangate45_like();
+        let fp = Floorplan::new(20, 200);
+        let base = RouteGrid::new(&fp, &tech, &RouteRule::default());
+        let wide = RouteGrid::new(&fp, &tech, &RouteRule::uniform(1.5));
+        for m in 2..=NUM_METAL_LAYERS {
+            assert!(wide.capacity(m) <= base.capacity(m), "layer {m}");
+        }
+        assert!(wide.capacity_all_layers() < base.capacity_all_layers());
+    }
+
+    #[test]
+    fn usage_and_overflow_accounting() {
+        let mut g = grid();
+        let p = GcellPos::new(3, 4);
+        assert_eq!(g.overflow_pairs(), 0);
+        let cap2 = g.capacity(2);
+        g.add_usage(2, p, cap2 + 2.0);
+        assert_eq!(g.overflow_pairs(), 1);
+        assert!((g.total_overflow() - 2.0).abs() < 1e-9);
+        assert_eq!(g.free_tracks(2, p), 0.0);
+        assert!(g.free_tracks_all_layers(p) > 0.0, "other layers still free");
+    }
+
+    #[test]
+    fn site_to_gcell_mapping() {
+        let g = grid();
+        assert_eq!(g.gcell_of_site(SitePos::new(0, 0)), GcellPos::new(0, 0));
+        assert_eq!(g.gcell_of_site(SitePos::new(20, 199)), GcellPos::new(9, 6));
+        assert_eq!(g.gcell_of_site(SitePos::new(3, 45)), GcellPos::new(2, 1));
+    }
+
+    #[test]
+    fn direction_partition_covers_m2_to_m10() {
+        let g = grid();
+        let h = g.layers_with_dir(LayerDir::Horizontal);
+        let v = g.layers_with_dir(LayerDir::Vertical);
+        assert_eq!(h.len() + v.len(), 9);
+        assert!(!h.contains(&1) && !v.contains(&1));
+    }
+}

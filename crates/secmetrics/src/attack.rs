@@ -1,0 +1,250 @@
+//! A2-style Trojan insertion simulator.
+//!
+//! The paper's threat model (§II-B): the attacker starts from the tapeout
+//! GDSII, may add cells and wires in open spaces, and cannot move or resize
+//! existing components. This module attempts exactly that insertion against
+//! an analyzed layout: pack the Trojan's gates into one exploitable region
+//! (first-fit over its free runs) and claim routing tracks over the region
+//! for the trigger/payload wiring. It closes the loop on the ER metrics:
+//! layouts with no qualifying region defeat the insertion.
+
+use geom::Interval;
+use tech::Technology;
+
+use crate::regions::{Region, RegionAnalysis};
+
+/// A Trojan to insert: a bag of library gates plus routing demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrojanSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Library kind names of the Trojan gates (trigger + payload).
+    pub gates: Vec<&'static str>,
+    /// Free routing tracks the Trojan needs over the region for its
+    /// internal wiring and victim taps.
+    pub min_free_tracks: f64,
+}
+
+impl TrojanSpec {
+    /// The minimal A2-flavoured analog trigger: a charge-pump stage feeding
+    /// a payload inverter pair.
+    pub fn a2_analog() -> Self {
+        Self {
+            name: "a2-analog",
+            gates: vec!["NAND2_X1", "INV_X1", "INV_X1"],
+            min_free_tracks: 4.0,
+        }
+    }
+
+    /// A counter-based digital trigger with a small payload mux.
+    pub fn a2_digital() -> Self {
+        Self {
+            name: "a2-digital",
+            gates: vec![
+                "DFF_X1", "DFF_X1", "DFF_X1", "NAND2_X1", "NAND2_X1", "NOR2_X1", "INV_X1",
+                "XOR2_X1", "MUX2_X1",
+            ],
+            min_free_tracks: 10.0,
+        }
+    }
+
+    /// A privilege-escalation payload with a wider comparator trigger.
+    pub fn privilege_escalation() -> Self {
+        Self {
+            name: "privilege-escalation",
+            gates: vec![
+                "DFF_X1", "DFF_X1", "DFF_X1", "DFF_X1", "XOR2_X1", "XOR2_X1", "XOR2_X1",
+                "XOR2_X1", "NAND2_X1", "NAND2_X1", "NAND3_X1", "NOR2_X1", "AOI21_X1",
+                "MUX2_X1", "MUX2_X1", "INV_X1",
+            ],
+            min_free_tracks: 18.0,
+        }
+    }
+
+    /// The standard escalating attack battery used by the evaluation.
+    pub fn battery() -> Vec<TrojanSpec> {
+        vec![
+            Self::a2_analog(),
+            Self::a2_digital(),
+            Self::privilege_escalation(),
+        ]
+    }
+
+    /// Gate widths in sites, descending (first-fit-decreasing packing).
+    fn widths_desc(&self, tech: &Technology) -> Vec<u32> {
+        let mut w: Vec<u32> = self
+            .gates
+            .iter()
+            .map(|g| {
+                tech.library
+                    .kind(tech.library.kind_by_name(g).unwrap_or_else(|| panic!("unknown gate {g}")))
+                    .width_sites
+            })
+            .collect();
+        w.sort_unstable_by_key(|x| std::cmp::Reverse(*x));
+        w
+    }
+
+    /// Total footprint in sites.
+    pub fn total_sites(&self, tech: &Technology) -> u64 {
+        self.widths_desc(tech).iter().map(|&w| w as u64).sum()
+    }
+}
+
+/// Result of one insertion attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackOutcome {
+    /// Whether every gate was packed and the routing demand was met.
+    pub success: bool,
+    /// Index of the region used (into `RegionAnalysis::regions`).
+    pub region_index: Option<usize>,
+    /// Number of gates that found a slot in the best region tried.
+    pub gates_placed: usize,
+}
+
+/// First-fit-decreasing packing of gate widths into the free runs of one
+/// region. Returns how many gates fit.
+fn pack_into_region(region: &Region, widths: &[u32]) -> usize {
+    let mut runs: Vec<Interval> = region.rows.iter().map(|&(_, iv)| iv).collect();
+    let mut placed = 0;
+    'gates: for &w in widths {
+        for run in runs.iter_mut() {
+            if run.len() >= w {
+                run.lo += w;
+                placed += 1;
+                continue 'gates;
+            }
+        }
+        break;
+    }
+    placed
+}
+
+/// Attempts to insert `spec` into the analyzed layout.
+///
+/// Tries regions largest-first; succeeds on the first region that packs all
+/// gates and offers enough free routing tracks (ERtracks prorated by the
+/// region's share of all exploitable sites).
+pub fn simulate_attack(
+    analysis: &RegionAnalysis,
+    tech: &Technology,
+    spec: &TrojanSpec,
+) -> AttackOutcome {
+    let widths = spec.widths_desc(tech);
+    let mut best_placed = 0;
+    for (i, region) in analysis.regions.iter().enumerate() {
+        if region.sites < spec.total_sites(tech) {
+            continue; // regions are sorted; smaller ones cannot fit either
+        }
+        let placed = pack_into_region(region, &widths);
+        best_placed = best_placed.max(placed);
+        if placed < widths.len() {
+            continue;
+        }
+        // Routing demand: this region's share of the free tracks.
+        let share = if analysis.er_sites > 0 {
+            region.sites as f64 / analysis.er_sites as f64
+        } else {
+            0.0
+        };
+        let tracks_here = analysis.er_tracks * share;
+        if tracks_here >= spec.min_free_tracks {
+            return AttackOutcome {
+                success: true,
+                region_index: Some(i),
+                gates_placed: placed,
+            };
+        }
+    }
+    AttackOutcome {
+        success: false,
+        region_index: None,
+        gates_placed: best_placed,
+    }
+}
+
+/// Fraction of the attack battery that succeeds against the analysis.
+pub fn battery_success_rate(analysis: &RegionAnalysis, tech: &Technology) -> f64 {
+    let battery = TrojanSpec::battery();
+    let wins = battery
+        .iter()
+        .filter(|s| simulate_attack(analysis, tech, s).success)
+        .count();
+    wins as f64 / battery.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::RegionAnalysis;
+
+    fn region(rows: &[(u32, u32, u32)]) -> Region {
+        let rows: Vec<(u32, Interval)> = rows
+            .iter()
+            .map(|&(r, lo, hi)| (r, Interval::new(lo, hi)))
+            .collect();
+        Region {
+            sites: rows.iter().map(|(_, iv)| iv.len() as u64).sum(),
+            rows,
+        }
+    }
+
+    fn analysis(regions: Vec<Region>, tracks: f64) -> RegionAnalysis {
+        RegionAnalysis {
+            er_sites: regions.iter().map(|r| r.sites).sum(),
+            er_tracks: tracks,
+            regions,
+            distances: vec![],
+        }
+    }
+
+    #[test]
+    fn small_trojan_fits_big_region() {
+        let tech = Technology::nangate45_like();
+        let a = analysis(vec![region(&[(0, 0, 30), (1, 0, 30)])], 100.0);
+        let out = simulate_attack(&a, &tech, &TrojanSpec::a2_analog());
+        assert!(out.success);
+        assert_eq!(out.region_index, Some(0));
+    }
+
+    #[test]
+    fn fragmented_region_defeats_wide_gates() {
+        let tech = Technology::nangate45_like();
+        // Plenty of total sites but every run is 3 sites: DFF_X1 (9 sites)
+        // cannot fit, so the digital Trojan fails.
+        let rows: Vec<(u32, u32, u32)> = (0..30).map(|r| (r, 0, 3)).collect();
+        let a = analysis(vec![region(&rows)], 100.0);
+        let out = simulate_attack(&a, &tech, &TrojanSpec::a2_digital());
+        assert!(!out.success);
+        assert!(out.gates_placed < TrojanSpec::a2_digital().gates.len());
+        // The tiny analog Trojan still fits (widest gate is 3 sites).
+        assert!(simulate_attack(&a, &tech, &TrojanSpec::a2_analog()).success);
+    }
+
+    #[test]
+    fn no_regions_means_no_attack() {
+        let tech = Technology::nangate45_like();
+        let a = analysis(vec![], 1_000.0);
+        for spec in TrojanSpec::battery() {
+            assert!(!simulate_attack(&a, &tech, &spec).success);
+        }
+        assert_eq!(battery_success_rate(&a, &tech), 0.0);
+    }
+
+    #[test]
+    fn starved_routing_defeats_attack() {
+        let tech = Technology::nangate45_like();
+        let a = analysis(vec![region(&[(0, 0, 60), (1, 0, 60)])], 0.5);
+        let out = simulate_attack(&a, &tech, &TrojanSpec::a2_digital());
+        assert!(!out.success, "no tracks, no Trojan wiring");
+    }
+
+    #[test]
+    fn battery_is_escalating() {
+        let tech = Technology::nangate45_like();
+        let battery = TrojanSpec::battery();
+        for w in battery.windows(2) {
+            assert!(w[0].total_sites(&tech) <= w[1].total_sites(&tech));
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Exploitable-region extraction and the ERsites / ERtracks security
+//! metrics (Definition 2.2 of the paper).
+
+use std::collections::HashMap;
+
+use geom::{Dbu, GcellPos, Interval, SitePos};
+use layout::Layout;
+use netlist::CellId;
+use route::RoutingState;
+use sta::TimingReport;
+use tech::{Technology, SITE_H, SITE_W};
+
+use crate::distance::exploitable_distances;
+
+/// Minimum contiguous-site count for a free-space component to count as an
+/// exploitable region. Taken from the A2 Trojan footprint as in the paper
+/// (`Thresh_ER = 20`).
+pub const THRESH_ER: u32 = 20;
+
+/// One exploitable region: a connected component of exploitable sites whose
+/// weight reaches the threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Total number of sites in the region.
+    pub sites: u64,
+    /// The maximal free runs composing the region, as `(row, cols)` pairs
+    /// sorted by row.
+    pub rows: Vec<(u32, Interval)>,
+}
+
+impl Region {
+    /// Longest single-row run in the region, in sites (bounds which cell
+    /// widths a Trojan can place here).
+    pub fn widest_run(&self) -> u32 {
+        self.rows.iter().map(|(_, iv)| iv.len()).max().unwrap_or(0)
+    }
+}
+
+/// Full security analysis of one layout.
+#[derive(Debug, Clone)]
+pub struct RegionAnalysis {
+    /// Exploitable regions (weight ≥ threshold), largest first.
+    pub regions: Vec<Region>,
+    /// Free Placement Sites metric: total sites over all regions.
+    pub er_sites: u64,
+    /// Free Routing Tracks metric: unused tracks across all metal layers
+    /// over the exploitable regions (area-prorated per gcell).
+    pub er_tracks: f64,
+    /// Per-critical-cell exploitable distances used for the mask.
+    pub distances: Vec<(CellId, Dbu)>,
+}
+
+/// Disjoint-set over vertex indices.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        let mut r = x;
+        while self.parent[r as usize] != r {
+            r = self.parent[r as usize];
+        }
+        let mut c = x;
+        while self.parent[c as usize] != r {
+            let next = self.parent[c as usize];
+            self.parent[c as usize] = r;
+            c = next;
+        }
+        r
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+/// Merges a sorted interval list in place.
+fn merge_intervals(mut ivs: Vec<Interval>) -> Vec<Interval> {
+    ivs.sort_unstable();
+    let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
+    for iv in ivs {
+        if let Some(last) = out.last_mut() {
+            if iv.lo <= last.hi {
+                last.hi = last.hi.max(iv.hi);
+                continue;
+            }
+        }
+        out.push(iv);
+    }
+    out
+}
+
+/// Extracts the exploitable regions of a layout and computes ERsites and
+/// ERtracks.
+///
+/// A site is *exploitable* when it is free (empty or filler) **and** lies
+/// within the exploitable distance of at least one security-critical cell.
+/// Vertically adjacent free runs sharing a column merge into components;
+/// components of at least `thresh` sites are the exploitable regions.
+pub fn analyze_regions(
+    layout: &Layout,
+    routing: &RoutingState,
+    timing: &TimingReport,
+    tech: &Technology,
+    thresh: u32,
+) -> RegionAnalysis {
+    let distances = exploitable_distances(layout, timing, tech);
+    let fp = layout.floorplan();
+    let occ = layout.occupancy();
+
+    // Per-critical-cell centers in DBU.
+    let centers: Vec<(geom::Point, Dbu)> = distances
+        .iter()
+        .filter(|(_, d)| *d > 0)
+        .map(|&(c, d)| (layout.cell_center(c, tech), d))
+        .collect();
+
+    // Vertices: exploitable runs clipped to the distance mask, per row.
+    let mut vertices: Vec<(u32, Interval)> = Vec::new();
+    let mut row_start: Vec<usize> = Vec::with_capacity(fp.rows() as usize + 1);
+    for row in 0..fp.rows() {
+        row_start.push(vertices.len());
+        let row_y = row as Dbu * SITE_H + SITE_H / 2;
+        let mut mask: Vec<Interval> = Vec::new();
+        for &(p, d) in &centers {
+            if (p.y - row_y).abs() > d {
+                continue;
+            }
+            let lo = ((p.x - d) / SITE_W).max(0) as u32;
+            let hi = (((p.x + d) / SITE_W) + 1).min(fp.cols() as Dbu) as u32;
+            if lo < hi {
+                mask.push(Interval::new(lo, hi));
+            }
+        }
+        if mask.is_empty() {
+            continue;
+        }
+        let mask = merge_intervals(mask);
+        for run in occ.exploitable_runs(row) {
+            for m in &mask {
+                if let Some(clip) = run.intersection(m) {
+                    if !clip.is_empty() {
+                        vertices.push((row, clip));
+                    }
+                }
+            }
+        }
+    }
+    row_start.push(vertices.len());
+
+    // Union vertically touching vertices of adjacent rows.
+    let mut dsu = Dsu::new(vertices.len());
+    for row in 1..fp.rows() {
+        let (a0, a1) = (row_start[row as usize - 1], row_start[row as usize]);
+        let (b0, b1) = (row_start[row as usize], row_start[row as usize + 1]);
+        let mut i = a0;
+        let mut j = b0;
+        while i < a1 && j < b1 {
+            let (_, ia) = vertices[i];
+            let (_, ib) = vertices[j];
+            if ia.overlaps(&ib) {
+                dsu.union(i as u32, j as u32);
+            }
+            if ia.hi <= ib.hi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+
+    // Group into components and filter by weight.
+    let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+    for i in 0..vertices.len() {
+        groups.entry(dsu.find(i as u32)).or_default().push(i);
+    }
+    let mut regions: Vec<Region> = Vec::new();
+    for (_, members) in groups {
+        let sites: u64 = members.iter().map(|&i| vertices[i].1.len() as u64).sum();
+        if sites >= thresh as u64 {
+            let mut rows: Vec<(u32, Interval)> =
+                members.iter().map(|&i| vertices[i]).collect();
+            rows.sort_unstable();
+            regions.push(Region { sites, rows });
+        }
+    }
+    regions.sort_by_key(|r| (std::cmp::Reverse(r.sites), r.rows.first().copied()));
+    let er_sites: u64 = regions.iter().map(|r| r.sites).sum();
+
+    // ERtracks: free tracks over the region area, prorated per gcell.
+    let grid = routing.grid();
+    let gcell_sites = (route::GCELL_W_SITES * route::GCELL_H_ROWS) as f64;
+    let mut sites_in_gcell: std::collections::BTreeMap<GcellPos, u64> = Default::default();
+    for r in &regions {
+        for &(row, iv) in &r.rows {
+            let mut col = iv.lo;
+            while col < iv.hi {
+                let g = grid.gcell_of_site(SitePos::new(row, col));
+                let next_boundary = ((col / route::GCELL_W_SITES) + 1) * route::GCELL_W_SITES;
+                let end = iv.hi.min(next_boundary);
+                *sites_in_gcell.entry(g).or_insert(0) += (end - col) as u64;
+                col = end;
+            }
+        }
+    }
+    let er_tracks: f64 = sites_in_gcell
+        .iter()
+        .map(|(g, &s)| grid.free_tracks_all_layers(*g) * (s as f64 / gcell_sites).min(1.0))
+        .sum();
+
+    RegionAnalysis {
+        regions,
+        er_sites,
+        er_tracks,
+        distances,
+    }
+}
+
+/// The paper's security objective:
+/// `Security(L_opt) = α · ERsites(L_opt)/ERsites(L_base)
+///                  + (1−α) · ERtracks(L_opt)/ERtracks(L_base)`.
+///
+/// Lower is better; the baseline scores 1.0 against itself. Zero-valued
+/// baseline metrics contribute their `α` share only if the optimized layout
+/// is also nonzero there (a fully clean baseline cannot be improved).
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `[0, 1]`.
+pub fn security_score(opt: &RegionAnalysis, base: &RegionAnalysis, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    let ratio = |o: f64, b: f64| -> f64 {
+        if b <= 0.0 {
+            if o <= 0.0 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            o / b
+        }
+    };
+    alpha * ratio(opt.er_sites as f64, base.er_sites as f64)
+        + (1.0 - alpha) * ratio(opt.er_tracks, base.er_tracks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::bench;
+
+    fn analyzed(period_factor: f64, util: f64) -> (Technology, Layout, RoutingState, RegionAnalysis) {
+        let tech = Technology::nangate45_like();
+        let mut spec = bench::tiny_spec();
+        spec.period_factor = period_factor;
+        let design = bench::generate(&spec, &tech);
+        let mut layout = Layout::empty_floorplan(design, &tech, util);
+        place::global_place(&mut layout, &tech, 17);
+        place::refine_wirelength(&mut layout, &tech, 2, 17);
+        let routing = route::route_design(&layout, &tech);
+        let timing = sta::analyze(&layout, &routing, &tech);
+        let analysis = analyze_regions(&layout, &routing, &timing, &tech, THRESH_ER);
+        (tech, layout, routing, analysis)
+    }
+
+    #[test]
+    fn baseline_layout_is_exploitable() {
+        let (_, _, _, a) = analyzed(1.4, 0.6);
+        assert!(a.er_sites >= THRESH_ER as u64);
+        assert!(a.er_tracks > 0.0);
+        assert!(!a.regions.is_empty());
+        // Regions are sorted largest-first and all meet the threshold.
+        for w in a.regions.windows(2) {
+            assert!(w[0].sites >= w[1].sites);
+        }
+        assert!(a.regions.iter().all(|r| r.sites >= THRESH_ER as u64));
+    }
+
+    #[test]
+    fn region_row_runs_are_actually_free() {
+        let (_, layout, _, a) = analyzed(1.4, 0.6);
+        for region in &a.regions {
+            for &(row, iv) in &region.rows {
+                for col in iv.lo..iv.hi {
+                    assert!(layout
+                        .occupancy()
+                        .state(SitePos::new(row, col))
+                        .is_exploitable());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_utilization_reduces_er_sites() {
+        let (_, _, _, loose) = analyzed(1.4, 0.55);
+        let (_, _, _, dense) = analyzed(1.4, 0.80);
+        assert!(
+            dense.er_sites < loose.er_sites,
+            "dense {} vs loose {}",
+            dense.er_sites,
+            loose.er_sites
+        );
+    }
+
+    #[test]
+    fn security_score_of_baseline_is_one() {
+        let (_, _, _, a) = analyzed(1.4, 0.6);
+        let s = security_score(&a, &a, 0.5);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn security_score_handles_clean_layout() {
+        let (_, _, _, base) = analyzed(1.4, 0.6);
+        let clean = RegionAnalysis {
+            regions: vec![],
+            er_sites: 0,
+            er_tracks: 0.0,
+            distances: vec![],
+        };
+        assert_eq!(security_score(&clean, &base, 0.5), 0.0);
+        assert_eq!(security_score(&clean, &clean, 0.5), 0.0);
+    }
+
+    #[test]
+    fn threshold_filters_small_fragments() {
+        let (_, layout, routing, _) = analyzed(1.4, 0.6);
+        let timing = sta::analyze(&layout, &routing, &Technology::nangate45_like());
+        let tech = Technology::nangate45_like();
+        let strict = analyze_regions(&layout, &routing, &timing, &tech, 1_000);
+        let lax = analyze_regions(&layout, &routing, &timing, &tech, 4);
+        assert!(strict.er_sites <= lax.er_sites);
+        assert!(lax.regions.iter().all(|r| r.sites >= 4));
+    }
+
+    #[test]
+    fn merge_intervals_collapses_overlaps() {
+        let merged = merge_intervals(vec![
+            Interval::new(5, 9),
+            Interval::new(0, 3),
+            Interval::new(8, 12),
+            Interval::new(3, 4),
+        ]);
+        assert_eq!(merged, vec![Interval::new(0, 4), Interval::new(5, 12)]);
+    }
+}

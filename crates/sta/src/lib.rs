@@ -1,0 +1,30 @@
+//! Static timing analysis over a placed-and-routed layout.
+//!
+//! Delay model: linear gate delay (`intrinsic + R_drive · C_load`) plus a
+//! lumped Elmore wire delay per net from the router's extracted RC. The
+//! analysis produces arrival and required times per net, per-endpoint
+//! slacks, **TNS/WNS** (the paper's timing objective), and per-cell slack
+//! queries — the quantity the exploitable-distance computation consumes
+//! ("paths with positive timing slacks to security-critical cell assets").
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::bench;
+//! use tech::Technology;
+//! use layout::Layout;
+//!
+//! let tech = Technology::nangate45_like();
+//! let design = bench::generate(&bench::tiny_spec(), &tech);
+//! let mut layout = Layout::empty_floorplan(design, &tech, 0.6);
+//! place::global_place(&mut layout, &tech, 1);
+//! let routing = route::route_design(&layout, &tech);
+//! let timing = sta::analyze(&layout, &routing, &tech);
+//! assert!(timing.wns_ps() <= 0.0 || timing.tns_ps() == 0.0);
+//! ```
+
+mod graph;
+mod report;
+
+pub use graph::analyze;
+pub use report::TimingReport;

@@ -1,0 +1,107 @@
+/// Identifier of a [`CellKind`] inside a [`crate::Library`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KindId(pub u16);
+
+/// Broad functional class of a standard cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellClass {
+    /// Combinational logic gate (INV, NAND, XOR, …).
+    Combinational,
+    /// Edge-triggered flip-flop.
+    Sequential,
+    /// Non-functional filler cell occupying otherwise empty sites.
+    Filler,
+}
+
+/// A standard-cell master: geometry plus the linear-delay-model timing and
+/// power parameters used by the `sta` and `power` crates.
+///
+/// Units: delays in picoseconds, resistance in kΩ, capacitance in fF
+/// (kΩ · fF = ps), leakage in nW, internal switching energy in fJ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellKind {
+    /// Library cell name, e.g. `"NAND2_X1"`.
+    pub name: &'static str,
+    /// Functional class.
+    pub class: CellClass,
+    /// Footprint width in placement sites.
+    pub width_sites: u32,
+    /// Number of signal inputs (for flip-flops: D only; the clock pin is
+    /// tracked separately by the netlist).
+    pub inputs: u8,
+    /// Output drive resistance in kΩ (smaller = stronger driver).
+    pub drive_res: f64,
+    /// Capacitance of each input pin in fF.
+    pub input_cap: f64,
+    /// Intrinsic (unloaded) propagation delay in ps. For flip-flops this is
+    /// the clock-to-Q delay.
+    pub intrinsic: f64,
+    /// Setup time in ps (sequential cells only, zero otherwise).
+    pub setup: f64,
+    /// Leakage power in nW.
+    pub leakage: f64,
+    /// Internal energy per output toggle in fJ.
+    pub internal_energy: f64,
+}
+
+impl CellKind {
+    /// Whether the cell stores state.
+    pub fn is_sequential(&self) -> bool {
+        self.class == CellClass::Sequential
+    }
+
+    /// Whether the cell is a non-functional filler.
+    pub fn is_filler(&self) -> bool {
+        self.class == CellClass::Filler
+    }
+
+    /// Gate delay under the linear delay model: `intrinsic + R_drive · C_load`.
+    ///
+    /// ```
+    /// let lib = tech::Library::nangate45_like();
+    /// let inv = lib.kind(lib.kind_by_name("INV_X1").unwrap());
+    /// let unloaded = inv.delay(0.0);
+    /// assert!(inv.delay(10.0) > unloaded);
+    /// ```
+    pub fn delay(&self, load_ff: f64) -> f64 {
+        self.intrinsic + self.drive_res * load_ff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv() -> CellKind {
+        CellKind {
+            name: "INV_X1",
+            class: CellClass::Combinational,
+            width_sites: 2,
+            inputs: 1,
+            drive_res: 2.0,
+            input_cap: 1.6,
+            intrinsic: 8.0,
+            setup: 0.0,
+            leakage: 10.0,
+            internal_energy: 0.5,
+        }
+    }
+
+    #[test]
+    fn delay_is_linear_in_load() {
+        let k = inv();
+        let d0 = k.delay(0.0);
+        let d1 = k.delay(1.0);
+        let d2 = k.delay(2.0);
+        assert!((d1 - d0 - (d2 - d1)).abs() < 1e-12);
+        assert_eq!(d0, 8.0);
+        assert_eq!(d1, 10.0);
+    }
+
+    #[test]
+    fn class_predicates() {
+        let k = inv();
+        assert!(!k.is_sequential());
+        assert!(!k.is_filler());
+    }
+}

@@ -1,0 +1,131 @@
+use geom::Dbu;
+
+/// Number of metal layers in the stack (the paper's `K = 10`).
+pub const NUM_METAL_LAYERS: usize = 10;
+
+/// Preferred routing direction of a metal layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerDir {
+    /// Wires run left–right.
+    Horizontal,
+    /// Wires run bottom–top.
+    Vertical,
+}
+
+/// A metal routing layer: geometry and parasitics per unit length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetalLayer {
+    /// Layer name, `"M1"` … `"M10"`.
+    pub name: &'static str,
+    /// 1-based layer index.
+    pub index: usize,
+    /// Preferred routing direction.
+    pub dir: LayerDir,
+    /// Track pitch in DBU.
+    pub pitch: Dbu,
+    /// Default wire width in DBU.
+    pub width: Dbu,
+    /// Wire resistance in kΩ per µm at default width.
+    pub res_per_um: f64,
+    /// Wire capacitance in fF per µm at default width.
+    pub cap_per_um: f64,
+}
+
+impl MetalLayer {
+    /// Number of routing tracks available across a span of `span` DBU
+    /// perpendicular to the routing direction, for wires scaled by
+    /// `width_scale` (an NDR factor ≥ 1 widens wires and consumes extra
+    /// pitch, reducing the usable track count).
+    ///
+    /// ```
+    /// let stack = tech::Technology::nangate45_like();
+    /// let m2 = stack.layer(2);
+    /// let base = m2.tracks_in_span(3_800, 1.0);
+    /// assert!(m2.tracks_in_span(3_800, 1.5) < base);
+    /// ```
+    pub fn tracks_in_span(&self, span: Dbu, width_scale: f64) -> u32 {
+        debug_assert!(width_scale >= 1.0, "NDR scale factors are >= 1.0");
+        let effective_pitch = self.pitch as f64 + self.width as f64 * (width_scale - 1.0);
+        (span as f64 / effective_pitch).floor().max(0.0) as u32
+    }
+
+    /// Resistance of a wire of `len_dbu` DBU at NDR scale `width_scale`
+    /// (wider wire → proportionally lower resistance), in kΩ.
+    pub fn wire_res(&self, len_dbu: Dbu, width_scale: f64) -> f64 {
+        self.res_per_um * geom::dbu_to_um(len_dbu) / width_scale
+    }
+
+    /// Capacitance of a wire of `len_dbu` DBU at NDR scale `width_scale`,
+    /// in fF. Widening increases area capacitance but the fringe component
+    /// is width-independent, so capacitance grows sub-linearly.
+    pub fn wire_cap(&self, len_dbu: Dbu, width_scale: f64) -> f64 {
+        let area_frac = 0.55;
+        let scale = (1.0 - area_frac) + area_frac * width_scale;
+        self.cap_per_um * geom::dbu_to_um(len_dbu) * scale
+    }
+}
+
+/// The ten-layer Nangate45-flavoured stack. Lower layers are thin and
+/// resistive with fine pitch; upper layers are thick, fast, and coarse.
+pub fn nangate45_stack() -> Vec<MetalLayer> {
+    use LayerDir::{Horizontal, Vertical};
+    let spec: [(&'static str, LayerDir, Dbu, Dbu, f64, f64); NUM_METAL_LAYERS] = [
+        ("M1", Horizontal, 190, 70, 0.0038, 0.16),
+        ("M2", Vertical, 190, 70, 0.0038, 0.18),
+        ("M3", Horizontal, 190, 70, 0.0038, 0.18),
+        ("M4", Vertical, 280, 140, 0.0021, 0.20),
+        ("M5", Horizontal, 280, 140, 0.0021, 0.20),
+        ("M6", Vertical, 280, 140, 0.0021, 0.20),
+        ("M7", Horizontal, 800, 400, 0.0008, 0.22),
+        ("M8", Vertical, 800, 400, 0.0008, 0.22),
+        ("M9", Horizontal, 1_600, 800, 0.0004, 0.24),
+        ("M10", Vertical, 1_600, 800, 0.0004, 0.24),
+    ];
+    spec.iter()
+        .enumerate()
+        .map(|(i, &(name, dir, pitch, width, r, c))| MetalLayer {
+            name,
+            index: i + 1,
+            dir,
+            pitch,
+            width,
+            res_per_um: r,
+            cap_per_um: c,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_count_shrinks_with_ndr_scale() {
+        let stack = nangate45_stack();
+        let m2 = &stack[1];
+        let t10 = m2.tracks_in_span(19_000, 1.0);
+        let t12 = m2.tracks_in_span(19_000, 1.2);
+        let t15 = m2.tracks_in_span(19_000, 1.5);
+        assert_eq!(t10, 100);
+        assert!(t12 < t10);
+        assert!(t15 < t12);
+    }
+
+    #[test]
+    fn wider_wires_have_lower_res_higher_cap() {
+        let stack = nangate45_stack();
+        let m4 = &stack[3];
+        assert!(m4.wire_res(10_000, 1.5) < m4.wire_res(10_000, 1.0));
+        assert!(m4.wire_cap(10_000, 1.5) > m4.wire_cap(10_000, 1.0));
+        // Cap grows sub-linearly: +50% width gives < +50% cap.
+        let ratio = m4.wire_cap(10_000, 1.5) / m4.wire_cap(10_000, 1.0);
+        assert!(ratio < 1.5 && ratio > 1.0);
+    }
+
+    #[test]
+    fn zero_length_wire_has_zero_parasitics() {
+        let stack = nangate45_stack();
+        assert_eq!(stack[0].wire_res(0, 1.0), 0.0);
+        assert_eq!(stack[0].wire_cap(0, 1.2), 0.0);
+    }
+}

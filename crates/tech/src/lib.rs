@@ -1,0 +1,99 @@
+//! Technology model for the GDSII-Guard reproduction: a Nangate-45nm-flavoured
+//! standard-cell library and a ten-metal-layer routing stack.
+//!
+//! The paper evaluates on the Nangate 45nm Open Cell Library with `K = 10`
+//! metal layers. This crate provides an equivalent self-contained model:
+//! site geometry, per-layer pitch/width/RC, a standard-cell catalogue with
+//! linear-delay-model timing and power parameters, and non-default routing
+//! rules (NDR) used by the Routing Width Scaling operator.
+//!
+//! # Examples
+//!
+//! ```
+//! use tech::Technology;
+//!
+//! let tech = Technology::nangate45_like();
+//! assert_eq!(tech.layers.len(), 10);
+//! let nand = tech.library.kind_by_name("NAND2_X1").unwrap();
+//! assert_eq!(tech.library.kind(nand).inputs, 2);
+//! ```
+
+mod cells;
+mod layers;
+mod library;
+mod ndr;
+
+pub use cells::{CellClass, CellKind, KindId};
+pub use layers::{LayerDir, MetalLayer, NUM_METAL_LAYERS};
+pub use library::Library;
+pub use ndr::RouteRule;
+
+use geom::Dbu;
+
+/// Placement-site width in DBU (0.19 µm, Nangate45 `FreePDK45_38x28_10R`).
+pub const SITE_W: Dbu = 190;
+
+/// Placement-site (core-row) height in DBU (1.4 µm).
+pub const SITE_H: Dbu = 1_400;
+
+/// Complete technology description: library plus metal stack.
+#[derive(Debug, Clone)]
+pub struct Technology {
+    /// The standard-cell library.
+    pub library: Library,
+    /// Metal layers, index 0 = M1 … index 9 = M10.
+    pub layers: Vec<MetalLayer>,
+}
+
+impl Technology {
+    /// Builds the Nangate-45nm-flavoured technology used by every benchmark
+    /// in this reproduction.
+    ///
+    /// ```
+    /// let tech = tech::Technology::nangate45_like();
+    /// assert!(tech.library.kind_by_name("DFF_X1").is_some());
+    /// ```
+    pub fn nangate45_like() -> Self {
+        Self {
+            library: Library::nangate45_like(),
+            layers: layers::nangate45_stack(),
+        }
+    }
+
+    /// The metal layer with 1-based index `m` (`m = 1` → M1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero or exceeds the stack height.
+    pub fn layer(&self, m: usize) -> &MetalLayer {
+        &self.layers[m - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_is_ten_layers_alternating() {
+        let t = Technology::nangate45_like();
+        assert_eq!(t.layers.len(), NUM_METAL_LAYERS);
+        for w in t.layers.windows(2) {
+            assert_ne!(w[0].dir, w[1].dir, "adjacent layers must alternate");
+        }
+    }
+
+    #[test]
+    fn upper_layers_are_less_resistive() {
+        let t = Technology::nangate45_like();
+        assert!(t.layer(10).res_per_um < t.layer(2).res_per_um);
+        assert!(t.layer(10).pitch > t.layer(2).pitch);
+    }
+
+    #[test]
+    fn layer_accessor_is_one_based() {
+        let t = Technology::nangate45_like();
+        assert_eq!(t.layer(1).name, "M1");
+        assert_eq!(t.layer(10).name, "M10");
+    }
+}

@@ -1,0 +1,72 @@
+//! Multi-objective exploration: run the NSGA-II flow optimizer on one
+//! design and print the explored timing–security Pareto front (the per-
+//! design view behind the paper's Fig. 5).
+//!
+//! ```text
+//! cargo run --release --example pareto_explore [design]
+//! ```
+
+use gdsii_guard::nsga2::{explore, Nsga2Params};
+use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::OpSelect;
+use tech::Technology;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "TDEA".to_owned());
+    let spec = netlist::bench::spec_by_name(&name)
+        .unwrap_or_else(|| panic!("unknown design {name}; see netlist::bench::all_specs"));
+    let tech = Technology::nangate45_like();
+    println!("implementing baseline {}…", spec.name);
+    let base = implement_baseline(&spec, &tech);
+    let params = Nsga2Params {
+        population: 10,
+        generations: 3,
+        ..Nsga2Params::default()
+    };
+    println!(
+        "exploring the Table-I parameter space (population {}, {} generations)…",
+        params.population, params.generations
+    );
+    let result = explore(&base, &tech, &params);
+    println!(
+        "evaluated {} unique configurations; baseline TNS {:.1} ps, power {:.3} mW",
+        result.points.len(),
+        result.base_tns_ps,
+        result.base_power_mw
+    );
+    println!("\nPareto front (feasible, non-dominated):");
+    println!(
+        "{:>9} {:>10} {:>9} {:>5} | operator, widened layers",
+        "security", "TNS(ps)", "power", "DRC"
+    );
+    let mut front = result.pareto_front();
+    front.sort_by(|a, b| {
+        a.metrics
+            .security
+            .partial_cmp(&b.metrics.security)
+            .expect("finite")
+    });
+    for p in front {
+        let op = match p.config.op {
+            OpSelect::CellShift => "CS".to_owned(),
+            OpSelect::Lda { n, n_iter } => format!("LDA(N={n},it={n_iter})"),
+        };
+        let widened: Vec<String> = p
+            .config
+            .scales
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s > 1.0)
+            .map(|(i, s)| format!("M{}x{s}", i + 1))
+            .collect();
+        println!(
+            "{:>9.3} {:>10.1} {:>9.3} {:>5} | {}, [{}]",
+            p.metrics.security,
+            p.metrics.tns_ps,
+            p.metrics.power_mw,
+            p.metrics.drc,
+            op,
+            widened.join(" ")
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Layout visualization (the paper's Fig. 1 / Fig. 3 view): renders the
+//! placed core as ASCII art with security-critical cells, exploitable
+//! regions, and ordinary cells distinguished — before and after the Cell
+//! Shift operator erases the regions.
+//!
+//! ```text
+//! cargo run --release --example visualize_layout
+//! ```
+
+use gdsii_guard::cell_shift::cell_shift;
+use gdsii_guard::pipeline::{evaluate, implement_baseline};
+use geom::SitePos;
+use layout::SiteState;
+use secmetrics::THRESH_ER;
+use tech::Technology;
+
+/// One character per `step × step` site block: `#` critical cell,
+/// `▒` (rendered `%`) exploitable region, `.` other cells, space = free.
+fn render(snap: &gdsii_guard::Snapshot, tech: &Technology) -> String {
+    let layout = &snap.layout;
+    let fp = layout.floorplan();
+    let critical = layout.design().critical_set();
+    let step_c = (fp.cols() / 96).max(1);
+    let step_r = (fp.rows() / 40).max(1);
+    // Mark exploitable-region membership per site block.
+    let mut region_rows: std::collections::HashSet<(u32, u32)> = Default::default();
+    for region in &snap.security.regions {
+        for &(row, iv) in &region.rows {
+            for col in (iv.lo..iv.hi).step_by(step_c as usize) {
+                region_rows.insert((row / step_r, col / step_c));
+            }
+        }
+    }
+    let mut out = String::new();
+    for br in (0..fp.rows() / step_r).rev() {
+        for bc in 0..fp.cols() / step_c {
+            let mut ch = ' ';
+            'block: for r in br * step_r..((br + 1) * step_r).min(fp.rows()) {
+                for c in bc * step_c..((bc + 1) * step_c).min(fp.cols()) {
+                    match layout.occupancy().state(SitePos::new(r, c)) {
+                        SiteState::Cell(id) if critical.contains(&id) => {
+                            ch = '#';
+                            break 'block;
+                        }
+                        SiteState::Cell(_) => {
+                            if ch == ' ' || ch == '%' {
+                                ch = '.';
+                            }
+                        }
+                        SiteState::Empty | SiteState::Filler => {}
+                    }
+                }
+            }
+            if ch != '#' && region_rows.contains(&(br, bc)) {
+                ch = '%';
+            }
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    let _ = tech;
+    out
+}
+
+fn main() {
+    let tech = Technology::nangate45_like();
+    let spec = netlist::bench::spec_by_name("PRESENT").expect("known benchmark");
+    let base = implement_baseline(&spec, &tech);
+    println!(
+        "=== {} baseline — {} exploitable sites ('#' critical bank, '%' exploitable, '.' cells) ===",
+        spec.name, base.security.er_sites
+    );
+    print!("{}", render(&base, &tech));
+
+    let mut layout = base.layout.clone();
+    gdsii_guard::preprocess::lock_critical_cells(&mut layout);
+    cell_shift(&mut layout, &tech, THRESH_ER);
+    let after = evaluate(layout, &tech);
+    println!(
+        "\n=== after Cell Shift — {} exploitable sites remain ===",
+        after.security.er_sites
+    );
+    print!("{}", render(&after, &tech));
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the GDSII-Guard reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the repository-level
+//! `examples/` and `tests/` can exercise the full stack. Downstream users
+//! should depend on the individual crates (most importantly
+//! [`gdsii_guard`]) rather than on this umbrella.
+
+pub use defenses;
+pub use gdsii;
+pub use gdsii_guard;
+pub use geom;
+pub use layout;
+pub use netlist;
+pub use place;
+pub use power;
+pub use route;
+pub use secmetrics;
+pub use sta;
+pub use tech;

@@ -1,0 +1,60 @@
+//! Cross-defense ordering properties on one design — the qualitative
+//! structure of Fig. 4 and Table II that must hold for any seed.
+
+use gdsii_guard::pipeline::implement_baseline;
+use netlist::bench;
+use secmetrics::security_score;
+use tech::Technology;
+
+struct Sweep {
+    base: gdsii_guard::Snapshot,
+    icas: gdsii_guard::Snapshot,
+    bisa: gdsii_guard::Snapshot,
+    ba: gdsii_guard::Snapshot,
+}
+
+fn sweep() -> (Technology, Sweep) {
+    let tech = Technology::nangate45_like();
+    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let icas = defenses::apply_icas(&base, &tech);
+    let bisa = defenses::apply_bisa(&base, &tech);
+    let ba = defenses::apply_ba(&base, &tech);
+    (tech, Sweep { base, icas, bisa, ba })
+}
+
+#[test]
+fn security_ordering_matches_fig4() {
+    let (_, s) = sweep();
+    let sec = |snap: &gdsii_guard::Snapshot| security_score(&snap.security, &s.base.security, 0.5);
+    let (icas, bisa, ba) = (sec(&s.icas), sec(&s.bisa), sec(&s.ba));
+    // Paper Fig. 4: BISA ≈ strongest fill, Ba weaker than BISA, ICAS
+    // weakest of the three.
+    assert!(bisa <= ba + 0.05, "BISA {bisa} should beat Ba {ba}");
+    assert!(ba < icas, "Ba {ba} should beat ICAS {icas}");
+    assert!(icas < 1.0, "every defense improves on the baseline");
+}
+
+#[test]
+fn cost_ordering_matches_table2() {
+    let (_, s) = sweep();
+    // BISA adds the most logic → the most power.
+    assert!(s.bisa.power_mw() > s.ba.power_mw());
+    assert!(s.ba.power_mw() >= s.base.power_mw());
+    // Fill-based defenses cannot improve timing.
+    assert!(s.bisa.tns_ps() <= s.base.tns_ps() + 1e-9);
+    // And BISA congests at least as much as Ba does.
+    assert!(s.bisa.drc >= s.ba.drc);
+}
+
+#[test]
+fn attack_resistance_tracks_the_metrics() {
+    let (tech, s) = sweep();
+    let rate = |snap: &gdsii_guard::Snapshot| {
+        secmetrics::attack::battery_success_rate(&snap.security, &tech)
+    };
+    assert!(
+        rate(&s.base) >= rate(&s.bisa),
+        "hardening must not make attacks easier"
+    );
+    assert_eq!(rate(&s.bisa), 0.0, "BISA leaves no room for any battery Trojan");
+}

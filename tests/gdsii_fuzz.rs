@@ -1,0 +1,42 @@
+//! Robustness: the GDSII reader must never panic, no matter the input —
+//! it either parses or returns a structured error.
+
+use gdsii::GdsLibrary;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: parse or error, never panic.
+    #[test]
+    fn reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = GdsLibrary::from_bytes(&bytes);
+    }
+
+    /// Truncations of a valid stream: parse or error, never panic, and a
+    /// truncated stream must never silently parse as complete.
+    #[test]
+    fn reader_handles_truncation(cut in 0usize..100) {
+        let mut lib = GdsLibrary::new("T");
+        let mut s = gdsii::GdsStruct::new("TOP");
+        s.elements.push(gdsii::GdsElement::Boundary {
+            layer: 1,
+            xy: vec![(0, 0), (10, 0), (10, 10), (0, 10), (0, 0)],
+        });
+        lib.structs.push(s);
+        let bytes = lib.to_bytes();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let r = GdsLibrary::from_bytes(&bytes[..cut]);
+        prop_assert!(r.is_err(), "truncated stream parsed: cut at {cut}");
+    }
+
+    /// Single-byte corruptions: parse or error, never panic.
+    #[test]
+    fn reader_survives_bit_flips(pos in 0usize..64, val in any::<u8>()) {
+        let lib = GdsLibrary::new("CORRUPT");
+        let mut bytes = lib.to_bytes();
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] = val;
+        let _ = GdsLibrary::from_bytes(&bytes);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over the core data structures and invariants.
+
+use geom::{Interval, Point, Rect, SitePos};
+use layout::{Floorplan, Occupancy};
+use netlist::CellId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rect intersection is commutative, contained in both operands, and
+    /// consistent with `intersects`.
+    #[test]
+    fn rect_intersection_properties(
+        ax in -1000i64..1000, ay in -1000i64..1000, aw in 0i64..500, ah in 0i64..500,
+        bx in -1000i64..1000, by in -1000i64..1000, bw in 0i64..500, bh in 0i64..500,
+    ) {
+        let a = Rect::from_wh(Point::new(ax, ay), aw, ah);
+        let b = Rect::from_wh(Point::new(bx, by), bw, bh);
+        let i1 = a.intersection(&b);
+        let i2 = b.intersection(&a);
+        prop_assert_eq!(i1, i2);
+        prop_assert_eq!(i1.is_some(), a.intersects(&b));
+        if let Some(i) = i1 {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area().min(b.area()));
+        }
+        // Union always contains both.
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
+    }
+
+    /// Interval overlap agrees with pointwise membership.
+    #[test]
+    fn interval_overlap_is_pointwise(
+        alo in 0u32..100, alen in 0u32..50,
+        blo in 0u32..100, blen in 0u32..50,
+    ) {
+        let a = Interval::new(alo, alo + alen);
+        let b = Interval::new(blo, blo + blen);
+        let pointwise = (a.lo..a.hi).any(|x| b.contains(x));
+        prop_assert_eq!(a.overlaps(&b), pointwise);
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.len() <= a.len().min(b.len()));
+            prop_assert!((i.lo..i.hi).all(|x| a.contains(x) && b.contains(x)));
+        }
+    }
+
+    /// Any sequence of place / move / remove operations leaves the
+    /// occupancy grid consistent: occupied-site accounting matches and no
+    /// two cells overlap.
+    #[test]
+    fn occupancy_ops_preserve_invariants(ops in proptest::collection::vec(
+        (0u32..20, 0u32..8, 0u32..30, 1u32..6, 0u8..3), 1..60
+    )) {
+        let fp = Floorplan::new(8, 30);
+        let mut occ = Occupancy::new(fp);
+        let mut live: std::collections::HashMap<u32, u32> = Default::default();
+        for (cell, row, col, width, op) in ops {
+            let id = CellId(cell);
+            match op {
+                0 => {
+                    if !live.contains_key(&cell)
+                        && occ.place_cell(id, width, SitePos::new(row, col)).is_ok()
+                    {
+                        live.insert(cell, width);
+                    }
+                }
+                1 => {
+                    if live.contains_key(&cell) {
+                        let _ = occ.move_cell(id, SitePos::new(row, col));
+                    }
+                }
+                _ => {
+                    if occ.remove_cell(id).ok().flatten().is_some() {
+                        live.remove(&cell);
+                    }
+                }
+            }
+            // Ground truth: total occupied sites equals the sum of the
+            // widths of the live cells.
+            let expect: u64 = live.values().map(|&w| w as u64).sum();
+            prop_assert_eq!(occ.occupied_sites(), expect);
+        }
+        // No site is claimed by a dead cell and footprints are coherent.
+        for row in 0..8 {
+            for col in 0..30 {
+                if let layout::SiteState::Cell(c) = occ.state(SitePos::new(row, col)) {
+                    prop_assert!(live.contains_key(&c.0));
+                }
+            }
+        }
+        for (&cell, &w) in &live {
+            let pos = occ.cell_pos(CellId(cell)).expect("live cell is placed");
+            for i in 0..w {
+                prop_assert_eq!(
+                    occ.state(SitePos::new(pos.row, pos.col + i)),
+                    layout::SiteState::Cell(CellId(cell))
+                );
+            }
+        }
+    }
+
+    /// The empty runs of a row partition exactly the non-occupied sites.
+    #[test]
+    fn empty_runs_partition_free_space(cells in proptest::collection::vec(
+        (0u32..28, 1u32..5), 0..8
+    )) {
+        let fp = Floorplan::new(1, 32);
+        let mut occ = Occupancy::new(fp);
+        for (i, (col, w)) in cells.into_iter().enumerate() {
+            let _ = occ.place_cell(CellId(i as u32), w, SitePos::new(0, col));
+        }
+        let runs = occ.empty_runs(0);
+        // Runs are disjoint, sorted, maximal, and cover every empty site.
+        let mut covered = vec![false; 32];
+        for w in runs.windows(2) {
+            prop_assert!(w[0].hi < w[1].lo, "runs must be separated by cells");
+        }
+        for r in &runs {
+            for c in r.lo..r.hi {
+                prop_assert_eq!(occ.state(SitePos::new(0, c)), layout::SiteState::Empty);
+                covered[c as usize] = true;
+            }
+        }
+        for c in 0..32u32 {
+            let is_empty = occ.state(SitePos::new(0, c)) == layout::SiteState::Empty;
+            prop_assert_eq!(covered[c as usize], is_empty);
+        }
+    }
+
+    /// GDSII reals survive a round trip for the magnitudes layouts use.
+    #[test]
+    fn gdsii_real_round_trip(mantissa in 1i64..1_000_000, exp in -12i32..6) {
+        let v = mantissa as f64 * 10f64.powi(exp);
+        let enc = gdsii::write_real8(v);
+        let dec = gdsii::read_real8(&enc);
+        prop_assert!(((dec - v) / v).abs() < 1e-12, "{v} -> {dec}");
+    }
+
+    /// Security scores are always in [0, 1] when the optimized layout has
+    /// no more exploitable resources than the baseline.
+    #[test]
+    fn security_score_bounded(
+        base_sites in 1u64..100_000, base_tracks in 1.0f64..100_000.0,
+        frac_sites in 0.0f64..1.0, frac_tracks in 0.0f64..1.0,
+        alpha in 0.0f64..1.0,
+    ) {
+        let mk = |sites: u64, tracks: f64| secmetrics::RegionAnalysis {
+            regions: vec![],
+            er_sites: sites,
+            er_tracks: tracks,
+            distances: vec![],
+        };
+        let base = mk(base_sites, base_tracks);
+        let opt = mk(
+            (base_sites as f64 * frac_sites) as u64,
+            base_tracks * frac_tracks,
+        );
+        let s = secmetrics::security_score(&opt, &base, alpha);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "score {s}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-crate security-metric properties: monotonicity of the exploitable
+//! region analysis under the operations defenses perform.
+
+use gdsii_guard::pipeline::{evaluate, implement_baseline};
+use netlist::bench;
+use secmetrics::{analyze_regions, THRESH_ER};
+use tech::Technology;
+
+#[test]
+fn thresh_er_is_monotone() {
+    let tech = Technology::nangate45_like();
+    let snap = implement_baseline(&bench::tiny_spec(), &tech);
+    let mut last = u64::MAX;
+    for thresh in [4u32, 12, 20, 40, 100] {
+        let a = analyze_regions(&snap.layout, &snap.routing, &snap.timing, &tech, thresh);
+        assert!(a.er_sites <= last, "ERsites must shrink as Thresh_ER grows");
+        last = a.er_sites;
+        // Regions honor the threshold.
+        assert!(a.regions.iter().all(|r| r.sites >= thresh as u64));
+    }
+}
+
+#[test]
+fn fillers_do_not_change_security() {
+    // Definition 2.2: filler cells are exploitable; adding them must leave
+    // ERsites untouched.
+    let tech = Technology::nangate45_like();
+    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let mut filled = base.layout.clone();
+    layout::insert_fillers(filled.occupancy_mut(), &tech);
+    let snap = evaluate(filled, &tech);
+    assert_eq!(snap.security.er_sites, base.security.er_sites);
+}
+
+#[test]
+fn distances_respond_to_constraint_looseness() {
+    let tech = Technology::nangate45_like();
+    let sum_d = |factor: f64| -> i64 {
+        let mut spec = bench::tiny_spec();
+        spec.period_factor = factor;
+        let snap = implement_baseline(&spec, &tech);
+        snap.security.distances.iter().map(|(_, d)| *d).sum()
+    };
+    assert!(sum_d(2.0) > sum_d(0.9), "looser clock → longer reach");
+}
+
+#[test]
+fn removing_free_space_never_raises_er_sites() {
+    // Occupying previously-free sites (with locked dummy placement) can
+    // only shrink the exploitable area.
+    let tech = Technology::nangate45_like();
+    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let hardened = defenses::apply_ba(&base, &tech);
+    assert!(hardened.security.er_sites <= base.security.er_sites);
+    let hardened = defenses::apply_bisa(&base, &tech);
+    assert!(hardened.security.er_sites <= base.security.er_sites);
+}
+
+#[test]
+fn region_runs_lie_within_some_distance_mask() {
+    // Every exploitable site must be within the exploitable distance of at
+    // least one critical cell (Definition 2.2, prerequisite 2).
+    let tech = Technology::nangate45_like();
+    let snap = implement_baseline(&bench::tiny_spec(), &tech);
+    let layout = &snap.layout;
+    let centers: Vec<(geom::Point, i64)> = snap
+        .security
+        .distances
+        .iter()
+        .filter(|(_, d)| *d > 0)
+        .map(|&(c, d)| (layout.cell_center(c, &tech), d))
+        .collect();
+    for region in &snap.security.regions {
+        for &(row, iv) in &region.rows {
+            let fp = layout.floorplan();
+            for col in iv.lo..iv.hi {
+                let p = fp.site_center(geom::SitePos::new(row, col));
+                let within = centers
+                    .iter()
+                    .any(|&(c, d)| (p.x - c.x).abs() <= d + 200 && (p.y - c.y).abs() <= d + 1_400);
+                assert!(within, "site ({row},{col}) outside every distance mask");
+            }
+        }
+    }
+}
+
+#[test]
+fn attack_simulator_agrees_with_er_sites_zero() {
+    // If the analysis finds no region, no battery Trojan can be inserted.
+    let tech = Technology::nangate45_like();
+    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let bisa = defenses::apply_bisa(&base, &tech);
+    if bisa.security.er_sites == 0 {
+        assert_eq!(
+            secmetrics::attack::battery_success_rate(&bisa.security, &tech),
+            0.0
+        );
+    }
+    // And on the exploitable baseline, the smallest Trojan finds a home.
+    let small = secmetrics::TrojanSpec::a2_analog();
+    let outcome = secmetrics::simulate_attack(&base.security, &tech, &small);
+    assert!(outcome.success, "loose baseline must be attackable");
+}

@@ -1,0 +1,95 @@
+//! Cross-crate timing properties: STA consistency under layout and
+//! constraint perturbations.
+
+use gdsii_guard::pipeline::{evaluate, implement_baseline};
+use netlist::bench;
+use tech::Technology;
+
+#[test]
+fn slack_decreases_when_clock_tightens() {
+    let tech = Technology::nangate45_like();
+    let mut specs = Vec::new();
+    for factor in [1.5, 1.0, 0.7] {
+        let mut s = bench::tiny_spec();
+        s.period_factor = factor;
+        specs.push(s);
+    }
+    let worst: Vec<f64> = specs
+        .iter()
+        .map(|s| implement_baseline(s, &tech).timing.worst_slack_ps())
+        .collect();
+    assert!(worst[0] > worst[1] && worst[1] > worst[2], "{worst:?}");
+}
+
+#[test]
+fn endpoint_count_matches_flops_plus_outputs() {
+    let tech = Technology::nangate45_like();
+    let snap = implement_baseline(&bench::tiny_spec(), &tech);
+    let d = snap.layout.design();
+    let expect = d.num_flops(&tech) + d.primary_outputs.len();
+    assert_eq!(snap.timing.endpoint_slacks().len(), expect);
+}
+
+#[test]
+fn net_slack_lower_bounds_endpoint_slack() {
+    // The worst net slack equals the worst endpoint slack (paths end at
+    // endpoints), and no net reports less slack than the global worst.
+    let tech = Technology::nangate45_like();
+    let snap = implement_baseline(&bench::tiny_spec(), &tech);
+    let worst_ep = snap.timing.worst_slack_ps();
+    let design = snap.layout.design();
+    let mut worst_net = f64::INFINITY;
+    for (id, _) in design.nets_iter() {
+        let s = snap.timing.net_slack_ps(id);
+        assert!(
+            s >= worst_ep - 1.0,
+            "net {} slack {s} below global worst {worst_ep}",
+            id.0
+        );
+        worst_net = worst_net.min(s);
+    }
+    assert!((worst_net - worst_ep).abs() < 1.0);
+}
+
+#[test]
+fn timing_is_a_pure_function_of_the_layout() {
+    let tech = Technology::nangate45_like();
+    let a = implement_baseline(&bench::tiny_spec(), &tech);
+    let b = evaluate(a.layout.clone(), &tech);
+    assert_eq!(a.tns_ps(), b.tns_ps());
+    assert_eq!(a.timing.worst_slack_ps(), b.timing.worst_slack_ps());
+    assert_eq!(a.drc, b.drc);
+    assert_eq!(a.security.er_sites, b.security.er_sites);
+}
+
+#[test]
+fn scrambling_placement_does_not_improve_worst_slack() {
+    let tech = Technology::nangate45_like();
+    let design = bench::generate(&bench::tiny_spec(), &tech);
+    let mut good = layout::Layout::empty_floorplan(design.clone(), &tech, 0.6);
+    place::global_place(&mut good, &tech, 1);
+    place::refine_wirelength(&mut good, &tech, 3, 1);
+    let good_snap = evaluate(good, &tech);
+
+    // Adversarial placement: reverse the id order so connected cells land
+    // far apart.
+    let mut bad = layout::Layout::empty_floorplan(design, &tech, 0.6);
+    place::global_place(&mut bad, &tech, 1);
+    // Swap random cell pairs to destroy locality.
+    let occ = bad.occupancy_mut();
+    let n = 50u32;
+    for i in 0..n {
+        let a = netlist::CellId(i);
+        let b = netlist::CellId(200 - i);
+        let (Some(pa), Some(pb)) = (occ.cell_pos(a), occ.cell_pos(b)) else { continue };
+        let (Some(wa), Some(wb)) = (occ.cell_width(a), occ.cell_width(b)) else { continue };
+        if wa == wb {
+            occ.remove_cell(a).unwrap();
+            occ.remove_cell(b).unwrap();
+            occ.place_cell(a, wa, pb).unwrap();
+            occ.place_cell(b, wb, pa).unwrap();
+        }
+    }
+    let bad_snap = evaluate(bad, &tech);
+    assert!(good_snap.timing.worst_slack_ps() >= bad_snap.timing.worst_slack_ps() - 1.0);
+}
