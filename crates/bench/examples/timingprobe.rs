@@ -1,22 +1,39 @@
 use gdsii_guard::pipeline::implement_baseline;
-use tech::Technology;
 use std::time::Instant;
+use tech::Technology;
 
 fn main() {
     let tech = Technology::nangate45_like();
     let spec = netlist::bench::spec_by_name("AES_1").unwrap();
-    let t = Instant::now(); let base = implement_baseline(&spec, &tech);
+    let t = Instant::now();
+    let base = implement_baseline(&spec, &tech);
     println!("baseline {:.1}s", t.elapsed().as_secs_f64());
-    let t = Instant::now(); let _icas = defenses::apply_icas(&base, &tech);
+    let t = Instant::now();
+    let _icas = defenses::apply_icas(&base, &tech);
     println!("icas {:.1}s", t.elapsed().as_secs_f64());
-    let t = Instant::now(); let _bisa = defenses::apply_bisa(&base, &tech);
+    let t = Instant::now();
+    let _bisa = defenses::apply_bisa(&base, &tech);
     println!("bisa {:.1}s", t.elapsed().as_secs_f64());
-    let t = Instant::now(); let _ba = defenses::apply_ba(&base, &tech);
+    let t = Instant::now();
+    let _ba = defenses::apply_ba(&base, &tech);
     println!("ba {:.1}s", t.elapsed().as_secs_f64());
     let t = Instant::now();
     let m = gdsii_guard::flow::run_flow(&base, &tech, &gdsii_guard::FlowConfig::lda_default(), 1);
-    println!("one LDA eval {:.1}s (sec {:.3})", t.elapsed().as_secs_f64(), m.security);
+    println!(
+        "one LDA eval {:.1}s (sec {:.3})",
+        t.elapsed().as_secs_f64(),
+        m.security
+    );
     let t = Instant::now();
-    let m = gdsii_guard::flow::run_flow(&base, &tech, &gdsii_guard::FlowConfig::cell_shift_default(), 1);
-    println!("one CS eval {:.1}s (sec {:.3})", t.elapsed().as_secs_f64(), m.security);
+    let m = gdsii_guard::flow::run_flow(
+        &base,
+        &tech,
+        &gdsii_guard::FlowConfig::cell_shift_default(),
+        1,
+    );
+    println!(
+        "one CS eval {:.1}s (sec {:.3})",
+        t.elapsed().as_secs_f64(),
+        m.security
+    );
 }

@@ -34,7 +34,11 @@ fn main() {
             },
             1,
         );
-        let timing = if spec.period_factor > 1.0 { "loose" } else { "tight" };
+        let timing = if spec.period_factor > 1.0 {
+            "loose"
+        } else {
+            "tight"
+        };
         println!(
             "{:<14} {:>7} | {:>9.3} {:>9.0} | {:>9.3} {:>9.0}",
             name,
@@ -53,8 +57,14 @@ fn main() {
     let mut cfg = FlowConfig::cell_shift_default();
     cfg.scales = [1.0, 1.5, 1.5, 1.5, 1.5, 1.5, 1.2, 1.2, 1.2, 1.2];
     let rws = run_flow(&base, &tech, &cfg, 1);
-    println!("RWS off: sites {:>6} tracks {:>8.0} tns {:>7.0}", plain.er_sites, plain.er_tracks, plain.tns_ps);
-    println!("RWS on : sites {:>6} tracks {:>8.0} tns {:>7.0}", rws.er_sites, rws.er_tracks, rws.tns_ps);
+    println!(
+        "RWS off: sites {:>6} tracks {:>8.0} tns {:>7.0}",
+        plain.er_sites, plain.er_tracks, plain.tns_ps
+    );
+    println!(
+        "RWS on : sites {:>6} tracks {:>8.0} tns {:>7.0}",
+        rws.er_sites, rws.er_tracks, rws.tns_ps
+    );
     println!(
         "tracks reduced a further {:.1} % at equal placement (paper: ~15 % extra)",
         (1.0 - rws.er_tracks / plain.er_tracks.max(1e-9)) * 100.0
@@ -97,7 +107,8 @@ fn main() {
     let spec = netlist::bench::spec_by_name("SPARX").expect("known");
     let base = implement_baseline(&spec, &tech);
     for thresh in [12u32, 16, 20, 24, 32] {
-        let a = secmetrics::analyze_regions(&base.layout, &base.routing, &base.timing, &tech, thresh);
+        let a =
+            secmetrics::analyze_regions(&base.layout, &base.routing, &base.timing, &tech, thresh);
         println!(
             "Thresh_ER {:>3}: {:>6} sites in {:>4} regions",
             thresh,

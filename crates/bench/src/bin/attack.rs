@@ -34,6 +34,8 @@ fn main() {
         print!(" {:>11.0}%", a / specs.len() as f64 * 100.0);
     }
     println!();
-    println!("\nexpected shape: Original highly attackable; GDSII-Guard and BISA defeat \
-              (nearly) the whole battery; ICAS/Ba in between.");
+    println!(
+        "\nexpected shape: Original highly attackable; GDSII-Guard and BISA defeat \
+              (nearly) the whole battery; ICAS/Ba in between."
+    );
 }

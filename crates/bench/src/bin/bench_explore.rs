@@ -1,0 +1,147 @@
+//! Perf-trajectory harness for the incremental evaluation engine.
+//!
+//! Runs the fixed-seed fig5-style `explore` of the tiny spec, then replays
+//! the exact evaluation schedule it produced — generation by generation,
+//! with the same work-stealing thread pool — through both evaluation
+//! paths: the from-scratch oracle (`run_flow`) and the incremental engine
+//! (`run_flow_with`, fresh engine, cold caches). The two replay walls are
+//! the honest apples-to-apples comparison the incremental engine is
+//! judged on; results land in `BENCH_explore.json` at the workspace root
+//! so future changes can track the perf curve.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use gdsii_guard::flow::FlowMetrics;
+use gdsii_guard::nsga2::{explore, EvalPoint};
+use gdsii_guard::pipeline::{implement_baseline, EvalEngine};
+use gg_bench::driver::GG_GA_PARAMS;
+use tech::Technology;
+
+#[derive(Debug, Clone)]
+struct BenchExplore {
+    design: String,
+    population: u64,
+    generations: u64,
+    seed: u64,
+    threads: u64,
+    evaluations: u64,
+    explore_wall_secs: f64,
+    evals_per_sec: f64,
+    full_replay_wall_secs: f64,
+    incremental_replay_wall_secs: f64,
+    speedup: f64,
+}
+
+ggjson::json_struct!(BenchExplore {
+    design,
+    population,
+    generations,
+    seed,
+    threads,
+    evaluations,
+    explore_wall_secs,
+    evals_per_sec,
+    full_replay_wall_secs,
+    incremental_replay_wall_secs,
+    speedup
+});
+
+/// Replays the explore schedule generation by generation: each batch runs
+/// on a shared atomic-index work queue across `threads` workers, exactly
+/// like `nsga2::evaluate_all` distributes candidates. Returns total wall
+/// seconds.
+fn replay(
+    points: &[&EvalPoint],
+    threads: usize,
+    eval: impl Fn(&EvalPoint) -> FlowMetrics + Sync,
+) -> f64 {
+    let max_gen = points.iter().map(|p| p.generation).max().unwrap_or(0);
+    let t0 = Instant::now();
+    for gen in 0..=max_gen {
+        let batch: Vec<&EvalPoint> = points
+            .iter()
+            .copied()
+            .filter(|p| p.generation == gen)
+            .collect();
+        if batch.is_empty() {
+            continue;
+        }
+        let next = AtomicUsize::new(0);
+        let threads = threads.max(1).min(batch.len());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(p) = batch.get(i) else { break };
+                    std::hint::black_box(eval(p));
+                });
+            }
+        });
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let tech = Technology::nangate45_like();
+    let spec = netlist::bench::tiny_spec();
+    let base = implement_baseline(&spec, &tech);
+
+    let t0 = Instant::now();
+    let result = explore(&base, &tech, &GG_GA_PARAMS);
+    let explore_wall_secs = t0.elapsed().as_secs_f64();
+    let evaluations = result.points.len() as u64;
+    let points: Vec<&EvalPoint> = result.points.iter().collect();
+    let threads = GG_GA_PARAMS.threads;
+
+    // Full-evaluate path: every candidate re-implements the chip.
+    let full_replay_wall_secs = replay(&points, threads, |p| {
+        gdsii_guard::flow::run_flow(&base, &tech, &p.config, p.genome.flow_seed())
+    });
+
+    // Incremental path: fresh engine, cold caches, identical schedule.
+    let engine = EvalEngine::new(&base, &tech);
+    let incremental_replay_wall_secs = replay(&points, threads, |p| {
+        gdsii_guard::flow::run_flow_with(&engine, &tech, &p.config, p.genome.flow_seed())
+    });
+
+    // The replays must agree with the recorded metrics — a corrupted
+    // benchmark is worse than a slow one.
+    let check: Vec<FlowMetrics> = points
+        .iter()
+        .map(|p| gdsii_guard::flow::run_flow_with(&engine, &tech, &p.config, p.genome.flow_seed()))
+        .collect();
+    for (p, m) in points.iter().zip(&check) {
+        assert_eq!(p.metrics, *m, "engine replay diverged on {:?}", p.genome);
+    }
+
+    let report = BenchExplore {
+        design: spec.name.to_string(),
+        population: GG_GA_PARAMS.population as u64,
+        generations: GG_GA_PARAMS.generations as u64,
+        seed: GG_GA_PARAMS.seed,
+        threads: threads as u64,
+        evaluations,
+        explore_wall_secs,
+        evals_per_sec: evaluations as f64 / explore_wall_secs,
+        full_replay_wall_secs,
+        incremental_replay_wall_secs,
+        speedup: full_replay_wall_secs / incremental_replay_wall_secs,
+    };
+
+    // Workspace root: crates/bench/ -> repo root.
+    let mut out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    out.pop();
+    out.pop();
+    let out = out.join("BENCH_explore.json");
+    std::fs::write(&out, ggjson::to_vec_pretty(&report)).expect("write BENCH_explore.json");
+    println!(
+        "explore: {:.3}s for {} evaluations ({:.1} evals/s)",
+        report.explore_wall_secs, report.evaluations, report.evals_per_sec
+    );
+    println!(
+        "replay ({} candidates, {} threads): full {:.3}s vs incremental {:.3}s — {:.2}x speedup",
+        evaluations, threads, full_replay_wall_secs, incremental_replay_wall_secs, report.speedup
+    );
+    println!("wrote {}", out.display());
+}

@@ -27,7 +27,11 @@ fn main() {
                 .expect("driver evaluates every defense");
             sums_sites[i] += m.norm_sites;
             sums_tracks[i] += m.norm_tracks;
-            cells.push(format!("{:>5.1}/{:<5.1}", m.norm_sites.max(0.0) * 100.0, m.norm_tracks.max(0.0) * 100.0));
+            cells.push(format!(
+                "{:>5.1}/{:<5.1}",
+                m.norm_sites.max(0.0) * 100.0,
+                m.norm_tracks.max(0.0) * 100.0
+            ));
         }
         println!(
             "{:<14} {:>13} {:>13} {:>13} {:>13}",
@@ -40,7 +44,11 @@ fn main() {
     for i in 0..4 {
         print!(
             " {:>13}",
-            format!("{:>5.1}/{:<5.1}", sums_sites[i] / n * 100.0, sums_tracks[i] / n * 100.0)
+            format!(
+                "{:>5.1}/{:<5.1}",
+                sums_sites[i] / n * 100.0,
+                sums_tracks[i] / n * 100.0
+            )
         );
     }
     println!();

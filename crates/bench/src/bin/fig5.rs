@@ -30,8 +30,11 @@ fn main() {
             .iter()
             .map(|p| (p.metrics.security, -p.metrics.tns_ps / 1_000.0))
             .collect();
-        println!("\n=== Fig. 5 — {name}: explored points ({}) and Pareto front ({}) ===",
-            explored.len(), front.len());
+        println!(
+            "\n=== Fig. 5 — {name}: explored points ({}) and Pareto front ({}) ===",
+            explored.len(),
+            front.len()
+        );
         print!(
             "{}",
             scatter(
@@ -44,7 +47,12 @@ fn main() {
         );
         // Convergence indicator: evaluations per generation that land on
         // the final front (the paper notes growing point density near it).
-        let max_gen = result.points.iter().map(|p| p.generation).max().unwrap_or(0);
+        let max_gen = result
+            .points
+            .iter()
+            .map(|p| p.generation)
+            .max()
+            .unwrap_or(0);
         for g in 0..=max_gen {
             let n = result.points.iter().filter(|p| p.generation == g).count();
             let on_front = result

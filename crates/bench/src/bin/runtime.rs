@@ -12,7 +12,10 @@ fn main() {
     let tech = Technology::nangate45_like();
     let spec = netlist::bench::spec_by_name("AES_2").expect("AES_2 exists");
     let rows = evaluate_design_cached(&spec, &tech);
-    println!("§IV-D — optimization runtime on {} ({} cells)\n", spec.name, spec.target_cells);
+    println!(
+        "§IV-D — optimization runtime on {} ({} cells)\n",
+        spec.name, spec.target_cells
+    );
     println!("{:<13} {:>10} {:>12}", "defense", "seconds", "vs GDSII-G");
     let gg = rows
         .iter()

@@ -22,11 +22,7 @@ fn main() {
             .expect("complete sweep")
     };
 
-    for (title, fmt) in [
-        ("TNS (ns)", 0usize),
-        ("Power (mW)", 1),
-        ("#DRC", 2),
-    ] {
+    for (title, fmt) in [("TNS (ns)", 0usize), ("Power (mW)", 1), ("#DRC", 2)] {
         println!("\nTable II — {title}");
         print!("{:<13}", "");
         for s in &specs {

@@ -4,12 +4,23 @@
 use std::fs;
 use std::path::PathBuf;
 
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use ggjson::{FromJson, ToJson};
 
 /// Directory the experiment binaries write their results into.
+///
+/// Anchored at the workspace root so the cache is shared no matter which
+/// directory an experiment binary is launched from (`cargo run -p gg-bench`
+/// at the root and a direct `target/release/fig5` inside a crate both hit
+/// the same files). Set `GG_RESULTS_DIR` to redirect it entirely.
 pub fn results_dir() -> PathBuf {
-    PathBuf::from("results")
+    if let Some(dir) = std::env::var_os("GG_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // crates/bench/ -> workspace root
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.join("results")
 }
 
 fn path_for(key: &str) -> PathBuf {
@@ -17,24 +28,22 @@ fn path_for(key: &str) -> PathBuf {
 }
 
 /// Loads a cached result by key.
-pub fn load<T: DeserializeOwned>(key: &str) -> Option<T> {
+pub fn load<T: FromJson>(key: &str) -> Option<T> {
     let bytes = fs::read(path_for(key)).ok()?;
-    serde_json::from_slice(&bytes).ok()
+    ggjson::from_slice(&bytes)
 }
 
 /// Stores a result under the key (best effort; failures only disable the
 /// cache, they never fail the experiment).
-pub fn store<T: Serialize>(key: &str, value: &T) {
+pub fn store<T: ToJson>(key: &str, value: &T) {
     let _ = fs::create_dir_all(results_dir());
-    if let Ok(json) = serde_json::to_vec_pretty(value) {
-        let _ = fs::write(path_for(key), json);
-    }
+    let _ = fs::write(path_for(key), ggjson::to_vec_pretty(value));
 }
 
 /// Loads the cached value or computes and stores it.
 pub fn load_or_compute<T, F>(key: &str, compute: F) -> T
 where
-    T: Serialize + DeserializeOwned,
+    T: ToJson + FromJson,
     F: FnOnce() -> T,
 {
     if let Some(v) = load(key) {
@@ -59,5 +68,24 @@ mod tests {
         let v2: Vec<u32> = load_or_compute(key, || panic!("must hit cache"));
         assert_eq!(v2, vec![1, 2, 3]);
         let _ = std::fs::remove_file(path_for(key));
+    }
+
+    #[test]
+    fn results_dir_is_cwd_independent() {
+        // Without the env override the directory is anchored at the
+        // workspace root, not at whatever CWD the process happens to have.
+        if std::env::var_os("GG_RESULTS_DIR").is_none() {
+            let dir = results_dir();
+            assert!(dir.is_absolute(), "results dir must not be CWD-relative");
+            assert!(dir.ends_with("results"));
+            assert!(
+                dir.parent()
+                    .expect("has parent")
+                    .join("Cargo.toml")
+                    .exists(),
+                "expected workspace root above {}",
+                dir.display()
+            );
+        }
     }
 }

@@ -3,6 +3,7 @@
 /// Renders `(x, y)` points into a `width × height` character grid. Series
 /// are drawn in order, later series overwriting earlier ones; each series
 /// has its own glyph.
+#[allow(clippy::type_complexity)] // series: (label, glyph, points)
 pub fn scatter(
     series: &[(&str, char, &[(f64, f64)])],
     width: usize,
@@ -54,7 +55,7 @@ pub fn scatter(
         out.push('\n');
     }
     out.push('+');
-    out.extend(std::iter::repeat('-').take(width));
+    out.extend(std::iter::repeat_n('-', width));
     out.push('\n');
     out.push_str(&format!(
         " {x_label}: {x0:.3} .. {x1:.3}   legend: {}\n",

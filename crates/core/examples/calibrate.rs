@@ -5,14 +5,24 @@ use tech::Technology;
 
 fn main() {
     let tech = Technology::nangate45_like();
-    println!("{:<14} {:>7} {:>9} {:>9} {:>9} {:>6} {:>9} {:>10} {:>8}",
-        "design", "cells", "tns_ps", "wns_ps", "power_mw", "drc", "er_sites", "er_tracks", "secs");
+    println!(
+        "{:<14} {:>7} {:>9} {:>9} {:>9} {:>6} {:>9} {:>10} {:>8}",
+        "design", "cells", "tns_ps", "wns_ps", "power_mw", "drc", "er_sites", "er_tracks", "secs"
+    );
     for spec in bench::all_specs() {
         let t0 = std::time::Instant::now();
         let snap = implement_baseline(&spec, &tech);
-        println!("{:<14} {:>7} {:>9.1} {:>9.1} {:>9.3} {:>6} {:>9} {:>10.1} {:>8.2}",
-            spec.name, snap.layout.design().cells.len(), snap.tns_ps(),
-            snap.timing.wns_ps(), snap.power_mw(), snap.drc,
-            snap.security.er_sites, snap.security.er_tracks, t0.elapsed().as_secs_f64());
+        println!(
+            "{:<14} {:>7} {:>9.1} {:>9.1} {:>9.3} {:>6} {:>9} {:>10.1} {:>8.2}",
+            spec.name,
+            snap.layout.design().cells.len(),
+            snap.tns_ps(),
+            snap.timing.wns_ps(),
+            snap.power_mw(),
+            snap.drc,
+            snap.security.er_sites,
+            snap.security.er_tracks,
+            t0.elapsed().as_secs_f64()
+        );
     }
 }

@@ -1,31 +1,57 @@
 use gdsii_guard::cell_shift::cell_shift;
+use geom::Interval;
 use layout::Layout;
 use netlist::bench;
 use tech::Technology;
-use geom::Interval;
 
 fn exploitable(layout: &Layout, thresh: u32) -> (u64, usize) {
     let rows = layout.floorplan().rows();
     let mut verts: Vec<(u32, Interval)> = Vec::new();
     let mut rs: Vec<usize> = vec![0];
     for r in 0..rows {
-        for run in layout.occupancy().empty_runs(r) { verts.push((r, run)); }
+        for run in layout.occupancy().empty_runs(r) {
+            verts.push((r, run));
+        }
         rs.push(verts.len());
     }
     let mut parent: Vec<u32> = (0..verts.len() as u32).collect();
-    fn find(p: &mut [u32], x: u32) -> u32 { let mut r = x; while p[r as usize] != r { r = p[r as usize]; } r }
+    fn find(p: &mut [u32], x: u32) -> u32 {
+        let mut r = x;
+        while p[r as usize] != r {
+            r = p[r as usize];
+        }
+        r
+    }
     for r in 1..rows as usize {
-        let (mut i, mut j) = (rs[r-1], rs[r]);
-        while i < rs[r] && j < rs[r+1] {
+        let (mut i, mut j) = (rs[r - 1], rs[r]);
+        while i < rs[r] && j < rs[r + 1] {
             let (ia, ib) = (verts[i].1, verts[j].1);
-            if ia.overlaps(&ib) { let (ra, rb) = (find(&mut parent, i as u32), find(&mut parent, j as u32)); if ra != rb { parent[ra as usize] = rb; } }
-            if ia.hi <= ib.hi { i += 1 } else { j += 1 }
+            if ia.overlaps(&ib) {
+                let (ra, rb) = (find(&mut parent, i as u32), find(&mut parent, j as u32));
+                if ra != rb {
+                    parent[ra as usize] = rb;
+                }
+            }
+            if ia.hi <= ib.hi {
+                i += 1
+            } else {
+                j += 1
+            }
         }
     }
     let mut w = vec![0u64; verts.len()];
-    for i in 0..verts.len() { let r = find(&mut parent, i as u32); w[r as usize] += verts[i].1.len() as u64; }
-    let mut sites = 0; let mut n = 0;
-    for i in 0..verts.len() { if parent[i] == i as u32 && w[i] >= thresh as u64 { sites += w[i]; n += 1; } }
+    for (i, v) in verts.iter().enumerate() {
+        let r = find(&mut parent, i as u32);
+        w[r as usize] += v.1.len() as u64;
+    }
+    let mut sites = 0;
+    let mut n = 0;
+    for i in 0..verts.len() {
+        if parent[i] == i as u32 && w[i] >= thresh as u64 {
+            sites += w[i];
+            n += 1;
+        }
+    }
     (sites, n)
 }
 

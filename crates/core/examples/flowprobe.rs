@@ -5,12 +5,25 @@ use tech::Technology;
 
 fn main() {
     let tech = Technology::nangate45_like();
-    println!("{:<14} {:>8} | CS: {:>6} {:>8} | LDA8x2: {:>6} {:>8}", "design", "base_er", "sec", "tns", "sec", "tns");
+    println!(
+        "{:<14} {:>8} | CS: {:>6} {:>8} | LDA8x2: {:>6} {:>8}",
+        "design", "base_er", "sec", "tns", "sec", "tns"
+    );
     for spec in bench::all_specs() {
         let base = implement_baseline(&spec, &tech);
         let cs = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
-        let lda = run_flow(&base, &tech, &FlowConfig { op: OpSelect::Lda { n: 8, n_iter: 2 }, scales: [1.0;10] }, 1);
-        println!("{:<14} {:>8} | {:>10.3} {:>8.0} | {:>10.3} {:>8.0}",
-            spec.name, base.security.er_sites, cs.security, cs.tns_ps, lda.security, lda.tns_ps);
+        let lda = run_flow(
+            &base,
+            &tech,
+            &FlowConfig {
+                op: OpSelect::Lda { n: 8, n_iter: 2 },
+                scales: [1.0; 10],
+            },
+            1,
+        );
+        println!(
+            "{:<14} {:>8} | {:>10.3} {:>8.0} | {:>10.3} {:>8.0}",
+            spec.name, base.security.er_sites, cs.security, cs.tns_ps, lda.security, lda.tns_ps
+        );
     }
 }

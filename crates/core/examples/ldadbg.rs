@@ -8,9 +8,18 @@ fn main() {
     for name in ["CAST", "openMSP430_2"] {
         let spec = bench::spec_by_name(name).unwrap();
         let base = pipeline::implement_baseline(&spec, &tech);
-        println!("{name}: base er_sites {} er_tracks {:.0} tns {:.0} dist_mean {:.0}um",
-            base.security.er_sites, base.security.er_tracks, base.tns_ps(),
-            base.security.distances.iter().map(|(_,d)| *d as f64/1000.0).sum::<f64>() / base.security.distances.len() as f64);
+        println!(
+            "{name}: base er_sites {} er_tracks {:.0} tns {:.0} dist_mean {:.0}um",
+            base.security.er_sites,
+            base.security.er_tracks,
+            base.tns_ps(),
+            base.security
+                .distances
+                .iter()
+                .map(|(_, d)| *d as f64 / 1000.0)
+                .sum::<f64>()
+                / base.security.distances.len() as f64
+        );
         {
             // who are the capped cells?
             let routing = &base.routing;
@@ -23,34 +32,60 @@ fn main() {
                     let cell = base.layout.design().cell(c);
                     let k = tech.library.kind(cell.kind);
                     let out_slack = cell.output.map(|o| timing.net_slack_ps(o));
-                    println!("    capped: cell {} kind {} out_slack {:?}", c.0, k.name, out_slack);
+                    println!(
+                        "    capped: cell {} kind {} out_slack {:?}",
+                        c.0, k.name, out_slack
+                    );
                 }
             }
-            let mut ds: Vec<i64> = base.security.distances.iter().map(|(_,d)| *d).collect();
+            let mut ds: Vec<i64> = base.security.distances.iter().map(|(_, d)| *d).collect();
             ds.sort();
             let n = ds.len();
-            println!("  dist um: min {:.0} p50 {:.0} p90 {:.0} max {:.0}; count {}",
-                ds[0] as f64/1000.0, ds[n/2] as f64/1000.0, ds[n*9/10] as f64/1000.0, ds[n-1] as f64/1000.0, n);
+            println!(
+                "  dist um: min {:.0} p50 {:.0} p90 {:.0} max {:.0}; count {}",
+                ds[0] as f64 / 1000.0,
+                ds[n / 2] as f64 / 1000.0,
+                ds[n * 9 / 10] as f64 / 1000.0,
+                ds[n - 1] as f64 / 1000.0,
+                n
+            );
             // Critical-cell spread and mask coverage.
             let crit = &base.layout.design().critical_cells;
-            let pts: Vec<geom::Point> = crit.iter().map(|&c| base.layout.cell_center(c, &tech)).collect();
+            let pts: Vec<geom::Point> = crit
+                .iter()
+                .map(|&c| base.layout.cell_center(c, &tech))
+                .collect();
             let lo = pts.iter().fold(pts[0], |a, &b| a.min(b));
             let hi = pts.iter().fold(pts[0], |a, &b| a.max(b));
             let core = base.layout.floorplan().core_rect();
             // mask coverage: fraction of free sites that are exploitable-eligible
             let mut free = 0u64;
             for r in 0..base.layout.floorplan().rows() {
-                for run in base.layout.occupancy().empty_runs(r) { free += run.len() as u64; }
+                for run in base.layout.occupancy().empty_runs(r) {
+                    free += run.len() as u64;
+                }
             }
-            println!("  crit bbox {:.0}x{:.0}um of core {:.0}x{:.0}um; free {} er_sites {} ({:.0}%)",
-                (hi.x-lo.x) as f64/1000.0, (hi.y-lo.y) as f64/1000.0,
-                core.width() as f64/1000.0, core.height() as f64/1000.0,
-                free, base.security.er_sites, 100.0*base.security.er_sites as f64/free as f64);
+            println!(
+                "  crit bbox {:.0}x{:.0}um of core {:.0}x{:.0}um; free {} er_sites {} ({:.0}%)",
+                (hi.x - lo.x) as f64 / 1000.0,
+                (hi.y - lo.y) as f64 / 1000.0,
+                core.width() as f64 / 1000.0,
+                core.height() as f64 / 1000.0,
+                free,
+                base.security.er_sites,
+                100.0 * base.security.er_sites as f64 / free as f64
+            );
         }
-        for (n, it) in [(4u32,1u32),(8,1),(16,1),(8,2)] {
-            let cfg = FlowConfig { op: OpSelect::Lda { n, n_iter: it }, scales: [1.0;10] };
+        for (n, it) in [(4u32, 1u32), (8, 1), (16, 1), (8, 2)] {
+            let cfg = FlowConfig {
+                op: OpSelect::Lda { n, n_iter: it },
+                scales: [1.0; 10],
+            };
             let m = run_flow(&base, &tech, &cfg, 1);
-            println!("  LDA n={n} it={it}: sec {:.3} sites {} tracks {:.0} tns {:.0}", m.security, m.er_sites, m.er_tracks, m.tns_ps);
+            println!(
+                "  LDA n={n} it={it}: sec {:.3} sites {} tracks {:.0} tns {:.0}",
+                m.security, m.er_sites, m.er_tracks, m.tns_ps
+            );
         }
     }
 }

@@ -1,7 +1,7 @@
 use gdsii_guard::pipeline::implement_baseline;
+use geom::GcellPos;
 use netlist::bench;
 use tech::Technology;
-use geom::GcellPos;
 
 fn main() {
     let tech = Technology::nangate45_like();
@@ -10,15 +10,25 @@ fn main() {
         let snap = implement_baseline(&spec, &tech);
         let g = snap.routing.grid();
         let (nx, ny) = (g.nx(), g.ny());
-        let mut used_h = 0.0; let mut used_v = 0.0;
-        let mut cap_h = 0.0; let mut cap_v = 0.0;
+        let mut used_h = 0.0;
+        let mut used_v = 0.0;
+        let mut cap_h = 0.0;
+        let mut cap_v = 0.0;
         for m in 2..=10 {
             let cap = g.capacity(m);
             let is_h = matches!(g.dir(m), tech::LayerDir::Horizontal);
-            for y in 0..ny { for x in 0..nx {
-                let u = g.usage(m, GcellPos::new(x,y));
-                if is_h { used_h += u; cap_h += cap; } else { used_v += u; cap_v += cap; }
-            }}
+            for y in 0..ny {
+                for x in 0..nx {
+                    let u = g.usage(m, GcellPos::new(x, y));
+                    if is_h {
+                        used_h += u;
+                        cap_h += cap;
+                    } else {
+                        used_v += u;
+                        cap_v += cap;
+                    }
+                }
+            }
         }
         println!("{name}: grid {nx}x{ny} wl {:.0}um overflow_pairs {} total_overflow {:.0} H {:.2} V {:.2} hpwl? cells {}",
             snap.routing.total_wirelength_um(), g.overflow_pairs(), g.total_overflow(),
@@ -26,12 +36,21 @@ fn main() {
         // per-layer usage ratio
         for m in 2..=10 {
             let cap = g.capacity(m);
-            let mut u = 0.0; let mut of = 0;
-            for y in 0..ny { for x in 0..nx {
-                let uu = g.usage(m, GcellPos::new(x,y)); u += uu;
-                if uu > cap + 1e-9 { of += 1; }
-            }}
-            println!("  M{m}: cap {cap} avg_use {:.2} overflow_gcells {of}", u / (nx*ny) as f64);
+            let mut u = 0.0;
+            let mut of = 0;
+            for y in 0..ny {
+                for x in 0..nx {
+                    let uu = g.usage(m, GcellPos::new(x, y));
+                    u += uu;
+                    if uu > cap + 1e-9 {
+                        of += 1;
+                    }
+                }
+            }
+            println!(
+                "  M{m}: cap {cap} avg_use {:.2} overflow_gcells {of}",
+                u / (nx * ny) as f64
+            );
         }
     }
 }

@@ -11,6 +11,9 @@ fn main() {
     println!("h0 {:.0}", place::hpwl_total(&layout, &tech));
     for i in 0..10 {
         let moves = place::refine_wirelength(&mut layout, &tech, 1, spec.seed + i);
-        println!("iter {i}: hpwl {:.0} moves {moves}", place::hpwl_total(&layout, &tech));
+        println!(
+            "iter {i}: hpwl {:.0} moves {moves}",
+            place::hpwl_total(&layout, &tech)
+        );
     }
 }

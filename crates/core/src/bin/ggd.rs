@@ -66,7 +66,11 @@ fn cmd_list() {
             s.target_cells,
             s.utilization * 100.0,
             s.clock_period(),
-            if s.period_factor > 1.0 { "loose" } else { "tight" }
+            if s.period_factor > 1.0 {
+                "loose"
+            } else {
+                "tight"
+            }
         );
     }
 }

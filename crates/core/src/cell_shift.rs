@@ -39,10 +39,7 @@ enum Pass {
 /// Reference implementation used by the tests to validate the incremental
 /// bookkeeping of [`run_pass`].
 #[cfg(test)]
-fn components_up_to(
-    layout: &Layout,
-    row_limit: u32,
-) -> (Vec<(u32, Interval)>, Vec<u64>) {
+fn components_up_to(layout: &Layout, row_limit: u32) -> (Vec<(u32, Interval)>, Vec<u64>) {
     let occ = layout.occupancy();
     let mut verts: Vec<(u32, Interval)> = Vec::new();
     let mut row_start: Vec<usize> = Vec::with_capacity(row_limit as usize + 2);
@@ -90,9 +87,9 @@ fn components_up_to(
         }
     }
     let mut weight_of_root = vec![0u64; verts.len()];
-    for i in 0..verts.len() {
+    for (i, v) in verts.iter().enumerate() {
         let r = find(&mut parent, i as u32);
-        weight_of_root[r as usize] += verts[i].1.len() as u64;
+        weight_of_root[r as usize] += v.1.len() as u64;
     }
     let weights = (0..verts.len())
         .map(|i| weight_of_root[find(&mut parent, i as u32) as usize])
@@ -152,9 +149,9 @@ impl BelowContext {
             }
         }
         let mut root_weight: std::collections::HashMap<u32, u64> = Default::default();
-        for i in 0..n {
+        for (i, b) in below.iter().enumerate().take(n) {
             let r = find(&mut parent, i as u32);
-            *root_weight.entry(r).or_insert(0) += below[i].1.len() as u64;
+            *root_weight.entry(r).or_insert(0) += b.1.len() as u64;
         }
         let (prev_runs, prev_root) = if row == 0 || n_rows_below < row as usize {
             (Vec::new(), Vec::new())
@@ -164,9 +161,7 @@ impl BelowContext {
                 below_row_start[row as usize],
             );
             let runs: Vec<Interval> = below[a0..a1].iter().map(|&(_, iv)| iv).collect();
-            let roots: Vec<u32> = (a0..a1)
-                .map(|i| find(&mut parent, i as u32))
-                .collect();
+            let roots: Vec<u32> = (a0..a1).map(|i| find(&mut parent, i as u32)).collect();
             (runs, roots)
         };
         Self {
@@ -324,7 +319,13 @@ fn run_pass(layout: &mut Layout, thresh: u32, pass: Pass, stats: &mut CellShiftS
                 // Forward: after a removal the slot at `vcur` already holds
                 // the next vertex; otherwise step right past the resolved
                 // vertex.
-                Pass::Forward => idx = if removed { vcur as isize } else { vcur as isize + 1 },
+                Pass::Forward => {
+                    idx = if removed {
+                        vcur as isize
+                    } else {
+                        vcur as isize + 1
+                    }
+                }
                 // Backward: step left of the resolved/removed position.
                 Pass::Backward => idx = vcur as isize - 1,
             }

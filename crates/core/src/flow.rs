@@ -1,15 +1,15 @@
 //! The composed GDSII-Guard security flow `f(L_base; x)` and its metric
 //! extraction, over the Table-I parameter space.
 
-use serde::{Deserialize, Serialize};
+use ggjson::{FromJson, Json, ToJson};
 use tech::{Technology, NUM_METAL_LAYERS};
 
 use crate::lda::{local_density_adjustment, LdaParams};
-use crate::pipeline::{evaluate, Snapshot};
+use crate::pipeline::{evaluate, EvalEngine, Snapshot};
 use crate::{cell_shift, preprocess, rws, ALPHA, BETA_POWER, N_DRC};
 
 /// The selected ECO placement operator (`op_select` in Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpSelect {
     /// Cell Shift — for designs with loose timing.
     CellShift,
@@ -22,8 +22,36 @@ pub enum OpSelect {
     },
 }
 
+impl ToJson for OpSelect {
+    fn to_json(&self) -> Json {
+        match self {
+            OpSelect::CellShift => Json::Str("CellShift".into()),
+            OpSelect::Lda { n, n_iter } => Json::Obj(vec![(
+                "Lda".into(),
+                Json::Obj(vec![
+                    ("n".into(), n.to_json()),
+                    ("n_iter".into(), n_iter.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for OpSelect {
+    fn from_json(j: &Json) -> Option<Self> {
+        if j.as_str() == Some("CellShift") {
+            return Some(OpSelect::CellShift);
+        }
+        let lda = j.get("Lda")?;
+        Some(OpSelect::Lda {
+            n: u32::from_json(lda.get("n")?)?,
+            n_iter: u32::from_json(lda.get("n_iter")?)?,
+        })
+    }
+}
+
 /// One point of the flow parameter space `D` (a feature vector `x`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowConfig {
     /// ECO placement operator choice.
     pub op: OpSelect,
@@ -50,8 +78,10 @@ impl FlowConfig {
     }
 }
 
+ggjson::json_struct!(FlowConfig { op, scales });
+
 /// Post-flow design metrics, the fitness inputs of the optimizer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowMetrics {
     /// Normalized security score vs the baseline (lower is better;
     /// baseline = 1.0).
@@ -112,13 +142,22 @@ impl FlowMetrics {
     }
 }
 
-/// Applies the full GDSII-Guard flow to the baseline: preprocess (lock
-/// assets), the selected anti-Trojan ECO placement operator, routing width
-/// scaling, re-route, and full metric extraction.
-pub fn apply_flow(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) -> Snapshot {
+ggjson::json_struct!(FlowMetrics {
+    security,
+    er_sites,
+    er_tracks,
+    tns_ps,
+    power_mw,
+    drc
+});
+
+/// Applies the ECO placement operator of `op` to a locked copy of the
+/// baseline layout. The result depends only on `(op, seed)` — routing
+/// width scales are installed afterwards and never feed the operator.
+fn apply_operator(base: &Snapshot, tech: &Technology, op: OpSelect, seed: u64) -> layout::Layout {
     let mut layout = base.layout.clone();
     preprocess::lock_critical_cells(&mut layout);
-    match cfg.op {
+    match op {
         OpSelect::CellShift => {
             cell_shift::cell_shift(&mut layout, tech, secmetrics::THRESH_ER);
         }
@@ -126,14 +165,76 @@ pub fn apply_flow(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u6
             local_density_adjustment(&mut layout, tech, LdaParams { n, n_iter }, seed);
         }
     }
+    layout
+}
+
+/// The seed an operator actually consumes: Cell Shift is deterministic,
+/// so every seed maps to the same edit (and the same memoization slot).
+fn operator_seed(op: OpSelect, seed: u64) -> u64 {
+    match op {
+        OpSelect::CellShift => 0,
+        OpSelect::Lda { .. } => seed,
+    }
+}
+
+/// Applies the ECO operators of `cfg` to the baseline layout without
+/// evaluating: the shared edit step of [`apply_flow`] and
+/// [`apply_flow_with`].
+fn edit_layout(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) -> layout::Layout {
+    let mut layout = apply_operator(base, tech, cfg.op, seed);
     rws::apply_width_scaling(&mut layout, cfg.scales);
-    evaluate(layout, tech)
+    layout
+}
+
+/// Applies the full GDSII-Guard flow to the baseline: preprocess (lock
+/// assets), the selected anti-Trojan ECO placement operator, routing width
+/// scaling, re-route, and full metric extraction.
+pub fn apply_flow(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) -> Snapshot {
+    evaluate(edit_layout(base, tech, cfg, seed), tech)
 }
 
 /// Applies the flow and returns its metrics in one call.
 pub fn run_flow(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) -> FlowMetrics {
     let snap = apply_flow(base, tech, cfg, seed);
     FlowMetrics::from_snapshot(&snap, base)
+}
+
+/// [`apply_flow`] through a prebuilt [`EvalEngine`]: same edit, but
+/// re-evaluation is incremental against the engine's cached baseline,
+/// and the placement-operator result (which cannot depend on the width
+/// scales applied after it) is memoized per `(operator, seed)` together
+/// with its patched Phase-A plan. A candidate that shares its operator
+/// with a previous one therefore skips the operator, the dirty-set diff,
+/// and the re-pattern — it clones the memoized plan and merely re-derives
+/// capacities for its own width scales. Bit-identical to the oracle path:
+/// patterns are congestion-oblivious and usage is stored unscaled, so the
+/// plan cannot depend on the rule (see [`route::RoutePlan::set_rule`]).
+pub fn apply_flow_with(
+    engine: &EvalEngine,
+    tech: &Technology,
+    cfg: &FlowConfig,
+    seed: u64,
+) -> Snapshot {
+    let op_seed = operator_seed(cfg.op, seed);
+    let (mut layout, mut plan) = engine.cached_edit(tech, cfg.op, op_seed, || {
+        apply_operator(engine.base(), tech, cfg.op, op_seed)
+    });
+    rws::apply_width_scaling(&mut layout, cfg.scales);
+    if layout.route_rule() != engine.base().layout.route_rule() {
+        plan.set_rule(tech, layout.route_rule());
+    }
+    engine.evaluate_with_plan(layout, plan, tech)
+}
+
+/// [`run_flow`] through a prebuilt [`EvalEngine`].
+pub fn run_flow_with(
+    engine: &EvalEngine,
+    tech: &Technology,
+    cfg: &FlowConfig,
+    seed: u64,
+) -> FlowMetrics {
+    let snap = apply_flow_with(engine, tech, cfg, seed);
+    FlowMetrics::from_snapshot(&snap, engine.base())
 }
 
 #[cfg(test)]
@@ -230,6 +331,23 @@ mod tests {
         assert_eq!(FlowMetrics::drc_limit(0), crate::N_DRC);
         assert_eq!(ok.constraint_violation(1.0, 0), 0.0);
         assert_eq!(ok.objectives(), [0.1, 50.0]);
+    }
+
+    #[test]
+    fn incremental_flow_matches_oracle() {
+        let (tech, base) = base();
+        let engine = EvalEngine::new(&base, &tech);
+        let mut scaled = FlowConfig::cell_shift_default();
+        scaled.scales = [1.0, 1.2, 1.2, 1.2, 1.2, 1.2, 1.2, 1.2, 1.2, 1.2];
+        for cfg in [
+            FlowConfig::cell_shift_default(),
+            FlowConfig::lda_default(),
+            scaled,
+        ] {
+            let full = run_flow(&base, &tech, &cfg, 7);
+            let inc = run_flow_with(&engine, &tech, &cfg, 7);
+            assert_eq!(full, inc, "incremental diverged on {cfg:?}");
+        }
     }
 
     #[test]

@@ -46,7 +46,9 @@ impl Default for LdaParams {
 /// Splits `total` into `n` contiguous chunks, returning chunk boundaries
 /// (length `n + 1`). Degenerate chunks are skipped by the caller.
 fn chunk_bounds(total: u32, n: u32) -> Vec<u32> {
-    (0..=n).map(|i| (total as u64 * i as u64 / n as u64) as u32).collect()
+    (0..=n)
+        .map(|i| (total as u64 * i as u64 / n as u64) as u32)
+        .collect()
 }
 
 /// Runs the LDA operator. Returns the accumulated ECO placement statistics.
@@ -60,7 +62,10 @@ pub fn local_density_adjustment(
     params: LdaParams,
     seed: u64,
 ) -> EcoPlaceStats {
-    assert!(params.n > 0 && params.n_iter > 0, "degenerate LDA parameters");
+    assert!(
+        params.n > 0 && params.n_iter > 0,
+        "degenerate LDA parameters"
+    );
     layout.occupancy_mut().clear_fillers();
     let fp = *layout.floorplan();
     let n = params.n;
@@ -89,6 +94,7 @@ pub fn local_density_adjustment(
         // core, roughly the exploitable reach), not only the asset tiles.
         let radius = (n as usize / 4).max(1);
         let raw = n_assets.clone();
+        #[allow(clippy::needless_range_loop)] // windowed 2-D stencil; indices are the clearer form
         for i in 0..n as usize {
             for j in 0..n as usize {
                 let mut acc = 0u32;
@@ -120,8 +126,8 @@ pub fn local_density_adjustment(
             for j in 0..n as usize {
                 let dens = sigmoid((n_assets[i][j] as f64 - mu) / sigma);
                 dens_cache[i][j] = dens;
-                let tile_sites = (row_b[i + 1] - row_b[i]) as f64
-                    * (col_b[j + 1] - col_b[j]) as f64;
+                let tile_sites =
+                    (row_b[i + 1] - row_b[i]) as f64 * (col_b[j + 1] - col_b[j]) as f64;
                 budget += dens * tile_sites;
             }
         }
@@ -152,7 +158,11 @@ pub fn local_density_adjustment(
         let t0 = std::time::Instant::now();
         let stats = place::eco_place(layout, tech, seed.wrapping_add(iter as u64));
         if std::env::var_os("GG_LDA_DEBUG").is_some() {
-            eprintln!("lda: eco_place {:.2}s ({} evicted)", t0.elapsed().as_secs_f64(), stats.evicted);
+            eprintln!(
+                "lda: eco_place {:.2}s ({} evicted)",
+                t0.elapsed().as_secs_f64(),
+                stats.evicted
+            );
         }
         total.evicted += stats.evicted;
         total.replaced_in_bounds += stats.replaced_in_bounds;
@@ -221,12 +231,14 @@ fn densify_asset_tiles(
                         let Some(clip) = run.intersection(&geom::Interval::new(c0, c1)) else {
                             continue;
                         };
-                        if best_run.map_or(true, |(_, b)| clip.len() > b.len()) {
+                        if best_run.is_none_or(|(_, b)| clip.len() > b.len()) {
                             best_run = Some((row, clip));
                         }
                     }
                 }
-                let Some((gap_row, gap)) = best_run else { break };
+                let Some((gap_row, gap)) = best_run else {
+                    break;
+                };
                 if gap.len() < 2 {
                     break; // only slivers left; nothing functional fits
                 }
@@ -322,8 +334,7 @@ mod tests {
         let (tech, mut layout) = placed(0.6);
         let n = 4;
         let before = free_fraction_near_assets(&layout, n);
-        let stats =
-            local_density_adjustment(&mut layout, &tech, LdaParams { n, n_iter: 2 }, 1);
+        let stats = local_density_adjustment(&mut layout, &tech, LdaParams { n, n_iter: 2 }, 1);
         let after = free_fraction_near_assets(&layout, n);
         assert!(stats.evicted > 0, "LDA must move cells");
         assert!(

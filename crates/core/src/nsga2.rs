@@ -10,18 +10,19 @@
 //! process-level parallelism.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use tech::{RouteRule, Technology, NUM_METAL_LAYERS};
 
-use crate::flow::{run_flow, FlowConfig, FlowMetrics, OpSelect};
+use crate::flow::{FlowConfig, FlowMetrics, OpSelect};
 use crate::lda::LdaParams;
-use crate::pipeline::Snapshot;
+use crate::pipeline::{EvalEngine, Snapshot};
 
 /// Chromosome over the Table-I space, stored as candidate indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Genome {
     /// 0 = Cell Shift, 1 = LDA.
     pub op: u8,
@@ -69,8 +70,8 @@ impl Genome {
     pub fn crossover(a: &Genome, b: &Genome, rng: &mut StdRng) -> Genome {
         let pick = |rng: &mut StdRng, x: u8, y: u8| if rng.gen_bool(0.5) { x } else { y };
         let mut scale_idx = [0u8; NUM_METAL_LAYERS];
-        for i in 0..NUM_METAL_LAYERS {
-            scale_idx[i] = pick(rng, a.scale_idx[i], b.scale_idx[i]);
+        for (i, s) in scale_idx.iter_mut().enumerate() {
+            *s = pick(rng, a.scale_idx[i], b.scale_idx[i]);
         }
         Genome {
             op: pick(rng, a.op, b.op),
@@ -98,17 +99,36 @@ impl Genome {
         }
     }
 
-    /// A deterministic per-genome seed for the flow's internal RNG.
-    fn flow_seed(&self) -> u64 {
+    /// A deterministic seed for the flow's internal RNG, derived from the
+    /// *operator* genes only. The seed feeds the ECO placement operator,
+    /// which runs before width scaling — deriving it from the scale genes
+    /// too would make a scale-only mutation re-roll the placement edit,
+    /// entangling the two halves of the search space (and defeating the
+    /// [`crate::pipeline::EvalEngine`] operator memoization).
+    pub fn flow_seed(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.hash(&mut h);
+        (self.op, self.n_idx, self.iter_idx).hash(&mut h);
         h.finish()
+    }
+
+    /// A total-order sort key over the full chromosome, used to
+    /// deterministically order and deduplicate genome lists ([`flow_seed`]
+    /// collides for genomes sharing operator genes, so it cannot serve).
+    fn sort_key(&self) -> (u8, u8, u8, [u8; NUM_METAL_LAYERS]) {
+        (self.op, self.n_idx, self.iter_idx, self.scale_idx)
     }
 }
 
+ggjson::json_struct!(Genome {
+    op,
+    n_idx,
+    iter_idx,
+    scale_idx
+});
+
 /// NSGA-II hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Nsga2Params {
     /// Population size.
     pub population: usize,
@@ -137,8 +157,17 @@ impl Default for Nsga2Params {
     }
 }
 
+ggjson::json_struct!(Nsga2Params {
+    population,
+    generations,
+    crossover_p,
+    mutation_p,
+    seed,
+    threads
+});
+
 /// One evaluated design point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EvalPoint {
     /// The chromosome.
     pub genome: Genome,
@@ -150,8 +179,15 @@ pub struct EvalPoint {
     pub generation: usize,
 }
 
+ggjson::json_struct!(EvalPoint {
+    genome,
+    config,
+    metrics,
+    generation
+});
+
 /// Full exploration trace plus the data needed to judge feasibility.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExploreResult {
     /// Every unique evaluated point, in evaluation order.
     pub points: Vec<EvalPoint>,
@@ -162,6 +198,13 @@ pub struct ExploreResult {
     /// Baseline TNS in ps, for plotting the trade-off origin.
     pub base_tns_ps: f64,
 }
+
+ggjson::json_struct!(ExploreResult {
+    points,
+    base_power_mw,
+    base_drc,
+    base_tns_ps
+});
 
 impl ExploreResult {
     /// The feasible, non-dominated subset of all evaluated points
@@ -250,7 +293,9 @@ fn crowding_distance(front: &[usize], metrics: &[FlowMetrics]) -> HashMap<usize,
         let lo = metrics[sorted[0]].objectives()[obj];
         let hi = metrics[*sorted.last().expect("front non-empty")].objectives()[obj];
         *dist.get_mut(&sorted[0]).expect("present") = f64::INFINITY;
-        *dist.get_mut(sorted.last().expect("non-empty")).expect("present") = f64::INFINITY;
+        *dist
+            .get_mut(sorted.last().expect("non-empty"))
+            .expect("present") = f64::INFINITY;
         if hi - lo <= f64::EPSILON {
             continue;
         }
@@ -263,9 +308,14 @@ fn crowding_distance(front: &[usize], metrics: &[FlowMetrics]) -> HashMap<usize,
 }
 
 /// Evaluates genomes against the cache, running misses in parallel.
+///
+/// Work distribution is a shared atomic-index queue rather than static
+/// chunks: each worker repeatedly claims the next un-evaluated genome, so a
+/// handful of slow candidates (deep rip-up-and-reroute, many LDA
+/// iterations) cannot idle the rest of the pool.
 fn evaluate_all(
     genomes: &[Genome],
-    base: &Snapshot,
+    engine: &EvalEngine,
     tech: &Technology,
     cache: &mut HashMap<Genome, FlowMetrics>,
     threads: usize,
@@ -275,29 +325,26 @@ fn evaluate_all(
         .copied()
         .filter(|g| !cache.contains_key(g))
         .collect();
-    missing.sort_by_key(Genome::flow_seed);
+    missing.sort_by_key(Genome::sort_key);
     missing.dedup();
     if missing.is_empty() {
         return;
     }
     let threads = threads.max(1).min(missing.len());
-    let chunk = missing.len().div_ceil(threads);
-    let results = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in missing.chunks(chunk) {
-            handles.push(scope.spawn(move |_| {
-                part.iter()
-                    .map(|g| (*g, run_flow(base, tech, &g.to_config(), g.flow_seed())))
-                    .collect::<Vec<_>>()
-            }));
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(Genome, FlowMetrics)>> = Mutex::new(Vec::with_capacity(missing.len()));
+    let missing = &missing;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(g) = missing.get(i) else { break };
+                let m = crate::flow::run_flow_with(engine, tech, &g.to_config(), g.flow_seed());
+                done.lock().expect("results lock").push((*g, m));
+            });
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("evaluation scope");
-    cache.extend(results);
+    });
+    cache.extend(done.into_inner().expect("results lock"));
 }
 
 /// Binary tournament by `(rank, crowding)`.
@@ -337,6 +384,10 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut cache: HashMap<Genome, FlowMetrics> = HashMap::new();
     let mut order: Vec<(Genome, usize)> = Vec::new();
+    // One incremental-evaluation engine, shared read-only by all workers:
+    // the baseline route plan, levelized timing graph, and power model are
+    // built once here instead of once per candidate.
+    let engine = EvalEngine::new(base, tech);
 
     // Initial population: the two canonical operators plus random samples.
     let mut pop: Vec<Genome> = Vec::with_capacity(params.population);
@@ -355,7 +406,7 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
     while pop.len() < params.population {
         pop.push(Genome::random(&mut rng));
     }
-    evaluate_all(&pop, base, tech, &mut cache, params.threads);
+    evaluate_all(&pop, &engine, tech, &mut cache, params.threads);
     for g in &pop {
         if !order.iter().any(|(og, _)| og == g) {
             order.push((*g, 0));
@@ -382,7 +433,7 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
             child.mutate(&mut rng, params.mutation_p);
             offspring.push(child);
         }
-        evaluate_all(&offspring, base, tech, &mut cache, params.threads);
+        evaluate_all(&offspring, &engine, tech, &mut cache, params.threads);
         for g in &offspring {
             if !order.iter().any(|(og, _)| og == g) {
                 order.push((*g, generation));
@@ -391,7 +442,7 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
 
         // Environmental selection over the union.
         let mut union: Vec<Genome> = pop.iter().chain(offspring.iter()).copied().collect();
-        union.sort_by_key(Genome::flow_seed);
+        union.sort_by_key(Genome::sort_key);
         union.dedup();
         let union_metrics: Vec<FlowMetrics> = union.iter().map(|g| cache[g]).collect();
         let union_rank = non_dominated_sort(&union_metrics, base.power_mw(), base.drc);
@@ -405,7 +456,9 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
                 let crowd = crowding_distance(&front, &union_metrics);
                 let mut by_crowd = front.clone();
                 by_crowd.sort_by(|a, b| {
-                    crowd[b].partial_cmp(&crowd[a]).expect("crowding is comparable")
+                    crowd[b]
+                        .partial_cmp(&crowd[a])
+                        .expect("crowding is comparable")
                 });
                 for &i in by_crowd.iter().take(params.population - next.len()) {
                     next.push(union[i]);
@@ -420,7 +473,7 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
         while next.len() < params.population {
             next.push(Genome::random(&mut rng));
         }
-        evaluate_all(&next, base, tech, &mut cache, params.threads);
+        evaluate_all(&next, &engine, tech, &mut cache, params.threads);
         for g in &next {
             if !order.iter().any(|(og, _)| og == g) {
                 order.push((*g, generation));
@@ -493,6 +546,33 @@ mod tests {
         assert_eq!(rank[0], 0);
         assert_eq!(rank[2], 0);
         assert_eq!(rank[1], 1);
+    }
+
+    #[test]
+    fn crowding_boundary_points_are_infinite() {
+        // The extremes of every objective must carry infinite crowding
+        // distance so truncation can never drop the front's boundary
+        // solutions (Deb et al. 2002, §III-C).
+        let ms = vec![
+            m(0.1, -10.0, 0, 1.0),
+            m(0.4, -40.0, 0, 1.0),
+            m(0.6, -60.0, 0, 1.0),
+            m(0.9, -90.0, 0, 1.0),
+        ];
+        let front: Vec<usize> = (0..ms.len()).collect();
+        let d = crowding_distance(&front, &ms);
+        assert_eq!(d[&0], f64::INFINITY);
+        assert_eq!(d[&3], f64::INFINITY);
+        for i in [1usize, 2] {
+            assert!(d[&i].is_finite(), "interior point {i} got {}", d[&i]);
+            assert!(d[&i] > 0.0);
+        }
+        // Degenerate fronts (one or two points) are all boundary.
+        let d2 = crowding_distance(&[0, 1], &ms);
+        assert_eq!(d2[&0], f64::INFINITY);
+        assert_eq!(d2[&1], f64::INFINITY);
+        let d1 = crowding_distance(&[2], &ms);
+        assert_eq!(d1[&2], f64::INFINITY);
     }
 
     #[test]

@@ -5,11 +5,16 @@
 //! ([`implement_baseline`]) and recomputes every design metric after an ECO
 //! operator touched a layout ([`evaluate`]).
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use layout::Layout;
 use netlist::bench::DesignSpec;
 use power::PowerReport;
 use route::RoutingState;
 use secmetrics::{analyze_regions, RegionAnalysis, THRESH_ER};
+
+use crate::flow::OpSelect;
 use sta::TimingReport;
 use tech::Technology;
 
@@ -60,6 +65,142 @@ pub fn evaluate(layout: Layout, tech: &Technology) -> Snapshot {
         power,
         drc,
         security,
+    }
+}
+
+/// Incremental evaluation engine: caches everything about the baseline
+/// that ECO operators cannot invalidate, so re-evaluating a candidate
+/// costs work proportional to the *edit*, not the chip.
+///
+/// The cached state is
+/// - the baseline [`Snapshot`] itself (reference metrics to patch from),
+/// - the Phase-A [`route::RoutePlan`] (congestion-oblivious patterns;
+///   only nets incident to moved cells are re-planned),
+/// - the levelized [`sta::TimingGraph`] (pure netlist topology), and
+/// - the [`power::PowerModel`] (leakage/internal/clock terms).
+///
+/// [`EvalEngine::evaluate_incremental`] is bit-identical to [`evaluate`]
+/// by construction — each stage either reuses a value the edit provably
+/// cannot change or recomputes it with the exact full-path formula. The
+/// equivalence is asserted by the `incremental_equivalence` proptest
+/// suite.
+///
+/// The engine additionally memoizes ECO *operator* results (see
+/// [`crate::flow::apply_flow_with`]): the placement edit of a candidate
+/// depends only on the operator genes and its seed, never on the routing
+/// width scales, so a GA population that varies scales around the same
+/// operator re-uses one edited layout instead of re-running the operator.
+/// The memo also carries the patched Phase-A plan — pattern routes are
+/// congestion-oblivious and the grid stores unscaled usage quanta, so the
+/// plan too is independent of the width scales; scale-only siblings pay
+/// just a plan clone and a capacity re-derivation, never a re-pattern.
+#[derive(Debug)]
+pub struct EvalEngine {
+    base: Snapshot,
+    plan: route::RoutePlan,
+    graph: sta::TimingGraph,
+    power_model: power::PowerModel,
+    edit_cache: Mutex<HashMap<(OpSelect, u64), (Layout, route::RoutePlan)>>,
+}
+
+/// Bound on memoized operator edits; a GA run touches a handful of
+/// distinct `(operator, seed)` pairs, so this only guards pathological
+/// callers from unbounded growth.
+const EDIT_CACHE_CAP: usize = 64;
+
+impl EvalEngine {
+    /// Builds the engine's caches from an implemented baseline.
+    pub fn new(base: &Snapshot, tech: &Technology) -> Self {
+        Self {
+            base: base.clone(),
+            plan: route::plan_route(&base.layout, tech),
+            graph: sta::TimingGraph::new(base.layout.design(), tech),
+            power_model: power::PowerModel::new(&base.layout, tech),
+            edit_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Looks up a memoized post-operator layout and its patched Phase-A
+    /// plan, or computes them with `make` and stores them. `seed` must be
+    /// the exact seed the operator consumes (callers normalize it away
+    /// for seedless operators). The cached plan is at the baseline's
+    /// route rule; callers re-derive capacities after width scaling.
+    pub(crate) fn cached_edit(
+        &self,
+        tech: &Technology,
+        op: OpSelect,
+        seed: u64,
+        make: impl FnOnce() -> Layout,
+    ) -> (Layout, route::RoutePlan) {
+        if let Some(hit) = self.edit_cache.lock().expect("edit cache").get(&(op, seed)) {
+            return hit.clone();
+        }
+        // Computed outside the lock: a racing duplicate costs one extra
+        // operator run but never blocks the other workers on it.
+        let layout = make();
+        let dirty = route::dirty_between(&self.plan, &self.base.layout, &layout, tech);
+        let plan = route::plan_update(&self.plan, &layout, tech, &dirty);
+        let entry = (layout, plan);
+        let mut cache = self.edit_cache.lock().expect("edit cache");
+        if cache.len() < EDIT_CACHE_CAP {
+            cache.insert((op, seed), entry.clone());
+        }
+        entry
+    }
+
+    /// The baseline snapshot the engine was built from.
+    pub fn base(&self) -> &Snapshot {
+        &self.base
+    }
+
+    /// The cached Phase-A route plan of the baseline.
+    pub fn plan(&self) -> &route::RoutePlan {
+        &self.plan
+    }
+
+    /// The cached levelized timing graph.
+    pub fn graph(&self) -> &sta::TimingGraph {
+        &self.graph
+    }
+
+    /// Re-evaluates an edited layout, recomputing only what the edit
+    /// dirtied. Produces the same [`Snapshot`] as [`evaluate`], bit for
+    /// bit.
+    pub fn evaluate_incremental(&self, layout: Layout, tech: &Technology) -> Snapshot {
+        let dirty = route::dirty_between(&self.plan, &self.base.layout, &layout, tech);
+        let plan = route::plan_update(&self.plan, &layout, tech, &dirty);
+        self.evaluate_with_plan(layout, plan, tech)
+    }
+
+    /// Evaluation tail shared by [`EvalEngine::evaluate_incremental`] and
+    /// the memoized-edit path: Phase B on an already-patched plan, then
+    /// incremental STA and the model-backed analyses.
+    pub(crate) fn evaluate_with_plan(
+        &self,
+        layout: Layout,
+        plan: route::RoutePlan,
+        tech: &Technology,
+    ) -> Snapshot {
+        let routing = route::finalize_route(&layout, tech, plan);
+        let timing = sta::analyze_incremental(
+            &self.graph,
+            &self.base.timing,
+            &self.base.routing,
+            &layout,
+            &routing,
+            tech,
+        );
+        let power = power::analyze_with_model(&self.power_model, &layout, &routing, tech);
+        let drc = routing.drc_violations(&layout);
+        let security = analyze_regions(&layout, &routing, &timing, tech, THRESH_ER);
+        Snapshot {
+            layout,
+            routing,
+            timing,
+            power,
+            drc,
+            security,
+        }
     }
 }
 

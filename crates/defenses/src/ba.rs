@@ -7,8 +7,8 @@
 //! open, and free space outside the analyzed neighborhood is not treated
 //! at all.
 
-use geom::Interval;
 use gdsii_guard::pipeline::{evaluate, Snapshot};
+use geom::Interval;
 use tech::Technology;
 
 use crate::fill::fill_runs;
@@ -51,7 +51,10 @@ mod tests {
         let bisa = apply_bisa(&base, &tech);
         let sec_ba = secmetrics::security_score(&ba.security, &base.security, 0.5);
         let sec_bisa = secmetrics::security_score(&bisa.security, &base.security, 0.5);
-        assert!(sec_ba < 0.7, "Ba should remove most exploitable space: {sec_ba}");
+        assert!(
+            sec_ba < 0.7,
+            "Ba should remove most exploitable space: {sec_ba}"
+        );
         assert!(
             sec_bisa <= sec_ba + 0.05,
             "BISA coverage ≥ Ba coverage: {sec_bisa} vs {sec_ba}"

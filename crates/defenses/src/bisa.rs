@@ -6,8 +6,8 @@
 //! added gates burn leakage and switching power everywhere, and their
 //! chain wiring congests routing, hurting timing and design rules.
 
-use geom::Interval;
 use gdsii_guard::pipeline::{evaluate, Snapshot};
+use geom::Interval;
 use tech::Technology;
 
 use crate::fill::fill_runs;
@@ -40,7 +40,10 @@ mod tests {
         let base = implement_baseline(&bench::tiny_spec(), &tech);
         let hardened = apply_bisa(&base, &tech);
         let sec = secmetrics::security_score(&hardened.security, &base.security, 0.5);
-        assert!(sec < 0.12, "BISA should remove nearly all free space: {sec}");
+        assert!(
+            sec < 0.12,
+            "BISA should remove nearly all free space: {sec}"
+        );
         assert!(
             hardened.power_mw() > base.power_mw() * 1.1,
             "fill logic must cost notable power: {} vs {}",

@@ -47,7 +47,7 @@ impl FillChain {
             2 => vec![self.prev, self.prev2],
             n => {
                 let mut v = vec![self.prev, self.prev2];
-                v.extend(std::iter::repeat(self.prev).take(n as usize - 2));
+                v.extend(std::iter::repeat_n(self.prev, n as usize - 2));
                 v
             }
         };
@@ -183,7 +183,9 @@ mod tests {
         }
         chain.finish(&mut design);
         assert_eq!(design.cells.len(), n_cells + 10);
-        design.validate(&tech).expect("surgery preserves invariants");
+        design
+            .validate(&tech)
+            .expect("surgery preserves invariants");
     }
 
     #[test]

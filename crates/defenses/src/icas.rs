@@ -45,10 +45,7 @@ pub fn apply_icas(base: &Snapshot, tech: &Technology) -> Snapshot {
         let snap = evaluate(layout, tech);
         if snap.drc <= base.drc + MAX_DRC_INCREASE {
             best = Some(snap); // sweep is ascending: densest acceptable wins
-        } else if least_violating
-            .as_ref()
-            .map_or(true, |s| snap.drc < s.drc)
-        {
+        } else if least_violating.as_ref().is_none_or(|s| snap.drc < s.drc) {
             // Keep the least-violating densified candidate: an undirected
             // tuner ships the best result it can get, then hand-fixes the
             // remaining violations (the paper tolerates minor DRC/power

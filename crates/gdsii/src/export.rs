@@ -80,10 +80,16 @@ pub fn layout_to_gds(
                 let cy = |y: u32| (y as i64 * grid.span_y() + grid.span_y() / 2) as i32;
                 let xy = match layer.dir {
                     LayerDir::Horizontal => {
-                        vec![(cx(seg.from.x), cy(seg.from.y)), (cx(seg.to.x), cy(seg.to.y))]
+                        vec![
+                            (cx(seg.from.x), cy(seg.from.y)),
+                            (cx(seg.to.x), cy(seg.to.y)),
+                        ]
                     }
                     LayerDir::Vertical => {
-                        vec![(cx(seg.from.x), cy(seg.from.y)), (cx(seg.to.x), cy(seg.to.y))]
+                        vec![
+                            (cx(seg.from.x), cy(seg.from.y)),
+                            (cx(seg.to.x), cy(seg.to.y)),
+                        ]
                     }
                 };
                 top.elements.push(GdsElement::Path {
@@ -151,7 +157,10 @@ mod tests {
         let inv = lib.find_struct("DFF_X1").expect("flops exist");
         assert!(matches!(
             inv.elements[0],
-            GdsElement::Boundary { layer: OUTLINE_LAYER, .. }
+            GdsElement::Boundary {
+                layer: OUTLINE_LAYER,
+                ..
+            }
         ));
     }
 }

@@ -29,7 +29,10 @@ impl core::fmt::Display for ReadGdsError {
             Self::BadRecordLength { offset } => {
                 write!(f, "invalid record length at byte {offset}")
             }
-            Self::UnexpectedRecord { record_type, offset } => {
+            Self::UnexpectedRecord {
+                record_type,
+                offset,
+            } => {
                 write!(f, "unexpected record 0x{record_type:02x} at byte {offset}")
             }
             Self::MissingEndLib => write!(f, "stream ended without ENDLIB"),
@@ -69,12 +72,19 @@ impl<'a> Cursor<'a> {
         let rt = self.data[self.pos + 2];
         let payload = &self.data[self.pos + 4..self.pos + len];
         self.pos += len;
-        Ok(Some(Record { rt, payload, offset }))
+        Ok(Some(Record {
+            rt,
+            payload,
+            offset,
+        }))
     }
 }
 
 fn ascii(payload: &[u8]) -> String {
-    let end = payload.iter().position(|&b| b == 0).unwrap_or(payload.len());
+    let end = payload
+        .iter()
+        .position(|&b| b == 0)
+        .unwrap_or(payload.len());
     String::from_utf8_lossy(&payload[..end]).into_owned()
 }
 
@@ -90,7 +100,10 @@ fn i32s(payload: &[u8]) -> Vec<i32> {
 }
 
 fn xy_pairs(payload: &[u8]) -> Vec<(i32, i32)> {
-    i32s(payload).chunks_exact(2).map(|p| (p[0], p[1])).collect()
+    i32s(payload)
+        .chunks_exact(2)
+        .map(|p| (p[0], p[1]))
+        .collect()
 }
 
 impl GdsLibrary {
@@ -117,12 +130,11 @@ impl GdsLibrary {
             match rec.rt {
                 0x00 /* HEADER */ | 0x01 /* BGNLIB */ | 0x05 /* BGNSTR */ => {}
                 0x02 /* LIBNAME */ => lib.name = ascii(rec.payload),
-                0x03 /* UNITS */ => {
-                    if rec.payload.len() >= 16 {
+                0x03
+                    if rec.payload.len() >= 16 => {
                         lib.user_units_per_dbu = read_real8(&rec.payload[0..8]);
                         lib.meters_per_dbu = read_real8(&rec.payload[8..16]);
                     }
-                }
                 0x06 /* STRNAME */ => {
                     if current.is_none() {
                         current = Some(GdsStruct::new(""));
@@ -138,7 +150,7 @@ impl GdsLibrary {
                     })?;
                     lib.structs.push(s);
                 }
-                0x08 /* BOUNDARY */ | 0x09 /* PATH */ | 0x0A /* SREF */ => {
+                0x08..=0x0A /* SREF */ => {
                     if current.is_none() {
                         return Err(ReadGdsError::UnexpectedRecord {
                             record_type: rec.rt,

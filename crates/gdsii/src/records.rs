@@ -128,7 +128,11 @@ mod tests {
         for v in [0.0, 1.0, -1.0, 1e-9, 1e-3, 0.001, 123456.789, -2.5e-7] {
             let enc = write_real8(v);
             let dec = read_real8(&enc);
-            let err = if v == 0.0 { dec.abs() } else { ((dec - v) / v).abs() };
+            let err = if v == 0.0 {
+                dec.abs()
+            } else {
+                ((dec - v) / v).abs()
+            };
             assert!(err < 1e-12, "{v} -> {dec}");
         }
     }

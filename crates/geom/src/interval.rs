@@ -91,7 +91,10 @@ mod tests {
         assert!(!a.overlaps(&b));
         assert!(a.touches(&b));
         assert!(a.overlaps(&Interval::new(4, 6)));
-        assert_eq!(a.intersection(&Interval::new(4, 6)), Some(Interval::new(4, 5)));
+        assert_eq!(
+            a.intersection(&Interval::new(4, 6)),
+            Some(Interval::new(4, 5))
+        );
         assert_eq!(a.intersection(&b), None);
     }
 }

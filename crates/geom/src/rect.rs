@@ -63,10 +63,7 @@ impl Rect {
 
     /// Center point (rounded down).
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.lo.x + self.hi.x) / 2,
-            (self.lo.y + self.hi.y) / 2,
-        )
+        Point::new((self.lo.x + self.hi.x) / 2, (self.lo.y + self.hi.y) / 2)
     }
 
     /// Whether `p` lies inside the half-open rectangle.

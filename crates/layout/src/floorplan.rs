@@ -38,7 +38,9 @@ impl Floorplan {
         // ~34 % more vertical than horizontal track capacity, so a taller
         // die shifts wire spans toward the richer direction.
         const ASPECT: f64 = 0.75;
-        let rows = (total * SITE_W as f64 / (SITE_H as f64 * ASPECT)).sqrt().ceil() as u32;
+        let rows = (total * SITE_W as f64 / (SITE_H as f64 * ASPECT))
+            .sqrt()
+            .ceil() as u32;
         let rows = rows.max(1);
         let cols = (total / rows as f64).ceil() as u32;
         Self::new(rows, cols.max(1))

@@ -159,7 +159,9 @@ impl Occupancy {
             return false;
         }
         let base = self.idx(pos);
-        self.grid[base..base + width as usize].iter().all(|&s| s == EMPTY)
+        self.grid[base..base + width as usize]
+            .iter()
+            .all(|&s| s == EMPTY)
     }
 
     /// Places a cell of `width` sites at `pos`.
@@ -168,7 +170,12 @@ impl Occupancy {
     ///
     /// Fails if the run leaves the core, overlaps anything, or the cell is
     /// already placed.
-    pub fn place_cell(&mut self, cell: CellId, width: u32, pos: SitePos) -> Result<(), PlaceCellError> {
+    pub fn place_cell(
+        &mut self,
+        cell: CellId,
+        width: u32,
+        pos: SitePos,
+    ) -> Result<(), PlaceCellError> {
         self.ensure_cell(cell);
         if self.cell_pos[cell.0 as usize].is_some() {
             return Err(PlaceCellError::AlreadyPlaced);
@@ -255,7 +262,12 @@ impl Occupancy {
     /// # Errors
     ///
     /// Fails if the target run is not entirely empty.
-    pub fn add_filler(&mut self, pos: SitePos, kind: KindId, width: u32) -> Result<(), PlaceCellError> {
+    pub fn add_filler(
+        &mut self,
+        pos: SitePos,
+        kind: KindId,
+        width: u32,
+    ) -> Result<(), PlaceCellError> {
         if pos.row >= self.fp.rows() || pos.col + width > self.fp.cols() {
             return Err(PlaceCellError::OutOfCore);
         }
@@ -326,7 +338,10 @@ impl Occupancy {
     /// Panics if the window is empty or leaves the core.
     pub fn density_in(&self, row0: u32, row1: u32, col0: u32, col1: u32) -> f64 {
         assert!(row0 < row1 && col0 < col1, "empty density window");
-        assert!(row1 <= self.fp.rows() && col1 <= self.fp.cols(), "window out of core");
+        assert!(
+            row1 <= self.fp.rows() && col1 <= self.fp.cols(),
+            "window out of core"
+        );
         let mut used = 0u64;
         for row in row0..row1 {
             let base = row as usize * self.fp.cols() as usize;
@@ -363,7 +378,7 @@ impl Occupancy {
                 let hi = run.hi - width;
                 let col = near.col.clamp(lo, hi);
                 let d = dr.max(col.abs_diff(near.col));
-                if d <= max_radius && best.map_or(true, |(bd, _)| d < bd) {
+                if d <= max_radius && best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, SitePos::new(row, col)));
                 }
             }
@@ -395,10 +410,7 @@ impl Occupancy {
             match pos {
                 Some(p) => {
                     let w = self.cell_width[i];
-                    let master_w = tech
-                        .library
-                        .kind(design.cell(cell).kind)
-                        .width_sites;
+                    let master_w = tech.library.kind(design.cell(cell).kind).width_sites;
                     if w != master_w {
                         return Err(format!(
                             "cell {} placed with width {w}, master says {master_w}",
@@ -412,7 +424,10 @@ impl Occupancy {
                         ));
                     }
                     let base = self.idx(*p);
-                    if self.grid[base..base + w as usize].iter().any(|&s| s != cell.0) {
+                    if self.grid[base..base + w as usize]
+                        .iter()
+                        .any(|&s| s != cell.0)
+                    {
                         return Err(format!("cell {} footprint mismatch", cell.0));
                     }
                 }
@@ -491,7 +506,10 @@ mod tests {
         let c = CellId(2);
         o.place_cell(c, 2, SitePos::new(3, 3)).unwrap();
         o.lock(c);
-        assert_eq!(o.move_cell(c, SitePos::new(3, 5)), Err(PlaceCellError::Locked));
+        assert_eq!(
+            o.move_cell(c, SitePos::new(3, 5)),
+            Err(PlaceCellError::Locked)
+        );
         assert_eq!(o.remove_cell(c), Err(PlaceCellError::Locked));
         o.unlock(c);
         assert!(o.move_cell(c, SitePos::new(3, 5)).is_ok());
@@ -507,7 +525,10 @@ mod tests {
         o.add_filler(SitePos::new(0, 0), fk, 5).unwrap();
         assert_eq!(o.empty_runs(0), vec![Interval::new(8, 20)]);
         // Fillers still count as exploitable.
-        assert_eq!(o.exploitable_runs(0), vec![Interval::new(0, 5), Interval::new(8, 20)]);
+        assert_eq!(
+            o.exploitable_runs(0),
+            vec![Interval::new(0, 5), Interval::new(8, 20)]
+        );
         o.clear_fillers();
         assert_eq!(o.empty_runs(0).len(), 2);
     }

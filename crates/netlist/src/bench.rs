@@ -61,6 +61,7 @@ impl DesignSpec {
 
 /// The twelve benchmark specs in the order of the paper's Table II.
 pub fn all_specs() -> Vec<DesignSpec> {
+    #[allow(clippy::type_complexity)] // one-off literal table
     let table: [(&'static str, u64, usize, f64, usize, usize, usize, f64); 12] = [
         ("AES_1", 0xAE51, 12_000, 0.68, 128, 256, 26, 0.996),
         ("AES_2", 0xAE52, 16_000, 0.70, 128, 256, 28, 1.045),
@@ -78,7 +79,16 @@ pub fn all_specs() -> Vec<DesignSpec> {
     table
         .iter()
         .map(
-            |&(name, seed, target_cells, utilization, key_ffs, state_ffs, levels, period_factor)| {
+            |&(
+                name,
+                seed,
+                target_cells,
+                utilization,
+                key_ffs,
+                state_ffs,
+                levels,
+                period_factor,
+            )| {
                 DesignSpec {
                     name,
                     seed,
@@ -215,11 +225,7 @@ pub fn generate(spec: &DesignSpec, tech: &Technology) -> Design {
     // of the first level, giving key nets exactly one stage less depth
     // than the datapath (small positive slack on tight designs, the
     // texture the exploitable-distance analysis keys on).
-    let mut prev_level: Vec<NetId> = all_ffs
-        .iter()
-        .skip(spec.key_ffs)
-        .map(|&(_, q)| q)
-        .collect();
+    let mut prev_level: Vec<NetId> = all_ffs.iter().skip(spec.key_ffs).map(|&(_, q)| q).collect();
     prev_level.extend(pis.iter().copied());
     let mut older_pool: Vec<NetId> = Vec::new();
     let mut built = 0usize;
@@ -259,7 +265,11 @@ pub fn generate(spec: &DesignSpec, tech: &Technology) -> Design {
             let kind = sample_gate(&mut rng);
             let arity = tech
                 .library
-                .kind(tech.library.kind_by_name(kind).expect("gate mix kind exists"))
+                .kind(
+                    tech.library
+                        .kind_by_name(kind)
+                        .expect("gate mix kind exists"),
+                )
                 .inputs as usize;
             let mut ins = Vec::with_capacity(arity);
             // Bit-sliced structure: fanin comes from a window of the
@@ -367,8 +377,10 @@ mod tests {
         let seed = spec_by_name("SEED").unwrap();
         assert_eq!(cast.levels, seed.levels);
         let camellia = spec_by_name("Camellia").unwrap();
-        assert!(cast.clock_period() < camellia.clock_period() * cast.levels as f64
-            / camellia.levels as f64 * 1.1);
+        assert!(
+            cast.clock_period()
+                < camellia.clock_period() * cast.levels as f64 / camellia.levels as f64 * 1.1
+        );
         assert!(cast.period_factor < 1.0);
         assert!(camellia.period_factor > 1.0);
     }

@@ -1,8 +1,6 @@
 use tech::Technology;
 
-use crate::design::{
-    Cell, CellId, Constraints, Design, Net, NetDriver, NetId, Sink,
-};
+use crate::design::{Cell, CellId, Constraints, Design, Net, NetDriver, NetId, Sink};
 
 /// Incremental netlist constructor maintaining driver/sink consistency.
 ///
@@ -88,7 +86,9 @@ impl<'t> NetlistBuilder<'t> {
     /// Marks `net` as observed by a primary output.
     pub fn add_primary_output(&mut self, net: NetId) {
         let idx = self.primary_outputs.len() as u32;
-        self.nets[net.0 as usize].sinks.push(Sink::PrimaryOutput(idx));
+        self.nets[net.0 as usize]
+            .sinks
+            .push(Sink::PrimaryOutput(idx));
         self.primary_outputs.push(net);
     }
 
@@ -106,10 +106,7 @@ impl<'t> NetlistBuilder<'t> {
             .kind_by_name(kind_name)
             .unwrap_or_else(|| panic!("unknown cell kind {kind_name}"));
         let master = self.tech.library.kind(kind);
-        assert!(
-            !master.is_sequential(),
-            "use add_dff for sequential cells"
-        );
+        assert!(!master.is_sequential(), "use add_dff for sequential cells");
         assert_eq!(
             master.inputs as usize,
             inputs.len(),
@@ -152,10 +149,9 @@ impl<'t> NetlistBuilder<'t> {
         );
         let id = CellId(self.cells.len() as u32);
         let q = self.new_net(format!("n{}", self.nets.len()), NetDriver::Cell(id));
-        self.nets[d.0 as usize].sinks.push(Sink::CellInput {
-            cell: id,
-            pin: 0,
-        });
+        self.nets[d.0 as usize]
+            .sinks
+            .push(Sink::CellInput { cell: id, pin: 0 });
         self.nets[clock.0 as usize].sinks.push(Sink::CellClock(id));
         self.cells.push(Cell {
             name: format!("ff{}", id.0),
@@ -182,10 +178,9 @@ impl<'t> NetlistBuilder<'t> {
         self.nets[old_d.0 as usize]
             .sinks
             .retain(|s| !matches!(s, Sink::CellInput { cell: c, pin: 0 } if *c == cell));
-        self.nets[new_d.0 as usize].sinks.push(Sink::CellInput {
-            cell,
-            pin: 0,
-        });
+        self.nets[new_d.0 as usize]
+            .sinks
+            .push(Sink::CellInput { cell, pin: 0 });
         self.cells[cell.0 as usize].inputs[0] = new_d;
     }
 

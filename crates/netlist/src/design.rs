@@ -261,11 +261,11 @@ impl Design {
                     Sink::CellInput { cell, pin } => self
                         .cells
                         .get(cell.0 as usize)
-                        .map_or(false, |c| c.inputs.get(pin as usize) == Some(&nid)),
+                        .is_some_and(|c| c.inputs.get(pin as usize) == Some(&nid)),
                     Sink::CellClock(cell) => self
                         .cells
                         .get(cell.0 as usize)
-                        .map_or(false, |c| c.clock == Some(nid)),
+                        .is_some_and(|c| c.clock == Some(nid)),
                     Sink::PrimaryOutput(i) => self.primary_outputs.get(i as usize) == Some(&nid),
                 };
                 if !ok {

@@ -26,4 +26,6 @@ mod builder;
 mod design;
 
 pub use builder::NetlistBuilder;
-pub use design::{Cell, CellId, Constraints, Design, Net, NetDriver, NetId, Sink, ValidateDesignError};
+pub use design::{
+    Cell, CellId, Constraints, Design, Net, NetDriver, NetId, Sink, ValidateDesignError,
+};

@@ -10,8 +10,16 @@ fn main() {
     let fp = *layout.floorplan();
     let b = Blockage::new(0, fp.rows() / 2, 0, fp.cols() / 2, 0.10);
     layout.set_blockages(vec![b]);
-    let before = layout.occupancy().density_in(b.row0, b.row1, b.col0, b.col1);
+    let before = layout
+        .occupancy()
+        .density_in(b.row0, b.row1, b.col0, b.col1);
     let stats = place::eco_place(&mut layout, &tech, 2);
-    let after = layout.occupancy().density_in(b.row0, b.row1, b.col0, b.col1);
-    println!("before {before} after {after} stats {stats:?} budget {} sites {}", b.site_budget(), b.num_sites());
+    let after = layout
+        .occupancy()
+        .density_in(b.row0, b.row1, b.col0, b.col1);
+    println!(
+        "before {before} after {after} stats {stats:?} budget {} sites {}",
+        b.site_budget(),
+        b.num_sites()
+    );
 }

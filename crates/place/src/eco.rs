@@ -34,7 +34,9 @@ fn blockage_occupancy(layout: &Layout) -> Vec<u64> {
         .blockages()
         .iter()
         .map(|b| {
-            let d = layout.occupancy().density_in(b.row0, b.row1, b.col0, b.col1);
+            let d = layout
+                .occupancy()
+                .density_in(b.row0, b.row1, b.col0, b.col1);
             (d * b.num_sites() as f64).round() as u64
         })
         .collect()
@@ -76,7 +78,9 @@ pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceS
             if layout.occupancy().is_locked(id) {
                 continue;
             }
-            let Some(pos) = layout.cell_pos(id) else { continue };
+            let Some(pos) = layout.cell_pos(id) else {
+                continue;
+            };
             let w = layout.occupancy().cell_width(id).expect("placed");
             let ov = overlap_sites(b, pos.row, pos.col, w);
             if ov > 0 {
@@ -111,9 +115,8 @@ pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceS
     // Widest first: wide cells (flops) need long gaps, which narrower cells
     // would otherwise fragment.
     evicted.shuffle(&mut rng);
-    evicted.sort_by_key(|&id| {
-        std::cmp::Reverse(tech.library.kind(design.cell(id).kind).width_sites)
-    });
+    evicted
+        .sort_by_key(|&id| std::cmp::Reverse(tech.library.kind(design.cell(id).kind).width_sites));
     // Per-row empty-run cache: recomputing runs from the site grid for
     // every candidate would dominate the whole ECO pass.
     let fp_rows = layout.floorplan().rows();
@@ -160,14 +163,8 @@ pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceS
                 // (still respecting budgets), like a real incremental
                 // placer. Only if even that fails, place anywhere.
                 n_fallback_compact += 1;
-                let pos = make_gap_by_compaction(
-                    layout,
-                    &blockages,
-                    &mut occupied,
-                    w,
-                    near,
-                )
-                .unwrap_or_else(|| {
+                let compacted = make_gap_by_compaction(layout, &blockages, &mut occupied, w, near);
+                let pos = compacted.unwrap_or_else(|| {
                     let fp = *layout.floorplan();
                     layout
                         .occupancy()
@@ -188,9 +185,9 @@ pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceS
     }
     if debug {
         eprintln!(
-            "  eco phase2 {:.2}s (fallbacks {})",
+            "  eco phase2 {:.2}s (compaction fallbacks {})",
             t_phase2.elapsed().as_secs_f64(),
-            n_fallback_compact
+            n_fallback_compact,
         );
     }
     debug_assert!(layout.check_consistency(tech).is_ok());
@@ -214,71 +211,115 @@ pub(crate) fn make_gap_by_compaction(
     let cols = fp.cols();
     let mut rows: Vec<u32> = (0..fp.rows()).collect();
     rows.sort_by_key(|r| r.abs_diff(near.row));
+    // Free-site prefix sums, built lazily per probed row: the fallback
+    // runs hundreds of times per LDA iteration, and recounting windows
+    // site by site dominated the whole operator. The layout is read-only
+    // until the final compaction, so rows stay valid for the whole call.
+    let mut free_prefix: Vec<Option<Vec<u32>>> = vec![None; fp.rows() as usize];
+    fn free_in(
+        layout: &Layout,
+        memo: &mut [Option<Vec<u32>>],
+        cols: u32,
+        row: u32,
+        c0: u32,
+        c1: u32,
+    ) -> u32 {
+        let p = memo[row as usize].get_or_insert_with(|| {
+            let mut p = vec![0u32; cols as usize + 1];
+            for run in layout.occupancy().empty_runs(row) {
+                for c in run.lo..run.hi {
+                    p[c as usize + 1] = 1;
+                }
+            }
+            for c in 0..cols as usize {
+                p[c + 1] += p[c];
+            }
+            p
+        });
+        p[c1 as usize] - p[c0 as usize]
+    }
+    // Blockages bucketed per row: LDA tiles the whole core, so a flat
+    // headroom scan over all N² windows per candidate window would
+    // dominate the search.
+    let mut blk_by_row: Vec<Vec<usize>> = vec![Vec::new(); fp.rows() as usize];
+    for (bi, b) in blockages.iter().enumerate() {
+        for row in b.row0..b.row1.min(fp.rows()) {
+            blk_by_row[row as usize].push(bi);
+        }
+    }
     // Dense layouts need wider windows to scrape `width` free sites
     // together; escalate the window span until one qualifies.
     for span in [width * 3, width * 8, width * 20, cols] {
         let span = span.min(cols);
         for &row in &rows {
-        // Sliding window: count free sites in [c0, c0 + span).
-        let mut c0 = 0u32;
-        while c0 + span <= cols {
-            let window_free: u32 = (c0..c0 + span)
-                .filter(|&c| {
-                    layout.occupancy().state(SitePos::new(row, c)) == layout::SiteState::Empty
-                })
-                .count() as u32;
-            if window_free < width {
-                c0 += span / 2 + 1;
+            if free_in(layout, &mut free_prefix, cols, row, 0, cols) < width {
                 continue;
             }
-            // Collect the cells whose origin lies in the window; reject
-            // windows with locked or boundary-straddling cells.
-            let mut cells: Vec<(netlist::CellId, SitePos, u32)> = Vec::new();
-            let mut ok = true;
-            let mut c = c0;
-            while c < c0 + span {
-                match layout.occupancy().state(SitePos::new(row, c)) {
-                    layout::SiteState::Cell(id) => {
-                        let pos = layout.occupancy().cell_pos(id).expect("placed");
-                        let w = layout.occupancy().cell_width(id).expect("placed");
-                        if pos.col < c0 || pos.col + w > c0 + span || layout.occupancy().is_locked(id) {
-                            ok = false;
-                            break;
-                        }
-                        if cells.last().map(|&(l, _, _)| l) != Some(id) {
-                            cells.push((id, pos, w));
-                        }
-                        c = pos.col + w;
-                    }
-                    _ => c += 1,
+            // Sliding window over [c0, c0 + span).
+            let mut c0 = 0u32;
+            while c0 + span <= cols {
+                if free_in(layout, &mut free_prefix, cols, row, c0, c0 + span) < width {
+                    c0 += span / 2 + 1;
+                    continue;
                 }
-            }
-            let headroom_ok = blockages.iter().enumerate().all(|(bi, b)| {
-                overlap_sites(b, row, c0, span) == 0
-                    || occupied[bi] + width as u64 <= b.site_budget()
-            });
-            if !ok || !headroom_ok {
-                c0 += span / 2 + 1;
-                continue;
-            }
-            // Compact leftward.
-            let mut cursor = c0;
-            for &(id, pos, w) in &cells {
-                if pos.col > cursor {
-                    layout
-                        .occupancy_mut()
-                        .move_cell(id, SitePos::new(row, cursor))
-                        .expect("window is self-contained");
-                    for (bi, b) in blockages.iter().enumerate() {
-                        occupied[bi] -= overlap_sites(b, row, pos.col, w) as u64;
-                        occupied[bi] += overlap_sites(b, row, cursor, w) as u64;
+                // Cheap rejections first: every blockage the window touches
+                // needs headroom before the per-cell scan is worth running.
+                let headroom_ok = blk_by_row[row as usize].iter().all(|&bi| {
+                    let b = &blockages[bi];
+                    overlap_sites(b, row, c0, span) == 0
+                        || occupied[bi] + width as u64 <= b.site_budget()
+                });
+                if !headroom_ok {
+                    c0 += span / 2 + 1;
+                    continue;
+                }
+                // Collect the cells whose origin lies in the window; reject
+                // windows with locked or boundary-straddling cells.
+                let mut cells: Vec<(netlist::CellId, SitePos, u32)> = Vec::new();
+                let mut ok = true;
+                let mut c = c0;
+                while c < c0 + span {
+                    match layout.occupancy().state(SitePos::new(row, c)) {
+                        layout::SiteState::Cell(id) => {
+                            let pos = layout.occupancy().cell_pos(id).expect("placed");
+                            let w = layout.occupancy().cell_width(id).expect("placed");
+                            if pos.col < c0
+                                || pos.col + w > c0 + span
+                                || layout.occupancy().is_locked(id)
+                            {
+                                ok = false;
+                                break;
+                            }
+                            if cells.last().map(|&(l, _, _)| l) != Some(id) {
+                                cells.push((id, pos, w));
+                            }
+                            c = pos.col + w;
+                        }
+                        _ => c += 1,
                     }
                 }
-                cursor += w;
+                if !ok {
+                    c0 += span / 2 + 1;
+                    continue;
+                }
+                // Compact leftward.
+                let mut cursor = c0;
+                for &(id, pos, w) in &cells {
+                    if pos.col > cursor {
+                        layout
+                            .occupancy_mut()
+                            .move_cell(id, SitePos::new(row, cursor))
+                            .expect("window is self-contained");
+                        for (bi, b) in blockages.iter().enumerate() {
+                            occupied[bi] -= overlap_sites(b, row, pos.col, w) as u64;
+                            occupied[bi] += overlap_sites(b, row, cursor, w) as u64;
+                        }
+                    }
+                    cursor += w;
+                }
+                debug_assert!(c0 + span - cursor >= width);
+                return Some(SitePos::new(row, c0 + span - width));
             }
-            debug_assert!(c0 + span - cursor >= width);
-            return Some(SitePos::new(row, c0 + span - width));
-        }
         }
     }
     None
@@ -333,7 +374,7 @@ fn find_gap_under_budgets(
             let clamped = near.col.clamp(lo, hi);
             for col in [clamped, lo, hi] {
                 let d = dr.max(col.abs_diff(near.col));
-                if best.map_or(false, |(bd, _)| d >= bd) {
+                if best.is_some_and(|(bd, _)| d >= bd) {
                     continue;
                 }
                 let fits_budget = by_row[row as usize].iter().all(|&bi| {
@@ -377,9 +418,13 @@ mod tests {
         // Cap the lower-left quadrant at 10 % density.
         let b = Blockage::new(0, fp.rows() / 2, 0, fp.cols() / 2, 0.10);
         layout.set_blockages(vec![b]);
-        let before = layout.occupancy().density_in(b.row0, b.row1, b.col0, b.col1);
+        let before = layout
+            .occupancy()
+            .density_in(b.row0, b.row1, b.col0, b.col1);
         let stats = eco_place(&mut layout, &tech, 2);
-        let after = layout.occupancy().density_in(b.row0, b.row1, b.col0, b.col1);
+        let after = layout
+            .occupancy()
+            .density_in(b.row0, b.row1, b.col0, b.col1);
         assert!(before > 0.3, "quadrant was not populated: {before}");
         assert!(after <= 0.11, "bound not enforced: {after}");
         assert!(stats.evicted > 0);
@@ -409,13 +454,7 @@ mod tests {
     fn every_cell_remains_placed() {
         let (tech, mut layout) = placed();
         let fp = *layout.floorplan();
-        layout.set_blockages(vec![Blockage::new(
-            0,
-            fp.rows(),
-            0,
-            fp.cols() / 2,
-            0.0,
-        )]);
+        layout.set_blockages(vec![Blockage::new(0, fp.rows(), 0, fp.cols() / 2, 0.0)]);
         eco_place(&mut layout, &tech, 4);
         for (id, _) in layout.design().cells_iter() {
             assert!(layout.cell_pos(id).is_some(), "cell {} lost", id.0);

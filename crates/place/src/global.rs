@@ -165,9 +165,7 @@ pub fn global_place(layout: &mut Layout, tech: &Technology, seed: u64) {
         let pos = layout
             .occupancy()
             .find_gap(w, center, rows.max(cols))
-            .or_else(|| {
-                crate::eco::make_gap_by_compaction(layout, &[], &mut [], w, center)
-            })
+            .or_else(|| crate::eco::make_gap_by_compaction(layout, &[], &mut [], w, center))
             .unwrap_or_else(|| panic!("core cannot hold {}", design.name));
         layout
             .occupancy_mut()
@@ -176,7 +174,6 @@ pub fn global_place(layout: &mut Layout, tech: &Technology, seed: u64) {
     }
     debug_assert!(layout.check_consistency(tech).is_ok());
 }
-
 
 /// Clusters the given cells into a compact bank around their current
 /// centroid, evicting non-member cells to nearby gaps — the standard
@@ -209,12 +206,39 @@ pub fn bank_cells(
     let gap_per_cell = (((1.0 - bank_utilization) / bank_utilization) * 4.0)
         .floor()
         .clamp(0.0, 3.0) as u32;
-    let need = ((total_sites + (members.len() as u64 + 1) * gap_per_cell as u64) as f64 * 1.2).ceil();
+    let need =
+        ((total_sites + (members.len() as u64 + 1) * gap_per_cell as u64) as f64 * 1.2).ceil();
 
     // Roughly square window (in µm) centred on the members' centroid.
     let site_ratio = tech::SITE_H as f64 / tech::SITE_W as f64;
-    let bank_rows = ((need / site_ratio).sqrt().ceil() as u32).clamp(1, fp.rows());
-    let bank_cols = ((need / bank_rows as f64).ceil() as u32).clamp(1, fp.cols());
+    let est_rows = ((need / site_ratio).sqrt().ceil() as u32).clamp(1, fp.rows());
+    let max_w = members
+        .iter()
+        .map(|&c| tech.library.kind(design.cell(c).kind).width_sites)
+        .max()
+        .unwrap_or(1);
+    let bank_cols = ((need / est_rows as f64).ceil() as u32)
+        .max(max_w + gap_per_cell)
+        .clamp(1, fp.cols());
+    // The area estimate can undershoot when row-end fragmentation is high,
+    // so derive the row count by replaying the row-major packing below.
+    let bank_rows = {
+        let mut widths: Vec<(CellId, u32)> = members
+            .iter()
+            .map(|&c| (c, tech.library.kind(design.cell(c).kind).width_sites))
+            .collect();
+        widths.sort_unstable_by_key(|&(c, _)| c);
+        let mut rows_needed = 1u32;
+        let mut col = 0u32;
+        for &(_, w) in &widths {
+            if col + w + gap_per_cell > bank_cols {
+                rows_needed += 1;
+                col = 0;
+            }
+            col += w + gap_per_cell;
+        }
+        rows_needed.clamp(1, fp.rows())
+    };
     let (mut cx, mut cy) = (0i64, 0i64);
     for &c in members {
         let p = layout.cell_center(c, tech);
@@ -239,12 +263,11 @@ pub fn bank_cells(
         if member_set.contains(&id) {
             continue;
         }
-        let Some(pos) = layout.cell_pos(id) else { continue };
+        let Some(pos) = layout.cell_pos(id) else {
+            continue;
+        };
         let w = layout.occupancy().cell_width(id).expect("placed");
-        let overlaps = pos.row >= row0
-            && pos.row < row1
-            && pos.col + w > col0
-            && pos.col < col1;
+        let overlaps = pos.row >= row0 && pos.row < row1 && pos.col + w > col0 && pos.col < col1;
         if overlaps {
             layout.occupancy_mut().remove_cell(id).expect("not locked");
             evicted.push(id);
@@ -291,7 +314,11 @@ pub fn bank_cells(
 
 /// Convenience: which cells connect to `cell` through its nets (drivers of
 /// its inputs and sinks of its output), ignoring the clock net.
-pub(crate) fn neighbors(design: &netlist::Design, cell: CellId, clock: Option<netlist::NetId>) -> Vec<CellId> {
+pub(crate) fn neighbors(
+    design: &netlist::Design,
+    cell: CellId,
+    clock: Option<netlist::NetId>,
+) -> Vec<CellId> {
     let mut out = Vec::new();
     let c = design.cell(cell);
     for &net in &c.inputs {
@@ -351,8 +378,12 @@ mod tests {
         let mut used_rows = 0;
         for row in 0..fp.rows() {
             let runs = layout.occupancy().empty_runs(row);
-            let row_used = (0..fp.cols())
-                .any(|c| matches!(layout.occupancy().state(SitePos::new(row, c)), SiteState::Cell(_)));
+            let row_used = (0..fp.cols()).any(|c| {
+                matches!(
+                    layout.occupancy().state(SitePos::new(row, c)),
+                    SiteState::Cell(_)
+                )
+            });
             if row_used {
                 used_rows += 1;
                 if runs.iter().any(|r| r.lo != 0 && r.hi != fp.cols()) {
@@ -372,7 +403,10 @@ mod tests {
         let (_, b) = placed_tiny(42);
         let (_, c) = placed_tiny(43);
         let pos = |l: &Layout| -> Vec<Option<SitePos>> {
-            l.design().cells_iter().map(|(id, _)| l.cell_pos(id)).collect()
+            l.design()
+                .cells_iter()
+                .map(|(id, _)| l.cell_pos(id))
+                .collect()
         };
         assert_eq!(pos(&a), pos(&b));
         assert_ne!(pos(&a), pos(&c));

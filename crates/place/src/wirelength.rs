@@ -149,11 +149,13 @@ pub fn refine_wirelength(
                     } else {
                         let occ = layout.occupancy_mut();
                         occ.remove_cell(cell).expect("not locked");
-                        occ.place_cell(cell, width, cur).expect("old spot still free");
+                        occ.place_cell(cell, width, cur)
+                            .expect("old spot still free");
                     }
                 }
                 None => {
-                    occ.place_cell(cell, width, cur).expect("old spot still free");
+                    occ.place_cell(cell, width, cur)
+                        .expect("old spot still free");
                 }
             }
         }

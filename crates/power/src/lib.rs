@@ -56,6 +56,78 @@ impl PowerReport {
     }
 }
 
+/// The routing-independent part of a design's power: leakage, internal,
+/// and clock-tree terms depend only on the cell list and constraints, so
+/// they are computed once and reused across every incremental
+/// re-evaluation. Only the per-net switching sum reads the router's
+/// extracted capacitances.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    activity: f64,
+    /// Clock frequency in GHz (fJ · GHz = µW).
+    f_ghz: f64,
+    leakage_nw: f64,
+    internal_uw: f64,
+    /// Total clock-network capacitance (flop clock pins + tree wire), fF.
+    clock_cap_ff: f64,
+}
+
+impl PowerModel {
+    /// Builds the model at the default activity factor.
+    pub fn new(layout: &Layout, tech: &Technology) -> Self {
+        Self::with_activity(layout, tech, DEFAULT_ACTIVITY)
+    }
+
+    /// Builds the model at an explicit signal activity factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is not in `(0, 1]` or the clock period is
+    /// non-positive.
+    pub fn with_activity(layout: &Layout, tech: &Technology, activity: f64) -> Self {
+        assert!(
+            activity > 0.0 && activity <= 1.0,
+            "activity must be in (0, 1]"
+        );
+        let design = layout.design();
+        let period_ps = design.constraints.clock_period;
+        assert!(period_ps > 0.0, "clock period must be positive");
+        let f_ghz = 1_000.0 / period_ps;
+
+        let mut leakage_nw = 0.0;
+        let mut internal_uw = 0.0;
+        let mut flop_count = 0usize;
+        for cell in &design.cells {
+            let kind = tech.library.kind(cell.kind);
+            leakage_nw += kind.leakage;
+            if kind.is_sequential() {
+                flop_count += 1;
+                // Flops toggle their internals every cycle (clock activity 1).
+                internal_uw += kind.internal_energy * f_ghz;
+            } else {
+                internal_uw += kind.internal_energy * f_ghz * activity;
+            }
+        }
+        // Clock network: every flop clock pin plus distributed tree wire,
+        // toggling every cycle.
+        let clock_cap_ff = flop_count as f64
+            * (CLOCK_WIRE_CAP_PER_SINK_FF
+                + tech
+                    .library
+                    .kind_by_name("DFF_X1")
+                    .map(|k| tech.library.kind(k).input_cap)
+                    .unwrap_or(1.5));
+
+        Self {
+            activity,
+            f_ghz,
+            leakage_nw,
+            internal_uw,
+            clock_cap_ff,
+        }
+    }
+}
+
 /// Analyzes the power of a routed layout at the design's clock constraint
 /// with the default activity factor.
 pub fn analyze(layout: &Layout, routing: &RoutingState, tech: &Technology) -> PowerReport {
@@ -74,28 +146,26 @@ pub fn analyze_with_activity(
     tech: &Technology,
     activity: f64,
 ) -> PowerReport {
-    assert!(activity > 0.0 && activity <= 1.0, "activity must be in (0, 1]");
-    let design = layout.design();
-    let period_ps = design.constraints.clock_period;
-    assert!(period_ps > 0.0, "clock period must be positive");
-    // Frequency in GHz = 1000 / period_ps; fJ · GHz = µW.
-    let f_ghz = 1_000.0 / period_ps;
-    let clock = design.clock;
+    analyze_with_model(
+        &PowerModel::with_activity(layout, tech, activity),
+        layout,
+        routing,
+        tech,
+    )
+}
 
-    let mut leakage_nw = 0.0;
-    let mut internal_uw = 0.0;
-    let mut flop_count = 0usize;
-    for cell in &design.cells {
-        let kind = tech.library.kind(cell.kind);
-        leakage_nw += kind.leakage;
-        if kind.is_sequential() {
-            flop_count += 1;
-            // Flops toggle their internals every cycle (clock activity 1).
-            internal_uw += kind.internal_energy * f_ghz;
-        } else {
-            internal_uw += kind.internal_energy * f_ghz * activity;
-        }
-    }
+/// Analyzes power against a prebuilt [`PowerModel`], recomputing only the
+/// per-net switching sum. With a model built for the same design this is
+/// bit-identical to [`analyze_with_activity`] (which routes through here).
+pub fn analyze_with_model(
+    model: &PowerModel,
+    layout: &Layout,
+    routing: &RoutingState,
+    tech: &Technology,
+) -> PowerReport {
+    let design = layout.design();
+    let clock = design.clock;
+    let f_ghz = model.f_ghz;
 
     let mut switching_uw = 0.0;
     let e_factor = 0.5 * VDD * VDD; // fJ per fF per transition
@@ -109,22 +179,13 @@ pub fn analyze_with_activity(
                 c += tech.library.kind(design.cell(*cell).kind).input_cap;
             }
         }
-        switching_uw += e_factor * c * f_ghz * activity;
+        switching_uw += e_factor * c * f_ghz * model.activity;
     }
-    // Clock network: every flop clock pin plus distributed tree wire,
-    // toggling every cycle.
-    let clock_cap_ff = flop_count as f64
-        * (CLOCK_WIRE_CAP_PER_SINK_FF
-            + tech
-                .library
-                .kind_by_name("DFF_X1")
-                .map(|k| tech.library.kind(k).input_cap)
-                .unwrap_or(1.5));
-    switching_uw += e_factor * clock_cap_ff * f_ghz;
+    switching_uw += e_factor * model.clock_cap_ff * f_ghz;
 
     PowerReport {
-        leakage_mw: leakage_nw * 1e-6,
-        internal_mw: internal_uw * 1e-3,
+        leakage_mw: model.leakage_nw * 1e-6,
+        internal_mw: model.internal_uw * 1e-3,
         switching_mw: switching_uw * 1e-3,
     }
 }
@@ -179,6 +240,15 @@ mod tests {
         let pb = analyze(&lb, &route::route_design(&lb, &tech), &tech);
         assert!(pb.leakage_mw > ps.leakage_mw);
         assert!(pb.total_mw() > ps.total_mw());
+    }
+
+    #[test]
+    fn prebuilt_model_is_exact() {
+        let (tech, layout, routing) = snapshot(0.6);
+        let full = analyze(&layout, &routing, &tech);
+        let model = PowerModel::new(&layout, &tech);
+        let inc = analyze_with_model(&model, &layout, &routing, &tech);
+        assert_eq!(full, inc, "model path must be bit-identical");
     }
 
     #[test]

@@ -8,23 +8,40 @@ pub const GCELL_W_SITES: u32 = 20;
 /// Height of a gcell in core rows (4.2 µm).
 pub const GCELL_H_ROWS: u32 = 3;
 
+/// One quarter of an unscaled track-equivalent: the integer quantum in
+/// which gcell usage is accounted. A run endpoint contributes 1 quantum,
+/// an interior gcell 4 (the NDR width scale is applied at read time).
+pub const QUANTA_PER_TRACK: i64 = 4;
+
 /// The routing grid: gcell tiling of the core plus per-layer, per-gcell
 /// track capacities and usage counters.
 ///
 /// M1 is reserved for intra-cell routing and pin access and carries no
 /// global-routing capacity; layers M2–M10 route signals in their preferred
 /// direction.
+///
+/// Usage is stored in integer *quanta* (quarter-tracks before NDR
+/// scaling) rather than floats. Integer adds commute exactly, so the
+/// committed state of a set of nets is independent of the order they were
+/// routed in, and applying the layer scale only at read time makes the
+/// same stored segments valid under a different [`RouteRule`] — both
+/// properties the incremental reroute path relies on to reproduce a
+/// from-scratch route bit for bit.
 #[derive(Debug, Clone)]
 pub struct RouteGrid {
     nx: u32,
     ny: u32,
     /// Capacity in tracks per gcell per layer (index 0 = M1, always 0.0).
     cap: [f64; NUM_METAL_LAYERS],
-    /// Usage in track-equivalents, `usage[layer][y * nx + x]`.
-    usage: Vec<Vec<f64>>,
+    /// Usage in quanta (quarter-tracks, unscaled), `usage[layer][y * nx + x]`.
+    usage: Vec<Vec<i64>>,
     /// Active NDR scale per layer.
     scales: [f64; NUM_METAL_LAYERS],
     dirs: [LayerDir; NUM_METAL_LAYERS],
+    /// Routable (M1-excluded) 1-based layers per direction, precomputed —
+    /// layer selection sits on the maze router's innermost loop.
+    h_layers: Vec<usize>,
+    v_layers: Vec<usize>,
     /// Gcell span in DBU along x and y.
     span_x: Dbu,
     span_y: Dbu,
@@ -37,33 +54,49 @@ impl RouteGrid {
         let ny = fp.rows().div_ceil(GCELL_H_ROWS).max(1);
         let span_x = GCELL_W_SITES as Dbu * SITE_W;
         let span_y = GCELL_H_ROWS as Dbu * SITE_H;
-        let mut cap = [0.0; NUM_METAL_LAYERS];
-        let mut scales = [1.0; NUM_METAL_LAYERS];
-        let mut dirs = [LayerDir::Horizontal; NUM_METAL_LAYERS];
+        let usage = vec![vec![0i64; (nx * ny) as usize]; NUM_METAL_LAYERS];
+        let mut grid = Self {
+            nx,
+            ny,
+            cap: [0.0; NUM_METAL_LAYERS],
+            usage,
+            scales: [1.0; NUM_METAL_LAYERS],
+            dirs: [LayerDir::Horizontal; NUM_METAL_LAYERS],
+            h_layers: Vec::new(),
+            v_layers: Vec::new(),
+            span_x,
+            span_y,
+        };
+        grid.set_rule(tech, rule);
+        grid
+    }
+
+    /// Re-derives per-layer scales and capacities for a new NDR rule while
+    /// keeping the committed usage quanta. Because usage is stored
+    /// unscaled, the grid afterwards reads exactly as if every present
+    /// segment had been committed under `rule` from the start.
+    pub fn set_rule(&mut self, tech: &Technology, rule: &RouteRule) {
         for (i, layer) in tech.layers.iter().enumerate() {
-            dirs[i] = layer.dir;
-            scales[i] = rule.scale(i + 1);
+            self.dirs[i] = layer.dir;
+            self.scales[i] = rule.scale(i + 1);
             if i == 0 {
                 continue; // M1: pin access only.
             }
             // A horizontal layer's tracks stack vertically across the gcell
             // height; a vertical layer's tracks stack across the width.
             let span = match layer.dir {
-                LayerDir::Horizontal => span_y,
-                LayerDir::Vertical => span_x,
+                LayerDir::Horizontal => self.span_y,
+                LayerDir::Vertical => self.span_x,
             };
-            cap[i] = layer.tracks_in_span(span, scales[i]) as f64;
+            self.cap[i] = layer.tracks_in_span(span, self.scales[i]) as f64;
         }
-        let usage = vec![vec![0.0; (nx * ny) as usize]; NUM_METAL_LAYERS];
-        Self {
-            nx,
-            ny,
-            cap,
-            usage,
-            scales,
-            dirs,
-            span_x,
-            span_y,
+        self.h_layers.clear();
+        self.v_layers.clear();
+        for m in 2..=NUM_METAL_LAYERS {
+            match self.dirs[m - 1] {
+                LayerDir::Horizontal => self.h_layers.push(m),
+                LayerDir::Vertical => self.v_layers.push(m),
+            }
         }
     }
 
@@ -119,25 +152,32 @@ impl RouteGrid {
     }
 
     /// 1-based routable layers with the given direction (M1 excluded).
-    pub fn layers_with_dir(&self, dir: LayerDir) -> Vec<usize> {
-        (2..=NUM_METAL_LAYERS)
-            .filter(|&m| self.dirs[m - 1] == dir)
-            .collect()
+    pub fn layers_with_dir(&self, dir: LayerDir) -> &[usize] {
+        match dir {
+            LayerDir::Horizontal => &self.h_layers,
+            LayerDir::Vertical => &self.v_layers,
+        }
     }
 
     fn idx(&self, g: GcellPos) -> usize {
         (g.y * self.nx + g.x) as usize
     }
 
-    /// Track usage of layer `m` at `g`.
+    /// Track usage of layer `m` at `g`, in NDR-scaled track-equivalents.
     pub fn usage(&self, m: usize, g: GcellPos) -> f64 {
-        self.usage[m - 1][self.idx(g)]
+        self.scaled(m, self.usage[m - 1][self.idx(g)])
     }
 
-    /// Adds `tracks` of usage on layer `m` at `g`.
-    pub fn add_usage(&mut self, m: usize, g: GcellPos, tracks: f64) {
+    fn scaled(&self, m: usize, quanta: i64) -> f64 {
+        quanta as f64 * self.scales[m - 1] / QUANTA_PER_TRACK as f64
+    }
+
+    /// Adds `q` usage quanta (quarter-tracks, unscaled) on layer `m` at
+    /// `g`; negative values rip usage back out.
+    pub fn add_quanta(&mut self, m: usize, g: GcellPos, q: i64) {
         let i = self.idx(g);
-        self.usage[m - 1][i] += tracks;
+        self.usage[m - 1][i] += q;
+        debug_assert!(self.usage[m - 1][i] >= 0, "usage went negative");
     }
 
     /// Free tracks on layer `m` at `g` (clamped at zero when overflowed).
@@ -162,8 +202,8 @@ impl RouteGrid {
     pub fn deep_overflow_pairs(&self, tol: f64) -> u32 {
         let mut n = 0;
         for m in 2..=NUM_METAL_LAYERS {
-            for u in &self.usage[m - 1] {
-                if *u > self.cap[m - 1] + tol {
+            for &u in &self.usage[m - 1] {
+                if self.scaled(m, u) > self.cap[m - 1] + tol {
                     n += 1;
                 }
             }
@@ -175,8 +215,8 @@ impl RouteGrid {
     pub fn overflow_pairs(&self) -> u32 {
         let mut n = 0;
         for m in 2..=NUM_METAL_LAYERS {
-            for u in &self.usage[m - 1] {
-                if *u > self.cap[m - 1] + 1e-9 {
+            for &u in &self.usage[m - 1] {
+                if self.scaled(m, u) > self.cap[m - 1] + 1e-9 {
                     n += 1;
                 }
             }
@@ -188,8 +228,8 @@ impl RouteGrid {
     pub fn total_overflow(&self) -> f64 {
         let mut t = 0.0;
         for m in 2..=NUM_METAL_LAYERS {
-            for u in &self.usage[m - 1] {
-                t += (u - self.cap[m - 1]).max(0.0);
+            for &u in &self.usage[m - 1] {
+                t += (self.scaled(m, u) - self.cap[m - 1]).max(0.0);
             }
         }
         t
@@ -233,11 +273,37 @@ mod tests {
         let p = GcellPos::new(3, 4);
         assert_eq!(g.overflow_pairs(), 0);
         let cap2 = g.capacity(2);
-        g.add_usage(2, p, cap2 + 2.0);
+        // Default rule (scale 1.0): each quantum reads as a quarter track.
+        let q = ((cap2 + 2.0) * QUANTA_PER_TRACK as f64) as i64;
+        g.add_quanta(2, p, q);
+        assert!((g.usage(2, p) - (cap2 + 2.0)).abs() < 1e-9);
         assert_eq!(g.overflow_pairs(), 1);
         assert!((g.total_overflow() - 2.0).abs() < 1e-9);
         assert_eq!(g.free_tracks(2, p), 0.0);
         assert!(g.free_tracks_all_layers(p) > 0.0, "other layers still free");
+        // Negative quanta rip usage back out exactly.
+        g.add_quanta(2, p, -q);
+        assert_eq!(g.usage(2, p), 0.0);
+        assert_eq!(g.overflow_pairs(), 0);
+    }
+
+    #[test]
+    fn set_rule_rescales_existing_usage() {
+        let tech = Technology::nangate45_like();
+        let fp = Floorplan::new(21, 200);
+        let mut g = RouteGrid::new(&fp, &tech, &RouteRule::default());
+        let p = GcellPos::new(1, 1);
+        g.add_quanta(3, p, 8); // two unscaled tracks
+        assert!((g.usage(3, p) - 2.0).abs() < 1e-12);
+        g.set_rule(&tech, &RouteRule::uniform(1.5));
+        // The same stored quanta now read under the new scale, exactly as
+        // if the segments had been committed under the wide rule.
+        assert!((g.usage(3, p) - 3.0).abs() < 1e-12);
+        assert!((g.scale(3) - 1.5).abs() < 1e-12);
+        let fresh = RouteGrid::new(&fp, &tech, &RouteRule::uniform(1.5));
+        for m in 2..=NUM_METAL_LAYERS {
+            assert_eq!(g.capacity(m), fresh.capacity(m), "layer {m}");
+        }
     }
 
     #[test]

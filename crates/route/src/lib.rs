@@ -28,5 +28,8 @@
 mod grid;
 mod router;
 
-pub use grid::{RouteGrid, GCELL_H_ROWS, GCELL_W_SITES};
-pub use router::{route_design, NetRc, RouteSeg, RoutingState};
+pub use grid::{RouteGrid, GCELL_H_ROWS, GCELL_W_SITES, QUANTA_PER_TRACK};
+pub use router::{
+    dirty_between, finalize_route, plan_route, plan_update, route_design, DirtySet, NetRc,
+    RoutePlan, RouteSeg, RoutingState,
+};

@@ -42,6 +42,51 @@ pub struct RoutingState {
     wirelength_um: f64,
 }
 
+/// The set of nets whose routes a layout edit invalidated, plus whether
+/// the NDR rule changed. Everything not listed keeps its Phase-A pattern
+/// verbatim in an incremental update.
+#[derive(Debug, Clone, Default)]
+pub struct DirtySet {
+    /// Nets with at least one terminal in a different gcell than before.
+    pub nets: Vec<NetId>,
+    /// The active [`tech::RouteRule`] differs from the plan's.
+    pub rule_changed: bool,
+}
+
+impl DirtySet {
+    /// True when nothing routed needs to change.
+    pub fn is_clean(&self) -> bool {
+        self.nets.is_empty() && !self.rule_changed
+    }
+}
+
+/// The Phase-A (pattern-route) state of a design: every net's MST edges
+/// and congestion-oblivious pattern segments committed on the grid.
+///
+/// Each net's contribution is a pure function of its terminal gcells, and
+/// usage is integer quanta, so patching only the nets named by a
+/// [`DirtySet`] (see [`plan_update`]) yields a plan bit-identical to
+/// re-planning the edited layout from scratch. [`finalize_route`] then
+/// runs the deterministic rip-up-and-reroute refinement plus parasitic
+/// extraction on top.
+#[derive(Debug, Clone)]
+pub struct RoutePlan {
+    grid: RouteGrid,
+    segs: Vec<Vec<RouteSeg>>,
+    edges: Vec<Vec<(GcellPos, GcellPos)>>,
+}
+
+impl RoutePlan {
+    /// Re-derives track scales and capacities for `rule`. Stored usage is
+    /// unscaled quanta and patterns are congestion-oblivious, so the plan
+    /// stays exact under the new rule — this is the whole rule handling of
+    /// [`plan_update`], exposed for callers that cache plans across
+    /// rule-only variations.
+    pub fn set_rule(&mut self, tech: &Technology, rule: &tech::RouteRule) {
+        self.grid.set_rule(tech, rule);
+    }
+}
+
 /// Extra wire modeled per pin for pin escape / via stacks, in DBU of M2.
 const PIN_STUB_DBU: i64 = 500;
 
@@ -104,7 +149,12 @@ impl RoutingState {
 
 /// Gcell terminals of a net: driver and sink cell locations (deduplicated),
 /// ignoring IO-only connections.
-fn net_terminals(layout: &Layout, tech: &Technology, grid: &RouteGrid, net: NetId) -> Vec<GcellPos> {
+fn net_terminals(
+    layout: &Layout,
+    tech: &Technology,
+    grid: &RouteGrid,
+    net: NetId,
+) -> Vec<GcellPos> {
     let design = layout.design();
     let n = design.net(net);
     let mut t: Vec<GcellPos> = Vec::new();
@@ -235,7 +285,13 @@ fn pick_layer(
 
 /// A candidate path for one MST edge: a list of straight runs, each tagged
 /// with its required direction.
-fn candidate_paths(a: GcellPos, b: GcellPos, nx: u32, ny: u32, detours: bool) -> Vec<Vec<(LayerDir, Vec<GcellPos>)>> {
+fn candidate_paths(
+    a: GcellPos,
+    b: GcellPos,
+    nx: u32,
+    ny: u32,
+    detours: bool,
+) -> Vec<Vec<(LayerDir, Vec<GcellPos>)>> {
     use LayerDir::{Horizontal as H, Vertical as V};
     let dx = a.x != b.x;
     let dy = a.y != b.y;
@@ -346,11 +402,15 @@ fn maze_route(
     let wy0 = a.y.min(b.y).saturating_sub(MARGIN);
     let wx1 = (a.x.max(b.x) + MARGIN).min(grid.nx() - 1);
     let wy1 = (a.y.max(b.y) + MARGIN).min(grid.ny() - 1);
-    let (nx, ny) = (grid.nx() as usize, grid.ny() as usize);
-    let idx = |g: GcellPos| g.y as usize * nx + g.x as usize;
+    // Window-local state arrays: allocating (and zeroing) the full grid
+    // per maze call dominates rip-up-and-reroute on anything but toy
+    // floorplans.
+    let wnx = (wx1 - wx0 + 1) as usize;
+    let wny = (wy1 - wy0 + 1) as usize;
+    let idx = |g: GcellPos| (g.y - wy0) as usize * wnx + (g.x - wx0) as usize;
     // State: (gcell, incoming axis 0=H, 1=V); dist per state.
-    let mut dist = vec![[f64::INFINITY; 2]; nx * ny];
-    let mut prev: Vec<[(u32, u32, u8); 2]> = vec![[(u32::MAX, u32::MAX, 0); 2]; nx * ny];
+    let mut dist = vec![[f64::INFINITY; 2]; wnx * wny];
+    let mut prev: Vec<[(u32, u32, u8); 2]> = vec![[(u32::MAX, u32::MAX, 0); 2]; wnx * wny];
     let mut heap: BinaryHeap<Reverse<(u64, u32, u32, u8)>> = BinaryHeap::new();
     let key = |d: f64| (d * 1024.0) as u64;
     dist[idx(a)] = [0.0, 0.0];
@@ -389,7 +449,11 @@ fn maze_route(
         }
     }
     // Reconstruct from the cheaper arrival state at b.
-    let mut axis = if dist[idx(b)][0] <= dist[idx(b)][1] { 0u8 } else { 1u8 };
+    let mut axis = if dist[idx(b)][0] <= dist[idx(b)][1] {
+        0u8
+    } else {
+        1u8
+    };
     if dist[idx(b)][axis as usize] == f64::INFINITY {
         return Vec::new(); // unreachable; caller falls back to patterns
     }
@@ -454,6 +518,7 @@ fn route_edge(
     penalty_mult: f64,
     segs: &mut Vec<RouteSeg>,
 ) {
+    #[allow(clippy::type_complexity)] // (cost, per-run layer assignment) candidate
     let mut best: Option<(f64, Vec<(usize, Vec<GcellPos>)>)> = None;
     for cand in candidate_paths(a, b, grid.nx(), grid.ny(), penalty_mult > 1.0) {
         let mut cost = 0.0;
@@ -464,7 +529,7 @@ fn route_edge(
             cost += c;
             runs.push((layer, cells));
         }
-        if best.as_ref().map_or(true, |(bc, _)| cost < *bc) {
+        if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
             best = Some((cost, runs));
         }
     }
@@ -475,20 +540,25 @@ fn route_edge(
     }
 }
 
-/// Track demand of a run's cells: endpoints count half (they terminate on
-/// pin access rather than crossing the gcell), interior cells count fully.
-fn run_usage(cells: &[GcellPos], scale: f64) -> impl Iterator<Item = (GcellPos, f64)> + '_ {
+/// Track demand of a run's cells in usage quanta: endpoints count a
+/// quarter track (they terminate on pin access rather than crossing the
+/// gcell), interior cells count a full track. The NDR scale is applied by
+/// the grid at read time, never here.
+fn run_usage(cells: &[GcellPos]) -> impl Iterator<Item = (GcellPos, i64)> + '_ {
     let last = cells.len() - 1;
     cells.iter().enumerate().map(move |(i, &g)| {
-        let w = if i == 0 || i == last { 0.25 * scale } else { scale };
-        (g, w)
+        let q = if i == 0 || i == last {
+            1
+        } else {
+            crate::QUANTA_PER_TRACK
+        };
+        (g, q)
     })
 }
 
 fn commit(grid: &mut RouteGrid, layer: usize, cells: &[GcellPos], segs: &mut Vec<RouteSeg>) {
-    let scale = grid.scale(layer);
-    for (g, w) in run_usage(cells, scale) {
-        grid.add_usage(layer, g, w);
+    for (g, q) in run_usage(cells) {
+        grid.add_quanta(layer, g, q);
     }
     segs.push(RouteSeg {
         layer,
@@ -498,16 +568,15 @@ fn commit(grid: &mut RouteGrid, layer: usize, cells: &[GcellPos], segs: &mut Vec
 }
 
 /// Removes a net's committed usage from the grid (the exact mirror of
-/// [`commit`]'s endpoint-discounted weights).
+/// [`commit`]'s endpoint-discounted quanta).
 fn rip_up(grid: &mut RouteGrid, segs: &[RouteSeg]) {
     for s in segs {
-        let scale = grid.scale(s.layer);
         let cells = match grid.dir(s.layer) {
             LayerDir::Horizontal => h_run(s.from.y, s.from.x, s.to.x),
             LayerDir::Vertical => v_run(s.from.x, s.from.y, s.to.y),
         };
-        for (g, w) in run_usage(&cells, scale) {
-            grid.add_usage(s.layer, g, -w);
+        for (g, q) in run_usage(&cells) {
+            grid.add_quanta(s.layer, g, -q);
         }
     }
 }
@@ -515,49 +584,175 @@ fn rip_up(grid: &mut RouteGrid, segs: &[RouteSeg]) {
 /// Number of rip-up-and-reroute refinement rounds.
 const RRR_ROUNDS: usize = 5;
 
-/// Routes every signal net of the layout under its active NDR rule.
-///
-/// A first pass routes nets along congestion-aware L/Z candidates; a few
-/// rip-up-and-reroute rounds then tear out every net that
-/// crosses an overflowed `(layer, gcell)` pair and reroute it under an
-/// escalated overflow penalty — the standard negotiated-congestion recipe.
-///
-/// The clock net is excluded (a dedicated clock tree distributes it), as
-/// are nets touching fewer than two placed cells.
-pub fn route_design(layout: &Layout, tech: &Technology) -> RoutingState {
-    let design = layout.design();
-    let mut grid = RouteGrid::new(layout.floorplan(), tech, layout.route_rule());
-    let clock = design.clock;
-    let n_nets = design.nets.len();
-    let mut segs: Vec<Vec<RouteSeg>> = vec![Vec::new(); n_nets];
-    let mut edges: Vec<Vec<(GcellPos, GcellPos)>> = vec![Vec::new(); n_nets];
+/// The Phase-A runs of one MST edge: one straight run, or an L-shape whose
+/// orientation is a parity hash of the endpoints (so roughly half the
+/// bends go each way without consulting congestion — the choice must stay
+/// a pure function of the edge for incremental re-planning).
+fn pattern_runs(a: GcellPos, b: GcellPos) -> Vec<(LayerDir, Vec<GcellPos>)> {
+    use LayerDir::{Horizontal as H, Vertical as V};
+    let dx = a.x != b.x;
+    let dy = a.y != b.y;
+    if dx && dy {
+        if (a.x ^ a.y ^ b.x ^ b.y) & 1 == 0 {
+            vec![(H, h_run(a.y, a.x, b.x)), (V, v_run(b.x, a.y, b.y))]
+        } else {
+            vec![(V, v_run(a.x, a.y, b.y)), (H, h_run(b.y, a.x, b.x))]
+        }
+    } else if dx {
+        vec![(H, h_run(a.y, a.x, b.x))]
+    } else if dy {
+        vec![(V, v_run(a.x, a.y, b.y))]
+    } else {
+        Vec::new()
+    }
+}
 
-    // Initial pass.
+/// Commits one edge's pattern route on its length-ideal layer. Unlike
+/// [`route_edge`] this never reads usage, capacity, or scale: the result
+/// depends only on the edge itself.
+fn pattern_route_edge(grid: &mut RouteGrid, a: GcellPos, b: GcellPos, segs: &mut Vec<RouteSeg>) {
+    for (dir, cells) in pattern_runs(a, b) {
+        let layers = grid.layers_with_dir(dir);
+        let len = cells.len() as u32 - 1;
+        let layer = layers[ideal_layer_rank(len, layers.len())];
+        commit(grid, layer, &cells, segs);
+    }
+}
+
+/// Pattern-routes one net from scratch into `plan` (terminals, MST,
+/// per-edge pattern commit).
+fn plan_net(plan: &mut RoutePlan, layout: &Layout, tech: &Technology, nid: NetId) {
+    let terminals = net_terminals(layout, tech, &plan.grid, nid);
+    let net_edges = mst_edges(&terminals);
+    let mut net_segs = Vec::new();
+    for &(a, b) in &net_edges {
+        pattern_route_edge(&mut plan.grid, a, b, &mut net_segs);
+    }
+    plan.segs[nid.0 as usize] = net_segs;
+    plan.edges[nid.0 as usize] = net_edges;
+}
+
+/// Phase A: builds the pattern-route plan of the whole layout. The clock
+/// net is excluded (a dedicated clock tree distributes it), as are nets
+/// touching fewer than two placed cells.
+pub fn plan_route(layout: &Layout, tech: &Technology) -> RoutePlan {
+    let design = layout.design();
+    let n_nets = design.nets.len();
+    let mut plan = RoutePlan {
+        grid: RouteGrid::new(layout.floorplan(), tech, layout.route_rule()),
+        segs: vec![Vec::new(); n_nets],
+        edges: vec![Vec::new(); n_nets],
+    };
     for (nid, _net) in design.nets_iter() {
-        if Some(nid) == clock {
+        if Some(nid) == design.clock {
             continue;
         }
-        let terminals = net_terminals(layout, tech, &grid, nid);
-        let net_edges = mst_edges(&terminals);
-        let mut net_segs = Vec::new();
-        for &(a, b) in &net_edges {
-            route_edge(&mut grid, a, b, 1.0, &mut net_segs);
-        }
-        segs[nid.0 as usize] = net_segs;
-        edges[nid.0 as usize] = net_edges;
+        plan_net(&mut plan, layout, tech, nid);
     }
+    plan
+}
+
+/// Incremental Phase A: patches a cached base plan for an edited layout.
+///
+/// Only the nets named by `dirty` are ripped out and re-patterned; a rule
+/// change merely re-derives scales and capacities (stored usage quanta are
+/// unscaled, so they remain exact). Because each net's pattern is a pure
+/// function of its terminals and integer usage commutes, the result is
+/// bit-identical to `plan_route(layout, tech)`.
+pub fn plan_update(
+    base: &RoutePlan,
+    layout: &Layout,
+    tech: &Technology,
+    dirty: &DirtySet,
+) -> RoutePlan {
+    let design = layout.design();
+    let mut plan = base.clone();
+    if dirty.rule_changed {
+        plan.grid.set_rule(tech, layout.route_rule());
+    }
+    for &nid in &dirty.nets {
+        if Some(nid) == design.clock {
+            continue;
+        }
+        rip_up(&mut plan.grid, &plan.segs[nid.0 as usize]);
+        plan.segs[nid.0 as usize].clear();
+        plan_net(&mut plan, layout, tech, nid);
+    }
+    plan
+}
+
+/// Diffs an edited layout against the baseline the plan was built from.
+///
+/// A net is dirty when any terminal cell's *gcell* changed (moves within
+/// one gcell leave the global route untouched); a [`tech::RouteRule`]
+/// mismatch is reported separately since it invalidates capacities and
+/// scales but no pattern geometry.
+pub fn dirty_between(
+    plan: &RoutePlan,
+    base: &Layout,
+    edited: &Layout,
+    tech: &Technology,
+) -> DirtySet {
+    let design = base.design();
+    let grid = &plan.grid;
+    let mut net_dirty = vec![false; design.nets.len()];
+    for (cid, cell) in design.cells_iter() {
+        let moved = match (base.cell_pos(cid), edited.cell_pos(cid)) {
+            (None, None) => false,
+            (Some(_), None) | (None, Some(_)) => true,
+            (Some(_), Some(_)) => {
+                grid.gcell_of_point(base.cell_center(cid, tech))
+                    != grid.gcell_of_point(edited.cell_center(cid, tech))
+            }
+        };
+        if moved {
+            for &inp in &cell.inputs {
+                net_dirty[inp.0 as usize] = true;
+            }
+            if let Some(out) = cell.output {
+                net_dirty[out.0 as usize] = true;
+            }
+        }
+    }
+    DirtySet {
+        nets: net_dirty
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| NetId(i as u32))
+            .collect(),
+        rule_changed: base.route_rule() != edited.route_rule(),
+    }
+}
+
+/// Routes every signal net of the layout under its active NDR rule.
+///
+/// Phase A pattern-routes each net obliviously of congestion
+/// ([`plan_route`]); [`finalize_route`] then runs a few rip-up-and-reroute
+/// rounds that tear out every net crossing an overflowed `(layer, gcell)`
+/// pair and reroute it under an escalated overflow penalty — the standard
+/// negotiated-congestion recipe — and extracts parasitics.
+pub fn route_design(layout: &Layout, tech: &Technology) -> RoutingState {
+    finalize_route(layout, tech, plan_route(layout, tech))
+}
+
+/// Phase B plus extraction: refines a pattern plan with deterministic
+/// rip-up-and-reroute and computes per-net parasitics.
+pub fn finalize_route(layout: &Layout, tech: &Technology, plan: RoutePlan) -> RoutingState {
+    let design = layout.design();
+    let clock = design.clock;
+    let n_nets = design.nets.len();
+    let RoutePlan {
+        mut grid,
+        mut segs,
+        edges,
+    } = plan;
 
     // Rip-up and reroute, keeping the best state seen (late rounds can
     // regress once detours start compounding).
     let debug = std::env::var_os("GG_ROUTE_DEBUG").is_some();
     let mut best: Option<(f64, RouteGrid, Vec<Vec<RouteSeg>>)> = None;
     for round in 0..RRR_ROUNDS {
-        let score = grid.total_overflow();
-        if best.as_ref().map_or(true, |(b, _, _)| score < *b) {
-            best = Some((score, grid.clone(), segs.clone()));
-        } else if round > 1 {
-            break; // regressing: stop and restore the best state
-        }
         if debug {
             eprintln!(
                 "rrr round {round}: overflow_pairs {} total {:.0}",
@@ -565,19 +760,33 @@ pub fn route_design(layout: &Layout, tech: &Technology) -> RoutingState {
                 grid.total_overflow()
             );
         }
+        // Nothing overflows: the current state is final, and any best
+        // state recorded earlier cannot beat an overflow score of zero.
         if grid.overflow_pairs() == 0 {
+            best = None;
             break;
+        }
+        let score = grid.total_overflow();
+        if best.as_ref().is_none_or(|(b, _, _)| score < *b) {
+            best = Some((score, grid.clone(), segs.clone()));
+        } else if round > 1 {
+            break; // regressing: stop and restore the best state
         }
         let penalty = 3.0f64.powi(round as i32 + 1);
         // Capture the overflow map before ripping anything.
         let crosses_overflow = |grid: &RouteGrid, s: &RouteSeg| -> bool {
-            let cells = match grid.dir(s.layer) {
-                LayerDir::Horizontal => h_run(s.from.y, s.from.x, s.to.x),
-                LayerDir::Vertical => v_run(s.from.x, s.from.y, s.to.y),
-            };
-            cells
-                .iter()
-                .any(|&g| grid.usage(s.layer, g) > grid.capacity(s.layer) + 1e-9)
+            let cap = grid.capacity(s.layer) + 1e-9;
+            let over = |g: GcellPos| grid.usage(s.layer, g) > cap;
+            match grid.dir(s.layer) {
+                LayerDir::Horizontal => {
+                    let (x0, x1) = (s.from.x.min(s.to.x), s.from.x.max(s.to.x));
+                    (x0..=x1).any(|x| over(GcellPos::new(x, s.from.y)))
+                }
+                LayerDir::Vertical => {
+                    let (y0, y1) = (s.from.y.min(s.to.y), s.from.y.max(s.to.y));
+                    (y0..=y1).any(|y| over(GcellPos::new(s.from.x, y)))
+                }
+            }
         };
         let victims: Vec<u32> = (0..n_nets as u32)
             .filter(|&i| segs[i as usize].iter().any(|s| crosses_overflow(&grid, s)))

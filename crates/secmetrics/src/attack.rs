@@ -53,9 +53,9 @@ impl TrojanSpec {
         Self {
             name: "privilege-escalation",
             gates: vec![
-                "DFF_X1", "DFF_X1", "DFF_X1", "DFF_X1", "XOR2_X1", "XOR2_X1", "XOR2_X1",
-                "XOR2_X1", "NAND2_X1", "NAND2_X1", "NAND3_X1", "NOR2_X1", "AOI21_X1",
-                "MUX2_X1", "MUX2_X1", "INV_X1",
+                "DFF_X1", "DFF_X1", "DFF_X1", "DFF_X1", "XOR2_X1", "XOR2_X1", "XOR2_X1", "XOR2_X1",
+                "NAND2_X1", "NAND2_X1", "NAND3_X1", "NOR2_X1", "AOI21_X1", "MUX2_X1", "MUX2_X1",
+                "INV_X1",
             ],
             min_free_tracks: 18.0,
         }
@@ -77,7 +77,11 @@ impl TrojanSpec {
             .iter()
             .map(|g| {
                 tech.library
-                    .kind(tech.library.kind_by_name(g).unwrap_or_else(|| panic!("unknown gate {g}")))
+                    .kind(
+                        tech.library
+                            .kind_by_name(g)
+                            .unwrap_or_else(|| panic!("unknown gate {g}")),
+                    )
                     .width_sites
             })
             .collect();

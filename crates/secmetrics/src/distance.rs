@@ -45,9 +45,11 @@ impl TapDelayModel {
     /// Trojan site and the payload connection routed *back* to the victim
     /// logic, so twice the distance is wired on the victim's timing path.
     fn new(tech: &Technology) -> Self {
-        let nand = tech
-            .library
-            .kind(tech.library.kind_by_name("NAND2_X1").expect("NAND2 in library"));
+        let nand = tech.library.kind(
+            tech.library
+                .kind_by_name("NAND2_X1")
+                .expect("NAND2 in library"),
+        );
         let victim_res = nand.drive_res; // representative victim driver
         let m2 = tech.layer(2);
         let m3 = tech.layer(3);

@@ -186,8 +186,7 @@ pub fn analyze_regions(
     for (_, members) in groups {
         let sites: u64 = members.iter().map(|&i| vertices[i].1.len() as u64).sum();
         if sites >= thresh as u64 {
-            let mut rows: Vec<(u32, Interval)> =
-                members.iter().map(|&i| vertices[i]).collect();
+            let mut rows: Vec<(u32, Interval)> = members.iter().map(|&i| vertices[i]).collect();
             rows.sort_unstable();
             regions.push(Region { sites, rows });
         }
@@ -257,7 +256,10 @@ mod tests {
     use super::*;
     use netlist::bench;
 
-    fn analyzed(period_factor: f64, util: f64) -> (Technology, Layout, RoutingState, RegionAnalysis) {
+    fn analyzed(
+        period_factor: f64,
+        util: f64,
+    ) -> (Technology, Layout, RoutingState, RegionAnalysis) {
         let tech = Technology::nangate45_like();
         let mut spec = bench::tiny_spec();
         spec.period_factor = period_factor;

@@ -67,11 +67,7 @@ pub fn region_report(
 
 /// Renders a compact text report: the region table plus the battery
 /// verdicts — what a `ggd analyze` user reads.
-pub fn render_report(
-    analysis: &RegionAnalysis,
-    layout: &Layout,
-    tech: &Technology,
-) -> String {
+pub fn render_report(analysis: &RegionAnalysis, layout: &Layout, tech: &Technology) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let lines = region_report(analysis, layout, tech);
@@ -121,8 +117,7 @@ mod tests {
         place::global_place(&mut layout, &tech, 9);
         let routing = route::route_design(&layout, &tech);
         let timing = sta::analyze(&layout, &routing, &tech);
-        let analysis =
-            crate::analyze_regions(&layout, &routing, &timing, &tech, crate::THRESH_ER);
+        let analysis = crate::analyze_regions(&layout, &routing, &timing, &tech, crate::THRESH_ER);
         (tech, layout, analysis)
     }
 

@@ -1,5 +1,5 @@
 use layout::Layout;
-use netlist::{CellId, Design, NetId, Sink};
+use netlist::{CellId, Design, NetDriver, NetId, Sink};
 use route::RoutingState;
 use tech::Technology;
 
@@ -246,6 +246,347 @@ pub fn analyze(layout: &Layout, routing: &RoutingState, tech: &Technology) -> Ti
         required,
         endpoint_slacks,
         cell_slack,
+        wire_delay,
+        net_load,
+    }
+}
+
+/// Static structure of a design's timing graph, cached across incremental
+/// re-analyses: topological levels, fanin/fanout adjacency, and the layout
+/// of the endpoint-slack vector. Depends only on the netlist and library,
+/// never on placement or routing.
+#[derive(Debug, Clone)]
+pub struct TimingGraph {
+    /// Topological level per cell (combinational cells only; -1 for
+    /// sequential, filler, and other untimed cells).
+    level: Vec<i32>,
+    /// Per net: combinational cells with the net among their inputs.
+    comb_consumers: Vec<Vec<CellId>>,
+    /// Per net: sequential cells whose D pin (`inputs[0]`) is the net.
+    ff_consumers: Vec<Vec<CellId>>,
+    /// Per net: how many primary outputs the net drives.
+    po_count: Vec<u32>,
+    /// Per net: the driving cell, when cell-driven.
+    driver_cell: Vec<Option<CellId>>,
+    /// Per net: level of the combinational driver (-1 when FF- or
+    /// PI-driven).
+    net_driver_level: Vec<i32>,
+    /// Per net: every non-filler cell touching the net.
+    incident_cells: Vec<Vec<CellId>>,
+    /// Per cell: index of its `FlopData` endpoint in the slack vector
+    /// (`usize::MAX` for non-sequential cells).
+    ff_endpoint_idx: Vec<usize>,
+    /// Index where `PrimaryOutput` endpoints start in the slack vector.
+    po_endpoint_base: usize,
+}
+
+impl TimingGraph {
+    /// Builds the cached graph structure for a design.
+    pub fn new(design: &Design, tech: &Technology) -> Self {
+        let n_nets = design.nets.len();
+        let n_cells = design.cells.len();
+        let mut comb_consumers: Vec<Vec<CellId>> = vec![Vec::new(); n_nets];
+        let mut ff_consumers: Vec<Vec<CellId>> = vec![Vec::new(); n_nets];
+        let mut po_count = vec![0u32; n_nets];
+        let mut driver_cell: Vec<Option<CellId>> = vec![None; n_nets];
+        let mut incident_cells: Vec<Vec<CellId>> = vec![Vec::new(); n_nets];
+        let mut ff_endpoint_idx = vec![usize::MAX; n_cells];
+        let mut n_ff = 0usize;
+        for (cid, cell) in design.cells_iter() {
+            let kind = tech.library.kind(cell.kind);
+            if kind.is_filler() {
+                continue;
+            }
+            for (pin, &inp) in cell.inputs.iter().enumerate() {
+                if kind.is_sequential() {
+                    if pin == 0 {
+                        ff_consumers[inp.0 as usize].push(cid);
+                    }
+                } else {
+                    comb_consumers[inp.0 as usize].push(cid);
+                }
+                incident_cells[inp.0 as usize].push(cid);
+            }
+            if let Some(out) = cell.output {
+                driver_cell[out.0 as usize] = Some(cid);
+                incident_cells[out.0 as usize].push(cid);
+            }
+            if kind.is_sequential() {
+                ff_endpoint_idx[cid.0 as usize] = n_ff;
+                n_ff += 1;
+            }
+        }
+        for &po in &design.primary_outputs {
+            po_count[po.0 as usize] += 1;
+        }
+
+        // Levelize the combinational cells (Kahn): a cell's level is one
+        // past the deepest combinational producer among its inputs.
+        let mut level = vec![-1i32; n_cells];
+        let mut pending = vec![0u32; n_cells];
+        let mut queue: std::collections::VecDeque<CellId> = std::collections::VecDeque::new();
+        let is_comb = |c: CellId| -> bool {
+            let k = tech.library.kind(design.cell(c).kind);
+            !k.is_sequential() && !k.is_filler()
+        };
+        for (cid, cell) in design.cells_iter() {
+            if !is_comb(cid) {
+                continue;
+            }
+            let deg = cell
+                .inputs
+                .iter()
+                .filter(|&&inp| matches!(design.net(inp).driver, NetDriver::Cell(c) if is_comb(c)))
+                .count() as u32;
+            pending[cid.0 as usize] = deg;
+            if deg == 0 {
+                level[cid.0 as usize] = 0;
+                queue.push_back(cid);
+            }
+        }
+        while let Some(cid) = queue.pop_front() {
+            let lv = level[cid.0 as usize];
+            if let Some(out) = design.cell(cid).output {
+                for &c in &comb_consumers[out.0 as usize] {
+                    let l = &mut level[c.0 as usize];
+                    *l = (*l).max(lv + 1);
+                    let p = &mut pending[c.0 as usize];
+                    *p -= 1;
+                    if *p == 0 {
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+
+        let net_driver_level = (0..n_nets)
+            .map(|n| match driver_cell[n] {
+                Some(c) => level[c.0 as usize],
+                None => -1,
+            })
+            .collect();
+
+        Self {
+            level,
+            comb_consumers,
+            ff_consumers,
+            po_count,
+            driver_cell,
+            net_driver_level,
+            incident_cells,
+            ff_endpoint_idx,
+            po_endpoint_base: n_ff,
+        }
+    }
+}
+
+/// Re-analyzes an edited layout against a cached base report, propagating
+/// timing only through the fanout/fanin cones of nets whose extracted RC
+/// differs from the base routing.
+///
+/// Arrival, required, endpoint, and per-cell slacks are recomputed with
+/// the identical formulas [`analyze`] uses, over inputs that are either
+/// unchanged base values or freshly recomputed ones — so the result is
+/// bit-for-bit equal to a from-scratch `analyze(layout, routing, tech)`.
+pub fn analyze_incremental(
+    graph: &TimingGraph,
+    base: &TimingReport,
+    base_routing: &RoutingState,
+    layout: &Layout,
+    routing: &RoutingState,
+    tech: &Technology,
+) -> TimingReport {
+    use std::collections::BTreeSet;
+    let design = layout.design();
+    let clock = design.clock;
+    let period = design.constraints.clock_period;
+
+    // 1. RC diff: find the nets whose parasitics moved.
+    let mut changed_nets: Vec<NetId> = Vec::new();
+    for (nid, _) in design.nets_iter() {
+        if Some(nid) == clock {
+            continue;
+        }
+        if routing.net_rc(nid) != base_routing.net_rc(nid) {
+            changed_nets.push(nid);
+        }
+    }
+    if changed_nets.is_empty() {
+        return base.clone();
+    }
+    // Dense edits (an NDR change perturbs every routed net) pay the cone
+    // machinery's worklist overhead for no savings — the from-scratch
+    // pass, which computes the identical result, is cheaper there.
+    if changed_nets.len() * 4 > design.nets.len() {
+        return analyze(layout, routing, tech);
+    }
+
+    let TimingReport {
+        clock_period,
+        mut arrival,
+        mut required,
+        mut endpoint_slacks,
+        mut cell_slack,
+        mut wire_delay,
+        mut net_load,
+    } = base.clone();
+    let mut changed: BTreeSet<u32> = BTreeSet::new();
+    for &nid in &changed_nets {
+        wire_delay[nid.0 as usize] = wire_delay_ps(design, routing, tech, nid);
+        net_load[nid.0 as usize] = net_load_ff(design, routing, tech, nid);
+        changed.insert(nid.0);
+    }
+    let gate_delay = |cell: CellId, net_load: &[f64]| -> f64 {
+        let c = design.cell(cell);
+        let kind = tech.library.kind(c.kind);
+        let load = c.output.map_or(0.0, |o| net_load[o.0 as usize]);
+        kind.delay(load)
+    };
+
+    // 2. Forward cone: re-evaluate consumers (input arrival terms moved)
+    // and combinational drivers (their gate delay reads the changed load)
+    // in ascending level order; propagate on value change.
+    let mut fwd: BTreeSet<(i32, u32)> = BTreeSet::new();
+    for &n in &changed {
+        for &c in &graph.comb_consumers[n as usize] {
+            fwd.insert((graph.level[c.0 as usize], c.0));
+        }
+        if let Some(d) = graph.driver_cell[n as usize] {
+            if graph.level[d.0 as usize] >= 0 {
+                fwd.insert((graph.level[d.0 as usize], d.0));
+            }
+        }
+    }
+    let mut arr_changed: BTreeSet<u32> = BTreeSet::new();
+    while let Some((_, cidx)) = fwd.pop_first() {
+        let cid = CellId(cidx);
+        let cell = design.cell(cid);
+        let mut in_arrival = 0.0f64;
+        for &inp in &cell.inputs {
+            let a = arrival[inp.0 as usize];
+            let a = if a == f64::NEG_INFINITY { 0.0 } else { a };
+            in_arrival = in_arrival.max(a + wire_delay[inp.0 as usize]);
+        }
+        let out_arrival = in_arrival + gate_delay(cid, &net_load);
+        if let Some(out) = cell.output {
+            let o = out.0 as usize;
+            if arrival[o] != out_arrival {
+                arrival[o] = out_arrival;
+                arr_changed.insert(out.0);
+                for &c in &graph.comb_consumers[o] {
+                    fwd.insert((graph.level[c.0 as usize], c.0));
+                }
+            }
+        }
+    }
+
+    // 3. Backward cone: pull-recompute each affected net's required time
+    // (the full min over its FF, PO, and combinational-consumer terms) in
+    // descending driver-level order, so every consumer's required time is
+    // final before it is read.
+    let mut bwd: BTreeSet<(i32, u32)> = BTreeSet::new();
+    let seed_driver_inputs = |bwd: &mut BTreeSet<(i32, u32)>, n: u32| {
+        if let Some(d) = graph.driver_cell[n as usize] {
+            if graph.level[d.0 as usize] >= 0 {
+                for &inp in &design.cell(d).inputs {
+                    bwd.insert((graph.net_driver_level[inp.0 as usize], inp.0));
+                }
+            }
+        }
+    };
+    for &n in &changed {
+        bwd.insert((graph.net_driver_level[n as usize], n));
+        // The driver's gate delay changed with its load, which shifts the
+        // required times of the driver's own inputs.
+        seed_driver_inputs(&mut bwd, n);
+    }
+    let mut req_changed: BTreeSet<u32> = BTreeSet::new();
+    while let Some((_, nidx)) = bwd.pop_last() {
+        let ni = nidx as usize;
+        let mut r = f64::INFINITY;
+        for &ff in &graph.ff_consumers[ni] {
+            let kind = tech.library.kind(design.cell(ff).kind);
+            r = r.min((period - kind.setup) - wire_delay[ni]);
+        }
+        if graph.po_count[ni] > 0 {
+            r = r.min(period - design.constraints.output_delay);
+        }
+        for &c in &graph.comb_consumers[ni] {
+            let Some(out) = design.cell(c).output else {
+                continue;
+            };
+            let r_out = required[out.0 as usize];
+            if r_out == f64::INFINITY {
+                continue;
+            }
+            r = r.min(r_out - gate_delay(c, &net_load) - wire_delay[ni]);
+        }
+        if required[ni] != r {
+            required[ni] = r;
+            req_changed.insert(nidx);
+            seed_driver_inputs(&mut bwd, nidx);
+        }
+    }
+
+    // 4. Patch endpoint slacks whose inputs moved.
+    for &n in changed.union(&arr_changed) {
+        let ni = n as usize;
+        for &ff in &graph.ff_consumers[ni] {
+            let kind = tech.library.kind(design.cell(ff).kind);
+            let a = arrival[ni];
+            let a = if a == f64::NEG_INFINITY { 0.0 } else { a };
+            let at_pin = a + wire_delay[ni];
+            endpoint_slacks[graph.ff_endpoint_idx[ff.0 as usize]].1 =
+                (period - kind.setup) - at_pin;
+        }
+    }
+    for (i, &po) in design.primary_outputs.iter().enumerate() {
+        if arr_changed.contains(&po.0) {
+            let a = arrival[po.0 as usize];
+            let a = if a == f64::NEG_INFINITY { 0.0 } else { a };
+            endpoint_slacks[graph.po_endpoint_base + i].1 =
+                (period - design.constraints.output_delay) - a;
+        }
+    }
+
+    // 5. Patch per-cell slack around every net whose slack moved.
+    let slack_of = |net: usize, arrival: &[f64], required: &[f64]| -> f64 {
+        let a = arrival[net];
+        let r = required[net];
+        if a == f64::NEG_INFINITY || r == f64::INFINITY {
+            f64::INFINITY
+        } else {
+            r - a
+        }
+    };
+    let mut touched: BTreeSet<u32> = BTreeSet::new();
+    for &n in arr_changed.union(&req_changed) {
+        for &c in &graph.incident_cells[n as usize] {
+            touched.insert(c.0);
+        }
+    }
+    for &cidx in &touched {
+        let cell = design.cell(CellId(cidx));
+        let mut s = f64::INFINITY;
+        for &inp in &cell.inputs {
+            if Some(inp) != clock {
+                s = s.min(slack_of(inp.0 as usize, &arrival, &required));
+            }
+        }
+        if let Some(out) = cell.output {
+            s = s.min(slack_of(out.0 as usize, &arrival, &required));
+        }
+        cell_slack[cidx as usize] = s;
+    }
+
+    TimingReport {
+        clock_period,
+        arrival,
+        required,
+        endpoint_slacks,
+        cell_slack,
+        wire_delay,
+        net_load,
     }
 }
 
@@ -314,6 +655,39 @@ mod tests {
             let s = t.cell_slack_ps(c);
             assert!(s.is_finite(), "critical cell {} slack {s}", c.0);
         }
+    }
+
+    #[test]
+    fn incremental_matches_full_bit_for_bit() {
+        let tech = Technology::nangate45_like();
+        let mut spec = bench::tiny_spec();
+        spec.period_factor = 0.9; // tight enough that required times bind
+        let design = bench::generate(&spec, &tech);
+        let mut layout = Layout::empty_floorplan(design, &tech, 0.6);
+        place::global_place(&mut layout, &tech, 9);
+        place::refine_wirelength(&mut layout, &tech, 2, 9);
+        let routing = route::route_design(&layout, &tech);
+        let base = analyze(&layout, &routing, &tech);
+        let graph = TimingGraph::new(layout.design(), &tech);
+
+        // An NDR change perturbs the RC of (nearly) every routed net.
+        let mut edited = layout.clone();
+        edited.set_route_rule(RouteRule::uniform(1.5));
+        let rerouted = route::route_design(&edited, &tech);
+        let full = analyze(&edited, &rerouted, &tech);
+        let inc = analyze_incremental(&graph, &base, &routing, &edited, &rerouted, &tech);
+        assert_eq!(full.arrival, inc.arrival);
+        assert_eq!(full.required, inc.required);
+        assert_eq!(full.endpoint_slacks, inc.endpoint_slacks);
+        assert_eq!(full.cell_slack, inc.cell_slack);
+        assert_eq!(full.wire_delay, inc.wire_delay);
+        assert_eq!(full.net_load, inc.net_load);
+        assert_eq!(full.tns_ps(), inc.tns_ps());
+
+        // No RC change at all must return the base report unchanged.
+        let same = analyze_incremental(&graph, &base, &routing, &layout, &routing, &tech);
+        assert_eq!(same.arrival, base.arrival);
+        assert_eq!(same.endpoint_slacks, base.endpoint_slacks);
     }
 
     #[test]

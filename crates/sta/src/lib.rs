@@ -26,5 +26,5 @@
 mod graph;
 mod report;
 
-pub use graph::analyze;
+pub use graph::{analyze, analyze_incremental, TimingGraph};
 pub use report::TimingReport;

@@ -19,6 +19,12 @@ pub struct TimingReport {
     /// Per-cell worst slack over incident signal nets
     /// (`f64::INFINITY` for untimed cells such as fillers).
     pub(crate) cell_slack: Vec<f64>,
+    /// Elmore wire delay per net in ps, kept so an incremental re-analysis
+    /// can detect and re-propagate only nets whose parasitics changed.
+    pub(crate) wire_delay: Vec<f64>,
+    /// Driver load per net in fF (wire plus sink pins), kept for the same
+    /// reason.
+    pub(crate) net_load: Vec<f64>,
 }
 
 /// What terminates a timing path.
@@ -57,15 +63,15 @@ impl TimingReport {
     /// Total negative slack in ps (the paper's timing metric; 0 is
     /// optimal, more negative is worse).
     pub fn tns_ps(&self) -> f64 {
-        self.endpoint_slacks
-            .iter()
-            .map(|(_, s)| s.min(0.0))
-            .sum()
+        self.endpoint_slacks.iter().map(|(_, s)| s.min(0.0)).sum()
     }
 
     /// Number of endpoints violating their setup requirement.
     pub fn failing_endpoints(&self) -> usize {
-        self.endpoint_slacks.iter().filter(|(_, s)| *s < 0.0).count()
+        self.endpoint_slacks
+            .iter()
+            .filter(|(_, s)| *s < 0.0)
+            .count()
     }
 
     /// All endpoint slacks.
@@ -115,6 +121,8 @@ mod tests {
                 .map(|&s| (EndpointKind::PrimaryOutput(0), s))
                 .collect(),
             cell_slack: vec![],
+            wire_delay: vec![],
+            net_load: vec![],
         }
     }
 

@@ -37,7 +37,19 @@ impl Library {
         use CellClass::{Combinational as C, Filler as F, Sequential as S};
         // (name, class, width_sites, inputs, R kΩ, Cin fF, intrinsic ps,
         //  setup ps, leakage nW, internal fJ)
-        let spec: &[(&'static str, CellClass, u32, u8, f64, f64, f64, f64, f64, f64)] = &[
+        #[allow(clippy::type_complexity)] // one-off literal table
+        let spec: &[(
+            &'static str,
+            CellClass,
+            u32,
+            u8,
+            f64,
+            f64,
+            f64,
+            f64,
+            f64,
+            f64,
+        )] = &[
             ("INV_X1", C, 2, 1, 2.00, 1.6, 8.0, 0.0, 10.0, 0.5),
             ("INV_X2", C, 3, 1, 1.00, 3.2, 7.0, 0.0, 18.0, 0.8),
             ("INV_X4", C, 4, 1, 0.50, 6.4, 6.0, 0.0, 33.0, 1.4),
@@ -66,7 +78,18 @@ impl Library {
         let kinds = spec
             .iter()
             .map(
-                |&(name, class, width_sites, inputs, drive_res, input_cap, intrinsic, setup, leakage, internal_energy)| {
+                |&(
+                    name,
+                    class,
+                    width_sites,
+                    inputs,
+                    drive_res,
+                    input_cap,
+                    intrinsic,
+                    setup,
+                    leakage,
+                    internal_energy,
+                )| {
                     CellKind {
                         name,
                         class,
@@ -157,7 +180,9 @@ mod tests {
     #[test]
     fn has_expected_families() {
         let lib = Library::nangate45_like();
-        for name in ["INV_X1", "NAND2_X1", "XOR2_X1", "DFF_X1", "FILL_X1", "MUX2_X1"] {
+        for name in [
+            "INV_X1", "NAND2_X1", "XOR2_X1", "DFF_X1", "FILL_X1", "MUX2_X1",
+        ] {
             assert!(lib.kind_by_name(name).is_some(), "missing {name}");
         }
         assert!(lib.kind_by_name("SRAM_MACRO").is_none());
@@ -180,7 +205,9 @@ mod tests {
         let lib = Library::nangate45_like();
         let ff = lib.functional_fill_kinds();
         assert!(!ff.is_empty());
-        assert!(ff.iter().all(|id| lib.kind(*id).class == CellClass::Combinational));
+        assert!(ff
+            .iter()
+            .all(|id| lib.kind(*id).class == CellClass::Combinational));
         // Narrowest functional cell is 2 sites wide: 1-site gaps are
         // unfillable by BISA, which is exactly the residue the paper reports.
         assert_eq!(lib.kind(ff[0]).width_sites, 2);

@@ -32,7 +32,11 @@ fn report(label: &str, analysis: &secmetrics::RegionAnalysis, tech: &Technology)
                     outcome.gates_placed
                 )
             } else {
-                format!("DEFEATED ({} of {} gates fit)", outcome.gates_placed, spec.gates.len())
+                format!(
+                    "DEFEATED ({} of {} gates fit)",
+                    outcome.gates_placed,
+                    spec.gates.len()
+                )
             }
         );
     }
@@ -41,7 +45,10 @@ fn report(label: &str, analysis: &secmetrics::RegionAnalysis, tech: &Technology)
 fn main() {
     let tech = Technology::nangate45_like();
     let spec = netlist::bench::spec_by_name("MISTY").expect("known benchmark");
-    println!("implementing {} and attacking it before and after hardening…", spec.name);
+    println!(
+        "implementing {} and attacking it before and after hardening…",
+        spec.name
+    );
     let base = implement_baseline(&spec, &tech);
     report("baseline layout", &base.security, &tech);
 

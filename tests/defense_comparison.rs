@@ -19,7 +19,15 @@ fn sweep() -> (Technology, Sweep) {
     let icas = defenses::apply_icas(&base, &tech);
     let bisa = defenses::apply_bisa(&base, &tech);
     let ba = defenses::apply_ba(&base, &tech);
-    (tech, Sweep { base, icas, bisa, ba })
+    (
+        tech,
+        Sweep {
+            base,
+            icas,
+            bisa,
+            ba,
+        },
+    )
 }
 
 #[test]
@@ -56,5 +64,9 @@ fn attack_resistance_tracks_the_metrics() {
         rate(&s.base) >= rate(&s.bisa),
         "hardening must not make attacks easier"
     );
-    assert_eq!(rate(&s.bisa), 0.0, "BISA leaves no room for any battery Trojan");
+    assert_eq!(
+        rate(&s.bisa),
+        0.0,
+        "BISA leaves no room for any battery Trojan"
+    );
 }

@@ -18,9 +18,14 @@ fn tight_tiny() -> bench::DesignSpec {
 fn baseline_pipeline_produces_coherent_snapshot() {
     let tech = Technology::nangate45_like();
     let snap = implement_baseline(&bench::tiny_spec(), &tech);
-    snap.layout.check_consistency(&tech).expect("placement consistent");
+    snap.layout
+        .check_consistency(&tech)
+        .expect("placement consistent");
     snap.layout.design().validate(&tech).expect("netlist valid");
-    assert!(snap.security.er_sites > 0, "a loose baseline is exploitable");
+    assert!(
+        snap.security.er_sites > 0,
+        "a loose baseline is exploitable"
+    );
     assert!(snap.power_mw() > 0.0);
     assert!(snap.routing.total_wirelength_um() > 0.0);
     // Every exploitable region respects the threshold.
@@ -35,8 +40,14 @@ fn cell_shift_flow_hardens_loose_design() {
     let base = implement_baseline(&bench::tiny_spec(), &tech);
     let hardened = apply_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
     let sec = secmetrics::security_score(&hardened.security, &base.security, 0.5);
-    assert!(sec < 0.5, "CS must remove most exploitable space, got {sec}");
-    hardened.layout.check_consistency(&tech).expect("still consistent");
+    assert!(
+        sec < 0.5,
+        "CS must remove most exploitable space, got {sec}"
+    );
+    hardened
+        .layout
+        .check_consistency(&tech)
+        .expect("still consistent");
     // The netlist itself is untouched — only placement moved.
     assert_eq!(
         hardened.layout.design().cells.len(),
@@ -60,7 +71,11 @@ fn lda_flow_hardens_tight_design_with_bounded_timing_cost() {
         scales: [1.0; 10],
     };
     let m = run_flow(&base, &tech, &cfg, 1);
-    assert!(m.security < 0.95, "LDA should improve security, got {}", m.security);
+    assert!(
+        m.security < 0.95,
+        "LDA should improve security, got {}",
+        m.security
+    );
     // Power stays within the paper's hard constraint.
     assert!(m.power_mw <= 1.2 * base.power_mw());
     let _ = tight_tiny();

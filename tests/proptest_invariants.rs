@@ -114,7 +114,7 @@ proptest! {
         }
         let runs = occ.empty_runs(0);
         // Runs are disjoint, sorted, maximal, and cover every empty site.
-        let mut covered = vec![false; 32];
+        let mut covered = [false; 32];
         for w in runs.windows(2) {
             prop_assert!(w[0].hi < w[1].lo, "runs must be separated by cells");
         }

@@ -32,9 +32,7 @@ fn routing_usage_matches_committed_segments() {
         }
         let mut terminals: Vec<GcellPos> = Vec::new();
         let mut push = |c: netlist::CellId| {
-            let g = r
-                .grid()
-                .gcell_of_point(snap.layout.cell_center(c, &tech));
+            let g = r.grid().gcell_of_point(snap.layout.cell_center(c, &tech));
             if !terminals.contains(&g) {
                 terminals.push(g);
             }

@@ -3,7 +3,7 @@
 
 use gdsii_guard::pipeline::{evaluate, implement_baseline};
 use netlist::bench;
-use secmetrics::{analyze_regions, THRESH_ER};
+use secmetrics::analyze_regions;
 use tech::Technology;
 
 #[test]

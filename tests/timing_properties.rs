@@ -81,8 +81,12 @@ fn scrambling_placement_does_not_improve_worst_slack() {
     for i in 0..n {
         let a = netlist::CellId(i);
         let b = netlist::CellId(200 - i);
-        let (Some(pa), Some(pb)) = (occ.cell_pos(a), occ.cell_pos(b)) else { continue };
-        let (Some(wa), Some(wb)) = (occ.cell_width(a), occ.cell_width(b)) else { continue };
+        let (Some(pa), Some(pb)) = (occ.cell_pos(a), occ.cell_pos(b)) else {
+            continue;
+        };
+        let (Some(wa), Some(wb)) = (occ.cell_width(a), occ.cell_width(b)) else {
+            continue;
+        };
         if wa == wb {
             occ.remove_cell(a).unwrap();
             occ.remove_cell(b).unwrap();

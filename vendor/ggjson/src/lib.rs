@@ -1,0 +1,648 @@
+//! Tiny JSON library for the workspace's experiment-result caching: a
+//! [`Json`] value model, a strict parser, a pretty-printer, the
+//! [`ToJson`] / [`FromJson`] conversion traits, and the [`json_struct!`]
+//! macro deriving both for plain field structs.
+//!
+//! Numbers are stored as `f64`; every integer the workspace serializes is
+//! far below 2^53, so round-trips are exact. Non-finite floats serialize as
+//! tagged strings (`"inf"`, `"-inf"`, `"nan"`) and parse back losslessly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` when it is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Types convertible to a [`Json`] value.
+pub trait ToJson {
+    /// Converts to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Types reconstructible from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Parses from a JSON value; `None` on shape mismatch.
+    fn from_json(j: &Json) -> Option<Self>;
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(j: &Json) -> Option<Self> {
+        match j {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        if self.is_finite() {
+            Json::Num(*self)
+        } else if self.is_nan() {
+            Json::Str("nan".into())
+        } else if *self > 0.0 {
+            Json::Str("inf".into())
+        } else {
+            Json::Str("-inf".into())
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(j: &Json) -> Option<Self> {
+        match j {
+            Json::Num(n) => Some(*n),
+            Json::Str(s) => match s.as_str() {
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                "nan" => Some(f64::NAN),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_json_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(j: &Json) -> Option<Self> {
+                let n = j.as_num()?;
+                let v = n as $t;
+                // Reject lossy conversions (fractions, out of range).
+                if v as f64 == n { Some(v) } else { None }
+            }
+        }
+    )+};
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(j: &Json) -> Option<Self> {
+        j.as_str().map(str::to_owned)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(j: &Json) -> Option<Self> {
+        match j {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            _ => None,
+        }
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson + Copy + Default, const N: usize> FromJson for [T; N] {
+    fn from_json(j: &Json) -> Option<Self> {
+        match j {
+            Json::Arr(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_json(item)?;
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(j: &Json) -> Option<Self> {
+        match j {
+            Json::Null => Some(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<K: ToString, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(j: &Json) -> Option<Self> {
+        match j {
+            Json::Arr(items) if items.len() == 2 => {
+                Some((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Derives [`ToJson`] and [`FromJson`] for a plain field struct.
+///
+/// ```
+/// #[derive(Debug, Clone, PartialEq)]
+/// struct P { x: u32, label: String }
+/// ggjson::json_struct!(P { x, label });
+/// # use ggjson::{FromJson, ToJson};
+/// let p = P { x: 3, label: "a".into() };
+/// assert_eq!(P::from_json(&p.to_json()), Some(p.clone()));
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_owned(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+
+        impl $crate::FromJson for $name {
+            fn from_json(j: &$crate::Json) -> Option<Self> {
+                Some(Self {
+                    $($field: $crate::FromJson::from_json(j.get(stringify!($field))?)?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Serializes a value as pretty-printed JSON text.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json(), 0);
+    out.push('\n');
+    out
+}
+
+/// Serializes a value as pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: ToJson + ?Sized>(value: &T) -> Vec<u8> {
+    to_string_pretty(value).into_bytes()
+}
+
+/// Parses a value from JSON bytes.
+pub fn from_slice<T: FromJson>(bytes: &[u8]) -> Option<T> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    from_str(text)
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: FromJson>(text: &str) -> Option<T> {
+    T::from_json(&parse(text)?)
+}
+
+/// Parses JSON text into a [`Json`] value; `None` on any syntax error or
+/// trailing garbage.
+pub fn parse(text: &str) -> Option<Json> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn write_value(out: &mut String, v: &Json, indent: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => {
+            // `{}` on f64 prints the shortest round-tripping decimal.
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                let _ = write!(out, "{:.1}", n);
+                // Integral values print as `x.0` so the type is visible;
+                // trim to serde_json-style integers when exact.
+                if *n == n.trunc() && out.ends_with(".0") {
+                    out.truncate(out.len() - 2);
+                }
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value(out, val, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        match *self.bytes.get(self.pos)? {
+            b'n' => self.eat_lit("null").then_some(Json::Null),
+            b't' => self.eat_lit("true").then_some(Json::Bool(true)),
+            b'f' => self.eat_lit("false").then_some(Json::Bool(false)),
+            b'"' => self.string().map(Json::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            _ => self.number(),
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[');
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.eat(b']') {
+            return Some(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Some(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return None;
+            }
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{');
+        self.skip_ws();
+        let mut members = Vec::new();
+        if self.eat(b'}') {
+            return Some(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return None;
+            }
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Some(Json::Obj(members));
+            }
+            if !self.eat(b',') {
+                return None;
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the source slice.
+                    let start = self.pos - 1;
+                    let rest = std::str::from_utf8(&self.bytes[start..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse::<f64>()
+            .ok()
+            .map(Json::Num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Demo {
+        name: String,
+        count: u64,
+        ratio: f64,
+        tags: Vec<u32>,
+        flags: [u8; 3],
+    }
+
+    json_struct!(Demo {
+        name,
+        count,
+        ratio,
+        tags,
+        flags
+    });
+
+    #[test]
+    fn struct_round_trip() {
+        let d = Demo {
+            name: "AES_1 \"quoted\"\n".into(),
+            count: 123_456,
+            ratio: -0.125,
+            tags: vec![1, 2, 3],
+            flags: [9, 8, 7],
+        };
+        let text = to_string_pretty(&d);
+        let back: Demo = from_str(&text).expect("parses");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn vec_of_structs_round_trip() {
+        let v = vec![
+            Demo {
+                name: "a".into(),
+                count: 0,
+                ratio: 1.5,
+                tags: vec![],
+                flags: [0; 3],
+            };
+            3
+        ];
+        let bytes = to_vec_pretty(&v);
+        let back: Vec<Demo> = from_slice(&bytes).expect("parses");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parses_plain_json() {
+        let j = parse(r#" {"a": [1, 2.5, -3e2], "b": {"c": null}, "d": "xA"} "#).unwrap();
+        assert_eq!(
+            j.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0)])
+        );
+        assert_eq!(j.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert_eq!(j.get("d").unwrap().as_str(), Some("xA"));
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert_eq!(parse("{"), None);
+        assert_eq!(parse("[1, 2"), None);
+        assert_eq!(parse("{} extra"), None);
+        assert_eq!(parse("nul"), None);
+        assert_eq!(parse(r#"{"a" 1}"#), None);
+    }
+
+    #[test]
+    fn float_round_trips_shortest() {
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            1e300,
+            -2.5e-10,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let text = to_string_pretty(&v);
+            let back: f64 = from_str(&text).expect("parses");
+            assert_eq!(back, v, "{text}");
+        }
+        let nan_text = to_string_pretty(&f64::NAN);
+        let back: f64 = from_str(&nan_text).expect("parses");
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn int_conversion_rejects_fractions() {
+        assert_eq!(from_str::<u32>("2.5"), None);
+        assert_eq!(from_str::<u32>("-1"), None);
+        assert_eq!(from_str::<i64>("-1"), Some(-1));
+        assert_eq!(from_str::<u64>("4096"), Some(4096));
+    }
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(from_str::<Option<u32>>("null"), Some(None));
+        assert_eq!(from_str::<Option<u32>>("7"), Some(Some(7)));
+    }
+}

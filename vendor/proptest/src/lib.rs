@@ -1,0 +1,315 @@
+//! Minimal, dependency-free stand-in for the subset of `proptest` this
+//! workspace uses: the [`proptest!`] test macro, range/tuple/`vec`/`any`
+//! strategies, `ProptestConfig::with_cases`, and the `prop_assert*` macros.
+//!
+//! Cases are generated from a deterministic per-test RNG; failures panic
+//! with the rendered values (no shrinking — cases are small by design).
+
+use rand::prelude::*;
+
+/// Runner configuration: number of generated cases per property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to generate.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A value generator. Strategies are sampled (not shrunk) by this shim.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T, S: Strategy<Value = T> + ?Sized> Strategy for &S {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if lo == hi { lo } else { rng.gen_range(lo..hi) }
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for primitives.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(core::marker::PhantomData)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy(core::marker::PhantomData)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with a length drawn from `len` and
+    /// elements drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the `proptest!` grammar needs in scope.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+pub mod runner {
+    pub use rand::prelude::{Rng, SeedableRng, StdRng};
+
+    /// Deterministic per-test seed: stable across runs, distinct per name.
+    pub fn seed_for(test_name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Prints the failing case's rendered inputs if the property body
+    /// unwinds (the body may consume the inputs, so they are rendered
+    /// up front and reported from `Drop`).
+    pub struct CaseReporter(pub Option<String>);
+
+    impl Drop for CaseReporter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                if let Some(s) = self.0.take() {
+                    eprintln!("{s}");
+                }
+            }
+        }
+    }
+
+    impl CaseReporter {
+        /// Marks the case as passed: nothing is printed on drop.
+        pub fn passed(&mut self) {
+            self.0 = None;
+        }
+    }
+}
+
+/// Property-test macro: each `fn` body runs `cases` times with inputs drawn
+/// from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <$crate::runner::StdRng as $crate::runner::SeedableRng>::seed_from_u64(
+                    $crate::runner::seed_for(stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let mut rendered = format!(
+                        "proptest case {case} of {} failed with inputs:",
+                        stringify!($name)
+                    );
+                    $(rendered.push_str(&format!(
+                        "\n  {} = {:?}",
+                        stringify!($arg),
+                        $arg
+                    ));)+
+                    let mut reporter = $crate::runner::CaseReporter(Some(rendered));
+                    $body
+                    reporter.passed();
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(pair in (0u32..10, -5i64..5), f in 0.0f64..1.0) {
+            let (a, b) = pair;
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.0..1.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let mut a = <crate::runner::StdRng as crate::runner::SeedableRng>::seed_from_u64(1);
+        let mut b = <crate::runner::StdRng as crate::runner::SeedableRng>::seed_from_u64(1);
+        let s = 0u32..100;
+        for _ in 0..50 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}
