@@ -17,7 +17,7 @@ fn bench_operators(c: &mut Criterion) {
 
     group.bench_function("cell_shift/PRESENT", |b| {
         b.iter_batched(
-            || base.layout.clone(),
+            || layout::Layout::clone(&base.layout),
             |mut layout| {
                 cell_shift(&mut layout, &tech, THRESH_ER);
                 std::hint::black_box(layout)
@@ -28,7 +28,7 @@ fn bench_operators(c: &mut Criterion) {
 
     group.bench_function("lda_n8/PRESENT", |b| {
         b.iter_batched(
-            || base.layout.clone(),
+            || layout::Layout::clone(&base.layout),
             |mut layout| {
                 local_density_adjustment(&mut layout, &tech, LdaParams { n: 8, n_iter: 1 }, 1);
                 std::hint::black_box(layout)
@@ -40,7 +40,7 @@ fn bench_operators(c: &mut Criterion) {
     group.bench_function("rws_reroute/PRESENT", |b| {
         b.iter_batched(
             || {
-                let mut l = base.layout.clone();
+                let mut l = layout::Layout::clone(&base.layout);
                 l.set_route_rule(RouteRule::uniform(1.2));
                 l
             },

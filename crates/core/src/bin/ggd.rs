@@ -105,7 +105,9 @@ fn cmd_harden(name: &str, op: &str, out: Option<&str>) {
         secmetrics::attack::battery_success_rate(&hardened.security, &tech) * 100.0
     );
     if let Some(path) = out {
-        layout::insert_fillers(hardened.layout.occupancy_mut(), &tech);
+        // The snapshot's layout is Arc-shared; un-share before mutating.
+        let hl = std::sync::Arc::make_mut(&mut hardened.layout);
+        layout::insert_fillers(hl.occupancy_mut(), &tech);
         let lib = gdsii::layout_to_gds(&hardened.layout, &tech, Some(&hardened.routing));
         match std::fs::write(path, lib.to_bytes()) {
             Ok(()) => println!("  wrote {path}"),

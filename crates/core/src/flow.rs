@@ -155,7 +155,7 @@ ggjson::json_struct!(FlowMetrics {
 /// baseline layout. The result depends only on `(op, seed)` — routing
 /// width scales are installed afterwards and never feed the operator.
 fn apply_operator(base: &Snapshot, tech: &Technology, op: OpSelect, seed: u64) -> layout::Layout {
-    let mut layout = base.layout.clone();
+    let mut layout = layout::Layout::clone(&base.layout);
     preprocess::lock_critical_cells(&mut layout);
     match op {
         OpSelect::CellShift => {
@@ -203,12 +203,15 @@ pub fn run_flow(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64)
 /// re-evaluation is incremental against the engine's cached baseline,
 /// and the placement-operator result (which cannot depend on the width
 /// scales applied after it) is memoized per `(operator, seed)` together
-/// with its patched Phase-A plan. A candidate that shares its operator
+/// with its patched Phase-A plan as a copy-on-write
+/// [`crate::pipeline::CowSnapshot`]. A candidate that shares its operator
 /// with a previous one therefore skips the operator, the dirty-set diff,
-/// and the re-pattern — it clones the memoized plan and merely re-derives
-/// capacities for its own width scales. Bit-identical to the oracle path:
-/// patterns are congestion-oblivious and usage is stored unscaled, so the
-/// plan cannot depend on the rule (see [`route::RoutePlan::set_rule`]).
+/// and the re-pattern — a cache hit is two refcount bumps, and a
+/// scale-identical sibling never copies the layout at all; installing a
+/// different rule copies the layout once and re-derives plan capacities.
+/// Bit-identical to the oracle path: patterns are congestion-oblivious
+/// and usage is stored unscaled, so the plan cannot depend on the rule
+/// (see [`route::RoutePlan::set_rule`]).
 pub fn apply_flow_with(
     engine: &EvalEngine,
     tech: &Technology,
@@ -216,13 +219,11 @@ pub fn apply_flow_with(
     seed: u64,
 ) -> Snapshot {
     let op_seed = operator_seed(cfg.op, seed);
-    let (mut layout, mut plan) = engine.cached_edit(tech, cfg.op, op_seed, || {
+    let cow = engine.cached_edit(tech, cfg.op, op_seed, || {
         apply_operator(engine.base(), tech, cfg.op, op_seed)
     });
-    rws::apply_width_scaling(&mut layout, cfg.scales);
-    if layout.route_rule() != engine.base().layout.route_rule() {
-        plan.set_rule(tech, layout.route_rule());
-    }
+    let rule = tech::RouteRule::from_scales(cfg.scales);
+    let (layout, plan) = cow.into_parts(tech, &rule);
     engine.evaluate_with_plan(layout, plan, tech)
 }
 

@@ -44,7 +44,7 @@ pub mod rws;
 
 pub use flow::{FlowConfig, FlowMetrics, OpSelect};
 pub use nsga2::{explore, ExploreResult, Nsga2Params};
-pub use pipeline::Snapshot;
+pub use pipeline::{CowSnapshot, Snapshot};
 
 /// Default hard constraint on DRC violations (`N_DRC` in §IV-A).
 pub const N_DRC: u32 = 20;

@@ -331,6 +331,12 @@ fn evaluate_all(
         return;
     }
     let threads = threads.max(1).min(missing.len());
+    // Candidate-level and region-level parallelism compose: with
+    // `threads` candidate workers running concurrently, each router call
+    // gets an even share of the machine instead of oversubscribing it
+    // `threads`-fold. Routing results are bit-identical at any budget, so
+    // this only shapes scheduling, never the Pareto front.
+    route::set_parallelism(route::budget_for_workers(threads));
     let next = AtomicUsize::new(0);
     let done: Mutex<Vec<(Genome, FlowMetrics)>> = Mutex::new(Vec::with_capacity(missing.len()));
     let missing = &missing;
@@ -344,6 +350,7 @@ fn evaluate_all(
             });
         }
     });
+    route::set_parallelism(0);
     cache.extend(done.into_inner().expect("results lock"));
 }
 

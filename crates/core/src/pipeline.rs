@@ -6,7 +6,7 @@
 //! operator touched a layout ([`evaluate`]).
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use layout::Layout;
 use netlist::bench::DesignSpec;
@@ -19,10 +19,15 @@ use sta::TimingReport;
 use tech::Technology;
 
 /// A fully analyzed physical design: layout plus every derived metric.
+///
+/// The layout is `Arc`-shared: snapshots that evaluate the same edited
+/// layout (e.g. scale-only NSGA-II siblings off one memoized operator
+/// edit) alias a single copy, and cloning a snapshot never deep-copies
+/// the layout. Use [`Arc::make_mut`] to mutate it in place.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// The (possibly hardened) layout.
-    pub layout: Layout,
+    pub layout: Arc<Layout>,
     /// Committed global routing.
     pub routing: RoutingState,
     /// Timing analysis at the design's clock constraint.
@@ -52,7 +57,8 @@ impl Snapshot {
 /// Used both for the baseline and after every ECO operator application
 /// (the operators change placement and/or the NDR rule; everything
 /// downstream is recomputed).
-pub fn evaluate(layout: Layout, tech: &Technology) -> Snapshot {
+pub fn evaluate(layout: impl Into<Arc<Layout>>, tech: &Technology) -> Snapshot {
+    let layout = layout.into();
     let routing = route::route_design(&layout, tech);
     let timing = sta::analyze(&layout, &routing, tech);
     let power = power::analyze(&layout, &routing, tech);
@@ -100,7 +106,58 @@ pub struct EvalEngine {
     plan: route::RoutePlan,
     graph: sta::TimingGraph,
     power_model: power::PowerModel,
-    edit_cache: Mutex<HashMap<(OpSelect, u64), (Layout, route::RoutePlan)>>,
+    edit_cache: Mutex<HashMap<(OpSelect, u64), CowSnapshot>>,
+}
+
+/// Copy-on-write view of a memoized operator edit: the post-operator
+/// layout (still at the baseline's route rule) and its patched Phase-A
+/// plan, both `Arc`-shared with the [`EvalEngine`] cache.
+///
+/// Handing one out costs two refcount bumps instead of the deep
+/// layout-plus-plan clone the cache used to pay per hit; a candidate only
+/// materializes private copies — and only of the pieces that actually
+/// diverge — when it installs a different route rule via
+/// [`CowSnapshot::into_parts`].
+#[derive(Debug, Clone)]
+pub struct CowSnapshot {
+    layout: Arc<Layout>,
+    plan: Arc<route::RoutePlan>,
+}
+
+impl CowSnapshot {
+    /// The shared post-operator layout, at the baseline's route rule.
+    pub fn layout(&self) -> &Arc<Layout> {
+        &self.layout
+    }
+
+    /// The shared patched Phase-A plan, at the baseline's route rule.
+    pub fn plan(&self) -> &route::RoutePlan {
+        &self.plan
+    }
+
+    /// Materializes the `(layout, plan)` pair under `rule`.
+    ///
+    /// When `rule` matches the cached layout's rule (a scale-identical
+    /// sibling) both halves stay shared: the layout is an `Arc` bump and
+    /// the plan clone is itself refcount bumps per net list and usage
+    /// plane. When the rule differs, the layout is copied once to install
+    /// it and the plan re-derives capacities — stored usage is unscaled
+    /// quanta, so the patched plan stays exact under the new rule.
+    pub fn into_parts(
+        self,
+        tech: &Technology,
+        rule: &tech::RouteRule,
+    ) -> (Arc<Layout>, route::RoutePlan) {
+        let CowSnapshot { layout, plan } = self;
+        if layout.route_rule() == rule {
+            return (layout, (*plan).clone());
+        }
+        let mut l = (*layout).clone();
+        l.set_route_rule(rule.clone());
+        let mut p = (*plan).clone();
+        p.set_rule(tech, rule);
+        (Arc::new(l), p)
+    }
 }
 
 /// Bound on memoized operator edits; a GA run touches a handful of
@@ -120,18 +177,20 @@ impl EvalEngine {
         }
     }
 
-    /// Looks up a memoized post-operator layout and its patched Phase-A
-    /// plan, or computes them with `make` and stores them. `seed` must be
-    /// the exact seed the operator consumes (callers normalize it away
-    /// for seedless operators). The cached plan is at the baseline's
-    /// route rule; callers re-derive capacities after width scaling.
+    /// Looks up the memoized [`CowSnapshot`] of an operator edit, or
+    /// computes it with `make` and stores it. `seed` must be the exact
+    /// seed the operator consumes (callers normalize it away for seedless
+    /// operators). The snapshot is at the baseline's route rule; callers
+    /// materialize their own rule via [`CowSnapshot::into_parts`]. Both
+    /// the hit and the miss path hand out `Arc` shares — the cache never
+    /// deep-copies a layout or plan.
     pub(crate) fn cached_edit(
         &self,
         tech: &Technology,
         op: OpSelect,
         seed: u64,
         make: impl FnOnce() -> Layout,
-    ) -> (Layout, route::RoutePlan) {
+    ) -> CowSnapshot {
         if let Some(hit) = self.edit_cache.lock().expect("edit cache").get(&(op, seed)) {
             return hit.clone();
         }
@@ -140,7 +199,10 @@ impl EvalEngine {
         let layout = make();
         let dirty = route::dirty_between(&self.plan, &self.base.layout, &layout, tech);
         let plan = route::plan_update(&self.plan, &layout, tech, &dirty);
-        let entry = (layout, plan);
+        let entry = CowSnapshot {
+            layout: Arc::new(layout),
+            plan: Arc::new(plan),
+        };
         let mut cache = self.edit_cache.lock().expect("edit cache");
         if cache.len() < EDIT_CACHE_CAP {
             cache.insert((op, seed), entry.clone());
@@ -166,7 +228,12 @@ impl EvalEngine {
     /// Re-evaluates an edited layout, recomputing only what the edit
     /// dirtied. Produces the same [`Snapshot`] as [`evaluate`], bit for
     /// bit.
-    pub fn evaluate_incremental(&self, layout: Layout, tech: &Technology) -> Snapshot {
+    pub fn evaluate_incremental(
+        &self,
+        layout: impl Into<Arc<Layout>>,
+        tech: &Technology,
+    ) -> Snapshot {
+        let layout = layout.into();
         let dirty = route::dirty_between(&self.plan, &self.base.layout, &layout, tech);
         let plan = route::plan_update(&self.plan, &layout, tech, &dirty);
         self.evaluate_with_plan(layout, plan, tech)
@@ -177,7 +244,7 @@ impl EvalEngine {
     /// incremental STA and the model-backed analyses.
     pub(crate) fn evaluate_with_plan(
         &self,
-        layout: Layout,
+        layout: Arc<Layout>,
         plan: route::RoutePlan,
         tech: &Technology,
     ) -> Snapshot {
@@ -252,5 +319,48 @@ mod tests {
         assert_eq!(a.drc, b.drc);
         assert_eq!(a.tns_ps(), b.tns_ps());
         assert_eq!(a.power_mw(), b.power_mw());
+    }
+
+    /// The edit cache must share, not copy — and handing out shares must
+    /// not leak: once every candidate's handle drops, the cache entry is
+    /// the sole remaining owner of the layout and plan.
+    #[test]
+    fn cached_edit_shares_and_does_not_leak() {
+        let tech = Technology::nangate45_like();
+        let base = implement_baseline(&bench::tiny_spec(), &tech);
+        let engine = EvalEngine::new(&base, &tech);
+        let op = OpSelect::CellShift;
+        let make = || {
+            let mut l = Layout::clone(&base.layout);
+            crate::preprocess::lock_critical_cells(&mut l);
+            crate::cell_shift::cell_shift(&mut l, &tech, secmetrics::THRESH_ER);
+            l
+        };
+
+        // A hit is a share of the miss, not a recomputation.
+        let first = engine.cached_edit(&tech, op, 1, make);
+        let second = engine.cached_edit(&tech, op, 1, || unreachable!("must hit the cache"));
+        assert!(Arc::ptr_eq(first.layout(), second.layout()));
+
+        // Rule-identical materialization keeps the layout shared.
+        let base_rule = first.layout().route_rule().clone();
+        let (same, _plan) = second.into_parts(&tech, &base_rule);
+        assert!(Arc::ptr_eq(first.layout(), &same));
+
+        // A diverging rule copies privately and leaves the cache intact.
+        let wide = tech::RouteRule::uniform(1.2);
+        let third = engine.cached_edit(&tech, op, 1, || unreachable!("must hit the cache"));
+        let (copied, _plan) = third.clone().into_parts(&tech, &wide);
+        assert!(!Arc::ptr_eq(first.layout(), &copied));
+        assert_eq!(copied.route_rule(), &wide);
+        assert!(Arc::ptr_eq(first.layout(), third.layout()));
+
+        // No leak: dropping every handle leaves the cache entry plus the
+        // one probe below as the only owners.
+        drop((same, copied, third));
+        let probe = engine.cached_edit(&tech, op, 1, || unreachable!("must hit the cache"));
+        drop(first);
+        assert_eq!(Arc::strong_count(probe.layout()), 2);
+        assert_eq!(Arc::strong_count(&probe.plan), 2);
     }
 }

@@ -89,7 +89,7 @@ proptest! {
         scale_idx in 0usize..RouteRule::CANDIDATES.len(),
     ) {
         let (tech, base, engine) = fixture();
-        let mut layout = base.layout.clone();
+        let mut layout = layout::Layout::clone(&base.layout);
         let n_cells = layout.design().cells.len() as u32;
         let (rows, cols) = (layout.floorplan().rows(), layout.floorplan().cols());
         for &(c, dr, dc) in &moves {

@@ -37,12 +37,14 @@ pub use occupancy::{Occupancy, PlaceCellError, SiteState};
 
 /// A placed (and possibly routed-against) physical layout.
 ///
-/// Owns its [`Design`]; the [`Technology`] is passed to the methods that
-/// need master data, keeping layouts cheap to clone during design-space
-/// exploration.
+/// The [`Design`] is `Arc`-shared — ECO operators move cells and swap
+/// routing rules but never touch the netlist, so cloning a layout during
+/// design-space exploration copies the occupancy map and rule, not the
+/// design. The [`Technology`] is passed to the methods that need master
+/// data, keeping layouts cheap to clone.
 #[derive(Debug, Clone)]
 pub struct Layout {
-    design: Design,
+    design: std::sync::Arc<Design>,
     floorplan: Floorplan,
     occupancy: Occupancy,
     blockages: Vec<Blockage>,
@@ -60,7 +62,7 @@ impl Layout {
         let fp = Floorplan::for_design(&design, tech, utilization);
         let occupancy = Occupancy::new(fp);
         Self {
-            design,
+            design: std::sync::Arc::new(design),
             floorplan: fp,
             occupancy,
             blockages: Vec::new(),
@@ -155,7 +157,7 @@ impl Layout {
             "extended design must be a superset"
         );
         Layout {
-            design,
+            design: std::sync::Arc::new(design),
             floorplan: self.floorplan,
             occupancy: self.occupancy.clone(),
             blockages: self.blockages.clone(),

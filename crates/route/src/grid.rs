@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use geom::{Dbu, GcellPos, SitePos};
 use layout::Floorplan;
 use tech::{LayerDir, RouteRule, Technology, NUM_METAL_LAYERS, SITE_H, SITE_W};
@@ -27,14 +29,21 @@ pub const QUANTA_PER_TRACK: i64 = 4;
 /// same stored segments valid under a different [`RouteRule`] — both
 /// properties the incremental reroute path relies on to reproduce a
 /// from-scratch route bit for bit.
-#[derive(Debug, Clone)]
+///
+/// Usage planes are copy-on-write: each layer's quanta live behind an
+/// `Arc`, so cloning a grid (plan memoization, best-state snapshots,
+/// region-worker scratch grids) costs one refcount bump per layer, and a
+/// plane is deep-copied only on the first write after a clone
+/// ([`Arc::make_mut`] in [`RouteGrid::add_quanta`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouteGrid {
     nx: u32,
     ny: u32,
     /// Capacity in tracks per gcell per layer (index 0 = M1, always 0.0).
     cap: [f64; NUM_METAL_LAYERS],
     /// Usage in quanta (quarter-tracks, unscaled), `usage[layer][y * nx + x]`.
-    usage: Vec<Vec<i64>>,
+    /// Copy-on-write per layer; see the type-level docs.
+    usage: Vec<Arc<Vec<i64>>>,
     /// Active NDR scale per layer.
     scales: [f64; NUM_METAL_LAYERS],
     dirs: [LayerDir; NUM_METAL_LAYERS],
@@ -54,7 +63,10 @@ impl RouteGrid {
         let ny = fp.rows().div_ceil(GCELL_H_ROWS).max(1);
         let span_x = GCELL_W_SITES as Dbu * SITE_W;
         let span_y = GCELL_H_ROWS as Dbu * SITE_H;
-        let usage = vec![vec![0i64; (nx * ny) as usize]; NUM_METAL_LAYERS];
+        // All layers start out sharing one zeroed plane; the first write
+        // on a layer un-shares it (copy-on-write).
+        let zero = Arc::new(vec![0i64; (nx * ny) as usize]);
+        let usage = vec![zero; NUM_METAL_LAYERS];
         let mut grid = Self {
             nx,
             ny,
@@ -173,11 +185,20 @@ impl RouteGrid {
     }
 
     /// Adds `q` usage quanta (quarter-tracks, unscaled) on layer `m` at
-    /// `g`; negative values rip usage back out.
+    /// `g`; negative values rip usage back out. First write after a clone
+    /// deep-copies the layer's plane (copy-on-write).
     pub fn add_quanta(&mut self, m: usize, g: GcellPos, q: i64) {
         let i = self.idx(g);
-        self.usage[m - 1][i] += q;
-        debug_assert!(self.usage[m - 1][i] >= 0, "usage went negative");
+        let plane = Arc::make_mut(&mut self.usage[m - 1]);
+        plane[i] += q;
+        debug_assert!(plane[i] >= 0, "usage went negative");
+    }
+
+    /// Read-only view of layer `m`'s usage plane in unscaled quanta,
+    /// indexed `y * nx + x`. Exposed so equivalence tests can compare two
+    /// grids exactly.
+    pub fn plane(&self, m: usize) -> &[i64] {
+        &self.usage[m - 1]
     }
 
     /// Free tracks on layer `m` at `g` (clamped at zero when overflowed).
@@ -202,7 +223,7 @@ impl RouteGrid {
     pub fn deep_overflow_pairs(&self, tol: f64) -> u32 {
         let mut n = 0;
         for m in 2..=NUM_METAL_LAYERS {
-            for &u in &self.usage[m - 1] {
+            for &u in self.usage[m - 1].iter() {
                 if self.scaled(m, u) > self.cap[m - 1] + tol {
                     n += 1;
                 }
@@ -215,7 +236,7 @@ impl RouteGrid {
     pub fn overflow_pairs(&self) -> u32 {
         let mut n = 0;
         for m in 2..=NUM_METAL_LAYERS {
-            for &u in &self.usage[m - 1] {
+            for &u in self.usage[m - 1].iter() {
                 if self.scaled(m, u) > self.cap[m - 1] + 1e-9 {
                     n += 1;
                 }
@@ -228,11 +249,108 @@ impl RouteGrid {
     pub fn total_overflow(&self) -> f64 {
         let mut t = 0.0;
         for m in 2..=NUM_METAL_LAYERS {
-            for &u in &self.usage[m - 1] {
+            for &u in self.usage[m - 1].iter() {
                 t += (self.scaled(m, u) - self.cap[m - 1]).max(0.0);
             }
         }
         t
+    }
+
+    /// One-pass overflow census: a membership bitset over overflowed
+    /// `(layer, gcell)` pairs plus the pair count and total overflow.
+    ///
+    /// Uses the same epsilon and the same layer-major summation order as
+    /// [`RouteGrid::overflow_pairs`] / [`RouteGrid::total_overflow`], so
+    /// `set.pairs()` and `set.total_overflow()` are bit-identical to
+    /// those methods on the same grid — rip-up-and-reroute scores rounds
+    /// off this census instead of re-reading usage per victim segment.
+    pub fn overflow_set(&self) -> OverflowSet {
+        let n_cells = (self.nx * self.ny) as usize;
+        let n_routable = NUM_METAL_LAYERS - 1;
+        let mut set = OverflowSet {
+            nx: self.nx,
+            n_cells,
+            words: vec![0u64; (n_routable * n_cells).div_ceil(64)],
+            cell_words: vec![0u64; n_cells.div_ceil(64)],
+            pairs: 0,
+            total: 0.0,
+        };
+        for m in 2..=NUM_METAL_LAYERS {
+            let cap = self.cap[m - 1];
+            for (i, &u) in self.usage[m - 1].iter().enumerate() {
+                let scaled = self.scaled(m, u);
+                set.total += (scaled - cap).max(0.0);
+                if scaled > cap + 1e-9 {
+                    set.pairs += 1;
+                    let bit = (m - 2) * n_cells + i;
+                    set.words[bit / 64] |= 1 << (bit % 64);
+                    set.cell_words[i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
+        set
+    }
+}
+
+/// Bitset census of overflowed `(layer, gcell)` pairs, built once per
+/// rip-up-and-reroute round by [`RouteGrid::overflow_set`]. Victim
+/// scanning tests membership here instead of re-deriving scaled usage per
+/// segment cell, and the 2-D projection seeds the congestion-region
+/// partitioner.
+#[derive(Debug, Clone)]
+pub struct OverflowSet {
+    nx: u32,
+    n_cells: usize,
+    /// Per-(layer, gcell) bits; bit index `(m - 2) * n_cells + idx`.
+    words: Vec<u64>,
+    /// 2-D projection: gcells overflowed on *any* routable layer.
+    cell_words: Vec<u64>,
+    pairs: u32,
+    total: f64,
+}
+
+impl OverflowSet {
+    /// True when no `(layer, gcell)` pair overflows.
+    pub fn is_empty(&self) -> bool {
+        self.pairs == 0
+    }
+
+    /// Number of overflowed `(layer, gcell)` pairs; bit-identical to
+    /// [`RouteGrid::overflow_pairs`] on the source grid.
+    pub fn pairs(&self) -> u32 {
+        self.pairs
+    }
+
+    /// Total overflow in track-equivalents; bit-identical to
+    /// [`RouteGrid::total_overflow`] on the source grid.
+    pub fn total_overflow(&self) -> f64 {
+        self.total
+    }
+
+    /// Whether 1-based layer `m` overflows at `g`.
+    pub fn contains(&self, m: usize, g: GcellPos) -> bool {
+        let idx = (g.y * self.nx + g.x) as usize;
+        let bit = (m - 2) * self.n_cells + idx;
+        self.words[bit / 64] & (1 << (bit % 64)) != 0
+    }
+
+    /// Gcells overflowed on at least one layer, in row-major order — the
+    /// seeds of the congestion-region partition.
+    pub fn cells_2d(&self) -> Vec<GcellPos> {
+        let mut cells = Vec::new();
+        for (w, &word) in self.cell_words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                let idx = w * 64 + b;
+                cells.push(GcellPos::new(
+                    (idx % self.nx as usize) as u32,
+                    (idx / self.nx as usize) as u32,
+                ));
+                bits &= bits - 1;
+            }
+        }
+        cells
     }
 }
 
@@ -321,5 +439,59 @@ mod tests {
         let v = g.layers_with_dir(LayerDir::Vertical);
         assert_eq!(h.len() + v.len(), 9);
         assert!(!h.contains(&1) && !v.contains(&1));
+    }
+
+    #[test]
+    fn usage_planes_are_copy_on_write() {
+        let mut g = grid();
+        let p = GcellPos::new(1, 1);
+        g.add_quanta(2, p, 4);
+        g.add_quanta(3, p, 4);
+        let snap = g.clone();
+        // A clone shares every plane with its source.
+        for m in 2..=NUM_METAL_LAYERS {
+            assert_eq!(snap.plane(m).as_ptr(), g.plane(m).as_ptr(), "layer {m}");
+        }
+        // Writing one layer un-shares exactly that plane.
+        g.add_quanta(2, p, 4);
+        assert_ne!(snap.plane(2).as_ptr(), g.plane(2).as_ptr());
+        assert_eq!(snap.plane(3).as_ptr(), g.plane(3).as_ptr());
+        // The clone kept the pre-write value; the source sees the write.
+        assert!((snap.usage(2, p) - 1.0).abs() < 1e-12);
+        assert!((g.usage(2, p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_set_matches_grid_census() {
+        let mut g = grid();
+        // Overflow two cells on different layers, plus near-capacity noise.
+        for i in 0..40 {
+            g.add_quanta(2, GcellPos::new(1, 2), 4);
+            g.add_quanta(5, GcellPos::new(3, 4), 4);
+            if i < 10 {
+                g.add_quanta(4, GcellPos::new(0, 0), 4);
+            }
+        }
+        let set = g.overflow_set();
+        assert_eq!(set.pairs(), g.overflow_pairs());
+        assert_eq!(set.total_overflow(), g.total_overflow());
+        assert!(!set.is_empty());
+        let mut cells = Vec::new();
+        for m in 2..=NUM_METAL_LAYERS {
+            for y in 0..g.ny() {
+                for x in 0..g.nx() {
+                    let gp = GcellPos::new(x, y);
+                    let over = g.usage(m, gp) > g.capacity(m) + 1e-9;
+                    assert_eq!(set.contains(m, gp), over, "layer {m} at {gp:?}");
+                    if over && !cells.contains(&gp) {
+                        cells.push(gp);
+                    }
+                }
+            }
+        }
+        let mut proj = set.cells_2d();
+        proj.sort_by_key(|g| (g.y, g.x));
+        cells.sort_by_key(|g| (g.y, g.x));
+        assert_eq!(proj, cells);
     }
 }

@@ -27,9 +27,43 @@
 
 mod grid;
 mod router;
+mod rrr;
 
-pub use grid::{RouteGrid, GCELL_H_ROWS, GCELL_W_SITES, QUANTA_PER_TRACK};
+pub use grid::{OverflowSet, RouteGrid, GCELL_H_ROWS, GCELL_W_SITES, QUANTA_PER_TRACK};
 pub use router::{
-    dirty_between, finalize_route, plan_route, plan_update, route_design, DirtySet, NetRc,
-    RoutePlan, RouteSeg, RoutingState,
+    dirty_between, finalize_route, finalize_route_serial, finalize_route_with, plan_route,
+    plan_update, route_design, take_phase_b_totals, DirtySet, NetRc, PhaseBTotals, RoundStats,
+    RoutePlan, RouteSeg, RouteStats, RoutingState,
 };
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread bound for region-parallel rip-up-and-reroute; 0 = auto
+/// (follow `rayon`'s machine-derived count).
+static PARALLELISM: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker threads [`finalize_route`] uses for region-parallel rip-up-and-
+/// reroute: the value last passed to [`set_parallelism`], or rayon's
+/// machine-derived thread count when unset. The result of a fixed-seed
+/// run is bit-identical at every value — this only bounds concurrency.
+pub fn parallelism() -> usize {
+    match PARALLELISM.load(Ordering::Relaxed) {
+        0 => rayon::current_num_threads(),
+        n => n,
+    }
+}
+
+/// Sets the process-wide routing thread bound (0 restores auto).
+///
+/// Outer parallel loops (e.g. NSGA-II candidate evaluation) call this
+/// with [`budget_for_workers`] so the candidate-level and region-level
+/// pools compose instead of oversubscribing the machine.
+pub fn set_parallelism(threads: usize) {
+    PARALLELISM.store(threads, Ordering::Relaxed);
+}
+
+/// Per-worker routing thread budget when `workers` evaluation workers run
+/// concurrently: the machine's thread count divided evenly, at least 1.
+pub fn budget_for_workers(workers: usize) -> usize {
+    (rayon::current_num_threads() / workers.max(1)).max(1)
+}

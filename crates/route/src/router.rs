@@ -1,9 +1,14 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
 use geom::GcellPos;
 use layout::Layout;
 use netlist::{NetDriver, NetId, Sink};
 use tech::{LayerDir, Technology};
 
-use crate::grid::RouteGrid;
+use crate::grid::{OverflowSet, RouteGrid};
+use crate::rrr::{self, Rect};
 
 /// One committed straight global-routing run on a single layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,12 +39,83 @@ pub struct NetRc {
 
 /// Result of routing a layout: per-net segments and parasitics plus the
 /// occupied routing grid.
+///
+/// Per-net segment lists are `Arc`-shared so cloning a routing state (or
+/// snapshotting the best rip-up-and-reroute round) is a refcount bump per
+/// net, never a deep copy; rerouting a net replaces its `Arc` wholesale.
 #[derive(Debug, Clone)]
 pub struct RoutingState {
     grid: RouteGrid,
-    segs: Vec<Vec<RouteSeg>>,
+    segs: Vec<Arc<Vec<RouteSeg>>>,
     rc: Vec<NetRc>,
     wirelength_um: f64,
+    stats: RouteStats,
+}
+
+/// One rip-up-and-reroute round's observability record.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundStats {
+    /// 0-based round index.
+    pub round: usize,
+    /// Overflowed `(layer, gcell)` pairs at round entry.
+    pub overflow_pairs: u32,
+    /// Total overflow in track-equivalents at round entry.
+    pub total_overflow: f64,
+    /// Nets ripped and rerouted this round.
+    pub victims: usize,
+    /// Disjoint congestion regions the victims partitioned into.
+    pub regions: usize,
+    /// Whether regions were rerouted on the parallel path.
+    pub parallel: bool,
+}
+
+/// Phase-B (rip-up-and-reroute) statistics of one [`finalize_route`] call,
+/// surfaced through [`RoutingState::stats`]. Replaces the old
+/// `GG_ROUTE_DEBUG` ad-hoc eprintln trace (which now prints from this
+/// struct).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouteStats {
+    /// Per-round records, one per executed round.
+    pub rounds: Vec<RoundStats>,
+    /// Worker-thread bound the call ran under.
+    pub threads: usize,
+    /// Wall time of Phase B (rounds only, not extraction), in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// Process-wide Phase-B counters accumulated across every
+/// [`finalize_route`] call; drained by [`take_phase_b_totals`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBTotals {
+    /// Number of `finalize_route` calls.
+    pub calls: u64,
+    /// Rip-up-and-reroute rounds executed.
+    pub rounds: u64,
+    /// Victim nets rerouted.
+    pub victims: u64,
+    /// Congestion regions processed.
+    pub regions: u64,
+    /// Total Phase-B wall time in nanoseconds. Summed across calls, so
+    /// with parallel candidate evaluation this can exceed elapsed time.
+    pub nanos: u64,
+}
+
+static PHASE_B_CALLS: AtomicU64 = AtomicU64::new(0);
+static PHASE_B_ROUNDS: AtomicU64 = AtomicU64::new(0);
+static PHASE_B_VICTIMS: AtomicU64 = AtomicU64::new(0);
+static PHASE_B_REGIONS: AtomicU64 = AtomicU64::new(0);
+static PHASE_B_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the accumulated [`PhaseBTotals`] and resets them to zero —
+/// benchmark harnesses call this around a measured region.
+pub fn take_phase_b_totals() -> PhaseBTotals {
+    PhaseBTotals {
+        calls: PHASE_B_CALLS.swap(0, Ordering::Relaxed),
+        rounds: PHASE_B_ROUNDS.swap(0, Ordering::Relaxed),
+        victims: PHASE_B_VICTIMS.swap(0, Ordering::Relaxed),
+        regions: PHASE_B_REGIONS.swap(0, Ordering::Relaxed),
+        nanos: PHASE_B_NANOS.swap(0, Ordering::Relaxed),
+    }
 }
 
 /// The set of nets whose routes a layout edit invalidated, plus whether
@@ -69,11 +145,16 @@ impl DirtySet {
 /// re-planning the edited layout from scratch. [`finalize_route`] then
 /// runs the deterministic rip-up-and-reroute refinement plus parasitic
 /// extraction on top.
+///
+/// Per-net segment and edge lists are `Arc`-shared: cloning a plan (the
+/// hot path of incremental evaluation, which patches a cached base plan
+/// per candidate) bumps one refcount per net instead of copying geometry,
+/// and re-planning a dirty net swaps in a fresh `Arc`.
 #[derive(Debug, Clone)]
 pub struct RoutePlan {
     grid: RouteGrid,
-    segs: Vec<Vec<RouteSeg>>,
-    edges: Vec<Vec<(GcellPos, GcellPos)>>,
+    segs: Vec<Arc<Vec<RouteSeg>>>,
+    edges: Vec<Arc<Vec<(GcellPos, GcellPos)>>>,
 }
 
 impl RoutePlan {
@@ -114,6 +195,12 @@ impl RoutingState {
     /// Total routed wirelength in µm.
     pub fn total_wirelength_um(&self) -> f64 {
         self.wirelength_um
+    }
+
+    /// Phase-B statistics of the [`finalize_route`] call that produced
+    /// this state.
+    pub fn stats(&self) -> &RouteStats {
+        &self.stats
     }
 
     /// Design-rule violation count: routing overflows plus pin-access
@@ -382,6 +469,82 @@ fn step_cost(grid: &RouteGrid, dir: LayerDir, g: GcellPos, penalty_mult: f64) ->
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Detour margin of the maze search window around an edge's bounding box.
+///
+/// Also the halo of a victim's *footprint* in region-parallel rip-up-and-
+/// reroute: every gcell a victim's reroute can read or write — the maze
+/// window, the ±1-row/column pattern detours, and old segments produced
+/// by earlier rounds inside the same windows — lies within its MST edges'
+/// bounding boxes expanded by this margin, which is what makes
+/// disjoint-footprint victims commute (see `rrr`).
+const MAZE_MARGIN: u32 = 8;
+
+/// Reusable per-thread maze state. Rip-up-and-reroute issues tens of
+/// thousands of maze calls per evaluation; without reuse, the three
+/// window-sized arrays and the heap are reallocated on every one of
+/// them. Entries are validated per call by a generation stamp, so reuse
+/// never changes a search result — a stale cell reads as untouched.
+struct MazeScratch {
+    /// Per (cell, incoming axis) best distance.
+    dist: Vec<[f64; 2]>,
+    /// Per (cell, incoming axis) predecessor `(x, y, axis)`.
+    prev: Vec<[(u32, u32, u8); 2]>,
+    /// Per (cell, move axis) lazily computed step cost.
+    cost: Vec<[f64; 2]>,
+    /// Which generation last wrote each cell's entries.
+    stamp: Vec<u32>,
+    generation: u32,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32, u32, u8)>>,
+}
+
+impl MazeScratch {
+    const fn new() -> Self {
+        MazeScratch {
+            dist: Vec::new(),
+            prev: Vec::new(),
+            cost: Vec::new(),
+            stamp: Vec::new(),
+            generation: 0,
+            heap: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    /// Prepares the scratch for a window of `cells` cells: grows the
+    /// arrays if needed and invalidates every previous entry in O(1) by
+    /// bumping the generation (O(n) only on the rare counter wrap).
+    fn begin(&mut self, cells: usize) {
+        if self.stamp.len() < cells {
+            self.dist.resize(cells, [f64::INFINITY; 2]);
+            self.prev.resize(cells, [(u32::MAX, u32::MAX, 0); 2]);
+            self.cost.resize(cells, [f64::NAN; 2]);
+            self.stamp.resize(cells, u32::MAX);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.heap.clear();
+    }
+
+    /// Resets cell `i` to pristine state unless this generation already
+    /// touched it.
+    #[inline]
+    fn touch(&mut self, i: usize) {
+        if self.stamp[i] != self.generation {
+            self.stamp[i] = self.generation;
+            self.dist[i] = [f64::INFINITY; 2];
+            self.prev[i] = [(u32::MAX, u32::MAX, 0); 2];
+            self.cost[i] = [f64::NAN; 2];
+        }
+    }
+}
+
+thread_local! {
+    static MAZE_SCRATCH: std::cell::RefCell<MazeScratch> =
+        const { std::cell::RefCell::new(MazeScratch::new()) };
+}
+
 /// Maze (Dijkstra) route between two gcells with congestion-aware step
 /// costs and a small turn penalty; returns the path as direction-tagged
 /// straight runs. Used for rip-up-and-reroute victims, where the fixed
@@ -392,33 +555,40 @@ fn maze_route(
     b: GcellPos,
     penalty_mult: f64,
 ) -> Vec<(LayerDir, Vec<GcellPos>)> {
+    MAZE_SCRATCH.with(|s| maze_route_in(&mut s.borrow_mut(), grid, a, b, penalty_mult))
+}
+
+fn maze_route_in(
+    s: &mut MazeScratch,
+    grid: &RouteGrid,
+    a: GcellPos,
+    b: GcellPos,
+    penalty_mult: f64,
+) -> Vec<(LayerDir, Vec<GcellPos>)> {
     use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
     const TURN_COST: f64 = 0.5;
-    // Search window: the edge's bounding box plus a detour margin. Full-
+    // Search window: the edge's bounding box plus the detour margin. Full-
     // grid Dijkstra would dominate rip-up-and-reroute on large designs.
-    const MARGIN: u32 = 8;
-    let wx0 = a.x.min(b.x).saturating_sub(MARGIN);
-    let wy0 = a.y.min(b.y).saturating_sub(MARGIN);
-    let wx1 = (a.x.max(b.x) + MARGIN).min(grid.nx() - 1);
-    let wy1 = (a.y.max(b.y) + MARGIN).min(grid.ny() - 1);
-    // Window-local state arrays: allocating (and zeroing) the full grid
-    // per maze call dominates rip-up-and-reroute on anything but toy
-    // floorplans.
+    let wx0 = a.x.min(b.x).saturating_sub(MAZE_MARGIN);
+    let wy0 = a.y.min(b.y).saturating_sub(MAZE_MARGIN);
+    let wx1 = (a.x.max(b.x) + MAZE_MARGIN).min(grid.nx() - 1);
+    let wy1 = (a.y.max(b.y) + MAZE_MARGIN).min(grid.ny() - 1);
     let wnx = (wx1 - wx0 + 1) as usize;
     let wny = (wy1 - wy0 + 1) as usize;
     let idx = |g: GcellPos| (g.y - wy0) as usize * wnx + (g.x - wx0) as usize;
-    // State: (gcell, incoming axis 0=H, 1=V); dist per state.
-    let mut dist = vec![[f64::INFINITY; 2]; wnx * wny];
-    let mut prev: Vec<[(u32, u32, u8); 2]> = vec![[(u32::MAX, u32::MAX, 0); 2]; wnx * wny];
-    let mut heap: BinaryHeap<Reverse<(u64, u32, u32, u8)>> = BinaryHeap::new();
+    // Window-local state lives in the per-thread scratch; the grid is
+    // immutable for the duration of one call, so per-(cell, axis) step
+    // costs are computed lazily once instead of on every relaxation
+    // attempt (up to eight per cell).
+    s.begin(wnx * wny);
     let key = |d: f64| (d * 1024.0) as u64;
-    dist[idx(a)] = [0.0, 0.0];
-    heap.push(Reverse((0, a.x, a.y, 0)));
-    heap.push(Reverse((0, a.x, a.y, 1)));
-    while let Some(Reverse((dk, x, y, axis))) = heap.pop() {
+    s.touch(idx(a));
+    s.dist[idx(a)] = [0.0, 0.0];
+    s.heap.push(Reverse((0, a.x, a.y, 0)));
+    s.heap.push(Reverse((0, a.x, a.y, 1)));
+    while let Some(Reverse((dk, x, y, axis))) = s.heap.pop() {
         let g = GcellPos::new(x, y);
-        let d = dist[idx(g)][axis as usize];
+        let d = s.dist[idx(g)][axis as usize];
         if dk > key(d) {
             continue;
         }
@@ -437,30 +607,36 @@ fn maze_route(
             } else {
                 LayerDir::Vertical
             };
-            let mut nd = d + step_cost(grid, dir, t, penalty_mult);
+            let ti = idx(t);
+            s.touch(ti);
+            if s.cost[ti][maxis as usize].is_nan() {
+                s.cost[ti][maxis as usize] = step_cost(grid, dir, t, penalty_mult);
+            }
+            let mut nd = d + s.cost[ti][maxis as usize];
             if maxis != axis {
                 nd += TURN_COST;
             }
-            if nd + 1e-12 < dist[idx(t)][maxis as usize] {
-                dist[idx(t)][maxis as usize] = nd;
-                prev[idx(t)][maxis as usize] = (x, y, axis);
-                heap.push(Reverse((key(nd), t.x, t.y, maxis)));
+            if nd + 1e-12 < s.dist[ti][maxis as usize] {
+                s.dist[ti][maxis as usize] = nd;
+                s.prev[ti][maxis as usize] = (x, y, axis);
+                s.heap.push(Reverse((key(nd), t.x, t.y, maxis)));
             }
         }
     }
     // Reconstruct from the cheaper arrival state at b.
-    let mut axis = if dist[idx(b)][0] <= dist[idx(b)][1] {
+    s.touch(idx(b));
+    let mut axis = if s.dist[idx(b)][0] <= s.dist[idx(b)][1] {
         0u8
     } else {
         1u8
     };
-    if dist[idx(b)][axis as usize] == f64::INFINITY {
+    if s.dist[idx(b)][axis as usize] == f64::INFINITY {
         return Vec::new(); // unreachable; caller falls back to patterns
     }
     let mut path = vec![b];
     let mut cur = b;
     while cur != a {
-        let (px, py, paxis) = prev[idx(cur)][axis as usize];
+        let (px, py, paxis) = s.prev[idx(cur)][axis as usize];
         if px == u32::MAX {
             break;
         }
@@ -567,16 +743,51 @@ fn commit(grid: &mut RouteGrid, layer: usize, cells: &[GcellPos], segs: &mut Vec
     });
 }
 
+/// The `(gcell, usage quanta)` pairs of a committed segment, in
+/// normalized order, without materializing a cell list — equivalent to
+/// [`run_usage`] over the segment's cells, but rip-up and merge run it
+/// for tens of thousands of segments per evaluation, so the hot path
+/// iterates coordinates directly. `run_usage` is symmetric in run
+/// direction, so the quanta match those added when the run was first
+/// committed regardless of segment orientation.
+fn seg_usage(grid: &RouteGrid, s: &RouteSeg) -> impl Iterator<Item = (GcellPos, i64)> {
+    let (fixed, lo, hi, horizontal) = match grid.dir(s.layer) {
+        LayerDir::Horizontal => (s.from.y, s.from.x.min(s.to.x), s.from.x.max(s.to.x), true),
+        LayerDir::Vertical => (s.from.x, s.from.y.min(s.to.y), s.from.y.max(s.to.y), false),
+    };
+    (lo..=hi).map(move |c| {
+        let g = if horizontal {
+            GcellPos::new(c, fixed)
+        } else {
+            GcellPos::new(fixed, c)
+        };
+        let q = if c == lo || c == hi {
+            1
+        } else {
+            crate::QUANTA_PER_TRACK
+        };
+        (g, q)
+    })
+}
+
 /// Removes a net's committed usage from the grid (the exact mirror of
 /// [`commit`]'s endpoint-discounted quanta).
 fn rip_up(grid: &mut RouteGrid, segs: &[RouteSeg]) {
     for s in segs {
-        let cells = match grid.dir(s.layer) {
-            LayerDir::Horizontal => h_run(s.from.y, s.from.x, s.to.x),
-            LayerDir::Vertical => v_run(s.from.x, s.from.y, s.to.y),
-        };
-        for (g, q) in run_usage(&cells) {
+        for (g, q) in seg_usage(grid, s) {
             grid.add_quanta(s.layer, g, -q);
+        }
+    }
+}
+
+/// Re-applies already-routed segments to a grid: the positive mirror of
+/// [`rip_up`], used when merging region-locally rerouted nets back into
+/// the master grid. Adds exactly the quanta [`commit`] added when the
+/// segments were produced.
+fn commit_segs(grid: &mut RouteGrid, segs: &[RouteSeg]) {
+    for s in segs {
+        for (g, q) in seg_usage(grid, s) {
+            grid.add_quanta(s.layer, g, q);
         }
     }
 }
@@ -628,8 +839,8 @@ fn plan_net(plan: &mut RoutePlan, layout: &Layout, tech: &Technology, nid: NetId
     for &(a, b) in &net_edges {
         pattern_route_edge(&mut plan.grid, a, b, &mut net_segs);
     }
-    plan.segs[nid.0 as usize] = net_segs;
-    plan.edges[nid.0 as usize] = net_edges;
+    plan.segs[nid.0 as usize] = Arc::new(net_segs);
+    plan.edges[nid.0 as usize] = Arc::new(net_edges);
 }
 
 /// Phase A: builds the pattern-route plan of the whole layout. The clock
@@ -638,10 +849,14 @@ fn plan_net(plan: &mut RoutePlan, layout: &Layout, tech: &Technology, nid: NetId
 pub fn plan_route(layout: &Layout, tech: &Technology) -> RoutePlan {
     let design = layout.design();
     let n_nets = design.nets.len();
+    // `vec![arc; n]` clones the Arc, so every unrouted net shares one
+    // empty list — entries are only ever replaced wholesale, never
+    // mutated through.
+    #[allow(clippy::rc_clone_in_vec_init)]
     let mut plan = RoutePlan {
         grid: RouteGrid::new(layout.floorplan(), tech, layout.route_rule()),
-        segs: vec![Vec::new(); n_nets],
-        edges: vec![Vec::new(); n_nets],
+        segs: vec![Arc::new(Vec::new()); n_nets],
+        edges: vec![Arc::new(Vec::new()); n_nets],
     };
     for (nid, _net) in design.nets_iter() {
         if Some(nid) == design.clock {
@@ -674,8 +889,8 @@ pub fn plan_update(
         if Some(nid) == design.clock {
             continue;
         }
-        rip_up(&mut plan.grid, &plan.segs[nid.0 as usize]);
-        plan.segs[nid.0 as usize].clear();
+        let old = Arc::clone(&plan.segs[nid.0 as usize]);
+        rip_up(&mut plan.grid, &old);
         plan_net(&mut plan, layout, tech, nid);
     }
     plan
@@ -736,9 +951,122 @@ pub fn route_design(layout: &Layout, tech: &Technology) -> RoutingState {
     finalize_route(layout, tech, plan_route(layout, tech))
 }
 
+/// Whether a committed segment crosses any overflowed gcell on its layer,
+/// per the round's one-pass overflow census. Membership in the census
+/// uses the same epsilon as the old per-segment usage re-read, so victim
+/// sets are bit-identical to the sequential scan this replaces.
+fn seg_crosses_overflow(oset: &OverflowSet, grid: &RouteGrid, s: &RouteSeg) -> bool {
+    match grid.dir(s.layer) {
+        LayerDir::Horizontal => {
+            let (x0, x1) = (s.from.x.min(s.to.x), s.from.x.max(s.to.x));
+            (x0..=x1).any(|x| oset.contains(s.layer, GcellPos::new(x, s.from.y)))
+        }
+        LayerDir::Vertical => {
+            let (y0, y1) = (s.from.y.min(s.to.y), s.from.y.max(s.to.y));
+            (y0..=y1).any(|y| oset.contains(s.layer, GcellPos::new(s.from.x, y)))
+        }
+    }
+}
+
+/// Reroutes one victim's MST edges against `grid` (maze router first,
+/// pattern fallback when the window is exhausted); returns the fresh
+/// segments.
+fn reroute_net(
+    grid: &mut RouteGrid,
+    edges: &[(GcellPos, GcellPos)],
+    penalty: f64,
+) -> Vec<RouteSeg> {
+    let mut net_segs = Vec::new();
+    for &(a, b) in edges {
+        if !route_edge_maze(grid, a, b, penalty, &mut net_segs) {
+            route_edge(grid, a, b, penalty, &mut net_segs);
+        }
+    }
+    net_segs
+}
+
+/// Reroutes footprint-disjoint victim components concurrently, then
+/// merges the results into the master grid deterministically.
+///
+/// Each component clones the master grid — a refcount bump per usage
+/// plane under copy-on-write; only planes the component writes un-share —
+/// and reroutes its victims sequentially in net-id order against that
+/// region-local view. Components share no gcell, so each observes exactly
+/// the usage the sequential pass would show it regardless of scheduling.
+/// The merge replays every victim in (component, net-id) order onto the
+/// master: integer rip-up/commit quanta commute, so the merged state is
+/// bit-identical to the sequential path at any thread count.
+fn reroute_groups_parallel(
+    grid: &mut RouteGrid,
+    segs: &mut [Arc<Vec<RouteSeg>>],
+    edges: &[Arc<Vec<(GcellPos, GcellPos)>>],
+    victims: &[u32],
+    groups: &[Vec<usize>],
+    penalty: f64,
+    threads: usize,
+) {
+    // Per-component output slot: (net id, new segments) in reroute order.
+    type GroupResult = Mutex<Vec<(u32, Vec<RouteSeg>)>>;
+    let results: Vec<GroupResult> = groups.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let master = &*grid;
+    let segs_ref = &*segs;
+    rayon::scope_with(threads, |s| {
+        for (slot, group) in results.iter().zip(groups) {
+            s.spawn(move |_| {
+                let mut local = master.clone();
+                let mut out = Vec::with_capacity(group.len());
+                for &vi in group {
+                    let net = victims[vi] as usize;
+                    rip_up(&mut local, &segs_ref[net]);
+                    out.push((net as u32, reroute_net(&mut local, &edges[net], penalty)));
+                }
+                *slot.lock().expect("region result slot") = out;
+            });
+        }
+    });
+    for slot in &results {
+        for (net, new_segs) in slot.lock().expect("region result slot").drain(..) {
+            let net = net as usize;
+            rip_up(grid, &segs[net]);
+            commit_segs(grid, &new_segs);
+            segs[net] = Arc::new(new_segs);
+        }
+    }
+}
+
 /// Phase B plus extraction: refines a pattern plan with deterministic
-/// rip-up-and-reroute and computes per-net parasitics.
+/// rip-up-and-reroute and computes per-net parasitics. Disjoint
+/// congestion regions reroute in parallel on up to [`crate::parallelism`]
+/// worker threads; results are bit-identical at any thread count (see
+/// [`finalize_route_with`]).
 pub fn finalize_route(layout: &Layout, tech: &Technology, plan: RoutePlan) -> RoutingState {
+    finalize_route_with(layout, tech, plan, crate::parallelism())
+}
+
+/// [`finalize_route`] pinned to one worker thread: the sequential
+/// reference path, processing victims strictly in net-id order against
+/// the live master grid.
+pub fn finalize_route_serial(layout: &Layout, tech: &Technology, plan: RoutePlan) -> RoutingState {
+    finalize_route_with(layout, tech, plan, 1)
+}
+
+/// [`finalize_route`] with an explicit worker-thread bound.
+///
+/// Determinism is load-bearing: for a fixed layout and plan the returned
+/// state is bit-identical for every `threads` value. Per round, victims
+/// are grouped into connected components of footprint overlap (`rrr`);
+/// components reroute concurrently against region-local copy-on-write
+/// grids and merge back in (component, net-id) order. A victim whose
+/// footprint touches several congestion regions merges those regions into
+/// one component rather than being deferred, which preserves sequential
+/// equivalence; in the worst case everything collapses into a single
+/// component and the round degenerates to the serial pass.
+pub fn finalize_route_with(
+    layout: &Layout,
+    tech: &Technology,
+    plan: RoutePlan,
+    threads: usize,
+) -> RoutingState {
     let design = layout.design();
     let clock = design.clock;
     let n_nets = design.nets.len();
@@ -747,67 +1075,95 @@ pub fn finalize_route(layout: &Layout, tech: &Technology, plan: RoutePlan) -> Ro
         mut segs,
         edges,
     } = plan;
+    let threads = threads.max(1);
+    let debug = std::env::var_os("GG_ROUTE_DEBUG").is_some();
+    let t0 = Instant::now();
+    let mut stats = RouteStats {
+        rounds: Vec::new(),
+        threads,
+        wall_nanos: 0,
+    };
 
     // Rip-up and reroute, keeping the best state seen (late rounds can
-    // regress once detours start compounding).
-    let debug = std::env::var_os("GG_ROUTE_DEBUG").is_some();
-    let mut best: Option<(f64, RouteGrid, Vec<Vec<RouteSeg>>)> = None;
+    // regress once detours start compounding). Usage planes and per-net
+    // segment lists are Arc-shared, so the snapshot costs a refcount bump
+    // per plane and per net, never a deep copy.
+    type BestState = (f64, RouteGrid, Vec<Arc<Vec<RouteSeg>>>);
+    let mut best: Option<BestState> = None;
     for round in 0..RRR_ROUNDS {
-        if debug {
-            eprintln!(
-                "rrr round {round}: overflow_pairs {} total {:.0}",
-                grid.overflow_pairs(),
-                grid.total_overflow()
-            );
-        }
+        // One-pass overflow census: round scoring and victim scanning
+        // test membership here instead of re-deriving scaled usage per
+        // victim segment cell.
+        let oset = grid.overflow_set();
         // Nothing overflows: the current state is final, and any best
         // state recorded earlier cannot beat an overflow score of zero.
-        if grid.overflow_pairs() == 0 {
+        if oset.is_empty() {
             best = None;
             break;
         }
-        let score = grid.total_overflow();
+        let victims: Vec<u32> = (0..n_nets as u32)
+            .filter(|&i| {
+                segs[i as usize]
+                    .iter()
+                    .any(|s| seg_crosses_overflow(&oset, &grid, s))
+            })
+            .collect();
+        if victims.is_empty() {
+            break;
+        }
+        let score = oset.total_overflow();
         if best.as_ref().is_none_or(|(b, _, _)| score < *b) {
             best = Some((score, grid.clone(), segs.clone()));
         } else if round > 1 {
             break; // regressing: stop and restore the best state
         }
         let penalty = 3.0f64.powi(round as i32 + 1);
-        // Capture the overflow map before ripping anything.
-        let crosses_overflow = |grid: &RouteGrid, s: &RouteSeg| -> bool {
-            let cap = grid.capacity(s.layer) + 1e-9;
-            let over = |g: GcellPos| grid.usage(s.layer, g) > cap;
-            match grid.dir(s.layer) {
-                LayerDir::Horizontal => {
-                    let (x0, x1) = (s.from.x.min(s.to.x), s.from.x.max(s.to.x));
-                    (x0..=x1).any(|x| over(GcellPos::new(x, s.from.y)))
-                }
-                LayerDir::Vertical => {
-                    let (y0, y1) = (s.from.y.min(s.to.y), s.from.y.max(s.to.y));
-                    (y0..=y1).any(|y| over(GcellPos::new(s.from.x, y)))
-                }
-            }
-        };
-        let victims: Vec<u32> = (0..n_nets as u32)
-            .filter(|&i| segs[i as usize].iter().any(|s| crosses_overflow(&grid, s)))
+        let footprints: Vec<Vec<Rect>> = victims
+            .iter()
+            .map(|&i| {
+                edges[i as usize]
+                    .iter()
+                    .map(|&(a, b)| Rect::from_edge(a, b, MAZE_MARGIN, grid.nx(), grid.ny()))
+                    .collect()
+            })
             .collect();
-        if victims.is_empty() {
-            break;
-        }
-        // Sequential rip-up: each victim is torn out and immediately
-        // rerouted against the live usage of every other net, which keeps
-        // the process convergent (parallel rip-up oscillates).
-        for &i in &victims {
-            rip_up(&mut grid, &segs[i as usize]);
-            segs[i as usize].clear();
-            let mut net_segs = Vec::new();
-            for &(a, b) in &edges[i as usize] {
-                if !route_edge_maze(&mut grid, a, b, penalty, &mut net_segs) {
-                    route_edge(&mut grid, a, b, penalty, &mut net_segs);
-                }
+        let groups = rrr::partition(&footprints, grid.nx(), grid.ny());
+        let parallel = threads > 1 && groups.len() > 1;
+        if parallel {
+            reroute_groups_parallel(
+                &mut grid, &mut segs, &edges, &victims, &groups, penalty, threads,
+            );
+        } else {
+            // Sequential reference path: each victim is torn out and
+            // immediately rerouted against the live usage of every other
+            // net, which keeps the process convergent (unsynchronized
+            // parallel rip-up oscillates).
+            for &i in &victims {
+                let old = Arc::clone(&segs[i as usize]);
+                rip_up(&mut grid, &old);
+                segs[i as usize] = Arc::new(reroute_net(&mut grid, &edges[i as usize], penalty));
             }
-            segs[i as usize] = net_segs;
         }
+        let rs = RoundStats {
+            round,
+            overflow_pairs: oset.pairs(),
+            total_overflow: score,
+            victims: victims.len(),
+            regions: groups.len(),
+            parallel,
+        };
+        if debug {
+            eprintln!(
+                "rrr round {}: overflow_pairs {} total {:.0} victims {} regions {}{}",
+                rs.round,
+                rs.overflow_pairs,
+                rs.total_overflow,
+                rs.victims,
+                rs.regions,
+                if rs.parallel { " (parallel)" } else { "" },
+            );
+        }
+        stats.rounds.push(rs);
     }
     if let Some((score, bg, bs)) = best {
         if score < grid.total_overflow() {
@@ -815,6 +1171,18 @@ pub fn finalize_route(layout: &Layout, tech: &Technology, plan: RoutePlan) -> Ro
             segs = bs;
         }
     }
+    stats.wall_nanos = t0.elapsed().as_nanos() as u64;
+    PHASE_B_CALLS.fetch_add(1, Ordering::Relaxed);
+    PHASE_B_ROUNDS.fetch_add(stats.rounds.len() as u64, Ordering::Relaxed);
+    PHASE_B_VICTIMS.fetch_add(
+        stats.rounds.iter().map(|r| r.victims as u64).sum(),
+        Ordering::Relaxed,
+    );
+    PHASE_B_REGIONS.fetch_add(
+        stats.rounds.iter().map(|r| r.regions as u64).sum(),
+        Ordering::Relaxed,
+    );
+    PHASE_B_NANOS.fetch_add(stats.wall_nanos, Ordering::Relaxed);
 
     // Parasitics: routed length per layer plus per-pin escape stubs.
     let mut rc: Vec<NetRc> = vec![NetRc::default(); n_nets];
@@ -825,7 +1193,7 @@ pub fn finalize_route(layout: &Layout, tech: &Technology, plan: RoutePlan) -> Ro
         }
         let mut res = 0.0;
         let mut cap = 0.0;
-        for s in &segs[nid.0 as usize] {
+        for s in segs[nid.0 as usize].iter() {
             let layer = tech.layer(s.layer);
             let scale = grid.scale(s.layer);
             let len_dbu = match layer.dir {
@@ -852,6 +1220,7 @@ pub fn finalize_route(layout: &Layout, tech: &Technology, plan: RoutePlan) -> Ro
         segs,
         rc,
         wirelength_um: wl_um,
+        stats,
     }
 }
 
@@ -940,6 +1309,79 @@ mod tests {
         let (_, layout, routing) = routed(RouteRule::default());
         let v = routing.drc_violations(&layout);
         assert!(v <= 3, "baseline should be nearly DRC-clean, got {v}");
+    }
+
+    /// Benchmark-scale grids usually collapse into one congestion region
+    /// (the maze halo is wide relative to the die), so the multi-group
+    /// path of [`reroute_groups_parallel`] is exercised here directly: a
+    /// wide synthetic grid with two far-apart hotspots must partition
+    /// into two components and merge back bit-identical to the
+    /// sequential reference at every thread bound.
+    #[test]
+    fn parallel_group_merge_matches_serial_on_disjoint_regions() {
+        let tech = Technology::nangate45_like();
+        let rule = RouteRule::default();
+        let fp = layout::Floorplan::new(12 * crate::GCELL_H_ROWS, 60 * crate::GCELL_W_SITES);
+        let mut grid = RouteGrid::new(&fp, &tech, &rule);
+        assert!(grid.nx() >= 60 && grid.ny() >= 10);
+
+        // Two nets per hotspot; the hotspots sit far enough apart that
+        // their maze footprints (edge bbox + MAZE_MARGIN) cannot touch.
+        let edges: Vec<Arc<Vec<(GcellPos, GcellPos)>>> = vec![
+            Arc::new(vec![(GcellPos::new(2, 2), GcellPos::new(9, 8))]),
+            Arc::new(vec![(GcellPos::new(3, 9), GcellPos::new(8, 3))]),
+            Arc::new(vec![(GcellPos::new(46, 2), GcellPos::new(53, 8))]),
+            Arc::new(vec![(GcellPos::new(47, 9), GcellPos::new(52, 3))]),
+        ];
+        let segs: Vec<Arc<Vec<RouteSeg>>> = edges
+            .iter()
+            .map(|e| Arc::new(reroute_net(&mut grid, e, 1.0)))
+            .collect();
+        // Saturate a column inside each hotspot so rerouting has real
+        // congestion to negotiate instead of replaying the same pattern.
+        for gx in [5u32, 49] {
+            for gy in 2..=8 {
+                for layer in 2..=5 {
+                    grid.add_quanta(layer, GcellPos::new(gx, gy), 1000);
+                }
+            }
+        }
+
+        let victims: Vec<u32> = vec![0, 1, 2, 3];
+        let footprints: Vec<Vec<Rect>> = victims
+            .iter()
+            .map(|&i| {
+                edges[i as usize]
+                    .iter()
+                    .map(|&(a, b)| Rect::from_edge(a, b, MAZE_MARGIN, grid.nx(), grid.ny()))
+                    .collect()
+            })
+            .collect();
+        let groups = rrr::partition(&footprints, grid.nx(), grid.ny());
+        assert_eq!(groups.len(), 2, "hotspots must form two disjoint regions");
+
+        // Sequential reference: victims in net-id order on the live grid.
+        let mut sg = grid.clone();
+        let mut ss = segs.clone();
+        for &i in &victims {
+            let old = Arc::clone(&ss[i as usize]);
+            rip_up(&mut sg, &old);
+            ss[i as usize] = Arc::new(reroute_net(&mut sg, &edges[i as usize], 3.0));
+        }
+        assert!(
+            ss.iter().zip(&segs).any(|(a, b)| a != b),
+            "reroute must change something"
+        );
+
+        for threads in [2usize, 8] {
+            let mut pg = grid.clone();
+            let mut ps = segs.clone();
+            reroute_groups_parallel(&mut pg, &mut ps, &edges, &victims, &groups, 3.0, threads);
+            assert!(pg == sg, "grid diverged at {threads} threads");
+            for (net, (a, b)) in ss.iter().zip(&ps).enumerate() {
+                assert_eq!(a, b, "segments of net {net} diverged at {threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Congestion-region partitioning for region-parallel rip-up-and-reroute.
+//!
+//! Phase B tears out every net crossing an overflowed `(layer, gcell)`
+//! pair and reroutes it. A victim's *footprint* — the union of its MST
+//! edges' bounding boxes expanded by the maze detour margin — contains
+//! every gcell the reroute can read or write: the maze search window, the
+//! pattern-router's ±1 row/column detours, and the old segments being
+//! ripped (which were themselves produced inside the same windows).
+//! Victims whose footprints are disjoint therefore commute: processing
+//! them in any order, or concurrently against private usage, yields a
+//! grid and segment set bit-identical to the fully sequential pass.
+//!
+//! [`partition`] groups victims into connected components of footprint
+//! overlap by stamping each footprint onto a gcell label grid and
+//! union-finding on collisions — exact cell-level overlap, not a
+//! conservative bounding-box test. Components are returned in ascending
+//! order of their smallest victim index with members ascending, so the
+//! grouping itself is a pure function of the victim set.
+
+use geom::GcellPos;
+
+/// Inclusive gcell rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Rect {
+    pub x0: u32,
+    pub y0: u32,
+    pub x1: u32,
+    pub y1: u32,
+}
+
+impl Rect {
+    /// Bounding box of an MST edge expanded by `margin`, clamped to the
+    /// `nx × ny` grid.
+    pub(crate) fn from_edge(a: GcellPos, b: GcellPos, margin: u32, nx: u32, ny: u32) -> Rect {
+        Rect {
+            x0: a.x.min(b.x).saturating_sub(margin),
+            y0: a.y.min(b.y).saturating_sub(margin),
+            x1: (a.x.max(b.x) + margin).min(nx - 1),
+            y1: (a.y.max(b.y) + margin).min(ny - 1),
+        }
+    }
+}
+
+/// Union-find with path halving.
+pub(crate) struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    pub(crate) fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Attach the larger root under the smaller so roots are
+            // stable identifiers (the smallest member of the component).
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Groups victims into connected components of footprint overlap.
+///
+/// `footprints[v]` is victim `v`'s rectangle set. Returns the components
+/// as lists of victim indices, members ascending, components ordered by
+/// smallest member. Two victims land in the same component iff some chain
+/// of pairwise-overlapping footprints connects them; victims in different
+/// components share no gcell and may be rerouted concurrently.
+pub(crate) fn partition(footprints: &[Vec<Rect>], nx: u32, ny: u32) -> Vec<Vec<usize>> {
+    let n = footprints.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Dominant-footprint shortcut: if some victim's footprint covers the
+    // whole grid, every other (non-empty) footprint overlaps it and the
+    // partition is one component. Small dies hit this on nearly every
+    // round (the maze margin exceeds the die), so skipping the O(area)
+    // stamping below is a real win; the result is exactly what stamping
+    // would produce.
+    let whole = Rect {
+        x0: 0,
+        y0: 0,
+        x1: nx - 1,
+        y1: ny - 1,
+    };
+    if footprints.iter().all(|rects| !rects.is_empty())
+        && footprints.iter().any(|rects| rects.contains(&whole))
+    {
+        return vec![(0..n).collect()];
+    }
+    let mut dsu = Dsu::new(n);
+    // Stamp footprints onto a gcell label grid; a collision means the two
+    // victims' footprints share this cell, so they must not run in
+    // parallel. Overlapping rects of one victim self-collide harmlessly.
+    const NO_OWNER: u32 = u32::MAX;
+    let mut label = vec![NO_OWNER; (nx * ny) as usize];
+    for (v, rects) in footprints.iter().enumerate() {
+        for r in rects {
+            for y in r.y0..=r.y1 {
+                let row = (y * nx) as usize;
+                for x in r.x0..=r.x1 {
+                    let cell = &mut label[row + x as usize];
+                    if *cell == NO_OWNER {
+                        *cell = v as u32;
+                    } else if *cell != v as u32 {
+                        dsu.union(v, *cell as usize);
+                    }
+                }
+            }
+        }
+    }
+    // Bucket members under their root. Roots are the smallest member of
+    // each component, so ascending-root order == ascending-min-victim.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_of = vec![usize::MAX; n];
+    for v in 0..n {
+        let root = dsu.find(v);
+        if group_of[root] == usize::MAX {
+            group_of[root] = groups.len();
+            groups.push(Vec::new());
+        }
+        groups[group_of[root]].push(v);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x0: u32, y0: u32, x1: u32, y1: u32) -> Rect {
+        Rect { x0, y0, x1, y1 }
+    }
+
+    #[test]
+    fn disjoint_footprints_stay_separate() {
+        let fps = vec![vec![rect(0, 0, 3, 3)], vec![rect(10, 10, 13, 13)]];
+        let groups = partition(&fps, 20, 20);
+        assert_eq!(groups, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn overlap_merges_transitively() {
+        // 0 overlaps 1, 1 overlaps 2, 3 is far away.
+        let fps = vec![
+            vec![rect(0, 0, 4, 4)],
+            vec![rect(4, 4, 8, 8)],
+            vec![rect(8, 8, 12, 12)],
+            vec![rect(17, 17, 19, 19)],
+        ];
+        let groups = partition(&fps, 20, 20);
+        assert_eq!(groups, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn edge_rect_clamps_to_grid() {
+        let r = Rect::from_edge(GcellPos::new(1, 1), GcellPos::new(3, 2), 8, 10, 10);
+        assert_eq!(r, rect(0, 0, 9, 9));
+    }
+
+    #[test]
+    fn whole_grid_footprint_collapses_to_one_group() {
+        // Victim 1 covers the die, so the dominant-footprint shortcut
+        // must return the same single component stamping would.
+        let fps = vec![
+            vec![rect(5, 5, 6, 6)],
+            vec![rect(0, 0, 19, 19)],
+            vec![rect(15, 15, 16, 16)],
+        ];
+        assert_eq!(partition(&fps, 20, 20), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn groups_are_ordered_and_ascending() {
+        // 2 overlaps 0; 1 is alone. Component of {0, 2} leads because its
+        // smallest member is 0.
+        let fps = vec![
+            vec![rect(0, 0, 2, 2)],
+            vec![rect(10, 0, 12, 2)],
+            vec![rect(2, 2, 4, 4)],
+        ];
+        let groups = partition(&fps, 20, 20);
+        assert_eq!(groups, vec![vec![0, 2], vec![1]]);
+    }
+}

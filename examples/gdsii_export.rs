@@ -18,7 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut hardened = apply_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
 
     // Tapeout hygiene: tile the remaining whitespace with filler cells.
-    let fillers = layout::insert_fillers(hardened.layout.occupancy_mut(), &tech);
+    let hl = std::sync::Arc::make_mut(&mut hardened.layout);
+    let fillers = layout::insert_fillers(hl.occupancy_mut(), &tech);
     let lib = layout_to_gds(&hardened.layout, &tech, Some(&hardened.routing));
     let bytes = lib.to_bytes();
     let path = std::env::temp_dir().join("tdea_hardened.gds");

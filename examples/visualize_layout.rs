@@ -72,7 +72,7 @@ fn main() {
     );
     print!("{}", render(&base, &tech));
 
-    let mut layout = base.layout.clone();
+    let mut layout = layout::Layout::clone(&base.layout);
     gdsii_guard::preprocess::lock_critical_cells(&mut layout);
     cell_shift(&mut layout, &tech, THRESH_ER);
     let after = evaluate(layout, &tech);

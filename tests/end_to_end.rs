@@ -137,7 +137,10 @@ fn hardened_layout_exports_to_gdsii_and_back() {
     let tech = Technology::nangate45_like();
     let base = implement_baseline(&bench::tiny_spec(), &tech);
     let mut hardened = apply_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
-    layout::insert_fillers(hardened.layout.occupancy_mut(), &tech);
+    layout::insert_fillers(
+        std::sync::Arc::make_mut(&mut hardened.layout).occupancy_mut(),
+        &tech,
+    );
     let lib = gdsii::layout_to_gds(&hardened.layout, &tech, Some(&hardened.routing));
     let back = gdsii::GdsLibrary::from_bytes(&lib.to_bytes()).expect("parse own output");
     assert_eq!(back, lib);

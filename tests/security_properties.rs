@@ -26,7 +26,7 @@ fn fillers_do_not_change_security() {
     // ERsites untouched.
     let tech = Technology::nangate45_like();
     let base = implement_baseline(&bench::tiny_spec(), &tech);
-    let mut filled = base.layout.clone();
+    let mut filled = layout::Layout::clone(&base.layout);
     layout::insert_fillers(filled.occupancy_mut(), &tech);
     let snap = evaluate(filled, &tech);
     assert_eq!(snap.security.er_sites, base.security.er_sites);

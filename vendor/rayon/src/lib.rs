@@ -1,0 +1,278 @@
+//! Vendored minimal stand-in for the `rayon` API surface this workspace
+//! uses (offline build): scoped task spawning on a bounded pool of OS
+//! threads, `join`, and `RAYON_NUM_THREADS` thread-count discovery.
+//!
+//! Semantics vs real rayon: tasks spawned on a [`Scope`] are queued and
+//! only start executing once the scope closure returns; [`scope`] still
+//! provides rayon's join guarantee — it does not return until every
+//! spawned task (including tasks spawned by tasks) has finished. Tasks
+//! must therefore not wait on each other's side effects from *inside* the
+//! scope closure, which no caller in this workspace does. [`join`] runs
+//! its two closures sequentially on the calling thread; that is a legal
+//! rayon schedule (rayon may execute both halves inline when no worker
+//! steals), so callers relying only on `join`'s result semantics are
+//! unaffected.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads the global pool would use: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive
+/// integer, else the machine's available parallelism.
+///
+/// Read on every call (not cached) so tests can vary the environment
+/// variable between cases.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Runs both closures and returns both results. This shim executes them
+/// sequentially on the calling thread — one of the schedules real rayon's
+/// work-stealing `join` may produce.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+type Task<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// A scope onto which tasks borrowing the enclosing stack frame can be
+/// spawned; see [`scope`].
+pub struct Scope<'scope> {
+    queue: Mutex<VecDeque<Task<'scope>>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` for execution before the enclosing [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.queue
+            .lock()
+            .expect("scope queue")
+            .push_back(Box::new(f));
+    }
+}
+
+/// Creates a scope, runs `op` on the calling thread, then executes every
+/// spawned task on up to [`current_num_threads`] workers. Returns `op`'s
+/// result after all tasks (including nested spawns) have completed.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    scope_with(current_num_threads(), op)
+}
+
+/// [`scope`] with an explicit worker-thread bound.
+pub fn scope_with<'scope, OP, R>(threads: usize, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let scope = Scope {
+        queue: Mutex::new(VecDeque::new()),
+    };
+    let result = op(&scope);
+    let queued = scope.queue.lock().expect("scope queue").len();
+    if queued == 0 {
+        return result;
+    }
+    let workers = threads.max(1).min(queued);
+    if workers == 1 {
+        // Inline drain: tasks may spawn further tasks while running.
+        loop {
+            let task = scope.queue.lock().expect("scope queue").pop_front();
+            match task {
+                Some(t) => t(&scope),
+                None => break,
+            }
+        }
+        return result;
+    }
+    // A worker exits only when the queue is empty AND no task is still
+    // running (a running task may spawn more work).
+    let active = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let task = {
+                    let mut q = scope.queue.lock().expect("scope queue");
+                    let t = q.pop_front();
+                    if t.is_some() {
+                        active.fetch_add(1, Ordering::SeqCst);
+                    }
+                    t
+                };
+                match task {
+                    Some(t) => {
+                        t(&scope);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    None => {
+                        if active.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    result
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for bounded pools.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; construction cannot fail in
+/// this shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine-derived) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` worker threads (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A bounded worker pool. This shim holds no persistent threads; each
+/// [`ThreadPool::scope`] spins up at most `threads` scoped OS threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker-thread bound.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` on the calling thread (the shim has no dedicated pool
+    /// threads to migrate onto).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// [`scope`] bounded by this pool's thread count.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        scope_with(self.threads, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_every_task() {
+        let sum = AtomicU64::new(0);
+        scope(|s| {
+            for i in 1..=100u64 {
+                let sum = &sum;
+                s.spawn(move |_| {
+                    sum.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 5050);
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        let hits = AtomicU64::new(0);
+        scope_with(4, |s| {
+            s.spawn(|s| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn single_thread_drains_inline() {
+        let sum = AtomicU64::new(0);
+        scope_with(1, |s| {
+            for i in 0..10u64 {
+                let sum = &sum;
+                s.spawn(move |_| {
+                    sum.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 45);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn pool_builder_caps_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let n = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let n = &n;
+                s.spawn(move |_| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 8);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}
