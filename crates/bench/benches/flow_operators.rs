@@ -5,14 +5,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gdsii_guard::cell_shift::cell_shift;
 use gdsii_guard::lda::{local_density_adjustment, LdaParams};
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use secmetrics::THRESH_ER;
 use tech::{RouteRule, Technology};
 
 fn bench_operators(c: &mut Criterion) {
     let tech = Technology::nangate45_like();
     let spec = netlist::bench::spec_by_name("PRESENT").expect("known design");
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     let mut group = c.benchmark_group("flow_operators");
 
     group.bench_function("cell_shift/PRESENT", |b| {

@@ -5,8 +5,7 @@
 //! level (see `src/bin/bench_explore.rs`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gdsii_guard::flow::{run_flow, run_flow_with, FlowConfig};
-use gdsii_guard::pipeline::{implement_baseline, EvalEngine};
+use gdsii_guard::prelude::*;
 use tech::{Technology, NUM_METAL_LAYERS};
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -15,9 +14,9 @@ fn bench_pipeline(c: &mut Criterion) {
     for name in ["PRESENT", "TDEA", "CAST"] {
         let spec = netlist::bench::spec_by_name(name).expect("known design");
         group.bench_function(format!("implement_baseline/{name}"), |b| {
-            b.iter(|| std::hint::black_box(implement_baseline(&spec, &tech)))
+            b.iter(|| std::hint::black_box(implement_baseline_unchecked(&spec, &tech)))
         });
-        let base = implement_baseline(&spec, &tech);
+        let base = implement_baseline(&spec, &tech).unwrap();
         group.bench_function(format!("flow_candidate_cs/{name}"), |b| {
             b.iter(|| {
                 std::hint::black_box(run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1))
@@ -34,7 +33,7 @@ fn bench_pipeline(c: &mut Criterion) {
 fn bench_incremental(c: &mut Criterion) {
     let tech = Technology::nangate45_like();
     let spec = netlist::bench::tiny_spec();
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     let mut cfgs = Vec::new();
     for op in [
         FlowConfig::cell_shift_default().op,
@@ -57,12 +56,12 @@ fn bench_incremental(c: &mut Criterion) {
     });
     let engine = EvalEngine::new(&base, &tech);
     for cfg in &cfgs {
-        std::hint::black_box(run_flow_with(&engine, &tech, cfg, 7));
+        std::hint::black_box(run_flow_with_unchecked(&engine, &tech, cfg, 7));
     }
     group.bench_function("population_incremental", |b| {
         b.iter(|| {
             for cfg in &cfgs {
-                std::hint::black_box(run_flow_with(&engine, &tech, cfg, 7));
+                std::hint::black_box(run_flow_with_unchecked(&engine, &tech, cfg, 7));
             }
         })
     });

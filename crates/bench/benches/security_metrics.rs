@@ -4,7 +4,7 @@
 //! candidate evaluation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use secmetrics::{analyze_regions, THRESH_ER};
 use tech::Technology;
 
@@ -13,7 +13,7 @@ fn bench_security_metrics(c: &mut Criterion) {
     let mut group = c.benchmark_group("security_metrics");
     for name in ["PRESENT", "CAST"] {
         let spec = netlist::bench::spec_by_name(name).expect("known design");
-        let snap = implement_baseline(&spec, &tech);
+        let snap = implement_baseline(&spec, &tech).unwrap();
         group.bench_function(format!("analyze_regions/{name}"), |b| {
             b.iter(|| {
                 let a = analyze_regions(

@@ -1,4 +1,4 @@
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use std::time::Instant;
 use tech::Technology;
 
@@ -6,7 +6,7 @@ fn main() {
     let tech = Technology::nangate45_like();
     let spec = netlist::bench::spec_by_name("AES_1").unwrap();
     let t = Instant::now();
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     println!("baseline {:.1}s", t.elapsed().as_secs_f64());
     let t = Instant::now();
     let _icas = defenses::apply_icas(&base, &tech);

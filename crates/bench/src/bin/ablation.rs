@@ -6,9 +6,7 @@
 //! 3. NSGA-II vs random search at the same evaluation budget.
 //! 4. `Thresh_ER` sensitivity of the ERsites metric.
 
-use gdsii_guard::flow::{run_flow, FlowConfig, OpSelect};
-use gdsii_guard::nsga2::{explore, Genome, Nsga2Params};
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tech::Technology;
@@ -23,7 +21,7 @@ fn main() {
     );
     for name in ["Camellia", "MISTY", "CAST", "openMSP430_2"] {
         let spec = netlist::bench::spec_by_name(name).expect("known");
-        let base = implement_baseline(&spec, &tech);
+        let base = implement_baseline(&spec, &tech).unwrap();
         let cs = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
         let lda = run_flow(
             &base,
@@ -52,7 +50,7 @@ fn main() {
 
     println!("\n=== Ablation 2: Routing Width Scaling on/off (MISTY, CS placement) ===");
     let spec = netlist::bench::spec_by_name("MISTY").expect("known");
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     let plain = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
     let mut cfg = FlowConfig::cell_shift_default();
     cfg.scales = [1.0, 1.5, 1.5, 1.5, 1.5, 1.5, 1.2, 1.2, 1.2, 1.2];
@@ -72,7 +70,7 @@ fn main() {
 
     println!("\n=== Ablation 3: NSGA-II vs random search (PRESENT, equal budget) ===");
     let spec = netlist::bench::spec_by_name("PRESENT").expect("known");
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     let params = Nsga2Params {
         population: 10,
         generations: 3,
@@ -105,7 +103,7 @@ fn main() {
 
     println!("\n=== Ablation 4: Thresh_ER sensitivity (SPARX baseline) ===");
     let spec = netlist::bench::spec_by_name("SPARX").expect("known");
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     for thresh in [12u32, 16, 20, 24, 32] {
         let a =
             secmetrics::analyze_regions(&base.layout, &base.routing, &base.timing, &tech, thresh);

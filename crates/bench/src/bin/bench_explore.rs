@@ -1,20 +1,29 @@
 //! Perf-trajectory harness for the incremental evaluation engine.
 //!
-//! Runs the fixed-seed fig5-style `explore` of the tiny spec, then replays
-//! the exact evaluation schedule it produced — generation by generation,
-//! with the same work-stealing thread pool — through both evaluation
-//! paths: the from-scratch oracle (`run_flow`) and the incremental engine
+//! Runs the fixed-seed fig5-style `explore` of the tiny spec with the
+//! telemetry subsystem enabled (capturing per-phase spans and cache
+//! counters), then replays the exact evaluation schedule it produced —
+//! generation by generation, with the same work-stealing thread pool —
+//! through both evaluation paths with telemetry *disabled*: the
+//! from-scratch oracle (`run_flow`) and the incremental engine
 //! (`run_flow_with`, fresh engine, cold caches). The two replay walls are
 //! the honest apples-to-apples comparison the incremental engine is
-//! judged on; results land in `BENCH_explore.json` at the workspace root
-//! so future changes can track the perf curve.
+//! judged on; results, including the telemetry section, land in
+//! `BENCH_explore.json` at the workspace root so future changes can track
+//! the perf curve.
+//!
+//! Flags:
+//! - `--verbose` prints the rendered span/metric tree of the instrumented
+//!   explore run.
+//! - `--smoke` runs a small exploration twice — telemetry enabled and
+//!   disabled — checks the two produce bit-identical results, prints the
+//!   wall-clock delta, and asserts the enabled overhead stays under 5 %.
+//!   No JSON is written in smoke mode.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use gdsii_guard::flow::FlowMetrics;
-use gdsii_guard::nsga2::{explore, EvalPoint};
-use gdsii_guard::pipeline::{implement_baseline, EvalEngine};
+use gdsii_guard::prelude::*;
 use gg_bench::driver::GG_GA_PARAMS;
 use tech::Technology;
 
@@ -31,7 +40,6 @@ struct BenchExplore {
     evals_per_sec: f64,
     full_replay_wall_secs: f64,
     incremental_replay_wall_secs: f64,
-    phase_b_wall_secs: f64,
     speedup: f64,
 }
 
@@ -47,7 +55,6 @@ ggjson::json_struct!(BenchExplore {
     evals_per_sec,
     full_replay_wall_secs,
     incremental_replay_wall_secs,
-    phase_b_wall_secs,
     speedup
 });
 
@@ -86,107 +93,187 @@ fn replay(
     t0.elapsed().as_secs_f64()
 }
 
-/// Pretty-prints the drained Phase-B counters of one measured region.
-fn report_phase_b(label: &str, t: &route::PhaseBTotals) {
-    println!(
-        "  {label}: {} finalize calls, {} rounds, {} victims, {} regions, {:.3}s phase-B wall",
-        t.calls,
-        t.rounds,
-        t.victims,
-        t.regions,
-        t.nanos as f64 / 1e9,
+/// The curated per-phase walls and cache counters the benchmark tracks,
+/// extracted from the instrumented explore run's telemetry snapshot.
+/// Span totals are leaf-summed, so worker-thread spans (whose root is the
+/// worker, not the enclosing phase) are included.
+fn phase_summary(t: &gdsii_guard::obs::MetricsSnapshot) -> ggjson::Json {
+    let secs = |leaf: &str| t.span_total_nanos(leaf) as f64 / 1e9;
+    ggjson::Json::Obj(vec![
+        (
+            "baseline_implement_secs".into(),
+            ggjson::Json::Num(secs("baseline.implement")),
+        ),
+        (
+            "phase_a_route_secs".into(),
+            ggjson::Json::Num(secs("route.phase_a") + secs("route.phase_a_patch")),
+        ),
+        (
+            "phase_b_rrr_secs".into(),
+            ggjson::Json::Num(secs("route.phase_b")),
+        ),
+        (
+            "incremental_sta_secs".into(),
+            ggjson::Json::Num(secs("sta.incremental")),
+        ),
+        (
+            "nsga2_generation_secs".into(),
+            ggjson::Json::Num(secs("nsga2.generation")),
+        ),
+        (
+            "eval_cache_hits".into(),
+            ggjson::Json::Num(t.counter("eval.cache_hits") as f64),
+        ),
+        (
+            "eval_cache_misses".into(),
+            ggjson::Json::Num(t.counter("eval.cache_misses") as f64),
+        ),
+        (
+            "sta_clean_hits".into(),
+            ggjson::Json::Num(t.counter("sta.clean_hits") as f64),
+        ),
+        (
+            "sta_cone_fallbacks".into(),
+            ggjson::Json::Num(t.counter("sta.cone_fallbacks") as f64),
+        ),
+        (
+            "rrr_rounds".into(),
+            ggjson::Json::Num(t.counter("rrr.rounds") as f64),
+        ),
+    ])
+}
+
+/// Smoke mode: telemetry must not perturb results and must stay cheap.
+fn smoke() {
+    let tech = Technology::nangate45_like();
+    let spec = netlist::bench::tiny_spec();
+    let params = Nsga2Params::builder()
+        .population(6)
+        .generations(2)
+        .seed(GG_GA_PARAMS.seed)
+        .threads(4)
+        .build();
+    const REPS: usize = 3;
+
+    let run = || {
+        let base = implement_baseline_unchecked(&spec, &tech);
+        explore(&base, &tech, &params)
+    };
+    let min_wall = |enabled: bool| {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..REPS {
+            gdsii_guard::obs::reset();
+            gdsii_guard::obs::set_enabled(enabled);
+            let t0 = Instant::now();
+            let r = run();
+            let wall = t0.elapsed().as_secs_f64();
+            gdsii_guard::obs::set_enabled(false);
+            if wall < best {
+                best = wall;
+            }
+            result = Some(r);
+        }
+        (best, result.expect("REPS >= 1"))
+    };
+
+    let (wall_off, off) = min_wall(false);
+    let (wall_on, on) = min_wall(true);
+
+    // Telemetry observes; it must never steer. Bit-identical trajectories.
+    assert_eq!(
+        off.points.len(),
+        on.points.len(),
+        "evaluation count diverged"
     );
+    for (a, b) in off.points.iter().zip(&on.points) {
+        assert_eq!(a.genome, b.genome, "genome schedule diverged");
+        assert_eq!(a.metrics, b.metrics, "metrics diverged on {:?}", a.genome);
+    }
+
+    let delta = (wall_on - wall_off) / wall_off;
+    println!(
+        "smoke: {} evaluations; wall disabled {wall_off:.3}s vs enabled {wall_on:.3}s \
+         ({:+.2} % telemetry overhead)",
+        off.points.len(),
+        delta * 100.0,
+    );
+    assert!(
+        delta < 0.05,
+        "telemetry-enabled wall exceeds the 5 % overhead budget: {:+.2} %",
+        delta * 100.0
+    );
+    println!("smoke: OK (results bit-identical, overhead within budget)");
 }
 
 fn main() {
-    let verbose = std::env::args().any(|a| a == "--verbose");
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let verbose = args.iter().any(|a| a == "--verbose");
     let tech = Technology::nangate45_like();
     let spec = netlist::bench::tiny_spec();
-    let base = implement_baseline(&spec, &tech);
+
+    // Instrumented pass: baseline + exploration with telemetry on. The
+    // smoke mode (and the telemetry_regression test) pin down that the
+    // enabled path stays cheap and observation-only, so the explore wall
+    // below is still representative.
+    gdsii_guard::obs::reset();
+    gdsii_guard::obs::set_enabled(true);
+    let base = implement_baseline(&spec, &tech).expect("baseline implements cleanly");
 
     let t0 = Instant::now();
     let result = explore(&base, &tech, &GG_GA_PARAMS);
     let explore_wall_secs = t0.elapsed().as_secs_f64();
+    let telemetry = gdsii_guard::obs::snapshot();
+    gdsii_guard::obs::set_enabled(false);
+
     let evaluations = result.points.len() as u64;
     let points: Vec<&EvalPoint> = result.points.iter().collect();
-    let threads = GG_GA_PARAMS.threads;
+    let threads = GG_GA_PARAMS.resolved_threads();
+
+    if verbose {
+        println!("telemetry of the instrumented explore run:");
+        println!("{}", telemetry.render());
+    }
 
     // The replays distribute candidates exactly like `nsga2::evaluate_all`,
-    // including its per-worker routing-thread budget.
+    // including its per-worker routing-thread budget — telemetry disabled,
+    // so the walls measure the evaluation paths alone.
     let route_threads = route::budget_for_workers(threads);
     route::set_parallelism(route_threads);
-    let explore_totals = route::take_phase_b_totals();
 
     // Wall clocks on a shared box are scheduler-noisy, so each replay runs
-    // `REPS` times and the minimum wall (the least-interference repetition,
-    // with its matching Phase-B totals) is recorded.
+    // `REPS` times and the minimum wall (the least-interference repetition)
+    // is recorded.
     const REPS: usize = 3;
     let measure = |eval: &(dyn Fn(&EvalPoint) -> FlowMetrics + Sync)| {
-        let mut best: Option<(f64, route::PhaseBTotals)> = None;
+        let mut best = f64::INFINITY;
         for _ in 0..REPS {
-            let wall = replay(&points, threads, eval);
-            let totals = route::take_phase_b_totals();
-            if best.as_ref().is_none_or(|(b, _)| wall < *b) {
-                best = Some((wall, totals));
-            }
+            best = best.min(replay(&points, threads, eval));
         }
-        best.expect("REPS >= 1")
+        best
     };
 
     // Full-evaluate path: every candidate re-implements the chip.
-    let (full_replay_wall_secs, full_totals) = measure(&|p: &EvalPoint| {
-        gdsii_guard::flow::run_flow(&base, &tech, &p.config, p.genome.flow_seed())
-    });
+    let full_replay_wall_secs =
+        measure(&|p: &EvalPoint| run_flow(&base, &tech, &p.config, p.genome.flow_seed()));
 
     // Incremental path: fresh engine, cold caches on the first repetition,
     // identical schedule.
     let engine = EvalEngine::new(&base, &tech);
-    let (incremental_replay_wall_secs, incremental_totals) = measure(&|p: &EvalPoint| {
-        gdsii_guard::flow::run_flow_with(&engine, &tech, &p.config, p.genome.flow_seed())
+    let incremental_replay_wall_secs = measure(&|p: &EvalPoint| {
+        run_flow_with_unchecked(&engine, &tech, &p.config, p.genome.flow_seed())
     });
     route::set_parallelism(0);
-
-    if verbose {
-        println!("phase-B (rip-up-and-reroute) accounting, {route_threads} routing threads:");
-        report_phase_b("explore + baselines", &explore_totals);
-        report_phase_b("full replay", &full_totals);
-        report_phase_b("incremental replay", &incremental_totals);
-        // Per-round trajectory of one representative candidate — the
-        // first evaluated point whose routing actually entered rip-up
-        // rounds — from the structured stats that replaced the old
-        // GG_ROUTE_DEBUG trace.
-        let representative = result.points.iter().take(64).find_map(|p| {
-            let snap = gdsii_guard::flow::apply_flow(&base, &tech, &p.config, p.genome.flow_seed());
-            (!snap.routing.stats().rounds.is_empty()).then_some((p, snap))
-        });
-        if let Some((p, snap)) = representative {
-            let stats = snap.routing.stats();
-            println!(
-                "representative candidate {:?}: {} rounds under {} threads ({:.3}ms phase-B)",
-                p.config.op,
-                stats.rounds.len(),
-                stats.threads,
-                stats.wall_nanos as f64 / 1e6,
-            );
-            for r in &stats.rounds {
-                println!(
-                    "  round {}: overflow_pairs {} total {:.1} victims {} regions {}{}",
-                    r.round,
-                    r.overflow_pairs,
-                    r.total_overflow,
-                    r.victims,
-                    r.regions,
-                    if r.parallel { " (parallel)" } else { "" },
-                );
-            }
-        }
-    }
 
     // The replays must agree with the recorded metrics — a corrupted
     // benchmark is worse than a slow one.
     let check: Vec<FlowMetrics> = points
         .iter()
-        .map(|p| gdsii_guard::flow::run_flow_with(&engine, &tech, &p.config, p.genome.flow_seed()))
+        .map(|p| run_flow_with_unchecked(&engine, &tech, &p.config, p.genome.flow_seed()))
         .collect();
     for (p, m) in points.iter().zip(&check) {
         assert_eq!(p.metrics, *m, "engine replay diverged on {:?}", p.genome);
@@ -204,16 +291,26 @@ fn main() {
         evals_per_sec: evaluations as f64 / explore_wall_secs,
         full_replay_wall_secs,
         incremental_replay_wall_secs,
-        phase_b_wall_secs: incremental_totals.nanos as f64 / 1e9,
         speedup: full_replay_wall_secs / incremental_replay_wall_secs,
     };
+
+    // Merge the telemetry section into the report: a curated per-phase
+    // summary plus the raw snapshot (counters, gauges, histograms, spans).
+    let mut j = ggjson::ToJson::to_json(&report);
+    if let ggjson::Json::Obj(fields) = &mut j {
+        fields.push(("phases".into(), phase_summary(&telemetry)));
+        fields.push((
+            "telemetry".into(),
+            ggjson::parse(&telemetry.to_json()).expect("obs snapshot JSON parses"),
+        ));
+    }
 
     // Workspace root: crates/bench/ -> repo root.
     let mut out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     out.pop();
     out.pop();
     let out = out.join("BENCH_explore.json");
-    std::fs::write(&out, ggjson::to_vec_pretty(&report)).expect("write BENCH_explore.json");
+    std::fs::write(&out, ggjson::to_vec_pretty(&j)).expect("write BENCH_explore.json");
     println!(
         "explore: {:.3}s for {} evaluations ({:.1} evals/s)",
         report.explore_wall_secs, report.evaluations, report.evals_per_sec

@@ -3,8 +3,7 @@
 //! MISTY, and openMSP430_2, rendered as ASCII scatter plots
 //! (security vs −TNS, both minimized).
 
-use gdsii_guard::nsga2::{explore, ExploreResult};
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use gg_bench::driver::GG_GA_PARAMS;
 use gg_bench::plot::scatter;
 use tech::Technology;
@@ -17,7 +16,7 @@ fn main() {
         let spec = netlist::bench::spec_by_name(name).expect("known design");
         let result: ExploreResult =
             gg_bench::cache::load_or_compute(&format!("fig5_{name}"), || {
-                let base = implement_baseline(&spec, &tech);
+                let base = implement_baseline(&spec, &tech).unwrap();
                 explore(&base, &tech, &GG_GA_PARAMS)
             });
         let explored: Vec<(f64, f64)> = result

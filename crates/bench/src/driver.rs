@@ -1,10 +1,9 @@
 //! Shared evaluation driver: runs every defense on one benchmark design
 //! and returns comparable metrics.
 
+use gdsii_guard::prelude::*;
 use std::time::Instant;
 
-use gdsii_guard::nsga2::{explore, Nsga2Params};
-use gdsii_guard::pipeline::{implement_baseline, Snapshot};
 use netlist::bench::DesignSpec;
 use tech::Technology;
 
@@ -13,14 +12,12 @@ use tech::Technology;
 /// incremental [`gdsii_guard::pipeline::EvalEngine`] keeps this cheap —
 /// operator edits and Phase-A plans amortize across the run, so the
 /// twelve-design sweep still finishes in minutes.
-pub const GG_GA_PARAMS: Nsga2Params = Nsga2Params {
-    population: 24,
-    generations: 128,
-    crossover_p: 0.9,
-    mutation_p: 0.15,
-    seed: 0x6D51,
-    threads: 8,
-};
+pub const GG_GA_PARAMS: Nsga2Params = Nsga2Params::builder()
+    .population(24)
+    .generations(128)
+    .seed(0x6D51)
+    .threads(8)
+    .build();
 
 /// Metrics of one defense applied to one design.
 #[derive(Debug, Clone)]
@@ -107,7 +104,7 @@ fn select_pareto_point(
 /// Runs Original + all four defenses on one design.
 pub fn evaluate_design(spec: &DesignSpec, tech: &Technology) -> Vec<DefenseMetrics> {
     let t0 = Instant::now();
-    let base = implement_baseline(spec, tech);
+    let base = implement_baseline(spec, tech).unwrap();
     let base_secs = t0.elapsed().as_secs_f64();
     let mut out = vec![metrics_of("Original", &base, &base, tech, base_secs)];
 

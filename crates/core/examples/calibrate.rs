@@ -1,5 +1,5 @@
 //! Calibration probe: baseline metrics of all twelve designs.
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use netlist::bench;
 use tech::Technology;
 
@@ -11,7 +11,7 @@ fn main() {
     );
     for spec in bench::all_specs() {
         let t0 = std::time::Instant::now();
-        let snap = implement_baseline(&spec, &tech);
+        let snap = implement_baseline(&spec, &tech).unwrap();
         println!(
             "{:<14} {:>7} {:>9.1} {:>9.1} {:>9.3} {:>6} {:>9} {:>10.1} {:>8.2}",
             spec.name,

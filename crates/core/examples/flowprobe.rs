@@ -1,5 +1,4 @@
-use gdsii_guard::flow::{run_flow, FlowConfig, OpSelect};
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use netlist::bench;
 use tech::Technology;
 
@@ -10,7 +9,7 @@ fn main() {
         "design", "base_er", "sec", "tns", "sec", "tns"
     );
     for spec in bench::all_specs() {
-        let base = implement_baseline(&spec, &tech);
+        let base = implement_baseline(&spec, &tech).unwrap();
         let cs = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
         let lda = run_flow(
             &base,

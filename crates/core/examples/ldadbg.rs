@@ -1,5 +1,4 @@
-use gdsii_guard::flow::{run_flow, FlowConfig, OpSelect};
-use gdsii_guard::pipeline;
+use gdsii_guard::prelude::*;
 use netlist::bench;
 use tech::Technology;
 
@@ -7,7 +6,7 @@ fn main() {
     let tech = Technology::nangate45_like();
     for name in ["CAST", "openMSP430_2"] {
         let spec = bench::spec_by_name(name).unwrap();
-        let base = pipeline::implement_baseline(&spec, &tech);
+        let base = implement_baseline(&spec, &tech).unwrap();
         println!(
             "{name}: base er_sites {} er_tracks {:.0} tns {:.0} dist_mean {:.0}um",
             base.security.er_sites,

@@ -1,4 +1,4 @@
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use geom::GcellPos;
 use netlist::bench;
 use tech::Technology;
@@ -7,7 +7,7 @@ fn main() {
     let tech = Technology::nangate45_like();
     for name in ["AES_2", "AES_3"] {
         let spec = bench::spec_by_name(name).unwrap();
-        let snap = implement_baseline(&spec, &tech);
+        let snap = implement_baseline(&spec, &tech).unwrap();
         let g = snap.routing.grid();
         let (nx, ny) = (g.nx(), g.ny());
         let mut used_h = 0.0;

@@ -1,24 +1,25 @@
 //! `ggd` — the GDSII-Guard command-line front end.
 //!
 //! ```text
-//! ggd analyze <design>                      # implement + report baseline metrics
-//! ggd harden  <design> [cs|lda] [out.gds]   # apply one flow config, export GDSII
-//! ggd explore <design> [pop] [gens]         # NSGA-II Pareto exploration
-//! ggd list                                  # list the benchmark designs
+//! ggd [--verbose] analyze <design>                      # implement + report baseline metrics
+//! ggd [--verbose] harden  <design> [cs|lda] [out.gds]   # apply one flow config, export GDSII
+//! ggd [--verbose] explore <design> [pop] [gens]         # NSGA-II Pareto exploration
+//! ggd list                                              # list the benchmark designs
 //! ```
 //!
 //! Designs are the twelve benchmark specs of `netlist::bench` (AES_1 …
-//! TDEA). All runs are deterministic.
+//! TDEA). All runs are deterministic. `--verbose` turns the telemetry
+//! subsystem on and prints the span/metric tree to stderr when the
+//! command finishes; `GG_TRACE=route,lda,sta,nsga2` additionally streams
+//! per-phase trace lines.
 
-use gdsii_guard::flow::{apply_flow, FlowConfig, FlowMetrics};
-use gdsii_guard::nsga2::{explore, Nsga2Params};
-use gdsii_guard::pipeline::{implement_baseline, Snapshot};
-use gdsii_guard::OpSelect;
+use gdsii_guard::obs::diagln;
+use gdsii_guard::prelude::*;
 use tech::Technology;
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: ggd <command> [args]\n\
+    diagln!(
+        "usage: ggd [--verbose] <command> [args]\n\
          \n\
          commands:\n\
          \x20 list                                  list benchmark designs\n\
@@ -31,8 +32,15 @@ fn usage() -> ! {
 
 fn spec_or_die(name: &str) -> netlist::bench::DesignSpec {
     netlist::bench::spec_by_name(name).unwrap_or_else(|| {
-        eprintln!("unknown design '{name}'; run `ggd list`");
+        diagln!("unknown design '{name}'; run `ggd list`");
         std::process::exit(2);
+    })
+}
+
+fn baseline_or_die(name: &str, tech: &Technology) -> Snapshot {
+    implement_baseline(&spec_or_die(name), tech).unwrap_or_else(|e| {
+        diagln!("cannot implement baseline for '{name}': {e}");
+        std::process::exit(1);
     })
 }
 
@@ -77,7 +85,7 @@ fn cmd_list() {
 
 fn cmd_analyze(name: &str) {
     let tech = Technology::nangate45_like();
-    let base = implement_baseline(&spec_or_die(name), &tech);
+    let base = baseline_or_die(name, &tech);
     print_snapshot("baseline", &base);
     let battery = secmetrics::attack::battery_success_rate(&base.security, &tech);
     println!("  Trojan battery success rate: {:.0} %", battery * 100.0);
@@ -85,13 +93,13 @@ fn cmd_analyze(name: &str) {
 
 fn cmd_harden(name: &str, op: &str, out: Option<&str>) {
     let tech = Technology::nangate45_like();
-    let base = implement_baseline(&spec_or_die(name), &tech);
+    let base = baseline_or_die(name, &tech);
     print_snapshot("baseline", &base);
     let cfg = match op {
         "cs" => FlowConfig::cell_shift_default(),
         "lda" => FlowConfig::lda_default(),
         other => {
-            eprintln!("unknown operator '{other}' (expected cs or lda)");
+            diagln!("unknown operator '{other}' (expected cs or lda)");
             std::process::exit(2);
         }
     };
@@ -112,7 +120,7 @@ fn cmd_harden(name: &str, op: &str, out: Option<&str>) {
         match std::fs::write(path, lib.to_bytes()) {
             Ok(()) => println!("  wrote {path}"),
             Err(e) => {
-                eprintln!("cannot write {path}: {e}");
+                diagln!("cannot write {path}: {e}");
                 std::process::exit(1);
             }
         }
@@ -121,13 +129,12 @@ fn cmd_harden(name: &str, op: &str, out: Option<&str>) {
 
 fn cmd_explore(name: &str, pop: usize, gens: usize) {
     let tech = Technology::nangate45_like();
-    let base = implement_baseline(&spec_or_die(name), &tech);
+    let base = baseline_or_die(name, &tech);
     print_snapshot("baseline", &base);
-    let params = Nsga2Params {
-        population: pop,
-        generations: gens,
-        ..Nsga2Params::default()
-    };
+    let params = Nsga2Params::builder()
+        .population(pop)
+        .generations(gens)
+        .build();
     let result = explore(&base, &tech, &params);
     println!(
         "evaluated {} configurations; Pareto front:",
@@ -153,7 +160,12 @@ fn cmd_explore(name: &str, pop: usize, gens: usize) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    args.retain(|a| a != "--verbose" && a != "-v");
+    if verbose {
+        obs::set_enabled(true);
+    }
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("analyze") => match args.get(1) {
@@ -177,5 +189,11 @@ fn main() {
             None => usage(),
         },
         _ => usage(),
+    }
+    if verbose {
+        let snap = obs::snapshot();
+        if !snap.is_empty() {
+            diagln!("{}", snap.render());
+        }
     }
 }

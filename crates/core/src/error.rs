@@ -1,0 +1,51 @@
+//! Typed errors for the public flow API.
+//!
+//! The crate used to panic at its two fallible seams — a layout that fails
+//! [`layout::Layout::check_consistency`] and a poisoned operator-edit
+//! cache. Both now surface as [`Error`] from the validating entry points
+//! ([`crate::pipeline::evaluate`], [`crate::pipeline::implement_baseline`],
+//! [`crate::flow::apply_flow_with`]); the `_unchecked` twins keep the old
+//! infallible signatures for callers that construct layouts themselves and
+//! have already validated them.
+
+use std::fmt;
+
+/// Everything that can go wrong inside the evaluation flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The layout handed to a validating entry point fails
+    /// `check_consistency` against the technology; the payload is the
+    /// consistency checker's diagnostic.
+    InconsistentLayout(String),
+    /// A worker thread panicked while holding the operator-edit cache
+    /// lock, so memoized edits can no longer be trusted.
+    EditCachePoisoned,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InconsistentLayout(why) => {
+                write!(f, "layout fails consistency check: {why}")
+            }
+            Error::EditCachePoisoned => {
+                write!(f, "operator-edit cache poisoned by a panicked worker")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InconsistentLayout("cell 3 off grid".into());
+        assert!(e.to_string().contains("cell 3 off grid"));
+        assert!(Error::EditCachePoisoned.to_string().contains("poisoned"));
+    }
+}

@@ -4,8 +4,9 @@
 use ggjson::{FromJson, Json, ToJson};
 use tech::{Technology, NUM_METAL_LAYERS};
 
+use crate::error::Error;
 use crate::lda::{local_density_adjustment, LdaParams};
-use crate::pipeline::{evaluate, EvalEngine, Snapshot};
+use crate::pipeline::{evaluate_unchecked, EvalEngine, Snapshot};
 use crate::{cell_shift, preprocess, rws, ALPHA, BETA_POWER, N_DRC};
 
 /// The selected ECO placement operator (`op_select` in Table I).
@@ -189,8 +190,12 @@ fn edit_layout(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) 
 /// Applies the full GDSII-Guard flow to the baseline: preprocess (lock
 /// assets), the selected anti-Trojan ECO placement operator, routing width
 /// scaling, re-route, and full metric extraction.
+///
+/// Infallible: the operators preserve layout consistency by construction
+/// (asserted in debug builds), so this goes through
+/// [`evaluate_unchecked`] and skips the redundant validation pass.
 pub fn apply_flow(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) -> Snapshot {
-    evaluate(edit_layout(base, tech, cfg, seed), tech)
+    evaluate_unchecked(edit_layout(base, tech, cfg, seed), tech)
 }
 
 /// Applies the flow and returns its metrics in one call.
@@ -217,14 +222,29 @@ pub fn apply_flow_with(
     tech: &Technology,
     cfg: &FlowConfig,
     seed: u64,
-) -> Snapshot {
+) -> Result<Snapshot, Error> {
     let op_seed = operator_seed(cfg.op, seed);
     let cow = engine.cached_edit(tech, cfg.op, op_seed, || {
         apply_operator(engine.base(), tech, cfg.op, op_seed)
-    });
+    })?;
     let rule = tech::RouteRule::from_scales(cfg.scales);
     let (layout, plan) = cow.into_parts(tech, &rule);
-    engine.evaluate_with_plan(layout, plan, tech)
+    Ok(engine.evaluate_with_plan(layout, plan, tech))
+}
+
+/// [`apply_flow_with`] for callers that treat a poisoned edit cache as a
+/// bug rather than a recoverable condition.
+///
+/// # Panics
+///
+/// Panics if a worker poisoned the engine's operator-edit cache.
+pub fn apply_flow_with_unchecked(
+    engine: &EvalEngine,
+    tech: &Technology,
+    cfg: &FlowConfig,
+    seed: u64,
+) -> Snapshot {
+    apply_flow_with(engine, tech, cfg, seed).expect("operator-edit cache poisoned")
 }
 
 /// [`run_flow`] through a prebuilt [`EvalEngine`].
@@ -233,9 +253,24 @@ pub fn run_flow_with(
     tech: &Technology,
     cfg: &FlowConfig,
     seed: u64,
+) -> Result<FlowMetrics, Error> {
+    let snap = apply_flow_with(engine, tech, cfg, seed)?;
+    Ok(FlowMetrics::from_snapshot(&snap, engine.base()))
+}
+
+/// [`run_flow_with`] with the panicking contract of
+/// [`apply_flow_with_unchecked`].
+///
+/// # Panics
+///
+/// Panics if a worker poisoned the engine's operator-edit cache.
+pub fn run_flow_with_unchecked(
+    engine: &EvalEngine,
+    tech: &Technology,
+    cfg: &FlowConfig,
+    seed: u64,
 ) -> FlowMetrics {
-    let snap = apply_flow_with(engine, tech, cfg, seed);
-    FlowMetrics::from_snapshot(&snap, engine.base())
+    run_flow_with(engine, tech, cfg, seed).expect("operator-edit cache poisoned")
 }
 
 #[cfg(test)]
@@ -246,7 +281,7 @@ mod tests {
 
     fn base() -> (Technology, Snapshot) {
         let tech = Technology::nangate45_like();
-        let snap = implement_baseline(&bench::tiny_spec(), &tech);
+        let snap = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
         (tech, snap)
     }
 
@@ -279,7 +314,8 @@ mod tests {
                 layout
             },
             &tech,
-        );
+        )
+        .unwrap();
         let m = run_flow(&base, &tech, &FlowConfig::lda_default(), 1);
         assert!(
             m.security < 1.0,
@@ -346,7 +382,7 @@ mod tests {
             scaled,
         ] {
             let full = run_flow(&base, &tech, &cfg, 7);
-            let inc = run_flow_with(&engine, &tech, &cfg, 7);
+            let inc = run_flow_with(&engine, &tech, &cfg, 7).unwrap();
             assert_eq!(full, inc, "incremental diverged on {cfg:?}");
         }
     }

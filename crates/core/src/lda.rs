@@ -155,36 +155,40 @@ pub fn local_density_adjustment(
 
         // Run ECO placement (Algorithm 2, line 13): evict cells from tiles
         // over their bound…
-        let t0 = std::time::Instant::now();
-        let stats = place::eco_place(layout, tech, seed.wrapping_add(iter as u64));
-        if std::env::var_os("GG_LDA_DEBUG").is_some() {
-            eprintln!(
-                "lda: eco_place {:.2}s ({} evicted)",
-                t0.elapsed().as_secs_f64(),
-                stats.evicted
-            );
-        }
+        let stats = obs::span("lda.eco_place", |sp| {
+            let stats = place::eco_place(layout, tech, seed.wrapping_add(iter as u64));
+            obs::trace(obs::Topic::Lda, || {
+                format!(
+                    "lda: eco_place {:.2}s ({} evicted)",
+                    sp.elapsed().as_secs_f64(),
+                    stats.evicted
+                )
+            });
+            stats
+        });
         total.evicted += stats.evicted;
         total.replaced_in_bounds += stats.replaced_in_bounds;
         total.replaced_fallback += stats.replaced_fallback;
         // …and pull cells *into* asset tiles up to their (high) bound,
         // squeezing out the free sites next to the critical assets.
-        let t0 = std::time::Instant::now();
-        densify_asset_tiles(layout, tech, &row_b, &col_b, &n_assets, &dens_cache);
-        if std::env::var_os("GG_LDA_DEBUG").is_some() {
-            eprintln!("lda: densify {:.2}s", t0.elapsed().as_secs_f64());
-        }
+        obs::span("lda.densify", |sp| {
+            densify_asset_tiles(layout, tech, &row_b, &col_b, &n_assets, &dens_cache);
+            obs::trace(obs::Topic::Lda, || {
+                format!("lda: densify {:.2}s", sp.elapsed().as_secs_f64())
+            });
+        });
     }
     // The blockages did their job; drop them so later flow stages (and
     // metric extraction) see a plain layout. A wirelength refinement pass
     // then recovers most of the displacement cost (the ECO placement of
     // the paper is wirelength/timing-driven end to end).
     layout.clear_blockages();
-    let t0 = std::time::Instant::now();
-    place::refine_wirelength(layout, tech, 1, seed ^ 0x1DA);
-    if std::env::var_os("GG_LDA_DEBUG").is_some() {
-        eprintln!("lda: refine {:.2}s", t0.elapsed().as_secs_f64());
-    }
+    obs::span("lda.refine", |sp| {
+        place::refine_wirelength(layout, tech, 1, seed ^ 0x1DA);
+        obs::trace(obs::Topic::Lda, || {
+            format!("lda: refine {:.2}s", sp.elapsed().as_secs_f64())
+        });
+    });
     debug_assert!(layout.check_consistency(tech).is_ok());
     total
 }

@@ -21,20 +21,34 @@
 //! # Examples
 //!
 //! ```no_run
-//! use gdsii_guard::{flow::FlowConfig, nsga2::{Nsga2Params, explore}, pipeline};
+//! use gdsii_guard::prelude::*;
 //! use netlist::bench;
 //! use tech::Technology;
 //!
+//! # fn main() -> Result<(), gdsii_guard::Error> {
 //! let tech = Technology::nangate45_like();
 //! let spec = bench::spec_by_name("PRESENT").unwrap();
-//! let base = pipeline::implement_baseline(&spec, &tech);
+//! let base = implement_baseline(&spec, &tech)?;
 //! let result = explore(&base, &tech, &Nsga2Params::default());
 //! for point in result.pareto_front() {
 //!     println!("security {:.3} tns {:.1}", point.metrics.security, point.metrics.tns_ps);
 //! }
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! # Telemetry
+//!
+//! The whole workspace reports through the dependency-free [`obs`]
+//! telemetry crate (re-exported here): phase spans, counters, and
+//! histograms, all behind a single atomic off-switch that keeps the
+//! disabled path effectively free. Enable with [`obs::set_enabled`]
+//! (metrics + spans) and pick per-topic trace streams programmatically
+//! via [`obs::enable`] or with the `GG_TRACE` environment variable
+//! (e.g. `GG_TRACE=route,lda`).
 
 pub mod cell_shift;
+mod error;
 pub mod flow;
 pub mod lda;
 pub mod nsga2;
@@ -42,9 +56,36 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod rws;
 
+pub use error::Error;
 pub use flow::{FlowConfig, FlowMetrics, OpSelect};
-pub use nsga2::{explore, ExploreResult, Nsga2Params};
-pub use pipeline::{CowSnapshot, Snapshot};
+pub use nsga2::{explore, EvalPoint, ExploreResult, Genome, Nsga2Params, Nsga2ParamsBuilder};
+pub use pipeline::{CowSnapshot, EvalEngine, Snapshot};
+
+/// The workspace-wide telemetry subsystem (spans, counters, histograms).
+pub use obs;
+
+/// The blessed public surface in one import: the baseline flow, the
+/// incremental evaluation engine, the NSGA-II exploration, and the
+/// telemetry handles every binary wants.
+///
+/// ```no_run
+/// use gdsii_guard::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::error::Error;
+    pub use crate::flow::{
+        apply_flow, apply_flow_with, apply_flow_with_unchecked, run_flow, run_flow_with,
+        run_flow_with_unchecked, FlowConfig, FlowMetrics, OpSelect,
+    };
+    pub use crate::nsga2::{
+        explore, EvalPoint, ExploreResult, Genome, Nsga2Params, Nsga2ParamsBuilder,
+    };
+    pub use crate::pipeline::{
+        evaluate, evaluate_unchecked, implement_baseline, implement_baseline_unchecked,
+        CowSnapshot, EvalEngine, Snapshot,
+    };
+    pub use obs;
+}
 
 /// Default hard constraint on DRC violations (`N_DRC` in §IV-A).
 pub const N_DRC: u32 = 20;

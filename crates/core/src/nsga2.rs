@@ -128,6 +128,10 @@ ggjson::json_struct!(Genome {
 });
 
 /// NSGA-II hyper-parameters.
+///
+/// Construct with [`Nsga2Params::builder`] — the builder is `const`, so
+/// shared presets can live in `const` items without spelling out every
+/// field (and without breaking when a field is added).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Nsga2Params {
     /// Population size.
@@ -140,20 +144,104 @@ pub struct Nsga2Params {
     pub mutation_p: f64,
     /// RNG seed.
     pub seed: u64,
-    /// Worker threads for parallel flow evaluation.
+    /// Worker threads for parallel flow evaluation; 0 means "one per
+    /// available hardware thread", resolved at [`explore`] time.
     pub threads: usize,
+}
+
+impl Nsga2Params {
+    /// Starts a builder pre-loaded with the default parameters
+    /// (population 16, 6 generations, crossover 0.9, mutation 0.15,
+    /// seed `0x65A2`, auto thread count).
+    pub const fn builder() -> Nsga2ParamsBuilder {
+        Nsga2ParamsBuilder {
+            params: Nsga2Params {
+                population: 16,
+                generations: 6,
+                crossover_p: 0.9,
+                mutation_p: 0.15,
+                seed: 0x65A2,
+                threads: 0,
+            },
+        }
+    }
+
+    /// The worker count [`explore`] will actually use: an explicit
+    /// `threads`, or the machine's available parallelism when 0.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
 }
 
 impl Default for Nsga2Params {
     fn default() -> Self {
         Self {
-            population: 16,
-            generations: 6,
-            crossover_p: 0.9,
-            mutation_p: 0.15,
-            seed: 0x65A2,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            ..Nsga2Params::builder().build()
         }
+    }
+}
+
+/// `const`-friendly builder for [`Nsga2Params`].
+///
+/// ```
+/// use gdsii_guard::Nsga2Params;
+/// const PRESET: Nsga2Params = Nsga2Params::builder()
+///     .population(24)
+///     .generations(128)
+///     .seed(0x6D51)
+///     .build();
+/// assert_eq!(PRESET.crossover_p, 0.9);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Nsga2ParamsBuilder {
+    params: Nsga2Params,
+}
+
+impl Nsga2ParamsBuilder {
+    /// Sets the population size.
+    pub const fn population(mut self, population: usize) -> Self {
+        self.params.population = population;
+        self
+    }
+
+    /// Sets the number of generations after the initial population.
+    pub const fn generations(mut self, generations: usize) -> Self {
+        self.params.generations = generations;
+        self
+    }
+
+    /// Sets the crossover probability.
+    pub const fn crossover_p(mut self, p: f64) -> Self {
+        self.params.crossover_p = p;
+        self
+    }
+
+    /// Sets the per-gene mutation probability.
+    pub const fn mutation_p(mut self, p: f64) -> Self {
+        self.params.mutation_p = p;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub const fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Sets the evaluation worker count (0 = auto).
+    pub const fn threads(mut self, threads: usize) -> Self {
+        self.params.threads = threads;
+        self
+    }
+
+    /// Finalizes the parameters.
+    pub const fn build(self) -> Nsga2Params {
+        self.params
     }
 }
 
@@ -327,31 +415,61 @@ fn evaluate_all(
         .collect();
     missing.sort_by_key(Genome::sort_key);
     missing.dedup();
+    ga_metrics()
+        .genome_cache_hits
+        .add((genomes.len() - missing.len()) as u64);
     if missing.is_empty() {
         return;
     }
+    ga_metrics().evaluations.add(missing.len() as u64);
     let threads = threads.max(1).min(missing.len());
-    // Candidate-level and region-level parallelism compose: with
-    // `threads` candidate workers running concurrently, each router call
-    // gets an even share of the machine instead of oversubscribing it
-    // `threads`-fold. Routing results are bit-identical at any budget, so
-    // this only shapes scheduling, never the Pareto front.
-    route::set_parallelism(route::budget_for_workers(threads));
-    let next = AtomicUsize::new(0);
-    let done: Mutex<Vec<(Genome, FlowMetrics)>> = Mutex::new(Vec::with_capacity(missing.len()));
-    let missing = &missing;
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(g) = missing.get(i) else { break };
-                let m = crate::flow::run_flow_with(engine, tech, &g.to_config(), g.flow_seed());
-                done.lock().expect("results lock").push((*g, m));
-            });
-        }
+    obs::span("nsga2.evaluate", |_| {
+        // Candidate-level and region-level parallelism compose: with
+        // `threads` candidate workers running concurrently, each router call
+        // gets an even share of the machine instead of oversubscribing it
+        // `threads`-fold. Routing results are bit-identical at any budget, so
+        // this only shapes scheduling, never the Pareto front.
+        route::set_parallelism(route::budget_for_workers(threads));
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(Genome, FlowMetrics)>> = Mutex::new(Vec::with_capacity(missing.len()));
+        let missing = &missing;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(g) = missing.get(i) else { break };
+                    // A poisoned edit cache can only come from a panicked
+                    // sibling, which already tears this scope down.
+                    let m = crate::flow::run_flow_with_unchecked(
+                        engine,
+                        tech,
+                        &g.to_config(),
+                        g.flow_seed(),
+                    );
+                    done.lock().expect("results lock").push((*g, m));
+                });
+            }
+        });
+        route::set_parallelism(0);
+        cache.extend(done.into_inner().expect("results lock"));
     });
-    route::set_parallelism(0);
-    cache.extend(done.into_inner().expect("results lock"));
+}
+
+/// Registry handles for the exploration loop, resolved once.
+struct GaMetrics {
+    evaluations: obs::Counter,
+    genome_cache_hits: obs::Counter,
+    generations: obs::Counter,
+}
+
+fn ga_metrics() -> &'static GaMetrics {
+    use std::sync::OnceLock;
+    static METRICS: OnceLock<GaMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| GaMetrics {
+        evaluations: obs::counter("nsga2.evaluations"),
+        genome_cache_hits: obs::counter("nsga2.genome_cache_hits"),
+        generations: obs::counter("nsga2.generations"),
+    })
 }
 
 /// Binary tournament by `(rank, crowding)`.
@@ -391,6 +509,7 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut cache: HashMap<Genome, FlowMetrics> = HashMap::new();
     let mut order: Vec<(Genome, usize)> = Vec::new();
+    let threads = params.resolved_threads();
     // One incremental-evaluation engine, shared read-only by all workers:
     // the baseline route plan, levelized timing graph, and power model are
     // built once here instead of once per candidate.
@@ -413,7 +532,10 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
     while pop.len() < params.population {
         pop.push(Genome::random(&mut rng));
     }
-    evaluate_all(&pop, &engine, tech, &mut cache, params.threads);
+    obs::span("nsga2.generation", |_| {
+        evaluate_all(&pop, &engine, tech, &mut cache, threads);
+    });
+    ga_metrics().generations.incr();
     for g in &pop {
         if !order.iter().any(|(og, _)| og == g) {
             order.push((*g, 0));
@@ -421,72 +543,75 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
     }
 
     for generation in 1..=params.generations {
-        // Parent selection state.
-        let metrics: Vec<FlowMetrics> = pop.iter().map(|g| cache[g]).collect();
-        let rank = non_dominated_sort(&metrics, base.power_mw(), base.drc);
-        let all: Vec<usize> = (0..pop.len()).collect();
-        let crowd = crowding_distance(&all, &metrics);
+        obs::span("nsga2.generation", |_| {
+            // Parent selection state.
+            let metrics: Vec<FlowMetrics> = pop.iter().map(|g| cache[g]).collect();
+            let rank = non_dominated_sort(&metrics, base.power_mw(), base.drc);
+            let all: Vec<usize> = (0..pop.len()).collect();
+            let crowd = crowding_distance(&all, &metrics);
 
-        // Offspring.
-        let mut offspring: Vec<Genome> = Vec::with_capacity(params.population);
-        while offspring.len() < params.population {
-            let p1 = tournament(&mut rng, &pop, &rank, &crowd);
-            let p2 = tournament(&mut rng, &pop, &rank, &crowd);
-            let mut child = if rng.gen_bool(params.crossover_p) {
-                Genome::crossover(&p1, &p2, &mut rng)
-            } else {
-                p1
-            };
-            child.mutate(&mut rng, params.mutation_p);
-            offspring.push(child);
-        }
-        evaluate_all(&offspring, &engine, tech, &mut cache, params.threads);
-        for g in &offspring {
-            if !order.iter().any(|(og, _)| og == g) {
-                order.push((*g, generation));
+            // Offspring.
+            let mut offspring: Vec<Genome> = Vec::with_capacity(params.population);
+            while offspring.len() < params.population {
+                let p1 = tournament(&mut rng, &pop, &rank, &crowd);
+                let p2 = tournament(&mut rng, &pop, &rank, &crowd);
+                let mut child = if rng.gen_bool(params.crossover_p) {
+                    Genome::crossover(&p1, &p2, &mut rng)
+                } else {
+                    p1
+                };
+                child.mutate(&mut rng, params.mutation_p);
+                offspring.push(child);
             }
-        }
-
-        // Environmental selection over the union.
-        let mut union: Vec<Genome> = pop.iter().chain(offspring.iter()).copied().collect();
-        union.sort_by_key(Genome::sort_key);
-        union.dedup();
-        let union_metrics: Vec<FlowMetrics> = union.iter().map(|g| cache[g]).collect();
-        let union_rank = non_dominated_sort(&union_metrics, base.power_mw(), base.drc);
-        let max_rank = union_rank.iter().copied().max().unwrap_or(0);
-        let mut next: Vec<Genome> = Vec::with_capacity(params.population);
-        for r in 0..=max_rank {
-            let front: Vec<usize> = (0..union.len()).filter(|&i| union_rank[i] == r).collect();
-            if next.len() + front.len() <= params.population {
-                next.extend(front.iter().map(|&i| union[i]));
-            } else {
-                let crowd = crowding_distance(&front, &union_metrics);
-                let mut by_crowd = front.clone();
-                by_crowd.sort_by(|a, b| {
-                    crowd[b]
-                        .partial_cmp(&crowd[a])
-                        .expect("crowding is comparable")
-                });
-                for &i in by_crowd.iter().take(params.population - next.len()) {
-                    next.push(union[i]);
+            evaluate_all(&offspring, &engine, tech, &mut cache, threads);
+            for g in &offspring {
+                if !order.iter().any(|(og, _)| og == g) {
+                    order.push((*g, generation));
                 }
-                break;
             }
-            if next.len() == params.population {
-                break;
+
+            // Environmental selection over the union.
+            let mut union: Vec<Genome> = pop.iter().chain(offspring.iter()).copied().collect();
+            union.sort_by_key(Genome::sort_key);
+            union.dedup();
+            let union_metrics: Vec<FlowMetrics> = union.iter().map(|g| cache[g]).collect();
+            let union_rank = non_dominated_sort(&union_metrics, base.power_mw(), base.drc);
+            let max_rank = union_rank.iter().copied().max().unwrap_or(0);
+            let mut next: Vec<Genome> = Vec::with_capacity(params.population);
+            for r in 0..=max_rank {
+                let front: Vec<usize> = (0..union.len()).filter(|&i| union_rank[i] == r).collect();
+                if next.len() + front.len() <= params.population {
+                    next.extend(front.iter().map(|&i| union[i]));
+                } else {
+                    let crowd = crowding_distance(&front, &union_metrics);
+                    let mut by_crowd = front.clone();
+                    by_crowd.sort_by(|a, b| {
+                        crowd[b]
+                            .partial_cmp(&crowd[a])
+                            .expect("crowding is comparable")
+                    });
+                    for &i in by_crowd.iter().take(params.population - next.len()) {
+                        next.push(union[i]);
+                    }
+                    break;
+                }
+                if next.len() == params.population {
+                    break;
+                }
             }
-        }
-        // Top up if deduplication shrank the union below the population.
-        while next.len() < params.population {
-            next.push(Genome::random(&mut rng));
-        }
-        evaluate_all(&next, &engine, tech, &mut cache, params.threads);
-        for g in &next {
-            if !order.iter().any(|(og, _)| og == g) {
-                order.push((*g, generation));
+            // Top up if deduplication shrank the union below the population.
+            while next.len() < params.population {
+                next.push(Genome::random(&mut rng));
             }
-        }
-        pop = next;
+            evaluate_all(&next, &engine, tech, &mut cache, threads);
+            for g in &next {
+                if !order.iter().any(|(og, _)| og == g) {
+                    order.push((*g, generation));
+                }
+            }
+            pop = next;
+        });
+        ga_metrics().generations.incr();
     }
 
     let points = order
@@ -600,9 +725,22 @@ mod tests {
     }
 
     #[test]
+    fn builder_matches_defaults_and_resolves_threads() {
+        const P: Nsga2Params = Nsga2Params::builder().population(24).build();
+        assert_eq!(P.population, 24);
+        assert_eq!(P.threads, 0, "builder leaves threads on auto");
+        assert!(P.resolved_threads() >= 1);
+        let d = Nsga2Params::default();
+        assert_eq!(d.generations, P.generations);
+        assert_eq!(d.crossover_p, P.crossover_p);
+        assert_eq!(d.mutation_p, P.mutation_p);
+        assert_eq!(d.seed, P.seed);
+    }
+
+    #[test]
     fn explore_finds_a_nonempty_pareto_front() {
         let tech = Technology::nangate45_like();
-        let base = implement_baseline(&bench::tiny_spec(), &tech);
+        let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
         let params = Nsga2Params {
             population: 6,
             generations: 2,
@@ -628,7 +766,7 @@ mod tests {
     #[test]
     fn explore_is_deterministic_per_seed() {
         let tech = Technology::nangate45_like();
-        let base = implement_baseline(&bench::tiny_spec(), &tech);
+        let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
         let params = Nsga2Params {
             population: 4,
             generations: 1,

@@ -14,6 +14,7 @@ use power::PowerReport;
 use route::RoutingState;
 use secmetrics::{analyze_regions, RegionAnalysis, THRESH_ER};
 
+use crate::error::Error;
 use crate::flow::OpSelect;
 use sta::TimingReport;
 use tech::Technology;
@@ -54,24 +55,41 @@ impl Snapshot {
 
 /// Routes and analyzes `layout`, producing a complete [`Snapshot`].
 ///
+/// Validates the layout against `tech` first and returns
+/// [`Error::InconsistentLayout`] instead of panicking deep inside a
+/// routing or timing stage. Callers that build layouts through the flow
+/// operators (which preserve consistency by construction) can skip the
+/// check with [`evaluate_unchecked`].
+pub fn evaluate(layout: impl Into<Arc<Layout>>, tech: &Technology) -> Result<Snapshot, Error> {
+    let layout = layout.into();
+    layout
+        .check_consistency(tech)
+        .map_err(Error::InconsistentLayout)?;
+    Ok(evaluate_unchecked(layout, tech))
+}
+
+/// [`evaluate`] without the consistency pre-check.
+///
 /// Used both for the baseline and after every ECO operator application
 /// (the operators change placement and/or the NDR rule; everything
 /// downstream is recomputed).
-pub fn evaluate(layout: impl Into<Arc<Layout>>, tech: &Technology) -> Snapshot {
+pub fn evaluate_unchecked(layout: impl Into<Arc<Layout>>, tech: &Technology) -> Snapshot {
     let layout = layout.into();
-    let routing = route::route_design(&layout, tech);
-    let timing = sta::analyze(&layout, &routing, tech);
-    let power = power::analyze(&layout, &routing, tech);
-    let drc = routing.drc_violations(&layout);
-    let security = analyze_regions(&layout, &routing, &timing, tech, THRESH_ER);
-    Snapshot {
-        layout,
-        routing,
-        timing,
-        power,
-        drc,
-        security,
-    }
+    obs::span("eval.full", |_| {
+        let routing = route::route_design(&layout, tech);
+        let timing = sta::analyze(&layout, &routing, tech);
+        let power = power::analyze(&layout, &routing, tech);
+        let drc = routing.drc_violations(&layout);
+        let security = analyze_regions(&layout, &routing, &timing, tech, THRESH_ER);
+        Snapshot {
+            layout,
+            routing,
+            timing,
+            power,
+            drc,
+            security,
+        }
+    })
 }
 
 /// Incremental evaluation engine: caches everything about the baseline
@@ -165,6 +183,21 @@ impl CowSnapshot {
 /// callers from unbounded growth.
 const EDIT_CACHE_CAP: usize = 64;
 
+/// Registry handles for the operator-edit cache, resolved once.
+struct CacheMetrics {
+    hits: obs::Counter,
+    misses: obs::Counter,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    use std::sync::OnceLock;
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hits: obs::counter("eval.cache_hits"),
+        misses: obs::counter("eval.cache_misses"),
+    })
+}
+
 impl EvalEngine {
     /// Builds the engine's caches from an implemented baseline.
     pub fn new(base: &Snapshot, tech: &Technology) -> Self {
@@ -184,16 +217,27 @@ impl EvalEngine {
     /// materialize their own rule via [`CowSnapshot::into_parts`]. Both
     /// the hit and the miss path hand out `Arc` shares — the cache never
     /// deep-copies a layout or plan.
+    ///
+    /// Returns [`Error::EditCachePoisoned`] if a worker panicked while
+    /// holding the cache lock; memoized edits are untrusted from then on.
     pub(crate) fn cached_edit(
         &self,
         tech: &Technology,
         op: OpSelect,
         seed: u64,
         make: impl FnOnce() -> Layout,
-    ) -> CowSnapshot {
-        if let Some(hit) = self.edit_cache.lock().expect("edit cache").get(&(op, seed)) {
-            return hit.clone();
+    ) -> Result<CowSnapshot, Error> {
+        let m = cache_metrics();
+        if let Some(hit) = self
+            .edit_cache
+            .lock()
+            .map_err(|_| Error::EditCachePoisoned)?
+            .get(&(op, seed))
+        {
+            m.hits.incr();
+            return Ok(hit.clone());
         }
+        m.misses.incr();
         // Computed outside the lock: a racing duplicate costs one extra
         // operator run but never blocks the other workers on it.
         let layout = make();
@@ -203,11 +247,14 @@ impl EvalEngine {
             layout: Arc::new(layout),
             plan: Arc::new(plan),
         };
-        let mut cache = self.edit_cache.lock().expect("edit cache");
+        let mut cache = self
+            .edit_cache
+            .lock()
+            .map_err(|_| Error::EditCachePoisoned)?;
         if cache.len() < EDIT_CACHE_CAP {
             cache.insert((op, seed), entry.clone());
         }
-        entry
+        Ok(entry)
     }
 
     /// The baseline snapshot the engine was built from.
@@ -234,9 +281,11 @@ impl EvalEngine {
         tech: &Technology,
     ) -> Snapshot {
         let layout = layout.into();
-        let dirty = route::dirty_between(&self.plan, &self.base.layout, &layout, tech);
-        let plan = route::plan_update(&self.plan, &layout, tech, &dirty);
-        self.evaluate_with_plan(layout, plan, tech)
+        obs::span("eval.incremental", |_| {
+            let dirty = route::dirty_between(&self.plan, &self.base.layout, &layout, tech);
+            let plan = route::plan_update(&self.plan, &layout, tech, &dirty);
+            self.evaluate_with_plan(layout, plan, tech)
+        })
     }
 
     /// Evaluation tail shared by [`EvalEngine::evaluate_incremental`] and
@@ -274,7 +323,28 @@ impl EvalEngine {
 /// Implements the baseline layout for a benchmark spec: floorplan at the
 /// spec's utilization, global placement, wirelength refinement, signal
 /// routing, and full analysis.
-pub fn implement_baseline(spec: &DesignSpec, tech: &Technology) -> Snapshot {
+///
+/// Validates the implemented layout before evaluation and returns
+/// [`Error::InconsistentLayout`] if the placement stages ever produce an
+/// illegal layout (a bug, but one that now surfaces as a typed error at
+/// the API boundary instead of a panic in a downstream stage).
+pub fn implement_baseline(spec: &DesignSpec, tech: &Technology) -> Result<Snapshot, Error> {
+    obs::span("baseline.implement", |_| {
+        let layout = build_baseline_layout(spec, tech);
+        evaluate(layout, tech)
+    })
+}
+
+/// [`implement_baseline`] without the consistency check, for callers that
+/// cannot do anything useful with the error anyway (benches, examples).
+pub fn implement_baseline_unchecked(spec: &DesignSpec, tech: &Technology) -> Snapshot {
+    obs::span("baseline.implement", |_| {
+        let layout = build_baseline_layout(spec, tech);
+        evaluate_unchecked(layout, tech)
+    })
+}
+
+fn build_baseline_layout(spec: &DesignSpec, tech: &Technology) -> Layout {
     let design = netlist::bench::generate(spec, tech);
     let critical = design.critical_cells.clone();
     let mut layout = Layout::empty_floorplan(design, tech, spec.utilization);
@@ -291,7 +361,7 @@ pub fn implement_baseline(spec: &DesignSpec, tech: &Technology) -> Snapshot {
     for &c in &critical {
         layout.occupancy_mut().unlock(c);
     }
-    evaluate(layout, tech)
+    layout
 }
 
 #[cfg(test)]
@@ -302,23 +372,52 @@ mod tests {
     #[test]
     fn baseline_snapshot_is_complete() {
         let tech = Technology::nangate45_like();
-        let snap = implement_baseline(&bench::tiny_spec(), &tech);
+        // The fallible path validates consistency itself, so a returned
+        // snapshot is a consistent one by contract.
+        let snap = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
         assert!(snap.power_mw() > 0.0);
         assert!(snap.security.er_sites > 0);
         assert!(snap.routing.total_wirelength_um() > 0.0);
         assert!(snap.tns_ps() <= 0.0);
-        snap.layout.check_consistency(&tech).unwrap();
     }
 
     #[test]
     fn evaluate_is_deterministic() {
         let tech = Technology::nangate45_like();
-        let a = implement_baseline(&bench::tiny_spec(), &tech);
-        let b = implement_baseline(&bench::tiny_spec(), &tech);
+        let a = implement_baseline_unchecked(&bench::tiny_spec(), &tech);
+        let b = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
         assert_eq!(a.security.er_sites, b.security.er_sites);
         assert_eq!(a.drc, b.drc);
         assert_eq!(a.tns_ps(), b.tns_ps());
         assert_eq!(a.power_mw(), b.power_mw());
+    }
+
+    /// A layout that fails consistency is rejected with a typed error at
+    /// the API boundary, never a panic downstream.
+    #[test]
+    fn evaluate_rejects_inconsistent_layouts() {
+        let tech = Technology::nangate45_like();
+        let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
+        let mut broken = Layout::clone(&base.layout);
+        // Re-place a cell one site wider than its master: the occupancy
+        // grid accepts the footprint, but it no longer matches the
+        // library, which is exactly what the consistency check polices.
+        let cell = netlist::CellId(0);
+        let w = broken.occupancy().cell_width(cell).unwrap();
+        broken.occupancy_mut().remove_cell(cell).unwrap();
+        let gap = broken
+            .occupancy()
+            .find_gap(
+                w + 1,
+                geom::SitePos::new(0, 0),
+                broken.floorplan().rows() + broken.floorplan().cols(),
+            )
+            .expect("tiny fixture leaves free runs");
+        broken.occupancy_mut().place_cell(cell, w + 1, gap).unwrap();
+        match evaluate(broken, &tech) {
+            Err(Error::InconsistentLayout(why)) => assert!(!why.is_empty()),
+            other => panic!("expected InconsistentLayout, got {other:?}"),
+        }
     }
 
     /// The edit cache must share, not copy — and handing out shares must
@@ -327,7 +426,7 @@ mod tests {
     #[test]
     fn cached_edit_shares_and_does_not_leak() {
         let tech = Technology::nangate45_like();
-        let base = implement_baseline(&bench::tiny_spec(), &tech);
+        let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
         let engine = EvalEngine::new(&base, &tech);
         let op = OpSelect::CellShift;
         let make = || {
@@ -338,8 +437,10 @@ mod tests {
         };
 
         // A hit is a share of the miss, not a recomputation.
-        let first = engine.cached_edit(&tech, op, 1, make);
-        let second = engine.cached_edit(&tech, op, 1, || unreachable!("must hit the cache"));
+        let first = engine.cached_edit(&tech, op, 1, make).unwrap();
+        let second = engine
+            .cached_edit(&tech, op, 1, || unreachable!("must hit the cache"))
+            .unwrap();
         assert!(Arc::ptr_eq(first.layout(), second.layout()));
 
         // Rule-identical materialization keeps the layout shared.
@@ -349,7 +450,9 @@ mod tests {
 
         // A diverging rule copies privately and leaves the cache intact.
         let wide = tech::RouteRule::uniform(1.2);
-        let third = engine.cached_edit(&tech, op, 1, || unreachable!("must hit the cache"));
+        let third = engine
+            .cached_edit(&tech, op, 1, || unreachable!("must hit the cache"))
+            .unwrap();
         let (copied, _plan) = third.clone().into_parts(&tech, &wide);
         assert!(!Arc::ptr_eq(first.layout(), &copied));
         assert_eq!(copied.route_rule(), &wide);
@@ -358,7 +461,9 @@ mod tests {
         // No leak: dropping every handle leaves the cache entry plus the
         // one probe below as the only owners.
         drop((same, copied, third));
-        let probe = engine.cached_edit(&tech, op, 1, || unreachable!("must hit the cache"));
+        let probe = engine
+            .cached_edit(&tech, op, 1, || unreachable!("must hit the cache"))
+            .unwrap();
         drop(first);
         assert_eq!(Arc::strong_count(probe.layout()), 2);
         assert_eq!(Arc::strong_count(&probe.plan), 2);

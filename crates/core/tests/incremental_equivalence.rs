@@ -9,9 +9,8 @@
 
 use std::sync::OnceLock;
 
-use gdsii_guard::flow::{run_flow, run_flow_with, FlowConfig, OpSelect};
 use gdsii_guard::lda::LdaParams;
-use gdsii_guard::pipeline::{evaluate, implement_baseline, EvalEngine, Snapshot};
+use gdsii_guard::prelude::*;
 use gdsii_guard::rws;
 use netlist::bench;
 use netlist::CellId;
@@ -23,7 +22,7 @@ fn fixture() -> &'static (Technology, Snapshot, EvalEngine) {
     static FIXTURE: OnceLock<(Technology, Snapshot, EvalEngine)> = OnceLock::new();
     FIXTURE.get_or_init(|| {
         let tech = Technology::nangate45_like();
-        let base = implement_baseline(&bench::tiny_spec(), &tech);
+        let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
         let engine = EvalEngine::new(&base, &tech);
         (tech, base, engine)
     })
@@ -79,7 +78,7 @@ proptest! {
         };
         let cfg = FlowConfig { op, scales };
         let full = run_flow(base, tech, &cfg, seed);
-        let inc = run_flow_with(engine, tech, &cfg, seed);
+        let inc = run_flow_with(engine, tech, &cfg, seed).unwrap();
         prop_assert_eq!(full, inc, "flow metrics diverged on {:?}", cfg);
     }
 
@@ -110,7 +109,7 @@ proptest! {
             }
         }
         rws::apply_uniform_scaling(&mut layout, RouteRule::CANDIDATES[scale_idx]);
-        let oracle = evaluate(layout.clone(), tech);
+        let oracle = evaluate(layout.clone(), tech).expect("edited layout stays consistent");
         let inc = engine.evaluate_incremental(layout, tech);
         assert_snapshots_match(&oracle, &inc);
     }

@@ -7,7 +7,7 @@
 //! open, and free space outside the analyzed neighborhood is not treated
 //! at all.
 
-use gdsii_guard::pipeline::{evaluate, Snapshot};
+use gdsii_guard::prelude::*;
 use geom::Interval;
 use tech::Technology;
 
@@ -33,7 +33,7 @@ pub fn apply_ba(base: &Snapshot, tech: &Technology) -> Snapshot {
     }
     runs.sort_unstable();
     let (filled, _added) = fill_runs(&base.layout, tech, &runs);
-    evaluate(filled, tech)
+    evaluate_unchecked(filled, tech)
 }
 
 #[cfg(test)]
@@ -46,7 +46,7 @@ mod tests {
     #[test]
     fn ba_sits_between_baseline_and_bisa() {
         let tech = Technology::nangate45_like();
-        let base = implement_baseline(&bench::tiny_spec(), &tech);
+        let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
         let ba = apply_ba(&base, &tech);
         let bisa = apply_bisa(&base, &tech);
         let sec_ba = secmetrics::security_score(&ba.security, &base.security, 0.5);
@@ -67,7 +67,7 @@ mod tests {
     #[test]
     fn ba_only_touches_exploitable_neighborhoods() {
         let tech = Technology::nangate45_like();
-        let base = implement_baseline(&bench::tiny_spec(), &tech);
+        let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
         let ba = apply_ba(&base, &tech);
         let added = ba.layout.design().cells.len() - base.layout.design().cells.len();
         // Strictly fewer fill cells than a whole-core fill would need.

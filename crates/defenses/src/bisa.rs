@@ -6,7 +6,7 @@
 //! added gates burn leakage and switching power everywhere, and their
 //! chain wiring congests routing, hurting timing and design rules.
 
-use gdsii_guard::pipeline::{evaluate, Snapshot};
+use gdsii_guard::prelude::*;
 use geom::Interval;
 use tech::Technology;
 
@@ -25,7 +25,7 @@ pub fn apply_bisa(base: &Snapshot, tech: &Technology) -> Snapshot {
         })
         .collect();
     let (filled, _added) = fill_runs(layout, tech, &runs);
-    evaluate(filled, tech)
+    evaluate_unchecked(filled, tech)
 }
 
 #[cfg(test)]
@@ -37,7 +37,7 @@ mod tests {
     #[test]
     fn bisa_crushes_security_but_costs_power() {
         let tech = Technology::nangate45_like();
-        let base = implement_baseline(&bench::tiny_spec(), &tech);
+        let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
         let hardened = apply_bisa(&base, &tech);
         let sec = secmetrics::security_score(&hardened.security, &base.security, 0.5);
         assert!(

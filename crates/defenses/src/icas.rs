@@ -8,7 +8,7 @@
 //! the longest runtime of all compared defenses: every candidate density
 //! is a full re-place-and-route.
 
-use gdsii_guard::pipeline::{evaluate, Snapshot};
+use gdsii_guard::prelude::*;
 use layout::Layout;
 use tech::Technology;
 
@@ -42,7 +42,7 @@ pub fn apply_icas(base: &Snapshot, tech: &Technology) -> Snapshot {
         for &c in &critical {
             layout.occupancy_mut().unlock(c);
         }
-        let snap = evaluate(layout, tech);
+        let snap = evaluate_unchecked(layout, tech);
         if snap.drc <= base.drc + MAX_DRC_INCREASE {
             best = Some(snap); // sweep is ascending: densest acceptable wins
         } else if least_violating.as_ref().is_none_or(|s| snap.drc < s.drc) {
@@ -65,7 +65,7 @@ mod tests {
     #[test]
     fn icas_raises_density_and_reduces_free_space() {
         let tech = Technology::nangate45_like();
-        let base = implement_baseline(&bench::tiny_spec(), &tech);
+        let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
         let hardened = apply_icas(&base, &tech);
         assert!(
             hardened.layout.utilization() > base.layout.utilization() + 0.05,

@@ -1,0 +1,101 @@
+//! Lossless aggregation under concurrency: counter and histogram updates
+//! fanned out across rayon workers must sum exactly, and span nesting
+//! must stay well-formed on every worker thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use proptest::prelude::*;
+
+/// obs state is process-global; every test (and proptest case) in this
+/// binary serializes on this lock and starts from a clean registry.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    obs::reset();
+    obs::set_enabled(true);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_counter_updates_are_lossless(
+        increments in proptest::collection::vec(1u64..1000, 1..64),
+        workers in 1usize..8,
+    ) {
+        let _g = exclusive();
+        let c = obs::counter("cc.losses");
+        rayon::scope_with(workers, |s| {
+            for &n in &increments {
+                let c = c.clone();
+                s.spawn(move |_| c.add(n));
+            }
+        });
+        let expect: u64 = increments.iter().sum();
+        prop_assert_eq!(c.get(), expect);
+        prop_assert_eq!(obs::snapshot().counter("cc.losses"), expect);
+        obs::set_enabled(false);
+    }
+
+    #[test]
+    fn concurrent_histogram_updates_are_lossless(
+        values in proptest::collection::vec(0u64..1_000_000, 1..64),
+        workers in 1usize..8,
+    ) {
+        let _g = exclusive();
+        let h = obs::histogram("cc.hist");
+        rayon::scope_with(workers, |s| {
+            for &v in &values {
+                let h = h.clone();
+                s.spawn(move |_| h.record(v));
+            }
+        });
+        let snap = obs::snapshot();
+        let hs = snap.histograms.iter().find(|h| h.name == "cc.hist").unwrap();
+        prop_assert_eq!(hs.count, values.len() as u64);
+        prop_assert_eq!(hs.sum, values.iter().sum::<u64>());
+        let bucketed: u64 = hs.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(bucketed, hs.count, "every observation lands in exactly one bucket");
+        obs::set_enabled(false);
+    }
+}
+
+#[test]
+fn spans_stay_well_formed_on_every_worker() {
+    let _g = exclusive();
+    const TASKS: u64 = 32;
+    let bad_depth = AtomicU64::new(0);
+    rayon::scope_with(4, |s| {
+        for _ in 0..TASKS {
+            let bad_depth = &bad_depth;
+            s.spawn(move |_| {
+                // Worker threads start with an empty span stack; nesting
+                // within the task must be exact regardless of what other
+                // workers are doing.
+                obs::span("cc.task", |_| {
+                    if obs::current_span_depth() != 1 {
+                        bad_depth.fetch_add(1, Ordering::Relaxed);
+                    }
+                    obs::span("cc.leaf", |_| {
+                        if obs::current_span_depth() != 2 {
+                            bad_depth.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                });
+                if obs::current_span_depth() != 0 {
+                    bad_depth.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(bad_depth.load(Ordering::Relaxed), 0);
+    let snap = obs::snapshot();
+    assert_eq!(snap.span_count("cc.task"), TASKS);
+    assert_eq!(snap.span_count("cc.leaf"), TASKS);
+    // Nested leaves aggregate under the full path, never at the root.
+    assert!(snap.spans.iter().any(|s| s.path == "cc.task/cc.leaf"));
+    assert!(!snap.spans.iter().any(|s| s.path == "cc.leaf"));
+    obs::set_enabled(false);
+}

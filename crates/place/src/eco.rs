@@ -62,136 +62,162 @@ pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceS
         return stats;
     }
     let mut occupied = blockage_occupancy(layout);
-    let debug = std::env::var_os("GG_LDA_DEBUG").is_some();
-    let t_phase1 = std::time::Instant::now();
 
     // Phase 1: evict from over-budget windows.
     let mut evicted: Vec<CellId> = Vec::new();
-    for (bi, b) in blockages.iter().enumerate() {
-        if occupied[bi] <= b.site_budget() {
-            continue;
-        }
-        // Movable cells whose footprint overlaps this window, least
-        // connected first (cheapest to displace far away).
-        let mut candidates: Vec<(usize, u32, CellId)> = Vec::new();
-        for (id, _) in design.cells_iter() {
-            if layout.occupancy().is_locked(id) {
-                continue;
-            }
-            let Some(pos) = layout.cell_pos(id) else {
-                continue;
-            };
-            let w = layout.occupancy().cell_width(id).expect("placed");
-            let ov = overlap_sites(b, pos.row, pos.col, w);
-            if ov > 0 {
-                let degree = crate::global::neighbors(&design, id, clock).len();
-                candidates.push((degree, ov, id));
-            }
-        }
-        candidates.sort_by_key(|&(deg, ov, id)| (deg, std::cmp::Reverse(ov), id));
-        for (_, ov, id) in candidates {
+    obs::span("eco.phase1", |sp| {
+        for (bi, b) in blockages.iter().enumerate() {
             if occupied[bi] <= b.site_budget() {
-                break;
+                continue;
             }
-            let pos = layout.cell_pos(id).expect("still placed");
-            let w = layout.occupancy().cell_width(id).expect("placed");
-            layout.occupancy_mut().remove_cell(id).expect("not locked");
-            // Update every window the footprint overlapped.
-            for (bj, bb) in blockages.iter().enumerate() {
-                occupied[bj] -= overlap_sites(bb, pos.row, pos.col, w) as u64;
+            // Movable cells whose footprint overlaps this window, least
+            // connected first (cheapest to displace far away).
+            let mut candidates: Vec<(usize, u32, CellId)> = Vec::new();
+            for (id, _) in design.cells_iter() {
+                if layout.occupancy().is_locked(id) {
+                    continue;
+                }
+                let Some(pos) = layout.cell_pos(id) else {
+                    continue;
+                };
+                let w = layout.occupancy().cell_width(id).expect("placed");
+                let ov = overlap_sites(b, pos.row, pos.col, w);
+                if ov > 0 {
+                    let degree = crate::global::neighbors(&design, id, clock).len();
+                    candidates.push((degree, ov, id));
+                }
             }
-            debug_assert!(ov > 0);
-            evicted.push(id);
-            stats.evicted += 1;
+            candidates.sort_by_key(|&(deg, ov, id)| (deg, std::cmp::Reverse(ov), id));
+            for (_, ov, id) in candidates {
+                if occupied[bi] <= b.site_budget() {
+                    break;
+                }
+                let pos = layout.cell_pos(id).expect("still placed");
+                let w = layout.occupancy().cell_width(id).expect("placed");
+                layout.occupancy_mut().remove_cell(id).expect("not locked");
+                // Update every window the footprint overlapped.
+                for (bj, bb) in blockages.iter().enumerate() {
+                    occupied[bj] -= overlap_sites(bb, pos.row, pos.col, w) as u64;
+                }
+                debug_assert!(ov > 0);
+                evicted.push(id);
+                stats.evicted += 1;
+            }
         }
-    }
-
-    if debug {
-        eprintln!("  eco phase1 {:.2}s", t_phase1.elapsed().as_secs_f64());
-    }
-    let t_phase2 = std::time::Instant::now();
+        obs::trace(obs::Topic::Lda, || {
+            format!("  eco phase1 {:.2}s", sp.elapsed().as_secs_f64())
+        });
+    });
     let mut n_fallback_compact = 0usize;
     // Phase 2: re-place evicted cells near their wirelength-optimal spots.
     // Widest first: wide cells (flops) need long gaps, which narrower cells
     // would otherwise fragment.
-    evicted.shuffle(&mut rng);
-    evicted
-        .sort_by_key(|&id| std::cmp::Reverse(tech.library.kind(design.cell(id).kind).width_sites));
-    // Per-row empty-run cache: recomputing runs from the site grid for
-    // every candidate would dominate the whole ECO pass.
-    let fp_rows = layout.floorplan().rows();
-    let mut runs_cache: Vec<Vec<geom::Interval>> = (0..fp_rows)
-        .map(|r| layout.occupancy().empty_runs(r))
-        .collect();
-    for id in evicted {
-        let w = tech.library.kind(design.cell(id).kind).width_sites;
-        let neigh = crate::global::neighbors(&design, id, clock);
-        let ideal = {
-            let mut xs = Vec::new();
-            let mut ys = Vec::new();
-            for &n in &neigh {
-                if layout.cell_pos(n).is_some() {
-                    let p = layout.cell_center(n, tech);
-                    xs.push(p.x);
-                    ys.push(p.y);
+    obs::span("eco.phase2", |sp| {
+        evicted.shuffle(&mut rng);
+        evicted.sort_by_key(|&id| {
+            std::cmp::Reverse(tech.library.kind(design.cell(id).kind).width_sites)
+        });
+        // Per-row empty-run cache: recomputing runs from the site grid for
+        // every candidate would dominate the whole ECO pass.
+        let fp_rows = layout.floorplan().rows();
+        let mut runs_cache: Vec<Vec<geom::Interval>> = (0..fp_rows)
+            .map(|r| layout.occupancy().empty_runs(r))
+            .collect();
+        for id in evicted {
+            let w = tech.library.kind(design.cell(id).kind).width_sites;
+            let neigh = crate::global::neighbors(&design, id, clock);
+            let ideal = {
+                let mut xs = Vec::new();
+                let mut ys = Vec::new();
+                for &n in &neigh {
+                    if layout.cell_pos(n).is_some() {
+                        let p = layout.cell_center(n, tech);
+                        xs.push(p.x);
+                        ys.push(p.y);
+                    }
                 }
-            }
-            if xs.is_empty() {
-                layout.floorplan().core_rect().center()
-            } else {
-                xs.sort_unstable();
-                ys.sort_unstable();
-                Point::new(xs[xs.len() / 2], ys[ys.len() / 2])
-            }
-        };
-        let near = layout.floorplan().site_at(ideal);
-        let dest = find_gap_under_budgets(&runs_cache, &blockages, &occupied, w, near);
-        match dest {
-            Some(pos) => {
-                layout
-                    .occupancy_mut()
-                    .place_cell(id, w, pos)
-                    .expect("gap verified free");
-                runs_cache[pos.row as usize] = layout.occupancy().empty_runs(pos.row);
-                for (bj, bb) in blockages.iter().enumerate() {
-                    occupied[bj] += overlap_sites(bb, pos.row, pos.col, w) as u64;
+                if xs.is_empty() {
+                    layout.floorplan().core_rect().center()
+                } else {
+                    xs.sort_unstable();
+                    ys.sort_unstable();
+                    Point::new(xs[xs.len() / 2], ys[ys.len() / 2])
                 }
-                stats.replaced_in_bounds += 1;
-            }
-            None => {
-                // No ready-made gap: compact a row segment to create one
-                // (still respecting budgets), like a real incremental
-                // placer. Only if even that fails, place anywhere.
-                n_fallback_compact += 1;
-                let compacted = make_gap_by_compaction(layout, &blockages, &mut occupied, w, near);
-                let pos = compacted.unwrap_or_else(|| {
-                    let fp = *layout.floorplan();
+            };
+            let near = layout.floorplan().site_at(ideal);
+            let dest = find_gap_under_budgets(&runs_cache, &blockages, &occupied, w, near);
+            match dest {
+                Some(pos) => {
                     layout
-                        .occupancy()
-                        .find_gap(w, fp.site_at(ideal), fp.rows().max(fp.cols()))
-                        .expect("core has capacity for all cells")
-                });
-                layout
-                    .occupancy_mut()
-                    .place_cell(id, w, pos)
-                    .expect("gap verified free");
-                runs_cache[pos.row as usize] = layout.occupancy().empty_runs(pos.row);
-                for (bj, bb) in blockages.iter().enumerate() {
-                    occupied[bj] += overlap_sites(bb, pos.row, pos.col, w) as u64;
+                        .occupancy_mut()
+                        .place_cell(id, w, pos)
+                        .expect("gap verified free");
+                    runs_cache[pos.row as usize] = layout.occupancy().empty_runs(pos.row);
+                    for (bj, bb) in blockages.iter().enumerate() {
+                        occupied[bj] += overlap_sites(bb, pos.row, pos.col, w) as u64;
+                    }
+                    stats.replaced_in_bounds += 1;
                 }
-                stats.replaced_fallback += 1;
+                None => {
+                    // No ready-made gap: compact a row segment to create one
+                    // (still respecting budgets), like a real incremental
+                    // placer. Only if even that fails, place anywhere.
+                    n_fallback_compact += 1;
+                    let compacted =
+                        make_gap_by_compaction(layout, &blockages, &mut occupied, w, near);
+                    let pos = compacted.unwrap_or_else(|| {
+                        let fp = *layout.floorplan();
+                        layout
+                            .occupancy()
+                            .find_gap(w, fp.site_at(ideal), fp.rows().max(fp.cols()))
+                            .expect("core has capacity for all cells")
+                    });
+                    layout
+                        .occupancy_mut()
+                        .place_cell(id, w, pos)
+                        .expect("gap verified free");
+                    runs_cache[pos.row as usize] = layout.occupancy().empty_runs(pos.row);
+                    for (bj, bb) in blockages.iter().enumerate() {
+                        occupied[bj] += overlap_sites(bb, pos.row, pos.col, w) as u64;
+                    }
+                    stats.replaced_fallback += 1;
+                }
             }
         }
-    }
-    if debug {
-        eprintln!(
-            "  eco phase2 {:.2}s (compaction fallbacks {})",
-            t_phase2.elapsed().as_secs_f64(),
-            n_fallback_compact,
-        );
-    }
+        obs::trace(obs::Topic::Lda, || {
+            format!(
+                "  eco phase2 {:.2}s (compaction fallbacks {})",
+                sp.elapsed().as_secs_f64(),
+                n_fallback_compact,
+            )
+        });
+    });
+    eco_metrics_record(&stats, n_fallback_compact);
     debug_assert!(layout.check_consistency(tech).is_ok());
     stats
+}
+
+/// Folds one run's [`EcoPlaceStats`] into the registry-backed ECO
+/// counters (`eco.evicted`, `eco.replaced_in_bounds`,
+/// `eco.replaced_fallback`, `eco.compaction_fallbacks`).
+fn eco_metrics_record(stats: &EcoPlaceStats, n_fallback_compact: usize) {
+    struct EcoMetrics {
+        evicted: obs::Counter,
+        replaced_in_bounds: obs::Counter,
+        replaced_fallback: obs::Counter,
+        compaction_fallbacks: obs::Counter,
+    }
+    static METRICS: std::sync::OnceLock<EcoMetrics> = std::sync::OnceLock::new();
+    let m = METRICS.get_or_init(|| EcoMetrics {
+        evicted: obs::counter("eco.evicted"),
+        replaced_in_bounds: obs::counter("eco.replaced_in_bounds"),
+        replaced_fallback: obs::counter("eco.replaced_fallback"),
+        compaction_fallbacks: obs::counter("eco.compaction_fallbacks"),
+    });
+    m.evicted.add(stats.evicted as u64);
+    m.replaced_in_bounds.add(stats.replaced_in_bounds as u64);
+    m.replaced_fallback.add(stats.replaced_fallback as u64);
+    m.compaction_fallbacks.add(n_fallback_compact as u64);
 }
 
 /// Creates a gap of `width` contiguous sites by compacting the cells of a

@@ -32,8 +32,7 @@ mod rrr;
 pub use grid::{OverflowSet, RouteGrid, GCELL_H_ROWS, GCELL_W_SITES, QUANTA_PER_TRACK};
 pub use router::{
     dirty_between, finalize_route, finalize_route_serial, finalize_route_with, plan_route,
-    plan_update, route_design, take_phase_b_totals, DirtySet, NetRc, PhaseBTotals, RoundStats,
-    RoutePlan, RouteSeg, RouteStats, RoutingState,
+    plan_update, route_design, DirtySet, NetRc, RoutePlan, RouteSeg, RoutingState,
 };
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -60,6 +59,10 @@ pub fn parallelism() -> usize {
 /// pools compose instead of oversubscribing the machine.
 pub fn set_parallelism(threads: usize) {
     PARALLELISM.store(threads, Ordering::Relaxed);
+    static GAUGE: std::sync::OnceLock<obs::Gauge> = std::sync::OnceLock::new();
+    GAUGE
+        .get_or_init(|| obs::gauge("route.parallelism"))
+        .set(threads as f64);
 }
 
 /// Per-worker routing thread budget when `workers` evaluation workers run

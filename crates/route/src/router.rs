@@ -1,6 +1,4 @@
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use geom::GcellPos;
 use layout::Layout;
@@ -49,73 +47,38 @@ pub struct RoutingState {
     segs: Vec<Arc<Vec<RouteSeg>>>,
     rc: Vec<NetRc>,
     wirelength_um: f64,
-    stats: RouteStats,
 }
 
-/// One rip-up-and-reroute round's observability record.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct RoundStats {
-    /// 0-based round index.
-    pub round: usize,
-    /// Overflowed `(layer, gcell)` pairs at round entry.
-    pub overflow_pairs: u32,
-    /// Total overflow in track-equivalents at round entry.
-    pub total_overflow: f64,
-    /// Nets ripped and rerouted this round.
-    pub victims: usize,
-    /// Disjoint congestion regions the victims partitioned into.
-    pub regions: usize,
-    /// Whether regions were rerouted on the parallel path.
-    pub parallel: bool,
-}
-
-/// Phase-B (rip-up-and-reroute) statistics of one [`finalize_route`] call,
-/// surfaced through [`RoutingState::stats`]. Replaces the old
-/// `GG_ROUTE_DEBUG` ad-hoc eprintln trace (which now prints from this
-/// struct).
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct RouteStats {
-    /// Per-round records, one per executed round.
-    pub rounds: Vec<RoundStats>,
-    /// Worker-thread bound the call ran under.
-    pub threads: usize,
-    /// Wall time of Phase B (rounds only, not extraction), in nanoseconds.
-    pub wall_nanos: u64,
-}
-
-/// Process-wide Phase-B counters accumulated across every
-/// [`finalize_route`] call; drained by [`take_phase_b_totals`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PhaseBTotals {
-    /// Number of `finalize_route` calls.
-    pub calls: u64,
+/// The router's registry-backed observability handles (replacing the old
+/// `RouteStats`/`RoundStats`/`PhaseBTotals` one-offs): phase walls come
+/// from the `route.phase_a` / `route.phase_a_patch` / `route.phase_b`
+/// spans; these are the scalar counters alongside them. Resolved once per
+/// process; each touch afterwards is one relaxed atomic op.
+struct RouteMetrics {
+    /// `finalize_route` calls that entered Phase B.
+    rrr_calls: obs::Counter,
     /// Rip-up-and-reroute rounds executed.
-    pub rounds: u64,
-    /// Victim nets rerouted.
-    pub victims: u64,
-    /// Congestion regions processed.
-    pub regions: u64,
-    /// Total Phase-B wall time in nanoseconds. Summed across calls, so
-    /// with parallel candidate evaluation this can exceed elapsed time.
-    pub nanos: u64,
+    rrr_rounds: obs::Counter,
+    /// Victim nets ripped and rerouted.
+    rrr_victims: obs::Counter,
+    /// Disjoint congestion regions processed.
+    rrr_regions: obs::Counter,
+    /// Rounds that took the region-parallel path.
+    rrr_parallel_rounds: obs::Counter,
+    /// Heap pops per maze (Dijkstra) search — the router's unit of work.
+    maze_pops: obs::Histogram,
 }
 
-static PHASE_B_CALLS: AtomicU64 = AtomicU64::new(0);
-static PHASE_B_ROUNDS: AtomicU64 = AtomicU64::new(0);
-static PHASE_B_VICTIMS: AtomicU64 = AtomicU64::new(0);
-static PHASE_B_REGIONS: AtomicU64 = AtomicU64::new(0);
-static PHASE_B_NANOS: AtomicU64 = AtomicU64::new(0);
-
-/// Returns the accumulated [`PhaseBTotals`] and resets them to zero —
-/// benchmark harnesses call this around a measured region.
-pub fn take_phase_b_totals() -> PhaseBTotals {
-    PhaseBTotals {
-        calls: PHASE_B_CALLS.swap(0, Ordering::Relaxed),
-        rounds: PHASE_B_ROUNDS.swap(0, Ordering::Relaxed),
-        victims: PHASE_B_VICTIMS.swap(0, Ordering::Relaxed),
-        regions: PHASE_B_REGIONS.swap(0, Ordering::Relaxed),
-        nanos: PHASE_B_NANOS.swap(0, Ordering::Relaxed),
-    }
+fn metrics() -> &'static RouteMetrics {
+    static METRICS: OnceLock<RouteMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| RouteMetrics {
+        rrr_calls: obs::counter("rrr.calls"),
+        rrr_rounds: obs::counter("rrr.rounds"),
+        rrr_victims: obs::counter("rrr.victims"),
+        rrr_regions: obs::counter("rrr.regions"),
+        rrr_parallel_rounds: obs::counter("rrr.parallel_rounds"),
+        maze_pops: obs::histogram("maze.pops"),
+    })
 }
 
 /// The set of nets whose routes a layout edit invalidated, plus whether
@@ -195,12 +158,6 @@ impl RoutingState {
     /// Total routed wirelength in µm.
     pub fn total_wirelength_um(&self) -> f64 {
         self.wirelength_um
-    }
-
-    /// Phase-B statistics of the [`finalize_route`] call that produced
-    /// this state.
-    pub fn stats(&self) -> &RouteStats {
-        &self.stats
     }
 
     /// Design-rule violation count: routing overflows plus pin-access
@@ -586,7 +543,9 @@ fn maze_route_in(
     s.dist[idx(a)] = [0.0, 0.0];
     s.heap.push(Reverse((0, a.x, a.y, 0)));
     s.heap.push(Reverse((0, a.x, a.y, 1)));
+    let mut pops: u64 = 0;
     while let Some(Reverse((dk, x, y, axis))) = s.heap.pop() {
+        pops += 1;
         let g = GcellPos::new(x, y);
         let d = s.dist[idx(g)][axis as usize];
         if dk > key(d) {
@@ -623,6 +582,7 @@ fn maze_route_in(
             }
         }
     }
+    metrics().maze_pops.record(pops);
     // Reconstruct from the cheaper arrival state at b.
     s.touch(idx(b));
     let mut axis = if s.dist[idx(b)][0] <= s.dist[idx(b)][1] {
@@ -847,24 +807,26 @@ fn plan_net(plan: &mut RoutePlan, layout: &Layout, tech: &Technology, nid: NetId
 /// net is excluded (a dedicated clock tree distributes it), as are nets
 /// touching fewer than two placed cells.
 pub fn plan_route(layout: &Layout, tech: &Technology) -> RoutePlan {
-    let design = layout.design();
-    let n_nets = design.nets.len();
-    // `vec![arc; n]` clones the Arc, so every unrouted net shares one
-    // empty list — entries are only ever replaced wholesale, never
-    // mutated through.
-    #[allow(clippy::rc_clone_in_vec_init)]
-    let mut plan = RoutePlan {
-        grid: RouteGrid::new(layout.floorplan(), tech, layout.route_rule()),
-        segs: vec![Arc::new(Vec::new()); n_nets],
-        edges: vec![Arc::new(Vec::new()); n_nets],
-    };
-    for (nid, _net) in design.nets_iter() {
-        if Some(nid) == design.clock {
-            continue;
+    obs::span("route.phase_a", |_| {
+        let design = layout.design();
+        let n_nets = design.nets.len();
+        // `vec![arc; n]` clones the Arc, so every unrouted net shares one
+        // empty list — entries are only ever replaced wholesale, never
+        // mutated through.
+        #[allow(clippy::rc_clone_in_vec_init)]
+        let mut plan = RoutePlan {
+            grid: RouteGrid::new(layout.floorplan(), tech, layout.route_rule()),
+            segs: vec![Arc::new(Vec::new()); n_nets],
+            edges: vec![Arc::new(Vec::new()); n_nets],
+        };
+        for (nid, _net) in design.nets_iter() {
+            if Some(nid) == design.clock {
+                continue;
+            }
+            plan_net(&mut plan, layout, tech, nid);
         }
-        plan_net(&mut plan, layout, tech, nid);
-    }
-    plan
+        plan
+    })
 }
 
 /// Incremental Phase A: patches a cached base plan for an edited layout.
@@ -880,20 +842,22 @@ pub fn plan_update(
     tech: &Technology,
     dirty: &DirtySet,
 ) -> RoutePlan {
-    let design = layout.design();
-    let mut plan = base.clone();
-    if dirty.rule_changed {
-        plan.grid.set_rule(tech, layout.route_rule());
-    }
-    for &nid in &dirty.nets {
-        if Some(nid) == design.clock {
-            continue;
+    obs::span("route.phase_a_patch", |_| {
+        let design = layout.design();
+        let mut plan = base.clone();
+        if dirty.rule_changed {
+            plan.grid.set_rule(tech, layout.route_rule());
         }
-        let old = Arc::clone(&plan.segs[nid.0 as usize]);
-        rip_up(&mut plan.grid, &old);
-        plan_net(&mut plan, layout, tech, nid);
-    }
-    plan
+        for &nid in &dirty.nets {
+            if Some(nid) == design.clock {
+                continue;
+            }
+            let old = Arc::clone(&plan.segs[nid.0 as usize]);
+            rip_up(&mut plan.grid, &old);
+            plan_net(&mut plan, layout, tech, nid);
+        }
+        plan
+    })
 }
 
 /// Diffs an edited layout against the baseline the plan was built from.
@@ -1076,113 +1040,96 @@ pub fn finalize_route_with(
         edges,
     } = plan;
     let threads = threads.max(1);
-    let debug = std::env::var_os("GG_ROUTE_DEBUG").is_some();
-    let t0 = Instant::now();
-    let mut stats = RouteStats {
-        rounds: Vec::new(),
-        threads,
-        wall_nanos: 0,
-    };
+    let m = metrics();
+    m.rrr_calls.incr();
 
     // Rip-up and reroute, keeping the best state seen (late rounds can
     // regress once detours start compounding). Usage planes and per-net
     // segment lists are Arc-shared, so the snapshot costs a refcount bump
-    // per plane and per net, never a deep copy.
-    type BestState = (f64, RouteGrid, Vec<Arc<Vec<RouteSeg>>>);
-    let mut best: Option<BestState> = None;
-    for round in 0..RRR_ROUNDS {
-        // One-pass overflow census: round scoring and victim scanning
-        // test membership here instead of re-deriving scaled usage per
-        // victim segment cell.
-        let oset = grid.overflow_set();
-        // Nothing overflows: the current state is final, and any best
-        // state recorded earlier cannot beat an overflow score of zero.
-        if oset.is_empty() {
-            best = None;
-            break;
+    // per plane and per net, never a deep copy. The rounds loop (not the
+    // extraction below) is Phase B proper, hence the span boundary.
+    let (grid, segs) = obs::span("route.phase_b", move |_| {
+        type BestState = (f64, RouteGrid, Vec<Arc<Vec<RouteSeg>>>);
+        let mut best: Option<BestState> = None;
+        for round in 0..RRR_ROUNDS {
+            // One-pass overflow census: round scoring and victim scanning
+            // test membership here instead of re-deriving scaled usage per
+            // victim segment cell.
+            let oset = grid.overflow_set();
+            // Nothing overflows: the current state is final, and any best
+            // state recorded earlier cannot beat an overflow score of zero.
+            if oset.is_empty() {
+                best = None;
+                break;
+            }
+            let victims: Vec<u32> = (0..n_nets as u32)
+                .filter(|&i| {
+                    segs[i as usize]
+                        .iter()
+                        .any(|s| seg_crosses_overflow(&oset, &grid, s))
+                })
+                .collect();
+            if victims.is_empty() {
+                break;
+            }
+            let score = oset.total_overflow();
+            if best.as_ref().is_none_or(|(b, _, _)| score < *b) {
+                best = Some((score, grid.clone(), segs.clone()));
+            } else if round > 1 {
+                break; // regressing: stop and restore the best state
+            }
+            let penalty = 3.0f64.powi(round as i32 + 1);
+            let footprints: Vec<Vec<Rect>> = victims
+                .iter()
+                .map(|&i| {
+                    edges[i as usize]
+                        .iter()
+                        .map(|&(a, b)| Rect::from_edge(a, b, MAZE_MARGIN, grid.nx(), grid.ny()))
+                        .collect()
+                })
+                .collect();
+            let groups = rrr::partition(&footprints, grid.nx(), grid.ny());
+            let parallel = threads > 1 && groups.len() > 1;
+            if parallel {
+                reroute_groups_parallel(
+                    &mut grid, &mut segs, &edges, &victims, &groups, penalty, threads,
+                );
+            } else {
+                // Sequential reference path: each victim is torn out and
+                // immediately rerouted against the live usage of every other
+                // net, which keeps the process convergent (unsynchronized
+                // parallel rip-up oscillates).
+                for &i in &victims {
+                    let old = Arc::clone(&segs[i as usize]);
+                    rip_up(&mut grid, &old);
+                    segs[i as usize] =
+                        Arc::new(reroute_net(&mut grid, &edges[i as usize], penalty));
+                }
+            }
+            m.rrr_rounds.incr();
+            m.rrr_victims.add(victims.len() as u64);
+            m.rrr_regions.add(groups.len() as u64);
+            if parallel {
+                m.rrr_parallel_rounds.incr();
+            }
+            obs::trace(obs::Topic::Route, || {
+                format!(
+                    "rrr round {round}: overflow_pairs {} total {score:.0} victims {} regions {}{}",
+                    oset.pairs(),
+                    victims.len(),
+                    groups.len(),
+                    if parallel { " (parallel)" } else { "" },
+                )
+            });
         }
-        let victims: Vec<u32> = (0..n_nets as u32)
-            .filter(|&i| {
-                segs[i as usize]
-                    .iter()
-                    .any(|s| seg_crosses_overflow(&oset, &grid, s))
-            })
-            .collect();
-        if victims.is_empty() {
-            break;
-        }
-        let score = oset.total_overflow();
-        if best.as_ref().is_none_or(|(b, _, _)| score < *b) {
-            best = Some((score, grid.clone(), segs.clone()));
-        } else if round > 1 {
-            break; // regressing: stop and restore the best state
-        }
-        let penalty = 3.0f64.powi(round as i32 + 1);
-        let footprints: Vec<Vec<Rect>> = victims
-            .iter()
-            .map(|&i| {
-                edges[i as usize]
-                    .iter()
-                    .map(|&(a, b)| Rect::from_edge(a, b, MAZE_MARGIN, grid.nx(), grid.ny()))
-                    .collect()
-            })
-            .collect();
-        let groups = rrr::partition(&footprints, grid.nx(), grid.ny());
-        let parallel = threads > 1 && groups.len() > 1;
-        if parallel {
-            reroute_groups_parallel(
-                &mut grid, &mut segs, &edges, &victims, &groups, penalty, threads,
-            );
-        } else {
-            // Sequential reference path: each victim is torn out and
-            // immediately rerouted against the live usage of every other
-            // net, which keeps the process convergent (unsynchronized
-            // parallel rip-up oscillates).
-            for &i in &victims {
-                let old = Arc::clone(&segs[i as usize]);
-                rip_up(&mut grid, &old);
-                segs[i as usize] = Arc::new(reroute_net(&mut grid, &edges[i as usize], penalty));
+        if let Some((score, bg, bs)) = best {
+            if score < grid.total_overflow() {
+                grid = bg;
+                segs = bs;
             }
         }
-        let rs = RoundStats {
-            round,
-            overflow_pairs: oset.pairs(),
-            total_overflow: score,
-            victims: victims.len(),
-            regions: groups.len(),
-            parallel,
-        };
-        if debug {
-            eprintln!(
-                "rrr round {}: overflow_pairs {} total {:.0} victims {} regions {}{}",
-                rs.round,
-                rs.overflow_pairs,
-                rs.total_overflow,
-                rs.victims,
-                rs.regions,
-                if rs.parallel { " (parallel)" } else { "" },
-            );
-        }
-        stats.rounds.push(rs);
-    }
-    if let Some((score, bg, bs)) = best {
-        if score < grid.total_overflow() {
-            grid = bg;
-            segs = bs;
-        }
-    }
-    stats.wall_nanos = t0.elapsed().as_nanos() as u64;
-    PHASE_B_CALLS.fetch_add(1, Ordering::Relaxed);
-    PHASE_B_ROUNDS.fetch_add(stats.rounds.len() as u64, Ordering::Relaxed);
-    PHASE_B_VICTIMS.fetch_add(
-        stats.rounds.iter().map(|r| r.victims as u64).sum(),
-        Ordering::Relaxed,
-    );
-    PHASE_B_REGIONS.fetch_add(
-        stats.rounds.iter().map(|r| r.regions as u64).sum(),
-        Ordering::Relaxed,
-    );
-    PHASE_B_NANOS.fetch_add(stats.wall_nanos, Ordering::Relaxed);
+        (grid, segs)
+    });
 
     // Parasitics: routed length per layer plus per-pin escape stubs.
     let mut rc: Vec<NetRc> = vec![NetRc::default(); n_nets];
@@ -1220,7 +1167,6 @@ pub fn finalize_route_with(
         segs,
         rc,
         wirelength_um: wl_um,
-        stats,
     }
 }
 
@@ -1382,6 +1328,44 @@ mod tests {
                 assert_eq!(a, b, "segments of net {net} diverged at {threads} threads");
             }
         }
+
+        // Span nesting stays well-formed across the region-parallel
+        // fan-out: the caller's stack is untouched by worker threads, and
+        // the maze searches on the workers still aggregate. Delta-based
+        // assertions: obs state is process-global and other tests in this
+        // binary may be recording concurrently.
+        obs::set_enabled(true);
+        let pops_before = {
+            let snap = obs::snapshot();
+            snap.histograms
+                .iter()
+                .find(|h| h.name == "maze.pops")
+                .map_or(0, |h| h.count)
+        };
+        let mut pg = grid.clone();
+        let mut ps = segs.clone();
+        obs::span("route.rrr_span_test", |_| {
+            assert_eq!(obs::current_span_depth(), 1);
+            reroute_groups_parallel(&mut pg, &mut ps, &edges, &victims, &groups, 3.0, 4);
+            assert_eq!(
+                obs::current_span_depth(),
+                1,
+                "workers must not touch this stack"
+            );
+        });
+        assert_eq!(obs::current_span_depth(), 0);
+        let snap = obs::snapshot();
+        assert!(snap.span_count("route.rrr_span_test") >= 1);
+        let pops_after = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "maze.pops")
+            .map_or(0, |h| h.count);
+        assert!(
+            pops_after > pops_before,
+            "worker-side maze searches must aggregate"
+        );
+        obs::set_enabled(false);
     }
 
     #[test]

@@ -4,15 +4,50 @@
 //! Randomized placements (seed, utilization, NDR scale) are routed through
 //! Phase A once, then the same plan is finalized with the serial path and
 //! with worker bounds 2 and 8. Every observable — the occupancy grid,
-//! per-net segments, parasitics, wirelength, and the per-round
-//! overflow/victim/region trajectory — must match exactly; only the
-//! `parallel` flag, thread bound, and wall time may differ.
+//! per-net segments, parasitics, and wirelength — must match exactly; the
+//! round/victim/region trajectory is compared through the `obs` telemetry
+//! counters that replaced the old per-call stats structs.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use layout::Layout;
 use netlist::bench;
 use proptest::prelude::*;
 use route::{finalize_route_serial, finalize_route_with, plan_route, RoutingState};
 use tech::{RouteRule, Technology};
+
+/// Aggregate Phase-B trajectory of one `finalize_route_with` call, read
+/// back from the process-global telemetry registry. Tests that compare
+/// trajectories hold [`exclusive`] so no other routing runs interleave.
+#[derive(Debug, PartialEq, Eq)]
+struct Trajectory {
+    rounds: u64,
+    victims: u64,
+    regions: u64,
+}
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let g = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    obs::reset();
+    obs::set_enabled(true);
+    g
+}
+
+fn traced<R>(f: impl FnOnce() -> R) -> (R, Trajectory) {
+    let before = obs::snapshot();
+    let r = f();
+    let after = obs::snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    (
+        r,
+        Trajectory {
+            rounds: delta("rrr.rounds"),
+            victims: delta("rrr.victims"),
+            regions: delta("rrr.regions"),
+        },
+    )
+}
 
 fn placed(seed: u64, util: f64, rule: RouteRule) -> (Technology, Layout) {
     let tech = Technology::nangate45_like();
@@ -49,22 +84,6 @@ fn assert_bit_identical(
         );
     }
     assert_eq!(serial.total_wirelength_um(), par.total_wirelength_um());
-    // The round trajectory must agree too — same overflow census, same
-    // victim sets, same region partition — modulo the fields that record
-    // *how* (not *what*) the rounds executed.
-    let (a, b) = (&serial.stats().rounds, &par.stats().rounds);
-    assert_eq!(
-        a.len(),
-        b.len(),
-        "round count diverged at {threads} threads"
-    );
-    for (ra, rb) in a.iter().zip(b) {
-        assert_eq!(ra.round, rb.round);
-        assert_eq!(ra.overflow_pairs, rb.overflow_pairs);
-        assert_eq!(ra.total_overflow, rb.total_overflow);
-        assert_eq!(ra.victims, rb.victims);
-        assert_eq!(ra.regions, rb.regions);
-    }
 }
 
 proptest! {
@@ -78,16 +97,21 @@ proptest! {
     ) {
         // Tight utilization plus a fat NDR forces real congestion, so the
         // rip-up-and-reroute rounds (the code under test) actually run.
+        let _g = exclusive();
         let rule = RouteRule::uniform(RouteRule::CANDIDATES[scale_idx]);
         let (tech, layout) = placed(seed, f64::from(util_pct) / 100.0, rule);
         let plan = plan_route(&layout, &tech);
-        let serial = finalize_route_serial(&layout, &tech, plan.clone());
-        prop_assert_eq!(serial.stats().threads, 1);
+        let (serial, serial_traj) =
+            traced(|| finalize_route_serial(&layout, &tech, plan.clone()));
         for threads in [2usize, 8] {
-            let par = finalize_route_with(&layout, &tech, plan.clone(), threads);
-            prop_assert_eq!(par.stats().threads, threads);
+            let (par, par_traj) =
+                traced(|| finalize_route_with(&layout, &tech, plan.clone(), threads));
             assert_bit_identical(&serial, &par, &layout, threads);
+            // Same overflow census, same victim sets, same region
+            // partition — only *how* the rounds executed may differ.
+            prop_assert_eq!(&serial_traj, &par_traj, "trajectory diverged at {} threads", threads);
         }
+        obs::set_enabled(false);
     }
 }
 
@@ -99,17 +123,19 @@ proptest! {
 /// `router.rs` instead.)
 #[test]
 fn congested_case_runs_rounds_and_stays_deterministic() {
+    let _g = exclusive();
     let (tech, layout) = placed(5, 0.75, RouteRule::uniform(1.5));
     let plan = plan_route(&layout, &tech);
-    let serial = finalize_route_serial(&layout, &tech, plan.clone());
+    let (serial, serial_traj) = traced(|| finalize_route_serial(&layout, &tech, plan.clone()));
     assert!(
-        !serial.stats().rounds.is_empty(),
+        serial_traj.rounds > 0,
         "fixture must trigger rip-up-and-reroute rounds"
     );
-    let par8 = finalize_route_with(&layout, &tech, plan.clone(), 8);
+    let (par8, par_traj) = traced(|| finalize_route_with(&layout, &tech, plan.clone(), 8));
     assert_bit_identical(&serial, &par8, &layout, 8);
-    // Re-running the identical input reproduces the identical trajectory,
-    // `parallel` flag and all.
-    let again = finalize_route_with(&layout, &tech, plan, 8);
-    assert_eq!(par8.stats().rounds, again.stats().rounds.clone());
+    assert_eq!(serial_traj, par_traj);
+    // Re-running the identical input reproduces the identical trajectory.
+    let (_, again_traj) = traced(|| finalize_route_with(&layout, &tech, plan, 8));
+    assert_eq!(par_traj, again_traj);
+    obs::set_enabled(false);
 }

@@ -39,6 +39,30 @@ fn wire_delay_ps(design: &Design, routing: &RoutingState, tech: &Technology, net
 /// unresolved arrivals as path starts at time zero (and are absent from the
 /// benchmark generator's output by construction).
 pub fn analyze(layout: &Layout, routing: &RoutingState, tech: &Technology) -> TimingReport {
+    obs::span("sta.full", |_| analyze_inner(layout, routing, tech))
+}
+
+/// Registry-backed STA observability handles (resolved once per process).
+struct StaMetrics {
+    /// Incremental analyses satisfied from the base report (no RC moved).
+    clean_hits: obs::Counter,
+    /// Incremental analyses that fell back to the from-scratch pass
+    /// because the edit touched too many nets for cone propagation to pay.
+    cone_fallbacks: obs::Counter,
+    /// Nets re-propagated through the cone machinery.
+    cone_nets: obs::Counter,
+}
+
+fn metrics() -> &'static StaMetrics {
+    static METRICS: std::sync::OnceLock<StaMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| StaMetrics {
+        clean_hits: obs::counter("sta.clean_hits"),
+        cone_fallbacks: obs::counter("sta.cone_fallbacks"),
+        cone_nets: obs::counter("sta.cone_nets"),
+    })
+}
+
+fn analyze_inner(layout: &Layout, routing: &RoutingState, tech: &Technology) -> TimingReport {
     let design = layout.design();
     let n_nets = design.nets.len();
     let n_cells = design.cells.len();
@@ -396,6 +420,19 @@ pub fn analyze_incremental(
     routing: &RoutingState,
     tech: &Technology,
 ) -> TimingReport {
+    obs::span("sta.incremental", |_| {
+        analyze_incremental_inner(graph, base, base_routing, layout, routing, tech)
+    })
+}
+
+fn analyze_incremental_inner(
+    graph: &TimingGraph,
+    base: &TimingReport,
+    base_routing: &RoutingState,
+    layout: &Layout,
+    routing: &RoutingState,
+    tech: &Technology,
+) -> TimingReport {
     use std::collections::BTreeSet;
     let design = layout.design();
     let clock = design.clock;
@@ -412,14 +449,24 @@ pub fn analyze_incremental(
         }
     }
     if changed_nets.is_empty() {
+        metrics().clean_hits.incr();
         return base.clone();
     }
     // Dense edits (an NDR change perturbs every routed net) pay the cone
     // machinery's worklist overhead for no savings — the from-scratch
     // pass, which computes the identical result, is cheaper there.
     if changed_nets.len() * 4 > design.nets.len() {
-        return analyze(layout, routing, tech);
+        metrics().cone_fallbacks.incr();
+        obs::trace(obs::Topic::Sta, || {
+            format!(
+                "sta: dense edit ({} of {} nets) — from-scratch fallback",
+                changed_nets.len(),
+                design.nets.len(),
+            )
+        });
+        return analyze_inner(layout, routing, tech);
     }
+    metrics().cone_nets.add(changed_nets.len() as u64);
 
     let TimingReport {
         clock_period,

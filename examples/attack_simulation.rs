@@ -6,8 +6,7 @@
 //! cargo run --release --example attack_simulation
 //! ```
 
-use gdsii_guard::flow::{apply_flow, FlowConfig};
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use secmetrics::{simulate_attack, TrojanSpec};
 use tech::Technology;
 
@@ -49,7 +48,7 @@ fn main() {
         "implementing {} and attacking it before and after hardening…",
         spec.name
     );
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     report("baseline layout", &base.security, &tech);
 
     let hardened = apply_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);

@@ -7,14 +7,13 @@
 //! ```
 
 use gdsii::{layout_to_gds, GdsLibrary};
-use gdsii_guard::flow::{apply_flow, FlowConfig};
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use tech::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::nangate45_like();
     let spec = netlist::bench::spec_by_name("TDEA").expect("known benchmark");
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     let mut hardened = apply_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
 
     // Tapeout hygiene: tile the remaining whitespace with filler cells.

@@ -6,8 +6,7 @@
 //! cargo run --release --example pareto_explore [design]
 //! ```
 
-use gdsii_guard::nsga2::{explore, Nsga2Params};
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use gdsii_guard::OpSelect;
 use tech::Technology;
 
@@ -17,7 +16,7 @@ fn main() {
         .unwrap_or_else(|| panic!("unknown design {name}; see netlist::bench::all_specs"));
     let tech = Technology::nangate45_like();
     println!("implementing baseline {}…", spec.name);
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     let params = Nsga2Params {
         population: 10,
         generations: 3,

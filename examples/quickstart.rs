@@ -6,8 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use gdsii_guard::flow::{run_flow, FlowConfig};
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use tech::Technology;
 
 fn main() {
@@ -20,7 +19,7 @@ fn main() {
         spec.target_cells,
         spec.clock_period()
     );
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     println!(
         "baseline: {} exploitable sites in {} regions, {:.0} free tracks, \
          TNS {:.1} ps, power {:.3} mW, {} DRC",

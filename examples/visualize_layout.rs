@@ -8,7 +8,7 @@
 //! ```
 
 use gdsii_guard::cell_shift::cell_shift;
-use gdsii_guard::pipeline::{evaluate, implement_baseline};
+use gdsii_guard::prelude::*;
 use geom::SitePos;
 use layout::SiteState;
 use secmetrics::THRESH_ER;
@@ -65,7 +65,7 @@ fn render(snap: &gdsii_guard::Snapshot, tech: &Technology) -> String {
 fn main() {
     let tech = Technology::nangate45_like();
     let spec = netlist::bench::spec_by_name("PRESENT").expect("known benchmark");
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     println!(
         "=== {} baseline — {} exploitable sites ('#' critical bank, '%' exploitable, '.' cells) ===",
         spec.name, base.security.er_sites
@@ -75,7 +75,7 @@ fn main() {
     let mut layout = layout::Layout::clone(&base.layout);
     gdsii_guard::preprocess::lock_critical_cells(&mut layout);
     cell_shift(&mut layout, &tech, THRESH_ER);
-    let after = evaluate(layout, &tech);
+    let after = evaluate(layout, &tech).unwrap();
     println!(
         "\n=== after Cell Shift — {} exploitable sites remain ===",
         after.security.er_sites

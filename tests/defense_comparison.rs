@@ -1,7 +1,7 @@
 //! Cross-defense ordering properties on one design — the qualitative
 //! structure of Fig. 4 and Table II that must hold for any seed.
 
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use netlist::bench;
 use secmetrics::security_score;
 use tech::Technology;
@@ -15,7 +15,7 @@ struct Sweep {
 
 fn sweep() -> (Technology, Sweep) {
     let tech = Technology::nangate45_like();
-    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let icas = defenses::apply_icas(&base, &tech);
     let bisa = defenses::apply_bisa(&base, &tech);
     let ba = defenses::apply_ba(&base, &tech);

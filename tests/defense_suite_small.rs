@@ -2,8 +2,7 @@
 //! a fast, deterministic slice of the Fig. 4 / Table II sweep that runs in
 //! the test suite.
 
-use gdsii_guard::flow::{run_flow, FlowConfig};
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use netlist::bench;
 use secmetrics::security_score;
 use tech::Technology;
@@ -12,7 +11,7 @@ use tech::Technology;
 fn present_defense_sweep_has_paper_shape() {
     let tech = Technology::nangate45_like();
     let spec = bench::spec_by_name("PRESENT").expect("known design");
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
 
     let bisa = defenses::apply_bisa(&base, &tech);
     let ba = defenses::apply_ba(&base, &tech);
@@ -35,7 +34,7 @@ fn present_defense_sweep_has_paper_shape() {
 fn openmsp430_1_loose_design_prefers_cell_shift() {
     let tech = Technology::nangate45_like();
     let spec = bench::spec_by_name("openMSP430_1").expect("known design");
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     assert_eq!(base.tns_ps(), 0.0, "openMSP430_1 closes timing at baseline");
     let cs = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
     let lda = run_flow(&base, &tech, &FlowConfig::lda_default(), 1);

@@ -2,8 +2,7 @@
 //! analysis → GDSII-Guard flow → hardened-layout properties, across crate
 //! boundaries.
 
-use gdsii_guard::flow::{apply_flow, run_flow, FlowConfig, OpSelect};
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use netlist::bench;
 use secmetrics::THRESH_ER;
 use tech::Technology;
@@ -17,7 +16,7 @@ fn tight_tiny() -> bench::DesignSpec {
 #[test]
 fn baseline_pipeline_produces_coherent_snapshot() {
     let tech = Technology::nangate45_like();
-    let snap = implement_baseline(&bench::tiny_spec(), &tech);
+    let snap = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     snap.layout
         .check_consistency(&tech)
         .expect("placement consistent");
@@ -37,7 +36,7 @@ fn baseline_pipeline_produces_coherent_snapshot() {
 #[test]
 fn cell_shift_flow_hardens_loose_design() {
     let tech = Technology::nangate45_like();
-    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let hardened = apply_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
     let sec = secmetrics::security_score(&hardened.security, &base.security, 0.5);
     assert!(
@@ -65,7 +64,7 @@ fn lda_flow_hardens_tight_design_with_bounded_timing_cost() {
     // too few tiles for density redistribution to be meaningful).
     let tech = Technology::nangate45_like();
     let spec = bench::spec_by_name("CAST").expect("known benchmark");
-    let base = implement_baseline(&spec, &tech);
+    let base = implement_baseline(&spec, &tech).unwrap();
     let cfg = FlowConfig {
         op: OpSelect::Lda { n: 8, n_iter: 1 },
         scales: [1.0; 10],
@@ -84,7 +83,7 @@ fn lda_flow_hardens_tight_design_with_bounded_timing_cost() {
 #[test]
 fn rws_reduces_tracks_at_a_wire_cost() {
     let tech = Technology::nangate45_like();
-    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let mut cfg = FlowConfig::cell_shift_default();
     let before = run_flow(&base, &tech, &cfg, 1);
     cfg.scales = [1.0, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5];
@@ -104,7 +103,7 @@ fn rws_reduces_tracks_at_a_wire_cost() {
 #[test]
 fn defenses_keep_netlist_functionality() {
     let tech = Technology::nangate45_like();
-    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     for (name, snap) in [
         ("icas", defenses::apply_icas(&base, &tech)),
         ("bisa", defenses::apply_bisa(&base, &tech)),
@@ -135,7 +134,7 @@ fn defenses_keep_netlist_functionality() {
 #[test]
 fn hardened_layout_exports_to_gdsii_and_back() {
     let tech = Technology::nangate45_like();
-    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let mut hardened = apply_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
     layout::insert_fillers(
         std::sync::Arc::make_mut(&mut hardened.layout).occupancy_mut(),

@@ -1,7 +1,7 @@
 //! Cross-crate routing properties: conservation of usage under rip-up,
 //! RC sanity, and congestion response to density.
 
-use gdsii_guard::pipeline::implement_baseline;
+use gdsii_guard::prelude::*;
 use geom::GcellPos;
 use netlist::{bench, NetDriver, Sink};
 use tech::{RouteRule, Technology};
@@ -21,7 +21,7 @@ fn total_usage(r: &route::RoutingState) -> f64 {
 #[test]
 fn routing_usage_matches_committed_segments() {
     let tech = Technology::nangate45_like();
-    let snap = implement_baseline(&bench::tiny_spec(), &tech);
+    let snap = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let r = &snap.routing;
     // Every multi-cell net with at least two distinct terminal gcells has
     // segments; every segment stays on its layer's direction.
@@ -59,7 +59,7 @@ fn routing_usage_matches_committed_segments() {
 #[test]
 fn rc_scales_with_route_length() {
     let tech = Technology::nangate45_like();
-    let snap = implement_baseline(&bench::tiny_spec(), &tech);
+    let snap = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let design = snap.layout.design();
     // Aggregate check: long routes carry more parasitics than short ones.
     let mut pairs: Vec<(u32, f64)> = design

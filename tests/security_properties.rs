@@ -1,7 +1,7 @@
 //! Cross-crate security-metric properties: monotonicity of the exploitable
 //! region analysis under the operations defenses perform.
 
-use gdsii_guard::pipeline::{evaluate, implement_baseline};
+use gdsii_guard::prelude::*;
 use netlist::bench;
 use secmetrics::analyze_regions;
 use tech::Technology;
@@ -9,7 +9,7 @@ use tech::Technology;
 #[test]
 fn thresh_er_is_monotone() {
     let tech = Technology::nangate45_like();
-    let snap = implement_baseline(&bench::tiny_spec(), &tech);
+    let snap = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let mut last = u64::MAX;
     for thresh in [4u32, 12, 20, 40, 100] {
         let a = analyze_regions(&snap.layout, &snap.routing, &snap.timing, &tech, thresh);
@@ -25,10 +25,10 @@ fn fillers_do_not_change_security() {
     // Definition 2.2: filler cells are exploitable; adding them must leave
     // ERsites untouched.
     let tech = Technology::nangate45_like();
-    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let mut filled = layout::Layout::clone(&base.layout);
     layout::insert_fillers(filled.occupancy_mut(), &tech);
-    let snap = evaluate(filled, &tech);
+    let snap = evaluate(filled, &tech).unwrap();
     assert_eq!(snap.security.er_sites, base.security.er_sites);
 }
 
@@ -38,7 +38,7 @@ fn distances_respond_to_constraint_looseness() {
     let sum_d = |factor: f64| -> i64 {
         let mut spec = bench::tiny_spec();
         spec.period_factor = factor;
-        let snap = implement_baseline(&spec, &tech);
+        let snap = implement_baseline(&spec, &tech).unwrap();
         snap.security.distances.iter().map(|(_, d)| *d).sum()
     };
     assert!(sum_d(2.0) > sum_d(0.9), "looser clock → longer reach");
@@ -49,7 +49,7 @@ fn removing_free_space_never_raises_er_sites() {
     // Occupying previously-free sites (with locked dummy placement) can
     // only shrink the exploitable area.
     let tech = Technology::nangate45_like();
-    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let hardened = defenses::apply_ba(&base, &tech);
     assert!(hardened.security.er_sites <= base.security.er_sites);
     let hardened = defenses::apply_bisa(&base, &tech);
@@ -61,7 +61,7 @@ fn region_runs_lie_within_some_distance_mask() {
     // Every exploitable site must be within the exploitable distance of at
     // least one critical cell (Definition 2.2, prerequisite 2).
     let tech = Technology::nangate45_like();
-    let snap = implement_baseline(&bench::tiny_spec(), &tech);
+    let snap = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let layout = &snap.layout;
     let centers: Vec<(geom::Point, i64)> = snap
         .security
@@ -88,7 +88,7 @@ fn region_runs_lie_within_some_distance_mask() {
 fn attack_simulator_agrees_with_er_sites_zero() {
     // If the analysis finds no region, no battery Trojan can be inserted.
     let tech = Technology::nangate45_like();
-    let base = implement_baseline(&bench::tiny_spec(), &tech);
+    let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let bisa = defenses::apply_bisa(&base, &tech);
     if bisa.security.er_sites == 0 {
         assert_eq!(

@@ -1,7 +1,7 @@
 //! Cross-crate timing properties: STA consistency under layout and
 //! constraint perturbations.
 
-use gdsii_guard::pipeline::{evaluate, implement_baseline};
+use gdsii_guard::prelude::*;
 use netlist::bench;
 use tech::Technology;
 
@@ -16,7 +16,12 @@ fn slack_decreases_when_clock_tightens() {
     }
     let worst: Vec<f64> = specs
         .iter()
-        .map(|s| implement_baseline(s, &tech).timing.worst_slack_ps())
+        .map(|s| {
+            implement_baseline(s, &tech)
+                .unwrap()
+                .timing
+                .worst_slack_ps()
+        })
         .collect();
     assert!(worst[0] > worst[1] && worst[1] > worst[2], "{worst:?}");
 }
@@ -24,7 +29,7 @@ fn slack_decreases_when_clock_tightens() {
 #[test]
 fn endpoint_count_matches_flops_plus_outputs() {
     let tech = Technology::nangate45_like();
-    let snap = implement_baseline(&bench::tiny_spec(), &tech);
+    let snap = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let d = snap.layout.design();
     let expect = d.num_flops(&tech) + d.primary_outputs.len();
     assert_eq!(snap.timing.endpoint_slacks().len(), expect);
@@ -35,7 +40,7 @@ fn net_slack_lower_bounds_endpoint_slack() {
     // The worst net slack equals the worst endpoint slack (paths end at
     // endpoints), and no net reports less slack than the global worst.
     let tech = Technology::nangate45_like();
-    let snap = implement_baseline(&bench::tiny_spec(), &tech);
+    let snap = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let worst_ep = snap.timing.worst_slack_ps();
     let design = snap.layout.design();
     let mut worst_net = f64::INFINITY;
@@ -54,8 +59,8 @@ fn net_slack_lower_bounds_endpoint_slack() {
 #[test]
 fn timing_is_a_pure_function_of_the_layout() {
     let tech = Technology::nangate45_like();
-    let a = implement_baseline(&bench::tiny_spec(), &tech);
-    let b = evaluate(a.layout.clone(), &tech);
+    let a = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
+    let b = evaluate(a.layout.clone(), &tech).unwrap();
     assert_eq!(a.tns_ps(), b.tns_ps());
     assert_eq!(a.timing.worst_slack_ps(), b.timing.worst_slack_ps());
     assert_eq!(a.drc, b.drc);
@@ -69,7 +74,7 @@ fn scrambling_placement_does_not_improve_worst_slack() {
     let mut good = layout::Layout::empty_floorplan(design.clone(), &tech, 0.6);
     place::global_place(&mut good, &tech, 1);
     place::refine_wirelength(&mut good, &tech, 3, 1);
-    let good_snap = evaluate(good, &tech);
+    let good_snap = evaluate(good, &tech).unwrap();
 
     // Adversarial placement: reverse the id order so connected cells land
     // far apart.
@@ -94,6 +99,6 @@ fn scrambling_placement_does_not_improve_worst_slack() {
             occ.place_cell(b, wb, pa).unwrap();
         }
     }
-    let bad_snap = evaluate(bad, &tech);
+    let bad_snap = evaluate(bad, &tech).unwrap();
     assert!(good_snap.timing.worst_slack_ps() >= bad_snap.timing.worst_slack_ps() - 1.0);
 }

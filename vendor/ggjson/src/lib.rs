@@ -65,6 +65,18 @@ pub trait FromJson: Sized {
     fn from_json(j: &Json) -> Option<Self>;
 }
 
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(j: &Json) -> Option<Self> {
+        Some(j.clone())
+    }
+}
+
 impl ToJson for bool {
     fn to_json(&self) -> Json {
         Json::Bool(*self)
