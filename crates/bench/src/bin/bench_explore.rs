@@ -121,6 +121,18 @@ fn phase_summary(t: &gdsii_guard::obs::MetricsSnapshot) -> ggjson::Json {
             ggjson::Json::Num(secs("nsga2.generation")),
         ),
         (
+            "lda_eco_place_secs".into(),
+            ggjson::Json::Num(secs("lda.eco_place")),
+        ),
+        (
+            "eco_phase2_secs".into(),
+            ggjson::Json::Num(secs("eco.phase2")),
+        ),
+        (
+            "eco_compaction_fallbacks".into(),
+            ggjson::Json::Num(t.counter("eco.compaction_fallbacks") as f64),
+        ),
+        (
             "eval_cache_hits".into(),
             ggjson::Json::Num(t.counter("eval.cache_hits") as f64),
         ),
@@ -179,6 +191,9 @@ fn smoke() {
 
     let (wall_off, off) = min_wall(false);
     let (wall_on, on) = min_wall(true);
+    // Registry still holds the last enabled repetition (reset runs at the
+    // top of each rep; disabling only stops recording).
+    let telemetry = gdsii_guard::obs::snapshot();
 
     // Telemetry observes; it must never steer. Bit-identical trajectories.
     assert_eq!(
@@ -202,6 +217,22 @@ fn smoke() {
         delta < 0.05,
         "telemetry-enabled wall exceeds the 5 % overhead budget: {:+.2} %",
         delta * 100.0
+    );
+
+    // Regression gate on the gap-indexed legalizer: eco.phase2 across the
+    // whole smoke exploration must stay within budget. The index-backed
+    // kernel clocks ~1 ms here; the pre-index linear-scan legalizer ran
+    // two orders of magnitude hotter, so backsliding fails the build.
+    let eco_phase2_secs = telemetry.span_total_nanos("eco.phase2") as f64 / 1e9;
+    const ECO_PHASE2_BUDGET_SECS: f64 = 0.120;
+    println!("smoke: eco.phase2 total {eco_phase2_secs:.4}s (budget {ECO_PHASE2_BUDGET_SECS}s)");
+    assert!(
+        eco_phase2_secs > 0.0,
+        "smoke exploration never entered eco.phase2 — budget gate is vacuous"
+    );
+    assert!(
+        eco_phase2_secs < ECO_PHASE2_BUDGET_SECS,
+        "eco.phase2 wall {eco_phase2_secs:.4}s exceeds the {ECO_PHASE2_BUDGET_SECS}s smoke budget"
     );
     println!("smoke: OK (results bit-identical, overhead within budget)");
 }

@@ -228,8 +228,9 @@ pub fn apply_flow_with(
         apply_operator(engine.base(), tech, cfg.op, op_seed)
     })?;
     let rule = tech::RouteRule::from_scales(cfg.scales);
+    let dirty = cow.phase_a_dirty();
     let (layout, plan) = cow.into_parts(tech, &rule);
-    Ok(engine.evaluate_with_plan(layout, plan, tech))
+    Ok(engine.evaluate_with_plan(layout, plan, tech, &dirty))
 }
 
 /// [`apply_flow_with`] for callers that treat a poisoned edit cache as a

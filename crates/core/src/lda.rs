@@ -14,6 +14,12 @@ use layout::{Blockage, Layout};
 use place::EcoPlaceStats;
 use tech::Technology;
 
+/// Lower bound on any tile's density budget. See the floor pass in
+/// [`local_density_adjustment`]: without it, hard-squeezed low-asset
+/// tiles end phase 1 with zero headroom and the displaced cells have no
+/// in-bounds destination at all.
+const LDA_DENSITY_FLOOR: f64 = 0.50;
+
 /// The logistic function used to smooth normalized asset counts into valid
 /// density bounds.
 fn sigmoid(x: f64) -> f64 {
@@ -68,9 +74,23 @@ pub fn local_density_adjustment(
     );
     layout.occupancy_mut().clear_fillers();
     let fp = *layout.floorplan();
-    let n = params.n;
-    let row_b = chunk_bounds(fp.rows(), n);
-    let col_b = chunk_bounds(fp.cols(), n);
+    // Clamp the tiling so a tile is never smaller than the cells it must
+    // budget: a 1-row × 3-site tile cannot meaningfully bound density when
+    // the library's widest cell is 9 sites — every placement spanning such
+    // tiles needs aligned headroom in each of them, and the site budgets
+    // round to nothing, so fine tilings used to send most re-placements to
+    // the anything-goes fallback. A tile at least two max-widths wide and
+    // two rows tall keeps the bound meaningful at every `N` candidate.
+    let w_max = tech
+        .library
+        .iter()
+        .map(|(_, k)| k.width_sites)
+        .max()
+        .unwrap_or(1);
+    let n_r = params.n.min(fp.rows() / 2).max(1);
+    let n_c = params.n.min(fp.cols() / (2 * w_max).max(1)).max(1);
+    let row_b = chunk_bounds(fp.rows(), n_r);
+    let col_b = chunk_bounds(fp.cols(), n_c);
     let mut total = EcoPlaceStats::default();
 
     for iter in 0..params.n_iter {
@@ -78,13 +98,13 @@ pub fn local_density_adjustment(
         layout.clear_blockages();
 
         // Count the critical assets per tile by their placement origin.
-        let mut n_assets = vec![vec![0u32; n as usize]; n as usize];
+        let mut n_assets = vec![vec![0u32; n_c as usize]; n_r as usize];
         let critical = layout.design().critical_cells.clone();
         for &c in &critical {
             if let Some(pos) = layout.cell_pos(c) {
                 let ti = row_b.partition_point(|&b| b <= pos.row).saturating_sub(1);
                 let tj = col_b.partition_point(|&b| b <= pos.col).saturating_sub(1);
-                n_assets[ti.min(n as usize - 1)][tj.min(n as usize - 1)] += 1;
+                n_assets[ti.min(n_r as usize - 1)][tj.min(n_c as usize - 1)] += 1;
             }
         }
         // Spatially smooth the counts over the exploitable neighborhood:
@@ -92,14 +112,14 @@ pub fn local_density_adjustment(
         // as exploitable as those inside it, so the density pressure must
         // extend over the tiles a Trojan could reach (~ an eighth of the
         // core, roughly the exploitable reach), not only the asset tiles.
-        let radius = (n as usize / 4).max(1);
+        let radius = (n_r.max(n_c) as usize / 4).max(1);
         let raw = n_assets.clone();
         #[allow(clippy::needless_range_loop)] // windowed 2-D stencil; indices are the clearer form
-        for i in 0..n as usize {
-            for j in 0..n as usize {
+        for i in 0..n_r as usize {
+            for j in 0..n_c as usize {
                 let mut acc = 0u32;
-                for di in i.saturating_sub(radius)..(i + radius + 1).min(n as usize) {
-                    for dj in j.saturating_sub(radius)..(j + radius + 1).min(n as usize) {
+                for di in i.saturating_sub(radius)..(i + radius + 1).min(n_r as usize) {
+                    for dj in j.saturating_sub(radius)..(j + radius + 1).min(n_c as usize) {
                         acc += raw[di][dj];
                     }
                 }
@@ -120,10 +140,10 @@ pub fn local_density_adjustment(
         // that would send the ECO placer thrashing — so they are rescaled
         // (preserving their ratios) until the total budget clears the cell
         // count with 8 % headroom.
-        let mut dens_cache = vec![vec![0.0f64; n as usize]; n as usize];
+        let mut dens_cache = vec![vec![0.0f64; n_c as usize]; n_r as usize];
         let mut budget = 0.0f64;
-        for i in 0..n as usize {
-            for j in 0..n as usize {
+        for i in 0..n_r as usize {
+            for j in 0..n_c as usize {
                 let dens = sigmoid((n_assets[i][j] as f64 - mu) / sigma);
                 dens_cache[i][j] = dens;
                 let tile_sites =
@@ -140,9 +160,23 @@ pub fn local_density_adjustment(
                 }
             }
         }
-        let mut blockages = Vec::with_capacity((n * n) as usize);
-        for i in 0..n as usize {
-            for j in 0..n as usize {
+        // Floor the bounds: the sigmoid squeezes low-asset tiles hard, and
+        // after phase-1 eviction every squeezed tile sits exactly at its
+        // bound with zero headroom — evicted cells then have no legal
+        // destination outside the (full, locked-cell-ridden) asset tiles
+        // and fall through to the ECO placer's anything-goes fallback,
+        // thrashing against the same bounds next iteration. A floor keeps
+        // the density *gradient* toward the asset tiles (their bounds sit
+        // at/near 0.98) while leaving moderately sparse tiles able to
+        // absorb the displaced cells in bounds.
+        for row in dens_cache.iter_mut() {
+            for d in row.iter_mut() {
+                *d = d.max(LDA_DENSITY_FLOOR);
+            }
+        }
+        let mut blockages = Vec::with_capacity((n_r * n_c) as usize);
+        for i in 0..n_r as usize {
+            for j in 0..n_c as usize {
                 let (r0, r1) = (row_b[i], row_b[i + 1]);
                 let (c0, c1) = (col_b[j], col_b[j + 1]);
                 if r0 >= r1 || c0 >= c1 {
@@ -207,15 +241,16 @@ fn densify_asset_tiles(
 ) {
     use geom::SitePos;
     use layout::SiteState;
-    let n = n_assets.len();
+    let n_r = n_assets.len();
+    let n_c = n_assets.first().map_or(0, |r| r.len());
     let tile_of = |row: u32, col: u32| -> (usize, usize) {
         let ti = row_b.partition_point(|&b| b <= row).saturating_sub(1);
         let tj = col_b.partition_point(|&b| b <= col).saturating_sub(1);
-        (ti.min(n - 1), tj.min(n - 1))
+        (ti.min(n_r - 1), tj.min(n_c - 1))
     };
     let fp = *layout.floorplan();
-    for i in 0..n {
-        for j in 0..n {
+    for i in 0..n_r {
+        for j in 0..n_c {
             if n_assets[i][j] == 0 {
                 continue;
             }

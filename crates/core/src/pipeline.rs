@@ -10,6 +10,7 @@ use std::sync::{Arc, Mutex};
 
 use layout::Layout;
 use netlist::bench::DesignSpec;
+use netlist::NetId;
 use power::PowerReport;
 use route::RoutingState;
 use secmetrics::{analyze_regions, RegionAnalysis, THRESH_ER};
@@ -140,12 +141,23 @@ pub struct EvalEngine {
 pub struct CowSnapshot {
     layout: Arc<Layout>,
     plan: Arc<route::RoutePlan>,
+    /// Sorted net ids the Phase-A patch re-planned for this edit (the
+    /// operator's dirty set). Everything else carries the baseline's
+    /// pattern segments by `Arc` share.
+    dirty: Arc<Vec<NetId>>,
 }
 
 impl CowSnapshot {
     /// The shared post-operator layout, at the baseline's route rule.
     pub fn layout(&self) -> &Arc<Layout> {
         &self.layout
+    }
+
+    /// The sorted net ids the Phase-A patch re-planned for this edit.
+    /// Feeds the incremental-STA dirty handoff in
+    /// [`EvalEngine::evaluate_with_plan`].
+    pub(crate) fn phase_a_dirty(&self) -> Arc<Vec<NetId>> {
+        Arc::clone(&self.dirty)
     }
 
     /// The shared patched Phase-A plan, at the baseline's route rule.
@@ -166,7 +178,7 @@ impl CowSnapshot {
         tech: &Technology,
         rule: &tech::RouteRule,
     ) -> (Arc<Layout>, route::RoutePlan) {
-        let CowSnapshot { layout, plan } = self;
+        let CowSnapshot { layout, plan, .. } = self;
         if layout.route_rule() == rule {
             return (layout, (*plan).clone());
         }
@@ -246,6 +258,7 @@ impl EvalEngine {
         let entry = CowSnapshot {
             layout: Arc::new(layout),
             plan: Arc::new(plan),
+            dirty: Arc::new(dirty.nets),
         };
         let mut cache = self
             .edit_cache
@@ -284,20 +297,45 @@ impl EvalEngine {
         obs::span("eval.incremental", |_| {
             let dirty = route::dirty_between(&self.plan, &self.base.layout, &layout, tech);
             let plan = route::plan_update(&self.plan, &layout, tech, &dirty);
-            self.evaluate_with_plan(layout, plan, tech)
+            self.evaluate_with_plan(layout, plan, tech, &dirty.nets)
         })
     }
 
     /// Evaluation tail shared by [`EvalEngine::evaluate_incremental`] and
     /// the memoized-edit path: Phase B on an already-patched plan, then
     /// incremental STA and the model-backed analyses.
+    ///
+    /// `phase_a_dirty` is the sorted net list the Phase-A patch
+    /// re-planned for this candidate. When the candidate keeps the
+    /// baseline's route rule, the RC of any net outside
+    /// `phase_a_dirty ∪ candidate RRR victims ∪ baseline RRR victims`
+    /// provably equals the baseline's — such a net carries the same
+    /// `Arc`-shared pattern segments on both sides and identical track
+    /// scales — so that union is handed to [`sta::analyze_incremental`]
+    /// as the `dirty_nets` bound. A rule change moves every net's RC and
+    /// disables the bound (see DESIGN.md §2d).
     pub(crate) fn evaluate_with_plan(
         &self,
         layout: Arc<Layout>,
         plan: route::RoutePlan,
         tech: &Technology,
+        phase_a_dirty: &[NetId],
     ) -> Snapshot {
         let routing = route::finalize_route(&layout, tech, plan);
+        let dirty_nets: Option<Vec<NetId>> = if layout.route_rule() == self.base.layout.route_rule()
+        {
+            let mut v: Vec<NetId> = phase_a_dirty
+                .iter()
+                .chain(routing.touched_nets())
+                .chain(self.base.routing.touched_nets())
+                .copied()
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            Some(v)
+        } else {
+            None
+        };
         let timing = sta::analyze_incremental(
             &self.graph,
             &self.base.timing,
@@ -305,6 +343,7 @@ impl EvalEngine {
             &layout,
             &routing,
             tech,
+            dirty_nets.as_deref(),
         );
         let power = power::analyze_with_model(&self.power_model, &layout, &routing, tech);
         let drc = routing.drc_violations(&layout);

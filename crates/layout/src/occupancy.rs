@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use geom::{Interval, SitePos};
 use netlist::{CellId, Design};
 use tech::{KindId, Technology};
@@ -7,6 +9,14 @@ use crate::floorplan::Floorplan;
 
 const EMPTY: u32 = u32::MAX;
 const FILLER: u32 = u32::MAX - 1;
+
+/// Neighbor merges performed by the gap index when a freed span rejoins
+/// an adjacent free run (`occupancy.coalesces`). Resolved once per
+/// process.
+fn coalesce_counter() -> &'static obs::Counter {
+    static C: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| obs::counter("occupancy.coalesces"))
+}
 
 /// What occupies a single placement site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,10 +70,28 @@ impl std::error::Error for PlaceCellError {}
 /// extraction, cell shift); the per-cell table is the ground truth for
 /// wirelength and timing queries. [`check_consistency`](Self::check_consistency)
 /// verifies they agree.
+///
+/// Alongside the grid, the map maintains a persistent per-row **gap
+/// index**: the sorted list of maximal strictly-empty runs of each row,
+/// updated incrementally on every place/remove/move/filler mutation
+/// (binary-search insert/remove with neighbor coalescing). Gap queries —
+/// [`empty_runs`](Self::empty_runs), [`gaps`](Self::gaps),
+/// [`nearest_gap`](Self::nearest_gap), [`find_gap`](Self::find_gap) —
+/// read the index instead of scanning sites, and answer identically to
+/// the brute-force scans they replaced
+/// ([`empty_runs_scan`](Self::empty_runs_scan) /
+/// [`find_gap_scan`](Self::find_gap_scan) remain as the reference).
+/// Rows are `Arc`-shared, so cloning an occupancy (copy-on-write
+/// snapshots) bumps one refcount per row and a mutation copies only the
+/// row it touches.
 #[derive(Debug, Clone)]
 pub struct Occupancy {
     fp: Floorplan,
     grid: Vec<u32>,
+    /// Per row: sorted, disjoint, non-touching maximal runs of strictly
+    /// empty sites. Invariant: equals `empty_runs_scan(row)` at all
+    /// times (fillers occupy; they are not gaps).
+    gaps: Vec<Arc<Vec<Interval>>>,
     cell_pos: Vec<Option<SitePos>>,
     cell_width: Vec<u32>,
     locked: Vec<bool>,
@@ -74,14 +102,72 @@ pub struct Occupancy {
 impl Occupancy {
     /// Creates an empty occupancy map for the floorplan.
     pub fn new(fp: Floorplan) -> Self {
+        let full_row = if fp.cols() > 0 {
+            vec![Interval::new(0, fp.cols())]
+        } else {
+            Vec::new()
+        };
         Self {
             fp,
             grid: vec![EMPTY; fp.num_sites() as usize],
+            gaps: (0..fp.rows()).map(|_| Arc::new(full_row.clone())).collect(),
             cell_pos: Vec::new(),
             cell_width: Vec::new(),
             locked: Vec::new(),
             fillers: Vec::new(),
             occupied: 0,
+        }
+    }
+
+    /// Carves `span` out of the free run containing it. The caller has
+    /// already verified the span is entirely empty (`fits`), so exactly
+    /// one gap covers it.
+    fn gap_take(&mut self, row: u32, span: Interval) {
+        let g = Arc::make_mut(&mut self.gaps[row as usize]);
+        let i = g.partition_point(|iv| iv.lo <= span.lo) - 1;
+        let iv = g[i];
+        debug_assert!(
+            iv.lo <= span.lo && span.hi <= iv.hi,
+            "taking a non-free span {span:?} from gap {iv:?}"
+        );
+        let left = Interval::new(iv.lo, span.lo);
+        let right = Interval::new(span.hi, iv.hi);
+        match (left.is_empty(), right.is_empty()) {
+            (false, false) => {
+                g[i] = left;
+                g.insert(i + 1, right);
+            }
+            (false, true) => g[i] = left,
+            (true, false) => g[i] = right,
+            (true, true) => {
+                g.remove(i);
+            }
+        }
+    }
+
+    /// Returns `span` to the free pool, coalescing with the runs it now
+    /// touches. The caller has already cleared the sites on the grid, so
+    /// the span overlaps no existing gap and its neighbors either abut
+    /// it exactly or are occupied.
+    fn gap_free(&mut self, row: u32, span: Interval) {
+        let g = Arc::make_mut(&mut self.gaps[row as usize]);
+        let i = g.partition_point(|iv| iv.lo < span.lo);
+        let (mut lo, mut hi) = (span.lo, span.hi);
+        let (mut start, mut end) = (i, i);
+        let mut merged = 0u64;
+        if start > 0 && g[start - 1].hi == span.lo {
+            start -= 1;
+            lo = g[start].lo;
+            merged += 1;
+        }
+        if end < g.len() && g[end].lo == span.hi {
+            hi = g[end].hi;
+            end += 1;
+            merged += 1;
+        }
+        g.splice(start..end, [Interval::new(lo, hi)]);
+        if merged > 0 {
+            coalesce_counter().add(merged);
         }
     }
 
@@ -190,6 +276,7 @@ impl Occupancy {
         for s in &mut self.grid[base..base + width as usize] {
             *s = cell.0;
         }
+        self.gap_take(pos.row, Interval::new(pos.col, pos.col + width));
         self.cell_pos[cell.0 as usize] = Some(pos);
         self.cell_width[cell.0 as usize] = width;
         self.occupied += width as u64;
@@ -214,6 +301,7 @@ impl Occupancy {
             debug_assert_eq!(*s, cell.0);
             *s = EMPTY;
         }
+        self.gap_free(pos.row, Interval::new(pos.col, pos.col + width));
         self.cell_pos[cell.0 as usize] = None;
         self.occupied -= width as u64;
         Ok(Some(pos))
@@ -237,22 +325,27 @@ impl Occupancy {
         if new_pos.row >= self.fp.rows() || new_pos.col + width > self.fp.cols() {
             return Err(PlaceCellError::OutOfCore);
         }
-        // Temporarily vacate, test, then commit or roll back.
+        // Temporarily vacate, test, then commit or roll back. The gap
+        // index mirrors each grid transition so both stay in lockstep on
+        // either outcome.
         let base_old = self.idx(old);
         for s in &mut self.grid[base_old..base_old + width as usize] {
             *s = EMPTY;
         }
+        self.gap_free(old.row, Interval::new(old.col, old.col + width));
         if self.fits(new_pos, width) {
             let base_new = self.idx(new_pos);
             for s in &mut self.grid[base_new..base_new + width as usize] {
                 *s = cell.0;
             }
+            self.gap_take(new_pos.row, Interval::new(new_pos.col, new_pos.col + width));
             self.cell_pos[cell.0 as usize] = Some(new_pos);
             Ok(())
         } else {
             for s in &mut self.grid[base_old..base_old + width as usize] {
                 *s = cell.0;
             }
+            self.gap_take(old.row, Interval::new(old.col, old.col + width));
             Err(PlaceCellError::Occupied)
         }
     }
@@ -278,6 +371,7 @@ impl Occupancy {
         for s in &mut self.grid[base..base + width as usize] {
             *s = FILLER;
         }
+        self.gap_take(pos.row, Interval::new(pos.col, pos.col + width));
         self.fillers.push(FillerInstance { pos, kind, width });
         Ok(())
     }
@@ -291,6 +385,7 @@ impl Occupancy {
                 debug_assert_eq!(*s, FILLER);
                 *s = EMPTY;
             }
+            self.gap_free(f.pos.row, Interval::new(f.pos.col, f.pos.col + f.width));
         }
     }
 
@@ -320,8 +415,24 @@ impl Occupancy {
         runs
     }
 
-    /// Maximal runs of strictly empty sites in `row`.
+    /// Maximal runs of strictly empty sites in `row`, from the gap
+    /// index (no site scan).
     pub fn empty_runs(&self, row: u32) -> Vec<Interval> {
+        self.gaps[row as usize].as_ref().clone()
+    }
+
+    /// The gap index of `row`: sorted maximal strictly-empty runs,
+    /// borrowed without allocation. Identical content to
+    /// [`empty_runs`](Self::empty_runs).
+    pub fn gaps(&self, row: u32) -> &[Interval] {
+        &self.gaps[row as usize]
+    }
+
+    /// Brute-force [`empty_runs`](Self::empty_runs) via a site-by-site
+    /// grid scan: the reference the gap index is checked against (see
+    /// [`check_consistency`](Self::check_consistency) and the gap-index
+    /// proptests).
+    pub fn empty_runs_scan(&self, row: u32) -> Vec<Interval> {
         self.runs_matching(row, |s| s == SiteState::Empty)
     }
 
@@ -355,13 +466,95 @@ impl Occupancy {
         used as f64 / ((row1 - row0) as u64 * (col1 - col0) as u64) as f64
     }
 
+    /// Best placement origin for a `width`-site cell in `row` under the
+    /// exact linear-scan semantics of [`find_gap_scan`]: runs in
+    /// left-to-right order, origin clamped into each run, strict
+    /// improvement on `d = max(dr, |col − target|)` with `bound` as the
+    /// exclusive starting bound — so of several runs achieving the
+    /// minimum, the leftmost wins. Returns `(d, col)`.
+    ///
+    /// The gap index lets two prunes skip work without changing the
+    /// answer: a prefix of runs that end too far left to beat `bound` is
+    /// skipped by binary search (their candidate distance only grows
+    /// leftward), and the scan breaks once runs start far enough right
+    /// of the target that no later run can win (their candidate distance
+    /// only grows rightward). Every skipped run would have failed the
+    /// strict-improvement test.
+    fn row_candidate(
+        &self,
+        row: u32,
+        width: u32,
+        target: u32,
+        dr: u32,
+        bound: u32,
+    ) -> Option<(u32, u32)> {
+        let g: &[Interval] = &self.gaps[row as usize];
+        let thresh = (u64::from(target) + u64::from(width)).saturating_sub(u64::from(bound));
+        let start = g.partition_point(|iv| u64::from(iv.hi) <= thresh);
+        let mut best: Option<(u32, u32)> = None;
+        let mut bd = bound;
+        for run in &g[start..] {
+            if run.lo > target && run.lo - target >= bd {
+                break;
+            }
+            if run.len() < width {
+                continue;
+            }
+            let col = target.clamp(run.lo, run.hi - width);
+            let d = dr.max(col.abs_diff(target));
+            if d < bd {
+                bd = d;
+                best = Some((d, col));
+            }
+        }
+        best
+    }
+
+    /// Nearest fitting placement origin for a `width`-site cell in
+    /// `row`: the column minimizing `|col − target|` over all free runs
+    /// long enough, with the leftmost run winning ties. Returns
+    /// `(col, distance)`.
+    pub fn nearest_gap(&self, row: u32, width: u32, target: u32) -> Option<(u32, u32)> {
+        self.row_candidate(row, width, target, 0, u32::MAX)
+            .map(|(d, col)| (col, d))
+    }
+
     /// Finds the empty gap of at least `width` sites whose location is
     /// closest (Chebyshev, in sites) to `near`, searching outward up to
     /// `max_radius` rows/columns. Returns the placement origin.
+    ///
+    /// Index-backed: answers bit-identically to [`find_gap_scan`] (the
+    /// row/run iteration order and strict-improvement tie-breaks are
+    /// preserved) without touching the site grid.
     pub fn find_gap(&self, width: u32, near: SitePos, max_radius: u32) -> Option<SitePos> {
         let mut best: Option<(u32, SitePos)> = None;
+        let cap = max_radius.saturating_add(1);
         let row_lo = near.row.saturating_sub(max_radius);
-        let row_hi = (near.row + max_radius + 1).min(self.fp.rows());
+        let row_hi = near.row.saturating_add(cap).min(self.fp.rows());
+        for row in row_lo..row_hi {
+            let dr = row.abs_diff(near.row);
+            let bound = best.map_or(cap, |(d, _)| d.min(cap));
+            if dr >= bound {
+                continue;
+            }
+            if let Some((d, col)) = self.row_candidate(row, width, near.col, dr, bound) {
+                best = Some((d, SitePos::new(row, col)));
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// Brute-force [`find_gap`](Self::find_gap) over grid scans: the
+    /// reference implementation the index-backed query is pinned against
+    /// in tests.
+    #[doc(hidden)]
+    pub fn find_gap_scan(&self, width: u32, near: SitePos, max_radius: u32) -> Option<SitePos> {
+        let mut best: Option<(u32, SitePos)> = None;
+        let row_lo = near.row.saturating_sub(max_radius);
+        let row_hi = near
+            .row
+            .saturating_add(max_radius.saturating_add(1))
+            .min(self.fp.rows());
         for row in row_lo..row_hi {
             let dr = row.abs_diff(near.row);
             if let Some((d, _)) = best {
@@ -369,7 +562,7 @@ impl Occupancy {
                     continue;
                 }
             }
-            for run in self.empty_runs(row) {
+            for run in self.empty_runs_scan(row) {
                 if run.len() < width {
                     continue;
                 }
@@ -392,6 +585,16 @@ impl Occupancy {
     ///
     /// Returns a description of the first inconsistency.
     pub fn check_consistency(&self, design: &Design, tech: &Technology) -> Result<(), String> {
+        // The gap index must mirror the grid exactly.
+        for row in 0..self.fp.rows() {
+            let scanned = self.empty_runs_scan(row);
+            if *self.gaps[row as usize] != scanned {
+                return Err(format!(
+                    "row {row} gap index {:?} disagrees with grid scan {:?}",
+                    self.gaps[row as usize], scanned
+                ));
+            }
+        }
         let mut seen = vec![0u64; self.cell_pos.len()];
         for row in 0..self.fp.rows() {
             for col in 0..self.fp.cols() {
@@ -561,5 +764,223 @@ mod tests {
         let tech = Technology::nangate45_like();
         let design = netlist::bench::generate(&netlist::bench::tiny_spec(), &tech);
         assert!(o.check_consistency(&design, &tech).is_ok());
+    }
+
+    /// Per-row index equality with the brute-force grid scan.
+    fn assert_index_consistent(o: &Occupancy) {
+        for row in 0..o.floorplan().rows() {
+            assert_eq!(
+                *o.gaps[row as usize],
+                o.empty_runs_scan(row),
+                "gap index diverged on row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_index_tracks_every_mutation() {
+        let mut o = occ();
+        o.place_cell(CellId(0), 3, SitePos::new(1, 5)).unwrap();
+        assert_index_consistent(&o);
+        o.place_cell(CellId(1), 2, SitePos::new(1, 8)).unwrap();
+        assert_index_consistent(&o);
+        // Removing cell 0 must NOT coalesce (cell 1 abuts on the right,
+        // sites 0..5 are a separate run).
+        o.remove_cell(CellId(0)).unwrap();
+        assert_index_consistent(&o);
+        assert_eq!(
+            o.empty_runs(1),
+            vec![Interval::new(0, 8), Interval::new(10, 20)]
+        );
+        // Removing cell 1 bridges both runs into one (double coalesce).
+        o.remove_cell(CellId(1)).unwrap();
+        assert_index_consistent(&o);
+        assert_eq!(o.empty_runs(1), vec![Interval::new(0, 20)]);
+        // Failed move rolls the index back too.
+        o.place_cell(CellId(2), 4, SitePos::new(2, 0)).unwrap();
+        o.place_cell(CellId(3), 4, SitePos::new(2, 10)).unwrap();
+        assert!(o.move_cell(CellId(2), SitePos::new(2, 8)).is_err());
+        assert_index_consistent(&o);
+        o.move_cell(CellId(2), SitePos::new(2, 4)).unwrap();
+        assert_index_consistent(&o);
+        // Fillers occupy; clearing them frees.
+        o.add_filler(SitePos::new(0, 3), KindId(0), 5).unwrap();
+        assert_index_consistent(&o);
+        o.clear_fillers();
+        assert_index_consistent(&o);
+    }
+
+    #[test]
+    fn nearest_gap_prefers_closest_then_leftmost() {
+        let mut o = occ();
+        // Runs: [0,4) [7,12) [15,20) on row 0.
+        o.place_cell(CellId(0), 3, SitePos::new(0, 4)).unwrap();
+        o.place_cell(CellId(1), 3, SitePos::new(0, 12)).unwrap();
+        // Width 2, target 8: containing run wins with distance 0.
+        assert_eq!(o.nearest_gap(0, 2, 8), Some((8, 0)));
+        // Width 5 fits only [7,12) and [15,20); target 0 → left run.
+        assert_eq!(o.nearest_gap(0, 5, 0), Some((7, 7)));
+        // Width 2, target 13: left candidate col 10 (d 3) loses to
+        // right candidate col 15 (d 2).
+        assert_eq!(o.nearest_gap(0, 2, 13), Some((15, 2)));
+        // Width 4, target 12: middle run clamps to col 8 (d 4), right
+        // run to col 15 (d 3) → right wins.
+        assert_eq!(o.nearest_gap(0, 4, 12), Some((15, 3)));
+        // No run fits width 6.
+        assert_eq!(o.nearest_gap(0, 6, 10), None);
+    }
+
+    #[test]
+    fn nearest_gap_tie_is_leftmost() {
+        // Runs [0,4) and [6,20): width 4 gives left candidate col 0 and
+        // right candidate col 6; from target 3 both are distance 3, and
+        // the leftmost run must win (matching the linear-scan order).
+        let mut o = occ();
+        o.place_cell(CellId(0), 2, SitePos::new(0, 4)).unwrap();
+        assert_eq!(o.nearest_gap(0, 4, 3), Some((0, 3)));
+    }
+
+    #[test]
+    fn find_gap_matches_scan_reference() {
+        let mut o = Occupancy::new(Floorplan::new(6, 30));
+        // Deterministic scatter of cells.
+        let mut id = 0u32;
+        for row in 0..6u32 {
+            for k in 0..5u32 {
+                let col = (row * 7 + k * 6) % 27;
+                let w = 1 + (row + k) % 3;
+                if o.fits(SitePos::new(row, col), w) {
+                    o.place_cell(CellId(id), w, SitePos::new(row, col)).unwrap();
+                    id += 1;
+                }
+            }
+        }
+        assert_index_consistent(&o);
+        for width in 1..6u32 {
+            for r in 0..6u32 {
+                for c in (0..30u32).step_by(3) {
+                    for radius in [0u32, 2, 5, 40] {
+                        let near = SitePos::new(r, c);
+                        assert_eq!(
+                            o.find_gap(width, near, radius),
+                            o.find_gap_scan(width, near, radius),
+                            "w={width} near=({r},{c}) radius={radius}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clone_shares_gap_rows_until_mutation() {
+        let mut a = occ();
+        a.place_cell(CellId(0), 3, SitePos::new(1, 5)).unwrap();
+        let mut b = a.clone();
+        for row in 0..4usize {
+            assert!(
+                Arc::ptr_eq(&a.gaps[row], &b.gaps[row]),
+                "row {row} not shared"
+            );
+        }
+        b.place_cell(CellId(1), 2, SitePos::new(2, 0)).unwrap();
+        assert!(
+            Arc::ptr_eq(&a.gaps[1], &b.gaps[1]),
+            "untouched row un-shared"
+        );
+        assert!(
+            !Arc::ptr_eq(&a.gaps[2], &b.gaps[2]),
+            "mutated row still shared"
+        );
+        assert_index_consistent(&a);
+        assert_index_consistent(&b);
+    }
+}
+
+#[cfg(test)]
+mod gap_index_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ROWS: u32 = 5;
+    const COLS: u32 = 32;
+
+    /// One raw op tuple: `(kind, cell, width, row, col)`, decoded in the
+    /// body (the vendored proptest shim has no `prop_oneof`/`prop_map`).
+    type RawOp = (u8, u32, u32, u32, u32);
+
+    fn apply(o: &mut Occupancy, op: RawOp) {
+        let (kind, cell, width, row, col) = op;
+        match kind % 5 {
+            0 | 1 => {
+                let _ = o.place_cell(CellId(cell), width, SitePos::new(row, col));
+            }
+            2 => {
+                let _ = o.remove_cell(CellId(cell));
+            }
+            3 => {
+                let _ = o.move_cell(CellId(cell), SitePos::new(row, col));
+            }
+            _ => {
+                if cell % 7 == 0 {
+                    o.clear_fillers();
+                } else {
+                    let _ = o.add_filler(SitePos::new(row, col), KindId(0), width);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Under arbitrary place/evict/move/filler sequences (including
+        /// rejected operations), every row's gap index stays equal to the
+        /// brute-force free-site scan, and the index-backed queries agree
+        /// with their scan references.
+        #[test]
+        fn index_stays_consistent_with_scan(
+            ops in proptest::collection::vec((0u8..5, 0u32..24, 1u32..5, 0u32..ROWS, 0u32..COLS), 1..60)
+        ) {
+            let mut o = Occupancy::new(Floorplan::new(ROWS, COLS));
+            for &op in &ops {
+                apply(&mut o, op);
+                for row in 0..ROWS {
+                    prop_assert_eq!(
+                        o.empty_runs(row),
+                        o.empty_runs_scan(row),
+                        "row {} diverged after {:?}",
+                        row,
+                        op
+                    );
+                }
+            }
+            // Query equivalence on the final state.
+            for width in 1..5u32 {
+                for row in 0..ROWS {
+                    for target in (0..COLS).step_by(5) {
+                        // nearest_gap against a direct linear scan with the
+                        // same clamp-and-strict-improvement rule.
+                        let mut want: Option<(u32, u32)> = None;
+                        for run in o.empty_runs_scan(row) {
+                            if run.len() < width {
+                                continue;
+                            }
+                            let col = target.clamp(run.lo, run.hi - width);
+                            let d = col.abs_diff(target);
+                            if want.is_none_or(|(_, bd)| d < bd) {
+                                want = Some((col, d));
+                            }
+                        }
+                        prop_assert_eq!(o.nearest_gap(row, width, target), want);
+                        for radius in [1u32, 4, 64] {
+                            let near = SitePos::new(row, target);
+                            prop_assert_eq!(
+                                o.find_gap(width, near, radius),
+                                o.find_gap_scan(width, near, radius)
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,9 +1,6 @@
-use geom::{Point, SitePos};
-use layout::{Blockage, Layout};
+use geom::{Interval, Point, SitePos};
+use layout::{Blockage, Layout, Occupancy};
 use netlist::CellId;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use tech::Technology;
 
 /// Outcome of an [`eco_place`] run.
@@ -42,6 +39,81 @@ fn blockage_occupancy(layout: &Layout) -> Vec<u64> {
         .collect()
 }
 
+/// Phase 1: evicts the least-connected movable cells out of every
+/// over-budget blockage window, updating `occupied` incrementally.
+/// Returns the evicted cells in their deterministic eviction order.
+fn evict_over_budget(
+    layout: &mut Layout,
+    blockages: &[Blockage],
+    occupied: &mut [u64],
+    stats: &mut EcoPlaceStats,
+) -> Vec<CellId> {
+    let design = layout.design().clone();
+    let clock = design.clock;
+    let mut evicted: Vec<CellId> = Vec::new();
+    for (bi, b) in blockages.iter().enumerate() {
+        if occupied[bi] <= b.site_budget() {
+            continue;
+        }
+        // Movable cells whose footprint overlaps this window, least
+        // connected first (cheapest to displace far away).
+        let mut candidates: Vec<(usize, u32, CellId)> = Vec::new();
+        for (id, _) in design.cells_iter() {
+            if layout.occupancy().is_locked(id) {
+                continue;
+            }
+            let Some(pos) = layout.cell_pos(id) else {
+                continue;
+            };
+            let w = layout.occupancy().cell_width(id).expect("placed");
+            let ov = overlap_sites(b, pos.row, pos.col, w);
+            if ov > 0 {
+                let degree = crate::global::neighbors(&design, id, clock).len();
+                candidates.push((degree, ov, id));
+            }
+        }
+        candidates.sort_by_key(|&(deg, ov, id)| (deg, std::cmp::Reverse(ov), id));
+        for (_, ov, id) in candidates {
+            if occupied[bi] <= b.site_budget() {
+                break;
+            }
+            let pos = layout.cell_pos(id).expect("still placed");
+            let w = layout.occupancy().cell_width(id).expect("placed");
+            layout.occupancy_mut().remove_cell(id).expect("not locked");
+            // Update every window the footprint overlapped.
+            for (bj, bb) in blockages.iter().enumerate() {
+                occupied[bj] -= overlap_sites(bb, pos.row, pos.col, w) as u64;
+            }
+            debug_assert!(ov > 0);
+            evicted.push(id);
+            stats.evicted += 1;
+        }
+    }
+    evicted
+}
+
+/// The wirelength-optimal target site for re-placing `id`: the median of
+/// its placed neighbors' centers (the core center when it has none).
+fn ideal_site(layout: &Layout, tech: &Technology, neigh: &[CellId]) -> SitePos {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in neigh {
+        if layout.cell_pos(n).is_some() {
+            let p = layout.cell_center(n, tech);
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+    }
+    let ideal = if xs.is_empty() {
+        layout.floorplan().core_rect().center()
+    } else {
+        xs.sort_unstable();
+        ys.sort_unstable();
+        Point::new(xs[xs.len() / 2], ys[ys.len() / 2])
+    };
+    layout.floorplan().site_at(ideal)
+}
+
 /// Incremental, blockage-aware ECO placement.
 ///
 /// Innovus-style contract: cells already satisfying every partial placement
@@ -51,9 +123,19 @@ fn blockage_occupancy(layout: &Layout) -> Vec<u64> {
 /// violating any other window's budget. Locked (security-critical) cells are
 /// never moved.
 ///
+/// Gap queries run against the occupancy map's persistent per-row gap
+/// index ([`layout::Occupancy::gaps`]) instead of scanning sites; the
+/// selection semantics are bit-identical to the scan-based reference
+/// ([`eco_place_reference`], pinned by the `gap_index_replay` test).
+///
+/// `seed` is retained for API stability but no longer influences the
+/// result: re-placement order is the total order
+/// `(widest first, descending CellId)`, so the outcome is fully
+/// determined by the layout and blockages.
+///
 /// Returns statistics about the incremental changes.
 pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceStats {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xEC0_91ACE);
+    let _ = seed;
     let design = layout.design().clone();
     let clock = design.clock;
     let blockages: Vec<Blockage> = layout.blockages().to_vec();
@@ -66,44 +148,7 @@ pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceS
     // Phase 1: evict from over-budget windows.
     let mut evicted: Vec<CellId> = Vec::new();
     obs::span("eco.phase1", |sp| {
-        for (bi, b) in blockages.iter().enumerate() {
-            if occupied[bi] <= b.site_budget() {
-                continue;
-            }
-            // Movable cells whose footprint overlaps this window, least
-            // connected first (cheapest to displace far away).
-            let mut candidates: Vec<(usize, u32, CellId)> = Vec::new();
-            for (id, _) in design.cells_iter() {
-                if layout.occupancy().is_locked(id) {
-                    continue;
-                }
-                let Some(pos) = layout.cell_pos(id) else {
-                    continue;
-                };
-                let w = layout.occupancy().cell_width(id).expect("placed");
-                let ov = overlap_sites(b, pos.row, pos.col, w);
-                if ov > 0 {
-                    let degree = crate::global::neighbors(&design, id, clock).len();
-                    candidates.push((degree, ov, id));
-                }
-            }
-            candidates.sort_by_key(|&(deg, ov, id)| (deg, std::cmp::Reverse(ov), id));
-            for (_, ov, id) in candidates {
-                if occupied[bi] <= b.site_budget() {
-                    break;
-                }
-                let pos = layout.cell_pos(id).expect("still placed");
-                let w = layout.occupancy().cell_width(id).expect("placed");
-                layout.occupancy_mut().remove_cell(id).expect("not locked");
-                // Update every window the footprint overlapped.
-                for (bj, bb) in blockages.iter().enumerate() {
-                    occupied[bj] -= overlap_sites(bb, pos.row, pos.col, w) as u64;
-                }
-                debug_assert!(ov > 0);
-                evicted.push(id);
-                stats.evicted += 1;
-            }
-        }
+        evicted = evict_over_budget(layout, &blockages, &mut occupied, &mut stats);
         obs::trace(obs::Topic::Lda, || {
             format!("  eco phase1 {:.2}s", sp.elapsed().as_secs_f64())
         });
@@ -111,48 +156,27 @@ pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceS
     let mut n_fallback_compact = 0usize;
     // Phase 2: re-place evicted cells near their wirelength-optimal spots.
     // Widest first: wide cells (flops) need long gaps, which narrower cells
-    // would otherwise fragment.
+    // would otherwise fragment. The CellId tie-break makes the key a total
+    // order, so the result cannot depend on the (blockage-driven) eviction
+    // order.
     obs::span("eco.phase2", |sp| {
-        evicted.shuffle(&mut rng);
         evicted.sort_by_key(|&id| {
-            std::cmp::Reverse(tech.library.kind(design.cell(id).kind).width_sites)
+            (
+                std::cmp::Reverse(tech.library.kind(design.cell(id).kind).width_sites),
+                std::cmp::Reverse(id),
+            )
         });
-        // Per-row empty-run cache: recomputing runs from the site grid for
-        // every candidate would dominate the whole ECO pass.
-        let fp_rows = layout.floorplan().rows();
-        let mut runs_cache: Vec<Vec<geom::Interval>> = (0..fp_rows)
-            .map(|r| layout.occupancy().empty_runs(r))
-            .collect();
-        for id in evicted {
+        for id in evicted.iter().copied() {
             let w = tech.library.kind(design.cell(id).kind).width_sites;
             let neigh = crate::global::neighbors(&design, id, clock);
-            let ideal = {
-                let mut xs = Vec::new();
-                let mut ys = Vec::new();
-                for &n in &neigh {
-                    if layout.cell_pos(n).is_some() {
-                        let p = layout.cell_center(n, tech);
-                        xs.push(p.x);
-                        ys.push(p.y);
-                    }
-                }
-                if xs.is_empty() {
-                    layout.floorplan().core_rect().center()
-                } else {
-                    xs.sort_unstable();
-                    ys.sort_unstable();
-                    Point::new(xs[xs.len() / 2], ys[ys.len() / 2])
-                }
-            };
-            let near = layout.floorplan().site_at(ideal);
-            let dest = find_gap_under_budgets(&runs_cache, &blockages, &occupied, w, near);
+            let near = ideal_site(layout, tech, &neigh);
+            let dest = find_gap_under_budgets(layout.occupancy(), &blockages, &occupied, w, near);
             match dest {
                 Some(pos) => {
                     layout
                         .occupancy_mut()
                         .place_cell(id, w, pos)
                         .expect("gap verified free");
-                    runs_cache[pos.row as usize] = layout.occupancy().empty_runs(pos.row);
                     for (bj, bb) in blockages.iter().enumerate() {
                         occupied[bj] += overlap_sites(bb, pos.row, pos.col, w) as u64;
                     }
@@ -169,14 +193,13 @@ pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceS
                         let fp = *layout.floorplan();
                         layout
                             .occupancy()
-                            .find_gap(w, fp.site_at(ideal), fp.rows().max(fp.cols()))
+                            .find_gap(w, near, fp.rows().max(fp.cols()))
                             .expect("core has capacity for all cells")
                     });
                     layout
                         .occupancy_mut()
                         .place_cell(id, w, pos)
                         .expect("gap verified free");
-                    runs_cache[pos.row as usize] = layout.occupancy().empty_runs(pos.row);
                     for (bj, bb) in blockages.iter().enumerate() {
                         occupied[bj] += overlap_sites(bb, pos.row, pos.col, w) as u64;
                     }
@@ -193,6 +216,89 @@ pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceS
         });
     });
     eco_metrics_record(&stats, n_fallback_compact);
+    debug_assert!(layout.check_consistency(tech).is_ok());
+    stats
+}
+
+/// Pre-index reference implementation of [`eco_place`]: identical
+/// eviction, ordering, and gap-selection semantics, but every free-site
+/// query runs against brute-force grid scans
+/// ([`layout::Occupancy::empty_runs_scan`] /
+/// [`layout::Occupancy::find_gap_scan`]) exactly like the legalizer the
+/// gap index replaced. The `gap_index_replay` test asserts bit-identical
+/// [`EcoPlaceStats`] and layouts between the two paths on fixed-seed
+/// schedules.
+#[doc(hidden)]
+pub fn eco_place_reference(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceStats {
+    let _ = seed;
+    let design = layout.design().clone();
+    let clock = design.clock;
+    let blockages: Vec<Blockage> = layout.blockages().to_vec();
+    let mut stats = EcoPlaceStats::default();
+    if blockages.is_empty() {
+        return stats;
+    }
+    let mut occupied = blockage_occupancy(layout);
+    let mut evicted = evict_over_budget(layout, &blockages, &mut occupied, &mut stats);
+    evicted.sort_by_key(|&id| {
+        (
+            std::cmp::Reverse(tech.library.kind(design.cell(id).kind).width_sites),
+            std::cmp::Reverse(id),
+        )
+    });
+    // Per-row empty-run cache rebuilt from grid scans after every
+    // placement, as the pre-index legalizer did.
+    let fp_rows = layout.floorplan().rows();
+    let mut runs_cache: Vec<Vec<Interval>> = (0..fp_rows)
+        .map(|r| layout.occupancy().empty_runs_scan(r))
+        .collect();
+    for id in evicted {
+        let w = tech.library.kind(design.cell(id).kind).width_sites;
+        let neigh = crate::global::neighbors(&design, id, clock);
+        let near = ideal_site(layout, tech, &neigh);
+        let dest = find_gap_under_budgets_scan(&runs_cache, &blockages, &occupied, w, near);
+        match dest {
+            Some(pos) => {
+                layout
+                    .occupancy_mut()
+                    .place_cell(id, w, pos)
+                    .expect("gap verified free");
+                runs_cache[pos.row as usize] = layout.occupancy().empty_runs_scan(pos.row);
+                for (bj, bb) in blockages.iter().enumerate() {
+                    occupied[bj] += overlap_sites(bb, pos.row, pos.col, w) as u64;
+                }
+                stats.replaced_in_bounds += 1;
+            }
+            None => {
+                let compacted = make_gap_by_compaction_impl(
+                    layout,
+                    &blockages,
+                    &mut occupied,
+                    w,
+                    near,
+                    |l, r| l.occupancy().empty_runs_scan(r),
+                );
+                let pos = compacted.unwrap_or_else(|| {
+                    let fp = *layout.floorplan();
+                    layout
+                        .occupancy()
+                        .find_gap_scan(w, near, fp.rows().max(fp.cols()))
+                        .expect("core has capacity for all cells")
+                });
+                layout
+                    .occupancy_mut()
+                    .place_cell(id, w, pos)
+                    .expect("gap verified free");
+                for r in 0..fp_rows {
+                    runs_cache[r as usize] = layout.occupancy().empty_runs_scan(r);
+                }
+                for (bj, bb) in blockages.iter().enumerate() {
+                    occupied[bj] += overlap_sites(bb, pos.row, pos.col, w) as u64;
+                }
+                stats.replaced_fallback += 1;
+            }
+        }
+    }
     debug_assert!(layout.check_consistency(tech).is_ok());
     stats
 }
@@ -220,12 +326,35 @@ fn eco_metrics_record(stats: &EcoPlaceStats, n_fallback_compact: usize) {
     m.compaction_fallbacks.add(n_fallback_compact as u64);
 }
 
+/// Registry handles for the gap-index query telemetry.
+struct GapMetrics {
+    /// Budget-constrained nearest-gap queries issued by phase 2.
+    queries: obs::Counter,
+    /// Queries answered with an in-bounds gap (no fallback needed).
+    hits: obs::Counter,
+    /// Free runs examined per query (the index's unit of work; the
+    /// pre-index scan examined every *site* instead).
+    scan_len: obs::Histogram,
+}
+
+fn gap_metrics() -> &'static GapMetrics {
+    static METRICS: std::sync::OnceLock<GapMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| GapMetrics {
+        queries: obs::counter("eco.gap_queries"),
+        hits: obs::counter("eco.gap_hit"),
+        scan_len: obs::histogram("eco.gap_scan_len"),
+    })
+}
+
 /// Creates a gap of `width` contiguous sites by compacting the cells of a
 /// row window leftward, then returns the placement origin at the window's
 /// right end. Rows are tried nearest-first; a window qualifies when it
 /// holds `width` free sites, contains no locked cell, and every blockage it
 /// touches has at least `width` sites of headroom left. Moved cells update
 /// `occupied` incrementally.
+///
+/// Free-site counts come from the occupancy map's gap index (cumulative
+/// run lengths, O(log g) per window query) instead of per-row site scans.
 pub(crate) fn make_gap_by_compaction(
     layout: &mut Layout,
     blockages: &[Blockage],
@@ -233,37 +362,58 @@ pub(crate) fn make_gap_by_compaction(
     width: u32,
     near: SitePos,
 ) -> Option<SitePos> {
+    make_gap_by_compaction_impl(layout, blockages, occupied, width, near, |l, r| {
+        l.occupancy().empty_runs(r)
+    })
+}
+
+/// [`make_gap_by_compaction`] parameterized over the free-run provider,
+/// so the reference legalizer can run the same window search on
+/// brute-force scans.
+fn make_gap_by_compaction_impl(
+    layout: &mut Layout,
+    blockages: &[Blockage],
+    occupied: &mut [u64],
+    width: u32,
+    near: SitePos,
+    runs_of: impl Fn(&Layout, u32) -> Vec<Interval>,
+) -> Option<SitePos> {
     let fp = *layout.floorplan();
     let cols = fp.cols();
     let mut rows: Vec<u32> = (0..fp.rows()).collect();
     rows.sort_by_key(|r| r.abs_diff(near.row));
-    // Free-site prefix sums, built lazily per probed row: the fallback
-    // runs hundreds of times per LDA iteration, and recounting windows
-    // site by site dominated the whole operator. The layout is read-only
-    // until the final compaction, so rows stay valid for the whole call.
-    let mut free_prefix: Vec<Option<Vec<u32>>> = vec![None; fp.rows() as usize];
-    fn free_in(
-        layout: &Layout,
-        memo: &mut [Option<Vec<u32>>],
-        cols: u32,
-        row: u32,
-        c0: u32,
-        c1: u32,
-    ) -> u32 {
-        let p = memo[row as usize].get_or_insert_with(|| {
-            let mut p = vec![0u32; cols as usize + 1];
-            for run in layout.occupancy().empty_runs(row) {
-                for c in run.lo..run.hi {
-                    p[c as usize + 1] = 1;
-                }
+    // Per probed row, lazily: the free runs and their cumulative lengths
+    // (`cum[i]` = free sites in runs `0..i`). A window's free count is
+    // then two binary searches instead of a site scan. The layout is
+    // read-only until the final compaction, so rows stay valid for the
+    // whole call.
+    let mut free_runs: Vec<Option<(Vec<Interval>, Vec<u32>)>> = vec![None; fp.rows() as usize];
+    let free_in = |layout: &Layout,
+                   memo: &mut [Option<(Vec<Interval>, Vec<u32>)>],
+                   row: u32,
+                   c0: u32,
+                   c1: u32|
+     -> u32 {
+        let (runs, cum) = memo[row as usize].get_or_insert_with(|| {
+            let runs = runs_of(layout, row);
+            let mut cum = Vec::with_capacity(runs.len() + 1);
+            cum.push(0u32);
+            for r in &runs {
+                cum.push(cum.last().unwrap() + r.len());
             }
-            for c in 0..cols as usize {
-                p[c + 1] += p[c];
-            }
-            p
+            (runs, cum)
         });
-        p[c1 as usize] - p[c0 as usize]
-    }
+        let free_before = |x: u32| -> u32 {
+            let j = runs.partition_point(|iv| iv.hi <= x);
+            let partial = if j < runs.len() && runs[j].lo < x {
+                x - runs[j].lo
+            } else {
+                0
+            };
+            cum[j] + partial
+        };
+        free_before(c1) - free_before(c0)
+    };
     // Blockages bucketed per row: LDA tiles the whole core, so a flat
     // headroom scan over all N² windows per candidate window would
     // dominate the search.
@@ -278,13 +428,13 @@ pub(crate) fn make_gap_by_compaction(
     for span in [width * 3, width * 8, width * 20, cols] {
         let span = span.min(cols);
         for &row in &rows {
-            if free_in(layout, &mut free_prefix, cols, row, 0, cols) < width {
+            if free_in(layout, &mut free_runs, row, 0, cols) < width {
                 continue;
             }
             // Sliding window over [c0, c0 + span).
             let mut c0 = 0u32;
             while c0 + span <= cols {
-                if free_in(layout, &mut free_prefix, cols, row, c0, c0 + span) < width {
+                if free_in(layout, &mut free_runs, row, c0, c0 + span) < width {
                     c0 += span / 2 + 1;
                     continue;
                 }
@@ -352,23 +502,25 @@ pub(crate) fn make_gap_by_compaction(
 }
 
 /// Nearest empty gap of `width` sites around `near` whose occupation keeps
-/// every blockage within budget. Searches outward in expanding Chebyshev
-/// rings up to half the core size.
+/// every blockage within budget, read from the occupancy map's gap index.
+///
+/// Candidate order and tie-breaks replicate the scan-based reference
+/// ([`find_gap_under_budgets_scan`]) exactly: rows in ascending order
+/// with a distance prune, runs left to right with the distance-optimal
+/// origin plus the run ends (so budget rejections can slide along the
+/// run), strict improvement on the Chebyshev distance. The index adds an
+/// in-row break once runs start too far right of the target to win —
+/// every run it skips would have failed the strict-improvement test.
 fn find_gap_under_budgets(
-    runs_cache: &[Vec<geom::Interval>],
+    occ: &Occupancy,
     blockages: &[Blockage],
     occupied: &[u64],
     width: u32,
     near: SitePos,
 ) -> Option<SitePos> {
-    let n_rows = runs_cache.len() as u32;
-    let max_radius = n_rows.max(
-        runs_cache
-            .iter()
-            .filter_map(|r| r.last().map(|iv| iv.hi))
-            .max()
-            .unwrap_or(0),
-    );
+    let n_rows = occ.floorplan().rows();
+    let gm = gap_metrics();
+    gm.queries.incr();
     // Bucket the blockages per row so each candidate only checks the few
     // windows that can actually overlap it (LDA tiles the whole core, so a
     // flat scan over all N² windows per candidate would dominate runtime).
@@ -378,12 +530,73 @@ fn find_gap_under_budgets(
             by_row[row as usize].push(bi);
         }
     }
+    let mut scanned = 0u64;
     let mut best: Option<(u32, SitePos)> = None;
     for row in 0..n_rows {
         let dr = row.abs_diff(near.row);
-        if dr > max_radius {
-            continue;
+        if let Some((bd, _)) = best {
+            if dr >= bd {
+                continue;
+            }
         }
+        for run in occ.gaps(row).iter().copied() {
+            if let Some((bd, _)) = best {
+                if run.lo > near.col && run.lo - near.col >= bd {
+                    break;
+                }
+            }
+            scanned += 1;
+            if run.len() < width {
+                continue;
+            }
+            let lo = run.lo;
+            let hi = run.hi - width;
+            // Try the distance-optimal origin plus the run ends, so budget
+            // rejections can slide along the run.
+            let clamped = near.col.clamp(lo, hi);
+            for col in [clamped, lo, hi] {
+                let d = dr.max(col.abs_diff(near.col));
+                if best.is_some_and(|(bd, _)| d >= bd) {
+                    continue;
+                }
+                let fits_budget = by_row[row as usize].iter().all(|&bi| {
+                    let b = &blockages[bi];
+                    let ov = overlap_sites(b, row, col, width) as u64;
+                    ov == 0 || occupied[bi] + ov <= b.site_budget()
+                });
+                if fits_budget {
+                    best = Some((d, SitePos::new(row, col)));
+                }
+            }
+        }
+    }
+    gm.scan_len.record(scanned);
+    if best.is_some() {
+        gm.hits.incr();
+    }
+    best.map(|(_, p)| p)
+}
+
+/// The pre-index [`find_gap_under_budgets`] over a caller-maintained
+/// per-row run cache; retained as the reference the index-backed query is
+/// pinned against.
+fn find_gap_under_budgets_scan(
+    runs_cache: &[Vec<Interval>],
+    blockages: &[Blockage],
+    occupied: &[u64],
+    width: u32,
+    near: SitePos,
+) -> Option<SitePos> {
+    let n_rows = runs_cache.len() as u32;
+    let mut by_row: Vec<Vec<usize>> = vec![Vec::new(); n_rows as usize];
+    for (bi, b) in blockages.iter().enumerate() {
+        for row in b.row0..b.row1.min(n_rows) {
+            by_row[row as usize].push(bi);
+        }
+    }
+    let mut best: Option<(u32, SitePos)> = None;
+    for row in 0..n_rows {
+        let dr = row.abs_diff(near.row);
         if let Some((bd, _)) = best {
             if dr >= bd {
                 continue;
@@ -395,8 +608,6 @@ fn find_gap_under_budgets(
             }
             let lo = run.lo;
             let hi = run.hi - width;
-            // Try the distance-optimal origin plus the run ends, so budget
-            // rejections can slide along the run.
             let clamped = near.col.clamp(lo, hi);
             for col in [clamped, lo, hi] {
                 let d = dr.max(col.abs_diff(near.col));
@@ -486,5 +697,28 @@ mod tests {
             assert!(layout.cell_pos(id).is_some(), "cell {} lost", id.0);
         }
         layout.check_consistency(&tech).unwrap();
+    }
+
+    /// Phase 2's re-placement key is a total order (widest first,
+    /// CellId tie-break), so the seed no longer influences the result:
+    /// any two seeds must produce bit-identical layouts and stats.
+    #[test]
+    fn replacement_order_is_seed_independent() {
+        let (tech, layout) = placed();
+        let fp = *layout.floorplan();
+        let b = Blockage::new(0, fp.rows() / 2, 0, fp.cols(), 0.15);
+        let run = |seed: u64| {
+            let mut l = layout.clone();
+            l.set_blockages(vec![b]);
+            let stats = eco_place(&mut l, &tech, seed);
+            (stats, l)
+        };
+        let (stats_a, la) = run(1);
+        let (stats_b, lb) = run(0xDEAD_BEEF);
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.evicted > 0, "fixture must actually evict");
+        for (id, _) in la.design().cells_iter() {
+            assert_eq!(la.cell_pos(id), lb.cell_pos(id), "cell {} diverged", id.0);
+        }
     }
 }

@@ -1,0 +1,115 @@
+//! Replay pin: the gap-index legalizer must be a pure data-structure
+//! swap. On fixed-seed schedules, [`place::eco_place`] (index-backed
+//! queries) and [`place::eco_place_reference`] (the pre-index
+//! brute-force grid scans) must produce bit-identical [`EcoPlaceStats`]
+//! and bit-identical layouts — every cell at the same site.
+
+use layout::{Blockage, Layout};
+use place::EcoPlaceStats;
+use tech::Technology;
+
+fn placed(seed: u64) -> (Technology, Layout) {
+    let tech = Technology::nangate45_like();
+    let design = netlist::bench::generate(&netlist::bench::tiny_spec(), &tech);
+    let mut layout = Layout::empty_floorplan(design, &tech, 0.6);
+    place::global_place(&mut layout, &tech, seed);
+    place::refine_wirelength(&mut layout, &tech, 2, seed);
+    (tech, layout)
+}
+
+/// Runs both legalizers on clones of the same layout + blockage schedule
+/// and asserts stats and per-cell positions match bit for bit.
+fn assert_replay_identical(tech: &Technology, layout: &Layout, blockages: Vec<Blockage>) {
+    let mut with_index = layout.clone();
+    with_index.set_blockages(blockages.clone());
+    let stats_index: EcoPlaceStats = place::eco_place(&mut with_index, tech, 7);
+
+    let mut with_scan = layout.clone();
+    with_scan.set_blockages(blockages);
+    let stats_scan: EcoPlaceStats = place::eco_place_reference(&mut with_scan, tech, 7);
+
+    assert_eq!(stats_index, stats_scan, "stats diverged");
+    for (id, _) in layout.design().cells_iter() {
+        assert_eq!(
+            with_index.cell_pos(id),
+            with_scan.cell_pos(id),
+            "cell {} placed differently by index vs scan path",
+            id.0
+        );
+    }
+    with_index.check_consistency(tech).unwrap();
+}
+
+#[test]
+fn quadrant_cap_replays_bit_identical() {
+    let (tech, layout) = placed(11);
+    let fp = *layout.floorplan();
+    let schedule = vec![Blockage::new(0, fp.rows() / 2, 0, fp.cols() / 2, 0.10)];
+    assert_replay_identical(&tech, &layout, schedule);
+}
+
+/// Near-zero budget over half the core forces heavy eviction, exercising
+/// the compaction and find_gap fallbacks on both paths.
+#[test]
+fn dense_eviction_replays_bit_identical() {
+    let (tech, layout) = placed(23);
+    let fp = *layout.floorplan();
+    let schedule = vec![Blockage::new(0, fp.rows(), 0, fp.cols() / 2, 0.02)];
+    assert_replay_identical(&tech, &layout, schedule);
+}
+
+/// An LDA-like tiling: many small windows with mixed budgets.
+#[test]
+fn tiled_schedule_replays_bit_identical() {
+    let (tech, layout) = placed(42);
+    let fp = *layout.floorplan();
+    let (rows, cols) = (fp.rows(), fp.cols());
+    let mut schedule = Vec::new();
+    let n = 4u32;
+    for i in 0..n {
+        for j in 0..n {
+            let r0 = rows * i / n;
+            let r1 = rows * (i + 1) / n;
+            let c0 = cols * j / n;
+            let c1 = cols * (j + 1) / n;
+            // Deterministic mixed budgets, some tight, some loose.
+            let dens = match (i + 2 * j) % 4 {
+                0 => 0.08,
+                1 => 0.35,
+                2 => 0.60,
+                _ => 0.90,
+            };
+            schedule.push(Blockage::new(r0, r1, c0, c1, dens));
+        }
+    }
+    assert_replay_identical(&tech, &layout, schedule);
+}
+
+/// Back-to-back runs (LDA iterates eco_place): the second run starts from
+/// the first run's layout, compounding any divergence — there must be none.
+#[test]
+fn iterated_runs_replay_bit_identical() {
+    let (tech, layout) = placed(5);
+    let fp = *layout.floorplan();
+    let first = vec![Blockage::new(0, fp.rows() / 2, 0, fp.cols(), 0.15)];
+    let second = vec![Blockage::new(
+        fp.rows() / 4,
+        fp.rows(),
+        fp.cols() / 4,
+        fp.cols(),
+        0.20,
+    )];
+
+    let mut with_index = layout.clone();
+    let mut with_scan = layout.clone();
+    for schedule in [first, second] {
+        with_index.set_blockages(schedule.clone());
+        let si = place::eco_place(&mut with_index, &tech, 3);
+        with_scan.set_blockages(schedule);
+        let ss = place::eco_place_reference(&mut with_scan, &tech, 3);
+        assert_eq!(si, ss);
+    }
+    for (id, _) in layout.design().cells_iter() {
+        assert_eq!(with_index.cell_pos(id), with_scan.cell_pos(id));
+    }
+}

@@ -47,6 +47,11 @@ pub struct RoutingState {
     segs: Vec<Arc<Vec<RouteSeg>>>,
     rc: Vec<NetRc>,
     wirelength_um: f64,
+    /// Sorted, deduplicated ids of every net Phase B ripped up in any
+    /// round — a superset of the nets whose final segments differ from
+    /// the plan's (best-state restore only ever *discards* reroutes).
+    /// Shared by `Arc` so cloning a state stays a refcount bump.
+    touched: Arc<Vec<NetId>>,
 }
 
 /// The router's registry-backed observability handles (replacing the old
@@ -148,6 +153,16 @@ impl RoutingState {
     /// Committed segments of a net.
     pub fn net_segs(&self, net: NetId) -> &[RouteSeg] {
         &self.segs[net.0 as usize]
+    }
+
+    /// Sorted ids of every net the rip-up-and-reroute refinement ripped
+    /// up, in any round. Nets not listed carry their Phase-A pattern
+    /// segments verbatim (the list is a superset of the nets that
+    /// actually changed: a best-state restore discards late reroutes but
+    /// never introduces new diffs). Incremental STA uses this to bound
+    /// its RC diff to router-touched nets.
+    pub fn touched_nets(&self) -> &[NetId] {
+        &self.touched
     }
 
     /// Lumped parasitics of a net.
@@ -1048,9 +1063,14 @@ pub fn finalize_route_with(
     // segment lists are Arc-shared, so the snapshot costs a refcount bump
     // per plane and per net, never a deep copy. The rounds loop (not the
     // extraction below) is Phase B proper, hence the span boundary.
-    let (grid, segs) = obs::span("route.phase_b", move |_| {
+    let (grid, segs, ripped) = obs::span("route.phase_b", move |_| {
         type BestState = (f64, RouteGrid, Vec<Arc<Vec<RouteSeg>>>);
         let mut best: Option<BestState> = None;
+        // Union of all rounds' victims. Restoring the best state only
+        // discards reroutes, so any net whose final segments differ from
+        // the plan was a victim in some round — the union is a valid
+        // (and cheap) superset for the incremental-STA dirty handoff.
+        let mut ripped = vec![false; n_nets];
         for round in 0..RRR_ROUNDS {
             // One-pass overflow census: round scoring and victim scanning
             // test membership here instead of re-deriving scaled usage per
@@ -1071,6 +1091,9 @@ pub fn finalize_route_with(
                 .collect();
             if victims.is_empty() {
                 break;
+            }
+            for &i in &victims {
+                ripped[i as usize] = true;
             }
             let score = oset.total_overflow();
             if best.as_ref().is_none_or(|(b, _, _)| score < *b) {
@@ -1128,8 +1151,13 @@ pub fn finalize_route_with(
                 segs = bs;
             }
         }
-        (grid, segs)
+        (grid, segs, ripped)
     });
+    let touched: Vec<NetId> = ripped
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &r)| r.then_some(NetId(i as u32)))
+        .collect();
 
     // Parasitics: routed length per layer plus per-pin escape stubs.
     let mut rc: Vec<NetRc> = vec![NetRc::default(); n_nets];
@@ -1167,6 +1195,7 @@ pub fn finalize_route_with(
         segs,
         rc,
         wirelength_um: wl_um,
+        touched: Arc::new(touched),
     }
 }
 

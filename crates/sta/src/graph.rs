@@ -51,6 +51,9 @@ struct StaMetrics {
     cone_fallbacks: obs::Counter,
     /// Nets re-propagated through the cone machinery.
     cone_nets: obs::Counter,
+    /// Nets the RC diff never inspected because a caller-supplied
+    /// `dirty_nets` list proved them untouched.
+    diff_skipped: obs::Counter,
 }
 
 fn metrics() -> &'static StaMetrics {
@@ -59,6 +62,7 @@ fn metrics() -> &'static StaMetrics {
         clean_hits: obs::counter("sta.clean_hits"),
         cone_fallbacks: obs::counter("sta.cone_fallbacks"),
         cone_nets: obs::counter("sta.cone_nets"),
+        diff_skipped: obs::counter("sta.diff_skipped"),
     })
 }
 
@@ -412,6 +416,14 @@ impl TimingGraph {
 /// the identical formulas [`analyze`] uses, over inputs that are either
 /// unchanged base values or freshly recomputed ones — so the result is
 /// bit-for-bit equal to a from-scratch `analyze(layout, routing, tech)`.
+///
+/// `dirty_nets`, when provided, bounds the RC diff: it must be a sorted,
+/// deduplicated **superset** of the nets whose extracted RC can differ
+/// between `base_routing` and `routing` (typically the router's
+/// touched-net handoff — Phase-A patched nets plus RRR victims). Nets
+/// outside the list are trusted unchanged and never inspected
+/// (`sta.diff_skipped` counts them). Pass `None` when no such bound is
+/// known — e.g. after a route-rule change, which moves every net's RC.
 pub fn analyze_incremental(
     graph: &TimingGraph,
     base: &TimingReport,
@@ -419,12 +431,14 @@ pub fn analyze_incremental(
     layout: &Layout,
     routing: &RoutingState,
     tech: &Technology,
+    dirty_nets: Option<&[NetId]>,
 ) -> TimingReport {
     obs::span("sta.incremental", |_| {
-        analyze_incremental_inner(graph, base, base_routing, layout, routing, tech)
+        analyze_incremental_inner(graph, base, base_routing, layout, routing, tech, dirty_nets)
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn analyze_incremental_inner(
     graph: &TimingGraph,
     base: &TimingReport,
@@ -432,20 +446,42 @@ fn analyze_incremental_inner(
     layout: &Layout,
     routing: &RoutingState,
     tech: &Technology,
+    dirty_nets: Option<&[NetId]>,
 ) -> TimingReport {
     use std::collections::BTreeSet;
     let design = layout.design();
     let clock = design.clock;
     let period = design.constraints.clock_period;
 
-    // 1. RC diff: find the nets whose parasitics moved.
+    // 1. RC diff: find the nets whose parasitics moved. A dirty list
+    // bounds the sweep to router-touched nets; iterating it in its sorted
+    // order keeps `changed_nets` identical to what the full sweep builds,
+    // so everything downstream is unaffected by which path ran.
     let mut changed_nets: Vec<NetId> = Vec::new();
-    for (nid, _) in design.nets_iter() {
-        if Some(nid) == clock {
-            continue;
+    match dirty_nets {
+        Some(dirty) => {
+            debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+            for &nid in dirty {
+                if Some(nid) == clock {
+                    continue;
+                }
+                if routing.net_rc(nid) != base_routing.net_rc(nid) {
+                    changed_nets.push(nid);
+                }
+            }
+            metrics()
+                .diff_skipped
+                .add((design.nets.len() - dirty.len()) as u64);
         }
-        if routing.net_rc(nid) != base_routing.net_rc(nid) {
-            changed_nets.push(nid);
+        None => {
+            for (nid, _) in design.nets_iter() {
+                if Some(nid) == clock {
+                    continue;
+                }
+                if routing.net_rc(nid) != base_routing.net_rc(nid) {
+                    changed_nets.push(nid);
+                }
+            }
         }
     }
     if changed_nets.is_empty() {
@@ -722,7 +758,7 @@ mod tests {
         edited.set_route_rule(RouteRule::uniform(1.5));
         let rerouted = route::route_design(&edited, &tech);
         let full = analyze(&edited, &rerouted, &tech);
-        let inc = analyze_incremental(&graph, &base, &routing, &edited, &rerouted, &tech);
+        let inc = analyze_incremental(&graph, &base, &routing, &edited, &rerouted, &tech, None);
         assert_eq!(full.arrival, inc.arrival);
         assert_eq!(full.required, inc.required);
         assert_eq!(full.endpoint_slacks, inc.endpoint_slacks);
@@ -732,9 +768,90 @@ mod tests {
         assert_eq!(full.tns_ps(), inc.tns_ps());
 
         // No RC change at all must return the base report unchanged.
-        let same = analyze_incremental(&graph, &base, &routing, &layout, &routing, &tech);
+        let same = analyze_incremental(&graph, &base, &routing, &layout, &routing, &tech, None);
         assert_eq!(same.arrival, base.arrival);
         assert_eq!(same.endpoint_slacks, base.endpoint_slacks);
+    }
+
+    /// A `dirty_nets` superset must not change the result: the bounded RC
+    /// diff builds the same `changed_nets` list as the full sweep.
+    #[test]
+    fn dirty_list_matches_unbounded_diff() {
+        let tech = Technology::nangate45_like();
+        let mut spec = bench::tiny_spec();
+        spec.period_factor = 0.9;
+        let design = bench::generate(&spec, &tech);
+        let mut layout = Layout::empty_floorplan(design, &tech, 0.6);
+        place::global_place(&mut layout, &tech, 9);
+        place::refine_wirelength(&mut layout, &tech, 2, 9);
+        let routing = route::route_design(&layout, &tech);
+        let base = analyze(&layout, &routing, &tech);
+        let graph = TimingGraph::new(layout.design(), &tech);
+
+        // Move one movable cell: only its incident nets' RC can change.
+        let mut edited = layout.clone();
+        let moved = edited
+            .design()
+            .cells_iter()
+            .map(|(id, _)| id)
+            .find(|&id| !edited.occupancy().is_locked(id))
+            .expect("tiny design has movable cells");
+        let fp = *edited.floorplan();
+        let pos = edited.cell_pos(moved).unwrap();
+        let w = edited.occupancy().cell_width(moved).unwrap();
+        let target = edited
+            .occupancy()
+            .find_gap(
+                w,
+                geom::SitePos::new(fp.rows() - 1 - pos.row, pos.col),
+                fp.rows().max(fp.cols()),
+            )
+            .expect("gap exists");
+        edited.occupancy_mut().move_cell(moved, target).unwrap();
+        let rerouted = route::route_design(&edited, &tech);
+
+        let unbounded =
+            analyze_incremental(&graph, &base, &routing, &edited, &rerouted, &tech, None);
+        // The exact-changed set plus some untouched nets is a valid
+        // superset; here the simplest correct one is "every net" — the
+        // point is the bounded path, not the bound's tightness.
+        let all: Vec<netlist::NetId> = edited.design().nets_iter().map(|(id, _)| id).collect();
+        let bounded = analyze_incremental(
+            &graph,
+            &base,
+            &routing,
+            &edited,
+            &rerouted,
+            &tech,
+            Some(&all),
+        );
+        assert_eq!(unbounded.arrival, bounded.arrival);
+        assert_eq!(unbounded.endpoint_slacks, bounded.endpoint_slacks);
+        assert_eq!(unbounded.cell_slack, bounded.cell_slack);
+        assert_eq!(unbounded.wire_delay, bounded.wire_delay);
+
+        // A tight superset — only the nets whose RC actually moved — must
+        // also reproduce the unbounded result bit for bit.
+        let tight: Vec<netlist::NetId> = edited
+            .design()
+            .nets_iter()
+            .map(|(id, _)| id)
+            .filter(|&id| rerouted.net_rc(id) != routing.net_rc(id))
+            .collect();
+        let bounded_tight = analyze_incremental(
+            &graph,
+            &base,
+            &routing,
+            &edited,
+            &rerouted,
+            &tech,
+            Some(&tight),
+        );
+        assert_eq!(unbounded.arrival, bounded_tight.arrival);
+        assert_eq!(unbounded.endpoint_slacks, bounded_tight.endpoint_slacks);
+        assert_eq!(unbounded.cell_slack, bounded_tight.cell_slack);
+        assert_eq!(unbounded.wire_delay, bounded_tight.wire_delay);
+        assert_eq!(unbounded.net_load, bounded_tight.net_load);
     }
 
     #[test]
