@@ -17,13 +17,23 @@
 //!   explore run.
 //! - `--smoke` runs a small exploration twice — telemetry enabled and
 //!   disabled — checks the two produce bit-identical results, prints the
-//!   wall-clock delta, and asserts the enabled overhead stays under 5 %.
-//!   No JSON is written in smoke mode.
+//!   wall-clock delta, asserts the enabled overhead stays under 5 %, and
+//!   finishes with a kill/resume drill (halt after generation 1, resume
+//!   from the checkpoint, demand a bit-identical result). No JSON is
+//!   written in smoke mode.
+//! - `--resume` continues the instrumented explore run from the last
+//!   checkpoint instead of starting over.
+//!
+//! The instrumented run checkpoints at generation boundaries under the
+//! adaptive ~2 % overhead budget (default `results/checkpoint.ggjson`,
+//! override with `GG_CHECKPOINT`); the report records the cumulative
+//! checkpoint wall as a percentage of the explore wall.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use gdsii_guard::prelude::*;
+use gg_bench::cache::results_dir;
 use gg_bench::driver::GG_GA_PARAMS;
 use tech::Technology;
 
@@ -41,6 +51,10 @@ struct BenchExplore {
     full_replay_wall_secs: f64,
     incremental_replay_wall_secs: f64,
     speedup: f64,
+    checkpoint_writes: u64,
+    checkpoint_write_secs: f64,
+    quarantined: u64,
+    degraded: u64,
 }
 
 ggjson::json_struct!(BenchExplore {
@@ -55,7 +69,11 @@ ggjson::json_struct!(BenchExplore {
     evals_per_sec,
     full_replay_wall_secs,
     incremental_replay_wall_secs,
-    speedup
+    speedup,
+    checkpoint_writes,
+    checkpoint_write_secs,
+    quarantined,
+    degraded
 });
 
 /// Replays the explore schedule generation by generation: each batch runs
@@ -152,6 +170,26 @@ fn phase_summary(t: &gdsii_guard::obs::MetricsSnapshot) -> ggjson::Json {
             "rrr_rounds".into(),
             ggjson::Json::Num(t.counter("rrr.rounds") as f64),
         ),
+        (
+            "checkpoint_writes".into(),
+            ggjson::Json::Num(t.counter("checkpoint.writes") as f64),
+        ),
+        (
+            "checkpoint_write_secs".into(),
+            ggjson::Json::Num(t.gauge("checkpoint.write_secs").unwrap_or(0.0)),
+        ),
+        (
+            "eval_degraded".into(),
+            ggjson::Json::Num(t.counter("eval.degraded") as f64),
+        ),
+        (
+            "eval_quarantined".into(),
+            ggjson::Json::Num(t.counter("eval.quarantined") as f64),
+        ),
+        (
+            "faults_injected".into(),
+            ggjson::Json::Num(t.counter("faults.injected") as f64),
+        ),
     ])
 }
 
@@ -234,6 +272,42 @@ fn smoke() {
         eco_phase2_secs < ECO_PHASE2_BUDGET_SECS,
         "eco.phase2 wall {eco_phase2_secs:.4}s exceeds the {ECO_PHASE2_BUDGET_SECS}s smoke budget"
     );
+
+    // Kill/resume drill: halt right after generation 1's checkpoint lands
+    // (the state a SIGKILL between generations leaves behind), resume from
+    // disk, and demand the exact trajectory of the uninterrupted run.
+    let dir = std::env::temp_dir().join(format!("gg-bench-smoke-{}", std::process::id()));
+    let ckpt = dir.join("checkpoint.ggjson");
+    let base = implement_baseline_unchecked(&spec, &tech);
+    explore_with(
+        &base,
+        &tech,
+        &params,
+        &ExploreOptions {
+            checkpoint: Some(ckpt.clone()),
+            halt_after: Some(1),
+            ..ExploreOptions::default()
+        },
+    )
+    .expect("interrupted smoke run");
+    let resumed = explore_with(
+        &base,
+        &tech,
+        &params,
+        &ExploreOptions {
+            checkpoint: Some(ckpt),
+            resume: true,
+            ..ExploreOptions::default()
+        },
+    )
+    .expect("resumed smoke run");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        ggjson::to_string_pretty(&off),
+        ggjson::to_string_pretty(&resumed),
+        "kill/resume cycle diverged from the uninterrupted run"
+    );
+    println!("smoke: kill/resume cycle bit-identical");
     println!("smoke: OK (results bit-identical, overhead within budget)");
 }
 
@@ -244,19 +318,28 @@ fn main() {
         return;
     }
     let verbose = args.iter().any(|a| a == "--verbose");
+    let resume = args.iter().any(|a| a == "--resume");
     let tech = Technology::nangate45_like();
     let spec = netlist::bench::tiny_spec();
 
     // Instrumented pass: baseline + exploration with telemetry on. The
     // smoke mode (and the telemetry_regression test) pin down that the
     // enabled path stays cheap and observation-only, so the explore wall
-    // below is still representative.
+    // below is still representative. Every generation checkpoints to the
+    // results dir (or GG_CHECKPOINT) so `--resume` can continue a killed
+    // run.
+    let mut opts = ExploreOptions::from_env();
+    if opts.checkpoint.is_none() {
+        opts.checkpoint = Some(results_dir().join("checkpoint.ggjson"));
+    }
+    opts.resume = resume;
+
     gdsii_guard::obs::reset();
     gdsii_guard::obs::set_enabled(true);
     let base = implement_baseline(&spec, &tech).expect("baseline implements cleanly");
 
     let t0 = Instant::now();
-    let result = explore(&base, &tech, &GG_GA_PARAMS);
+    let result = explore_with(&base, &tech, &GG_GA_PARAMS, &opts).expect("explore run");
     let explore_wall_secs = t0.elapsed().as_secs_f64();
     let telemetry = gdsii_guard::obs::snapshot();
     gdsii_guard::obs::set_enabled(false);
@@ -307,9 +390,15 @@ fn main() {
         .map(|p| run_flow_with_unchecked(&engine, &tech, &p.config, p.genome.flow_seed()))
         .collect();
     for (p, m) in points.iter().zip(&check) {
+        // Quarantined candidates carry penalty metrics by construction, so
+        // a healthy replay of the same genome legitimately disagrees.
+        if result.quarantined.iter().any(|q| q.genome == p.genome) {
+            continue;
+        }
         assert_eq!(p.metrics, *m, "engine replay diverged on {:?}", p.genome);
     }
 
+    let checkpoint_write_secs = telemetry.gauge("checkpoint.write_secs").unwrap_or(0.0);
     let report = BenchExplore {
         design: spec.name.to_string(),
         population: GG_GA_PARAMS.population as u64,
@@ -323,6 +412,10 @@ fn main() {
         full_replay_wall_secs,
         incremental_replay_wall_secs,
         speedup: full_replay_wall_secs / incremental_replay_wall_secs,
+        checkpoint_writes: telemetry.counter("checkpoint.writes"),
+        checkpoint_write_secs,
+        quarantined: result.quarantined.len() as u64,
+        degraded: telemetry.counter("eval.degraded"),
     };
 
     // Merge the telemetry section into the report: a curated per-phase
@@ -349,6 +442,15 @@ fn main() {
     println!(
         "replay ({} candidates, {} threads): full {:.3}s vs incremental {:.3}s — {:.2}x speedup",
         evaluations, threads, full_replay_wall_secs, incremental_replay_wall_secs, report.speedup
+    );
+    println!(
+        "checkpoints: {} writes, {:.4}s total ({:.2} % of the explore wall); \
+         {} degraded, {} quarantined",
+        report.checkpoint_writes,
+        checkpoint_write_secs,
+        100.0 * checkpoint_write_secs / explore_wall_secs.max(1e-9),
+        report.degraded,
+        report.quarantined,
     );
     println!("wrote {}", out.display());
 }

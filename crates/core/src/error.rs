@@ -21,6 +21,15 @@ pub enum Error {
     /// A worker thread panicked while holding the operator-edit cache
     /// lock, so memoized edits can no longer be trusted.
     EditCachePoisoned,
+    /// A sandboxed candidate evaluation failed (panic, injected fault, or
+    /// deadline overrun) and exhausted its degrade chain; the payload is
+    /// the rendered [`crate::sandbox::EvalFailure`] with the offending
+    /// genome attached.
+    EvalFailed(String),
+    /// A checkpoint could not be written, read, or trusted (I/O error,
+    /// checksum/version mismatch, or a base snapshot that differs from the
+    /// one the checkpoint was taken against).
+    Checkpoint(String),
 }
 
 impl fmt::Display for Error {
@@ -31,6 +40,12 @@ impl fmt::Display for Error {
             }
             Error::EditCachePoisoned => {
                 write!(f, "operator-edit cache poisoned by a panicked worker")
+            }
+            Error::EvalFailed(why) => {
+                write!(f, "candidate evaluation failed: {why}")
+            }
+            Error::Checkpoint(why) => {
+                write!(f, "checkpoint error: {why}")
             }
         }
     }

@@ -47,7 +47,13 @@
 //! via [`obs::enable`] or with the `GG_TRACE` environment variable
 //! (e.g. `GG_TRACE=route,lda`).
 
+// The evaluation pipeline must never bring the exploration process down:
+// failures surface as typed errors or flow through the sandbox degrade
+// chain (see `sandbox`), so bare `unwrap()` is denied outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod cell_shift;
+pub mod checkpoint;
 mod error;
 pub mod flow;
 pub mod lda;
@@ -55,11 +61,17 @@ pub mod nsga2;
 pub mod pipeline;
 pub mod preprocess;
 pub mod rws;
+pub mod sandbox;
 
+pub use checkpoint::Checkpoint;
 pub use error::Error;
 pub use flow::{FlowConfig, FlowMetrics, OpSelect};
-pub use nsga2::{explore, EvalPoint, ExploreResult, Genome, Nsga2Params, Nsga2ParamsBuilder};
+pub use nsga2::{
+    explore, explore_with, EvalPoint, ExploreOptions, ExploreResult, Genome, Nsga2Params,
+    Nsga2ParamsBuilder, QuarantineEntry,
+};
 pub use pipeline::{CowSnapshot, EvalEngine, Snapshot};
+pub use sandbox::{EvalFailure, EvalStatus};
 
 /// The workspace-wide telemetry subsystem (spans, counters, histograms).
 pub use obs;
@@ -72,18 +84,21 @@ pub use obs;
 /// use gdsii_guard::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::checkpoint::Checkpoint;
     pub use crate::error::Error;
     pub use crate::flow::{
         apply_flow, apply_flow_with, apply_flow_with_unchecked, run_flow, run_flow_with,
         run_flow_with_unchecked, FlowConfig, FlowMetrics, OpSelect,
     };
     pub use crate::nsga2::{
-        explore, EvalPoint, ExploreResult, Genome, Nsga2Params, Nsga2ParamsBuilder,
+        explore, explore_with, EvalPoint, ExploreOptions, ExploreResult, Genome, Nsga2Params,
+        Nsga2ParamsBuilder, QuarantineEntry,
     };
     pub use crate::pipeline::{
         evaluate, evaluate_unchecked, implement_baseline, implement_baseline_unchecked,
         CowSnapshot, EvalEngine, Snapshot,
     };
+    pub use crate::sandbox::{EvalFailure, EvalStatus};
     pub use obs;
 }
 

@@ -10,16 +10,21 @@
 //! process-level parallelism.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tech::{RouteRule, Technology, NUM_METAL_LAYERS};
 
+use crate::checkpoint::{fingerprint, hex64, Checkpoint};
+use crate::error::Error;
 use crate::flow::{FlowConfig, FlowMetrics, OpSelect};
 use crate::lda::LdaParams;
 use crate::pipeline::{EvalEngine, Snapshot};
+use crate::sandbox::{evaluate_candidate, sandbox_metrics, EvalStatus, SandboxPolicy};
 
 /// Chromosome over the Table-I space, stored as candidate indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -274,6 +279,28 @@ ggjson::json_struct!(EvalPoint {
     generation
 });
 
+/// One quarantined candidate: it failed both the incremental and the full
+/// re-eval stage of the degrade chain and carries penalty metrics in the
+/// archive (see [`crate::sandbox`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineEntry {
+    /// The offending chromosome.
+    pub genome: Genome,
+    /// The generation whose evaluation quarantined it.
+    pub generation: usize,
+    /// The rendered stage-0 (incremental) failure.
+    pub incremental: String,
+    /// The rendered stage-1 (full re-eval) failure.
+    pub full: String,
+}
+
+ggjson::json_struct!(QuarantineEntry {
+    genome,
+    generation,
+    incremental,
+    full
+});
+
 /// Full exploration trace plus the data needed to judge feasibility.
 #[derive(Debug, Clone)]
 pub struct ExploreResult {
@@ -285,13 +312,18 @@ pub struct ExploreResult {
     pub base_drc: u32,
     /// Baseline TNS in ps, for plotting the trade-off origin.
     pub base_tns_ps: f64,
+    /// Candidates that exhausted the degrade chain (empty on healthy runs;
+    /// their penalty-metric points are infeasible and never reach the
+    /// Pareto front).
+    pub quarantined: Vec<QuarantineEntry>,
 }
 
 ggjson::json_struct!(ExploreResult {
     points,
     base_power_mw,
     base_drc,
-    base_tns_ps
+    base_tns_ps,
+    quarantined
 });
 
 impl ExploreResult {
@@ -373,10 +405,11 @@ fn crowding_distance(front: &[usize], metrics: &[FlowMetrics]) -> HashMap<usize,
     let mut dist: HashMap<usize, f64> = front.iter().map(|&i| (i, 0.0)).collect();
     for obj in 0..2 {
         let mut sorted: Vec<usize> = front.to_vec();
+        // total_cmp: objectives are finite by construction (quarantined
+        // candidates get finite penalty values), but a total order costs
+        // nothing and removes the panic edge entirely.
         sorted.sort_by(|&a, &b| {
-            metrics[a].objectives()[obj]
-                .partial_cmp(&metrics[b].objectives()[obj])
-                .expect("objectives are finite")
+            metrics[a].objectives()[obj].total_cmp(&metrics[b].objectives()[obj])
         });
         let lo = metrics[sorted[0]].objectives()[obj];
         let hi = metrics[*sorted.last().expect("front non-empty")].objectives()[obj];
@@ -395,18 +428,29 @@ fn crowding_distance(front: &[usize], metrics: &[FlowMetrics]) -> HashMap<usize,
     dist
 }
 
-/// Evaluates genomes against the cache, running misses in parallel.
+/// Evaluates genomes against the cache, running misses in parallel, each
+/// inside the evaluation sandbox (see [`crate::sandbox`]).
 ///
 /// Work distribution is a shared atomic-index queue rather than static
 /// chunks: each worker repeatedly claims the next un-evaluated genome, so a
 /// handful of slow candidates (deep rip-up-and-reroute, many LDA
-/// iterations) cannot idle the rest of the pool.
+/// iterations) cannot idle the rest of the pool. A worker that panics no
+/// longer poisons the join: the sandbox catches the unwind, attaches the
+/// offending genome, and walks the degrade chain, so the scope always exits
+/// cleanly and `cache` gains an entry for every requested genome.
+///
+/// Candidate indices for the fault-trigger context are positions in the
+/// sorted-deduplicated miss list — deterministic at any thread count.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_all(
     genomes: &[Genome],
     engine: &EvalEngine,
     tech: &Technology,
     cache: &mut HashMap<Genome, FlowMetrics>,
     threads: usize,
+    generation: usize,
+    policy: &SandboxPolicy,
+    ledger: &mut Vec<QuarantineEntry>,
 ) {
     let mut missing: Vec<Genome> = genomes
         .iter()
@@ -431,27 +475,55 @@ fn evaluate_all(
         // this only shapes scheduling, never the Pareto front.
         route::set_parallelism(route::budget_for_workers(threads));
         let next = AtomicUsize::new(0);
-        let done: Mutex<Vec<(Genome, FlowMetrics)>> = Mutex::new(Vec::with_capacity(missing.len()));
+        type Outcome = (usize, Genome, FlowMetrics, EvalStatus);
+        let done: Mutex<Vec<Outcome>> = Mutex::new(Vec::with_capacity(missing.len()));
         let missing = &missing;
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(g) = missing.get(i) else { break };
-                    // A poisoned edit cache can only come from a panicked
-                    // sibling, which already tears this scope down.
-                    let m = crate::flow::run_flow_with_unchecked(
-                        engine,
-                        tech,
-                        &g.to_config(),
-                        g.flow_seed(),
-                    );
-                    done.lock().expect("results lock").push((*g, m));
+                    let (m, status) = evaluate_candidate(engine, tech, g, generation, i, policy);
+                    // Sandboxed workers cannot panic while holding this
+                    // lock, but recover from poison anyway: the data is a
+                    // plain Vec push, valid at every intermediate state.
+                    done.lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push((i, *g, m, status));
                 });
             }
         });
         route::set_parallelism(0);
-        cache.extend(done.into_inner().expect("results lock"));
+        let mut results = done.into_inner().unwrap_or_else(|p| p.into_inner());
+        // Candidate order, so the quarantine ledger (and therefore the
+        // checkpoint bytes) never depend on thread scheduling.
+        results.sort_by_key(|(i, ..)| *i);
+        for (_, g, m, status) in results {
+            match status {
+                EvalStatus::Ok => {}
+                EvalStatus::Degraded(failure) => {
+                    sandbox_metrics().degraded.incr();
+                    obs::diagln!(
+                        "nsga2: candidate {g:?} (gen {generation}) degraded to full re-eval: \
+                         {failure}"
+                    );
+                }
+                EvalStatus::Quarantined { incremental, full } => {
+                    sandbox_metrics().quarantined.incr();
+                    obs::diagln!(
+                        "nsga2: candidate {g:?} (gen {generation}) quarantined: \
+                         incremental eval {incremental}; full re-eval {full}"
+                    );
+                    ledger.push(QuarantineEntry {
+                        genome: g,
+                        generation,
+                        incremental: incremental.to_string(),
+                        full: full.to_string(),
+                    });
+                }
+            }
+            cache.insert(g, m);
+        }
     });
 }
 
@@ -501,48 +573,170 @@ fn tournament(
     pop[better]
 }
 
+/// Where and how [`explore_with`] persists and resumes its state.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreOptions {
+    /// Checkpoint file path; `None` disables checkpointing entirely.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from `checkpoint` when it exists (a missing file starts a
+    /// fresh run; a present-but-incompatible one is a typed error).
+    pub resume: bool,
+    /// Stop after checkpointing this completed generation (0 = the initial
+    /// population) and return the partial result: the kill-simulation hook
+    /// the resume-matrix test and CI drill use to interrupt a run at an
+    /// exact, deterministic point.
+    pub halt_after: Option<usize>,
+    /// Cooperative per-candidate wall-clock budget (see
+    /// [`crate::sandbox::SandboxPolicy`]).
+    pub deadline: Option<Duration>,
+}
+
+impl ExploreOptions {
+    /// Environment-driven options for binaries: `GG_CHECKPOINT` (path)
+    /// and `GG_EVAL_DEADLINE_MS`.
+    pub fn from_env() -> Self {
+        Self {
+            checkpoint: std::env::var("GG_CHECKPOINT").ok().map(PathBuf::from),
+            resume: false,
+            halt_after: None,
+            deadline: SandboxPolicy::from_env().deadline,
+        }
+    }
+}
+
 /// Runs the NSGA-II exploration over the flow parameter space.
 ///
 /// Returns every evaluated point; use [`ExploreResult::pareto_front`] for
-/// the final trade-off set.
+/// the final trade-off set. Equivalent to [`explore_with`] with default
+/// [`ExploreOptions`] (no checkpointing, no deadline), which cannot fail.
 pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> ExploreResult {
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut cache: HashMap<Genome, FlowMetrics> = HashMap::new();
-    let mut order: Vec<(Genome, usize)> = Vec::new();
+    explore_with(base, tech, params, &ExploreOptions::default())
+        .expect("explore without checkpointing has no error path")
+}
+
+/// [`explore`] with checkpoint/resume and sandbox policy control.
+///
+/// With a checkpoint configured, the full loop state is atomically
+/// persisted after every completed generation; a later call with
+/// `resume: true` continues from the last completed generation and
+/// produces a result bit-identical to an uninterrupted run (quarantine
+/// decisions are keyed on `(genome, seed)`, so this holds under armed
+/// fault specs too — but not under wall-clock `deadline`s).
+pub fn explore_with(
+    base: &Snapshot,
+    tech: &Technology,
+    params: &Nsga2Params,
+    opts: &ExploreOptions,
+) -> Result<ExploreResult, Error> {
+    faults::ensure_init();
+    let policy = SandboxPolicy {
+        deadline: opts.deadline,
+    };
     let threads = params.resolved_threads();
     // One incremental-evaluation engine, shared read-only by all workers:
     // the baseline route plan, levelized timing graph, and power model are
     // built once here instead of once per candidate.
     let engine = EvalEngine::new(base, tech);
 
-    // Initial population: the two canonical operators plus random samples.
-    let mut pop: Vec<Genome> = Vec::with_capacity(params.population);
-    pop.push(Genome {
-        op: 0,
-        n_idx: 0,
-        iter_idx: 0,
-        scale_idx: [0; NUM_METAL_LAYERS],
-    });
-    pop.push(Genome {
-        op: 1,
-        n_idx: 2,
-        iter_idx: 0,
-        scale_idx: [0; NUM_METAL_LAYERS],
-    });
-    while pop.len() < params.population {
-        pop.push(Genome::random(&mut rng));
-    }
-    obs::span("nsga2.generation", |_| {
-        evaluate_all(&pop, &engine, tech, &mut cache, threads);
-    });
-    ga_metrics().generations.incr();
-    for g in &pop {
-        if !order.iter().any(|(og, _)| og == g) {
-            order.push((*g, 0));
+    let mut rng;
+    let mut cache: HashMap<Genome, FlowMetrics> = HashMap::new();
+    let mut order: Vec<(Genome, usize)> = Vec::new();
+    let mut ledger: Vec<QuarantineEntry> = Vec::new();
+    let mut pop: Vec<Genome>;
+    let start_gen;
+    // Adaptive checkpoint cadence: a generation is persisted only while
+    // the cumulative write wall (plus the projected cost of the next
+    // write, estimated from the previous one) stays within `CKPT_BUDGET`
+    // of the explore wall so far. Skipping a write never affects results
+    // — resuming from an older checkpoint deterministically re-runs the
+    // missing generations — so only `halt_after` (the kill switch the
+    // resume matrix exercises) forces a write past the budget.
+    const CKPT_BUDGET: f64 = 0.02;
+    let explore_start = Instant::now();
+    let mut ckpt_spent = 0.0f64;
+    let mut ckpt_cost = 0.0f64;
+    // Entries in the eval cache at the last write: the write cost is
+    // dominated by rendering the cache, so the projected cost of the next
+    // write is the last cost scaled by how much the cache has grown.
+    let mut ckpt_entries = 1usize;
+
+    let resumed: Option<Checkpoint> = match (&opts.checkpoint, opts.resume) {
+        (Some(path), true) if path.exists() => {
+            let cp = Checkpoint::load(path)?;
+            cp.verify(base, params)?;
+            Some(cp)
+        }
+        _ => None,
+    };
+    match resumed {
+        Some(cp) => {
+            rng = StdRng::from_state(cp.rng_state()?);
+            cache.extend(cp.cache.iter().copied());
+            order = cp.order.clone();
+            ledger = cp.quarantine.clone();
+            pop = cp.pop.clone();
+            start_gen = cp.generation + 1;
+            obs::diagln!(
+                "nsga2: resumed from checkpoint at generation {} ({} evaluated, {} quarantined)",
+                cp.generation,
+                order.len(),
+                ledger.len()
+            );
+        }
+        None => {
+            rng = StdRng::seed_from_u64(params.seed);
+            // Initial population: the two canonical operators plus random
+            // samples.
+            pop = Vec::with_capacity(params.population);
+            pop.push(Genome {
+                op: 0,
+                n_idx: 0,
+                iter_idx: 0,
+                scale_idx: [0; NUM_METAL_LAYERS],
+            });
+            pop.push(Genome {
+                op: 1,
+                n_idx: 2,
+                iter_idx: 0,
+                scale_idx: [0; NUM_METAL_LAYERS],
+            });
+            while pop.len() < params.population {
+                pop.push(Genome::random(&mut rng));
+            }
+            obs::span("nsga2.generation", |_| {
+                evaluate_all(
+                    &pop,
+                    &engine,
+                    tech,
+                    &mut cache,
+                    threads,
+                    0,
+                    &policy,
+                    &mut ledger,
+                );
+            });
+            ga_metrics().generations.incr();
+            for g in &pop {
+                if !order.iter().any(|(og, _)| og == g) {
+                    order.push((*g, 0));
+                }
+            }
+            start_gen = 1;
+            if let Some(path) = &opts.checkpoint {
+                let t = Instant::now();
+                save_checkpoint(path, base, params, 0, &rng, &pop, &order, &cache, &ledger)?;
+                ckpt_cost = t.elapsed().as_secs_f64();
+                ckpt_spent += ckpt_cost;
+                ckpt_entries = cache.len().max(1);
+            }
         }
     }
 
-    for generation in 1..=params.generations {
+    if opts.halt_after.is_some_and(|h| h < start_gen) {
+        return Ok(build_result(base, order, &cache, ledger));
+    }
+
+    for generation in start_gen..=params.generations {
         obs::span("nsga2.generation", |_| {
             // Parent selection state.
             let metrics: Vec<FlowMetrics> = pop.iter().map(|g| cache[g]).collect();
@@ -563,7 +757,16 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
                 child.mutate(&mut rng, params.mutation_p);
                 offspring.push(child);
             }
-            evaluate_all(&offspring, &engine, tech, &mut cache, threads);
+            evaluate_all(
+                &offspring,
+                &engine,
+                tech,
+                &mut cache,
+                threads,
+                generation,
+                &policy,
+                &mut ledger,
+            );
             for g in &offspring {
                 if !order.iter().any(|(og, _)| og == g) {
                     order.push((*g, generation));
@@ -585,11 +788,7 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
                 } else {
                     let crowd = crowding_distance(&front, &union_metrics);
                     let mut by_crowd = front.clone();
-                    by_crowd.sort_by(|a, b| {
-                        crowd[b]
-                            .partial_cmp(&crowd[a])
-                            .expect("crowding is comparable")
-                    });
+                    by_crowd.sort_by(|a, b| crowd[b].total_cmp(&crowd[a]));
                     for &i in by_crowd.iter().take(params.population - next.len()) {
                         next.push(union[i]);
                     }
@@ -603,7 +802,16 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
             while next.len() < params.population {
                 next.push(Genome::random(&mut rng));
             }
-            evaluate_all(&next, &engine, tech, &mut cache, threads);
+            evaluate_all(
+                &next,
+                &engine,
+                tech,
+                &mut cache,
+                threads,
+                generation,
+                &policy,
+                &mut ledger,
+            );
             for g in &next {
                 if !order.iter().any(|(og, _)| og == g) {
                     order.push((*g, generation));
@@ -612,8 +820,36 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
             pop = next;
         });
         ga_metrics().generations.incr();
+        if let Some(path) = &opts.checkpoint {
+            let force = opts.halt_after == Some(generation);
+            let projected = ckpt_cost * cache.len() as f64 / ckpt_entries as f64;
+            let within_budget =
+                ckpt_spent + projected <= CKPT_BUDGET * explore_start.elapsed().as_secs_f64();
+            if force || within_budget {
+                let t = Instant::now();
+                save_checkpoint(
+                    path, base, params, generation, &rng, &pop, &order, &cache, &ledger,
+                )?;
+                ckpt_cost = t.elapsed().as_secs_f64();
+                ckpt_spent += ckpt_cost;
+                ckpt_entries = cache.len().max(1);
+            }
+        }
+        if opts.halt_after == Some(generation) {
+            break;
+        }
     }
 
+    Ok(build_result(base, order, &cache, ledger))
+}
+
+/// Assembles the result from the evaluation archive.
+fn build_result(
+    base: &Snapshot,
+    order: Vec<(Genome, usize)>,
+    cache: &HashMap<Genome, FlowMetrics>,
+    ledger: Vec<QuarantineEntry>,
+) -> ExploreResult {
     let points = order
         .into_iter()
         .map(|(genome, generation)| EvalPoint {
@@ -628,7 +864,38 @@ pub fn explore(base: &Snapshot, tech: &Technology, params: &Nsga2Params) -> Expl
         base_power_mw: base.power_mw(),
         base_drc: base.drc,
         base_tns_ps: base.tns_ps(),
+        quarantined: ledger,
     }
+}
+
+/// Persists the loop state after `generation` completed generations.
+#[allow(clippy::too_many_arguments)]
+fn save_checkpoint(
+    path: &std::path::Path,
+    base: &Snapshot,
+    params: &Nsga2Params,
+    generation: usize,
+    rng: &StdRng,
+    pop: &[Genome],
+    order: &[(Genome, usize)],
+    cache: &HashMap<Genome, FlowMetrics>,
+    ledger: &[QuarantineEntry],
+) -> Result<(), Error> {
+    let mut cache_vec: Vec<(Genome, FlowMetrics)> = cache.iter().map(|(g, m)| (*g, *m)).collect();
+    // HashMap iteration order is nondeterministic; sort so the checkpoint
+    // bytes are a pure function of the run state.
+    cache_vec.sort_by_key(|(g, _)| g.sort_key());
+    Checkpoint {
+        base_fingerprint: fingerprint(base),
+        params: *params,
+        generation,
+        rng: rng.state().iter().map(|&w| hex64(w)).collect(),
+        pop: pop.to_vec(),
+        order: order.to_vec(),
+        cache: cache_vec,
+        quarantine: ledger.to_vec(),
+    }
+    .save(path)
 }
 
 #[cfg(test)]

@@ -210,6 +210,11 @@ fn cache_metrics() -> &'static CacheMetrics {
     })
 }
 
+/// Injection point covering the engine's memoized-edit path: checked before
+/// the cache lookup, so a drill exercises the sandbox without ever holding
+/// (and poisoning) the edit-cache lock.
+static EVAL_PANIC: faults::Point = faults::Point::new("eval.panic");
+
 impl EvalEngine {
     /// Builds the engine's caches from an implemented baseline.
     pub fn new(base: &Snapshot, tech: &Technology) -> Self {
@@ -239,6 +244,7 @@ impl EvalEngine {
         seed: u64,
         make: impl FnOnce() -> Layout,
     ) -> Result<CowSnapshot, Error> {
+        EVAL_PANIC.check();
         let m = cache_metrics();
         if let Some(hit) = self
             .edit_cache

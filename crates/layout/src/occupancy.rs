@@ -467,7 +467,7 @@ impl Occupancy {
     }
 
     /// Best placement origin for a `width`-site cell in `row` under the
-    /// exact linear-scan semantics of [`find_gap_scan`]: runs in
+    /// exact linear-scan semantics of [`find_gap_scan`](Self::find_gap_scan): runs in
     /// left-to-right order, origin clamped into each run, strict
     /// improvement on `d = max(dr, |col − target|)` with `bound` as the
     /// exclusive starting bound — so of several runs achieving the
@@ -523,7 +523,7 @@ impl Occupancy {
     /// closest (Chebyshev, in sites) to `near`, searching outward up to
     /// `max_radius` rows/columns. Returns the placement origin.
     ///
-    /// Index-backed: answers bit-identically to [`find_gap_scan`] (the
+    /// Index-backed: answers bit-identically to [`find_gap_scan`](Self::find_gap_scan) (the
     /// row/run iteration order and strict-improvement tie-breaks are
     /// preserved) without touching the site grid.
     pub fn find_gap(&self, width: u32, near: SitePos, max_radius: u32) -> Option<SitePos> {

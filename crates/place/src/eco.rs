@@ -134,8 +134,16 @@ fn ideal_site(layout: &Layout, tech: &Technology, neigh: &[CellId]) -> SitePos {
 /// determined by the layout and blockages.
 ///
 /// Returns statistics about the incremental changes.
+/// Injection point covering ECO legalization: checked on entry and once per
+/// re-placed cell (the legalizer-side granularity of the cooperative eval
+/// deadline). A fault here unwinds mid-mutation; callers hand the legalizer
+/// a candidate copy-on-write snapshot, which the evaluation sandbox discards
+/// wholesale, so no half-legalized layout is ever observed.
+static ECO_LEGALIZE: faults::Point = faults::Point::new("eco.legalize");
+
 pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceStats {
     let _ = seed;
+    ECO_LEGALIZE.check();
     let design = layout.design().clone();
     let clock = design.clock;
     let blockages: Vec<Blockage> = layout.blockages().to_vec();
@@ -167,6 +175,7 @@ pub fn eco_place(layout: &mut Layout, tech: &Technology, seed: u64) -> EcoPlaceS
             )
         });
         for id in evicted.iter().copied() {
+            ECO_LEGALIZE.check();
             let w = tech.library.kind(design.cell(id).kind).width_sites;
             let neigh = crate::global::neighbors(&design, id, clock);
             let near = ideal_site(layout, tech, &neigh);

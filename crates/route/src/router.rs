@@ -74,6 +74,11 @@ struct RouteMetrics {
     maze_pops: obs::Histogram,
 }
 
+/// Injection point covering Phase-B congestion resolution: checked once per
+/// RRR round and every 1024 maze pops (which is also the router-side
+/// granularity of the cooperative eval deadline).
+static ROUTE_OVERFLOW: faults::Point = faults::Point::new("route.overflow");
+
 fn metrics() -> &'static RouteMetrics {
     static METRICS: OnceLock<RouteMetrics> = OnceLock::new();
     METRICS.get_or_init(|| RouteMetrics {
@@ -561,6 +566,9 @@ fn maze_route_in(
     let mut pops: u64 = 0;
     while let Some(Reverse((dk, x, y, axis))) = s.heap.pop() {
         pops += 1;
+        if pops & 0x3FF == 0 {
+            ROUTE_OVERFLOW.check();
+        }
         let g = GcellPos::new(x, y);
         let d = s.dist[idx(g)][axis as usize];
         if dk > key(d) {
@@ -1072,6 +1080,7 @@ pub fn finalize_route_with(
         // (and cheap) superset for the incremental-STA dirty handoff.
         let mut ripped = vec![false; n_nets];
         for round in 0..RRR_ROUNDS {
+            ROUTE_OVERFLOW.check();
             // One-pass overflow census: round scoring and victim scanning
             // test membership here instead of re-deriving scaled usage per
             // victim segment cell.

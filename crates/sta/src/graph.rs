@@ -438,6 +438,11 @@ pub fn analyze_incremental(
     })
 }
 
+/// Injection point covering incremental timing: checked on entry and every
+/// 256 forward-cone relaxations (the STA-side granularity of the
+/// cooperative eval deadline).
+static STA_DIVERGE: faults::Point = faults::Point::new("sta.diverge");
+
 #[allow(clippy::too_many_arguments)]
 fn analyze_incremental_inner(
     graph: &TimingGraph,
@@ -449,6 +454,7 @@ fn analyze_incremental_inner(
     dirty_nets: Option<&[NetId]>,
 ) -> TimingReport {
     use std::collections::BTreeSet;
+    STA_DIVERGE.check();
     let design = layout.design();
     let clock = design.clock;
     let period = design.constraints.clock_period;
@@ -541,7 +547,12 @@ fn analyze_incremental_inner(
         }
     }
     let mut arr_changed: BTreeSet<u32> = BTreeSet::new();
+    let mut fwd_steps: u64 = 0;
     while let Some((_, cidx)) = fwd.pop_first() {
+        fwd_steps += 1;
+        if fwd_steps & 0xFF == 0 {
+            STA_DIVERGE.check();
+        }
         let cid = CellId(cidx);
         let cell = design.cell(cid);
         let mut in_arrival = 0.0f64;
