@@ -17,10 +17,13 @@
 //!   explore run.
 //! - `--smoke` runs a small exploration twice — telemetry enabled and
 //!   disabled — checks the two produce bit-identical results, prints the
-//!   wall-clock delta, asserts the enabled overhead stays under 5 %, and
-//!   finishes with a kill/resume drill (halt after generation 1, resume
-//!   from the checkpoint, demand a bit-identical result). No JSON is
-//!   written in smoke mode.
+//!   wall-clock delta, asserts the enabled overhead stays under 5 %,
+//!   asserts the incremental STA actually took its clean-hit/frontier
+//!   fast paths, re-runs with the routing thread bound at 1 and 4 to pin
+//!   serial-vs-threaded Phase B bit-identity, and finishes with a
+//!   kill/resume drill (halt after generation 1, resume from the
+//!   checkpoint, demand a bit-identical result). No JSON is written in
+//!   smoke mode.
 //! - `--resume` continues the instrumented explore run from the last
 //!   checkpoint instead of starting over.
 //!
@@ -98,15 +101,23 @@ fn replay(
         }
         let next = AtomicUsize::new(0);
         let threads = threads.max(1).min(batch.len());
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(p) = batch.get(i) else { break };
-                    std::hint::black_box(eval(p));
-                });
-            }
-        });
+        let worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(p) = batch.get(i) else { break };
+            std::hint::black_box(eval(p));
+        };
+        if threads == 1 {
+            // Mirror `nsga2::evaluate_all`: a single worker runs inline so
+            // the thread-local maze/STA scratch stays warm across
+            // generations instead of being re-allocated per scope thread.
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(worker);
+                }
+            });
+        }
     }
     t0.elapsed().as_secs_f64()
 }
@@ -114,37 +125,48 @@ fn replay(
 /// The curated per-phase walls and cache counters the benchmark tracks,
 /// extracted from the instrumented explore run's telemetry snapshot.
 /// Span totals are leaf-summed, so worker-thread spans (whose root is the
-/// worker, not the enclosing phase) are included.
-fn phase_summary(t: &gdsii_guard::obs::MetricsSnapshot) -> ggjson::Json {
+/// worker, not the enclosing phase) are included. Checkpoint cost lives at
+/// the report's top level only — it is bookkeeping, not an eval phase.
+fn phase_summary(t: &gdsii_guard::obs::MetricsSnapshot, evaluations: u64) -> ggjson::Json {
     let secs = |leaf: &str| t.span_total_nanos(leaf) as f64 / 1e9;
+    let phase_a = secs("route.phase_a") + secs("route.phase_a_patch");
+    let phase_b = secs("route.phase_b");
+    let inc_sta = secs("sta.incremental");
+    let lda = secs("lda.eco_place");
+    let eco2 = secs("eco.phase2");
+    // Throughput each phase alone would sustain (evaluations divided by
+    // that phase's wall): the phase with the smallest number is the one
+    // gating overall evals/s. 0 means the phase never ran.
+    let per_eval = |wall: f64| {
+        ggjson::Json::Num(if wall > 0.0 {
+            evaluations as f64 / wall
+        } else {
+            0.0
+        })
+    };
     ggjson::Json::Obj(vec![
         (
             "baseline_implement_secs".into(),
             ggjson::Json::Num(secs("baseline.implement")),
         ),
-        (
-            "phase_a_route_secs".into(),
-            ggjson::Json::Num(secs("route.phase_a") + secs("route.phase_a_patch")),
-        ),
-        (
-            "phase_b_rrr_secs".into(),
-            ggjson::Json::Num(secs("route.phase_b")),
-        ),
-        (
-            "incremental_sta_secs".into(),
-            ggjson::Json::Num(secs("sta.incremental")),
-        ),
+        ("phase_a_route_secs".into(), ggjson::Json::Num(phase_a)),
+        ("phase_b_rrr_secs".into(), ggjson::Json::Num(phase_b)),
+        ("incremental_sta_secs".into(), ggjson::Json::Num(inc_sta)),
         (
             "nsga2_generation_secs".into(),
             ggjson::Json::Num(secs("nsga2.generation")),
         ),
+        ("lda_eco_place_secs".into(), ggjson::Json::Num(lda)),
+        ("eco_phase2_secs".into(), ggjson::Json::Num(eco2)),
         (
-            "lda_eco_place_secs".into(),
-            ggjson::Json::Num(secs("lda.eco_place")),
-        ),
-        (
-            "eco_phase2_secs".into(),
-            ggjson::Json::Num(secs("eco.phase2")),
+            "evals_per_sec".into(),
+            ggjson::Json::Obj(vec![
+                ("phase_a_route".into(), per_eval(phase_a)),
+                ("phase_b_rrr".into(), per_eval(phase_b)),
+                ("incremental_sta".into(), per_eval(inc_sta)),
+                ("lda_eco_place".into(), per_eval(lda)),
+                ("eco_phase2".into(), per_eval(eco2)),
+            ]),
         ),
         (
             "eco_compaction_fallbacks".into(),
@@ -159,9 +181,24 @@ fn phase_summary(t: &gdsii_guard::obs::MetricsSnapshot) -> ggjson::Json {
             ggjson::Json::Num(t.counter("eval.cache_misses") as f64),
         ),
         (
+            "eval_memo_hits".into(),
+            ggjson::Json::Num(t.counter("eval.memo_hits") as f64),
+        ),
+        (
             "sta_clean_hits".into(),
             ggjson::Json::Num(t.counter("sta.clean_hits") as f64),
         ),
+        (
+            "sta_cone_nets".into(),
+            ggjson::Json::Num(t.counter("sta.cone_nets") as f64),
+        ),
+        (
+            "sta_early_exits".into(),
+            ggjson::Json::Num(t.counter("sta.early_exits") as f64),
+        ),
+        // Retired with the dense fallback (PR 6): the counter no longer
+        // exists, so this reads 0 — kept so perf-curve tooling diffing
+        // successive reports sees the drop instead of a vanished key.
         (
             "sta_cone_fallbacks".into(),
             ggjson::Json::Num(t.counter("sta.cone_fallbacks") as f64),
@@ -169,14 +206,6 @@ fn phase_summary(t: &gdsii_guard::obs::MetricsSnapshot) -> ggjson::Json {
         (
             "rrr_rounds".into(),
             ggjson::Json::Num(t.counter("rrr.rounds") as f64),
-        ),
-        (
-            "checkpoint_writes".into(),
-            ggjson::Json::Num(t.counter("checkpoint.writes") as f64),
-        ),
-        (
-            "checkpoint_write_secs".into(),
-            ggjson::Json::Num(t.gauge("checkpoint.write_secs").unwrap_or(0.0)),
         ),
         (
             "eval_degraded".into(),
@@ -256,6 +285,42 @@ fn smoke() {
         "telemetry-enabled wall exceeds the 5 % overhead budget: {:+.2} %",
         delta * 100.0
     );
+
+    // The incremental STA must actually take its fast paths during the
+    // smoke exploration — a refactor that silently routes everything
+    // through a slow path would leave the bench measuring dead code.
+    // Skipped under GG_FAULTS: an armed drill legitimately degrades every
+    // incremental evaluation to the full re-eval path.
+    if std::env::var_os("GG_FAULTS").is_none() {
+        let sta_fast = telemetry.counter("sta.clean_hits") + telemetry.counter("sta.cone_nets");
+        assert!(
+            sta_fast > 0,
+            "incremental STA never took the clean-hit or frontier path during smoke"
+        );
+        println!(
+            "smoke: sta fast paths live ({} clean hits, {} frontier nets, {} early exits)",
+            telemetry.counter("sta.clean_hits"),
+            telemetry.counter("sta.cone_nets"),
+            telemetry.counter("sta.early_exits"),
+        );
+    }
+
+    // Region-parallel Phase B must be bit-identical at any routing thread
+    // bound — serial vs threaded rip-up-and-reroute may not steer results.
+    let with_route_threads = |n: usize| {
+        route::set_parallelism(n);
+        let r = run();
+        route::set_parallelism(0);
+        r
+    };
+    let serial = with_route_threads(1);
+    let threaded = with_route_threads(4);
+    assert_eq!(
+        ggjson::to_string_pretty(&serial),
+        ggjson::to_string_pretty(&threaded),
+        "region-parallel Phase B diverged from the serial router"
+    );
+    println!("smoke: route threads 1 vs 4 bit-identical");
 
     // Regression gate on the gap-indexed legalizer: eco.phase2 across the
     // whole smoke exploration must stay within budget. The index-backed
@@ -371,16 +436,35 @@ fn main() {
         best
     };
 
+    // Incremental path: fresh engine, cold caches on the first repetition,
+    // identical schedule. The evaluation-metrics memo is dropped before
+    // every repetition so each one honestly replays the schedule's
+    // within-run duplicate structure — the recorded minimum is a min over
+    // real replays, never over warm memo lookups from a prior repetition.
+    //
+    // Measured before the full replay on purpose: the full path's ~5k
+    // from-scratch implementations churn the allocator enough that an
+    // identical eval loop run afterwards measures 15-25% slower, and the
+    // incremental path's production environment is right after the
+    // instrumented explore, not after a full-replay burst. The full
+    // baseline runs second and inherits only the incremental replay's
+    // (engine-cached, Arc-shared) far smaller footprint.
+    let engine = EvalEngine::new(&base, &tech);
+    let incremental_replay_wall_secs = {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            engine.reset_metrics_memo();
+            let eval = |p: &EvalPoint| {
+                run_flow_with_unchecked(&engine, &tech, &p.config, p.genome.flow_seed())
+            };
+            best = best.min(replay(&points, threads, eval));
+        }
+        best
+    };
+
     // Full-evaluate path: every candidate re-implements the chip.
     let full_replay_wall_secs =
         measure(&|p: &EvalPoint| run_flow(&base, &tech, &p.config, p.genome.flow_seed()));
-
-    // Incremental path: fresh engine, cold caches on the first repetition,
-    // identical schedule.
-    let engine = EvalEngine::new(&base, &tech);
-    let incremental_replay_wall_secs = measure(&|p: &EvalPoint| {
-        run_flow_with_unchecked(&engine, &tech, &p.config, p.genome.flow_seed())
-    });
     route::set_parallelism(0);
 
     // The replays must agree with the recorded metrics — a corrupted
@@ -422,7 +506,7 @@ fn main() {
     // summary plus the raw snapshot (counters, gauges, histograms, spans).
     let mut j = ggjson::ToJson::to_json(&report);
     if let ggjson::Json::Obj(fields) = &mut j {
-        fields.push(("phases".into(), phase_summary(&telemetry)));
+        fields.push(("phases".into(), phase_summary(&telemetry, evaluations)));
         fields.push((
             "telemetry".into(),
             ggjson::parse(&telemetry.to_json()).expect("obs snapshot JSON parses"),

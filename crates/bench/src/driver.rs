@@ -12,11 +12,20 @@ use tech::Technology;
 /// incremental [`gdsii_guard::pipeline::EvalEngine`] keeps this cheap —
 /// operator edits and Phase-A plans amortize across the run, so the
 /// twelve-design sweep still finishes in minutes.
+///
+/// `threads` stays on auto (0 = the machine's available parallelism):
+/// candidate evaluation is CPU-bound, so spawning more workers than
+/// hardware threads only adds queue contention and preemption stalls —
+/// on a single-core runner a pinned 8-worker replay measured ~1.7x
+/// slower than the same replay sized to the machine. Routing still gets
+/// at least two region workers per evaluation via
+/// [`route::budget_for_workers`], so the region-parallel Phase B path is
+/// exercised (and timed) everywhere.
 pub const GG_GA_PARAMS: Nsga2Params = Nsga2Params::builder()
     .population(24)
     .generations(128)
     .seed(0x6D51)
-    .threads(8)
+    .threads(0)
     .build();
 
 /// Metrics of one defense applied to one design.

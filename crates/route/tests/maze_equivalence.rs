@@ -1,0 +1,46 @@
+//! Proptest oracle pinning the radix bucket frontier to the reference
+//! binary heap: on random grids, congestion blobs, windows, and penalty
+//! escalations, both frontiers must drive the shared maze search body to
+//! the identical path — the packed-entry order is the old heap's
+//! tie-break order, so any divergence is a frontier bug, not a tie.
+
+use geom::GcellPos;
+use layout::Floorplan;
+use proptest::prelude::*;
+use route::{RouteGrid, GCELL_H_ROWS, GCELL_W_SITES};
+use tech::{RouteRule, Technology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bucket_frontier_matches_binary_heap(
+        dims in (2u32..40, 2u32..24),
+        blobs in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), 2usize..=10, 1i64..4000),
+            0..40,
+        ),
+        ends in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        round in 0i32..5,
+        wide in any::<bool>(),
+    ) {
+        let tech = Technology::nangate45_like();
+        let rule = if wide {
+            RouteRule::uniform(1.5)
+        } else {
+            RouteRule::default()
+        };
+        let fp = Floorplan::new(dims.1 * GCELL_H_ROWS, dims.0 * GCELL_W_SITES);
+        let mut grid = RouteGrid::new(&fp, &tech, &rule);
+        for (x, y, m, q) in blobs {
+            grid.add_quanta(m, GcellPos::new(x % grid.nx(), y % grid.ny()), q);
+        }
+        let a = GcellPos::new(ends.0 % grid.nx(), ends.1 % grid.ny());
+        let b = GcellPos::new(ends.2 % grid.nx(), ends.3 % grid.ny());
+        // The penalty schedule rip-up-and-reroute actually escalates with.
+        let penalty = 3.0f64.powi(round + 1);
+        let dial = route::maze_route_dial_for_tests(&grid, a, b, penalty);
+        let heap = route::maze_route_heap_for_tests(&grid, a, b, penalty);
+        prop_assert_eq!(dial, heap, "{:?} -> {:?} penalty {}", a, b, penalty);
+    }
+}

@@ -1,8 +1,6 @@
 //! Exploitable-region extraction and the ERsites / ERtracks security
 //! metrics (Definition 2.2 of the paper).
 
-use std::collections::HashMap;
-
 use geom::{Dbu, GcellPos, Interval, SitePos};
 use layout::Layout;
 use netlist::CellId;
@@ -82,11 +80,10 @@ impl Dsu {
     }
 }
 
-/// Merges a sorted interval list in place.
-fn merge_intervals(mut ivs: Vec<Interval>) -> Vec<Interval> {
-    ivs.sort_unstable();
-    let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
-    for iv in ivs {
+/// Merges the sorted intervals of `src` into `out` (cleared first).
+fn merge_sorted_into(src: &[Interval], out: &mut Vec<Interval>) {
+    out.clear();
+    for &iv in src {
         if let Some(last) = out.last_mut() {
             if iv.lo <= last.hi {
                 last.hi = last.hi.max(iv.hi);
@@ -95,7 +92,6 @@ fn merge_intervals(mut ivs: Vec<Interval>) -> Vec<Interval> {
         }
         out.push(iv);
     }
-    out
 }
 
 /// Extracts the exploitable regions of a layout and computes ERsites and
@@ -124,33 +120,82 @@ pub fn analyze_regions(
         .collect();
 
     // Vertices: exploitable runs clipped to the distance mask, per row.
+    //
+    // A center's site-column interval `[lo, hi)` does not depend on the
+    // row — only its *activity* does, and `|p.y - row_y| <= d` with
+    // `row_y = row * SITE_H + SITE_H / 2` makes each center active on one
+    // contiguous band of rows. Sweeping band entry/exit events therefore
+    // replaces the per-row rescan of every center, and the merged mask is
+    // rebuilt (into reused buffers) only on rows where membership
+    // changes — the dominant cost of this pass on dense critical sets.
+    // The rebuilt mask is what the rescan would have produced, so the
+    // vertex list is unchanged.
+    let rows = fp.rows() as usize;
+    let half = SITE_H / 2;
+    let mut starts: Vec<Vec<u32>> = vec![Vec::new(); rows + 1];
+    let mut ends: Vec<Vec<u32>> = vec![Vec::new(); rows + 1];
+    let mut spans: Vec<Interval> = Vec::with_capacity(centers.len());
+    for (ci, &(p, d)) in centers.iter().enumerate() {
+        let lo = ((p.x - d) / SITE_W).max(0) as u32;
+        let hi = (((p.x + d) / SITE_W) + 1).min(fp.cols() as Dbu) as u32;
+        spans.push(Interval::new(lo, hi));
+        if lo >= hi {
+            continue;
+        }
+        // Active rows: ceil/floor bounds of p.y - d <= row_y <= p.y + d.
+        let r0 = (p.y - d - half + SITE_H - 1).div_euclid(SITE_H).max(0);
+        let r1 = (p.y + d - half).div_euclid(SITE_H).min(rows as Dbu - 1);
+        if r0 > r1 {
+            continue;
+        }
+        starts[r0 as usize].push(ci as u32);
+        ends[r1 as usize + 1].push(ci as u32);
+    }
     let mut vertices: Vec<(u32, Interval)> = Vec::new();
-    let mut row_start: Vec<usize> = Vec::with_capacity(fp.rows() as usize + 1);
+    let mut row_start: Vec<usize> = Vec::with_capacity(rows + 1);
+    let mut active = vec![false; centers.len()];
+    let mut raw: Vec<Interval> = Vec::new();
+    let mut mask: Vec<Interval> = Vec::new();
+    let mut runs: Vec<Interval> = Vec::new();
     for row in 0..fp.rows() {
         row_start.push(vertices.len());
-        let row_y = row as Dbu * SITE_H + SITE_H / 2;
-        let mut mask: Vec<Interval> = Vec::new();
-        for &(p, d) in &centers {
-            if (p.y - row_y).abs() > d {
-                continue;
+        let r = row as usize;
+        if !starts[r].is_empty() || !ends[r].is_empty() {
+            for &ci in &ends[r] {
+                active[ci as usize] = false;
             }
-            let lo = ((p.x - d) / SITE_W).max(0) as u32;
-            let hi = (((p.x + d) / SITE_W) + 1).min(fp.cols() as Dbu) as u32;
-            if lo < hi {
-                mask.push(Interval::new(lo, hi));
+            for &ci in &starts[r] {
+                active[ci as usize] = true;
             }
+            raw.clear();
+            raw.extend(
+                active
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &a)| a)
+                    .map(|(ci, _)| spans[ci]),
+            );
+            raw.sort_unstable();
+            merge_sorted_into(&raw, &mut mask);
         }
         if mask.is_empty() {
             continue;
         }
-        let mask = merge_intervals(mask);
-        for run in occ.exploitable_runs(row) {
-            for m in &mask {
-                if let Some(clip) = run.intersection(m) {
-                    if !clip.is_empty() {
-                        vertices.push((row, clip));
-                    }
+        occ.exploitable_runs_into(row, &mut runs);
+        // Runs and mask are both sorted and disjoint, so a two-pointer
+        // merge visits each clipped pair once; the emitted clips match
+        // the nested run-by-mask scan in value and in order.
+        let (mut i, mut j) = (0, 0);
+        while i < runs.len() && j < mask.len() {
+            if let Some(clip) = runs[i].intersection(&mask[j]) {
+                if !clip.is_empty() {
+                    vertices.push((row, clip));
                 }
+            }
+            if runs[i].hi <= mask[j].hi {
+                i += 1;
+            } else {
+                j += 1;
             }
         }
     }
@@ -177,19 +222,31 @@ pub fn analyze_regions(
         }
     }
 
-    // Group into components and filter by weight.
-    let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
-    for i in 0..vertices.len() {
-        groups.entry(dsu.find(i as u32)).or_default().push(i);
+    // Group into components and filter by weight. Vertices were emitted
+    // in (row, interval) order, so bucketing indices by DSU root keeps
+    // each component's member list sorted as it is built — no hash map,
+    // no per-component collect-and-sort.
+    let n = vertices.len();
+    let mut root = vec![0u32; n];
+    let mut root_sites = vec![0u64; n];
+    for (i, r) in root.iter_mut().enumerate() {
+        *r = dsu.find(i as u32);
+        root_sites[*r as usize] += vertices[i].1.len() as u64;
     }
     let mut regions: Vec<Region> = Vec::new();
-    for (_, members) in groups {
-        let sites: u64 = members.iter().map(|&i| vertices[i].1.len() as u64).sum();
-        if sites >= thresh as u64 {
-            let mut rows: Vec<(u32, Interval)> = members.iter().map(|&i| vertices[i]).collect();
-            rows.sort_unstable();
-            regions.push(Region { sites, rows });
+    let mut slot = vec![u32::MAX; n];
+    for (i, &r) in root.iter().enumerate() {
+        if root_sites[r as usize] < thresh as u64 {
+            continue;
         }
+        if slot[r as usize] == u32::MAX {
+            slot[r as usize] = regions.len() as u32;
+            regions.push(Region {
+                sites: root_sites[r as usize],
+                rows: Vec::new(),
+            });
+        }
+        regions[slot[r as usize] as usize].rows.push(vertices[i]);
     }
     regions.sort_by_key(|r| (std::cmp::Reverse(r.sites), r.rows.first().copied()));
     let er_sites: u64 = regions.iter().map(|r| r.sites).sum();
@@ -344,14 +401,96 @@ mod tests {
         assert!(lax.regions.iter().all(|r| r.sites >= 4));
     }
 
+    /// The per-row center rescan that the event sweep replaced, kept as
+    /// the oracle for the sweep's vertex set: every row's mask is rebuilt
+    /// from scratch by testing each center against the row.
+    fn rescan_vertices(
+        layout: &Layout,
+        timing: &TimingReport,
+        tech: &Technology,
+    ) -> Vec<(u32, Interval)> {
+        let distances = exploitable_distances(layout, timing, tech);
+        let fp = layout.floorplan();
+        let occ = layout.occupancy();
+        let centers: Vec<(geom::Point, Dbu)> = distances
+            .iter()
+            .filter(|(_, d)| *d > 0)
+            .map(|&(c, d)| (layout.cell_center(c, tech), d))
+            .collect();
+        let mut vertices = Vec::new();
+        for row in 0..fp.rows() {
+            let row_y = row as Dbu * SITE_H + SITE_H / 2;
+            let mut mask: Vec<Interval> = Vec::new();
+            for &(p, d) in &centers {
+                if (p.y - row_y).abs() > d {
+                    continue;
+                }
+                let lo = ((p.x - d) / SITE_W).max(0) as u32;
+                let hi = (((p.x + d) / SITE_W) + 1).min(fp.cols() as Dbu) as u32;
+                if lo < hi {
+                    mask.push(Interval::new(lo, hi));
+                }
+            }
+            if mask.is_empty() {
+                continue;
+            }
+            mask.sort_unstable();
+            let mut merged = Vec::new();
+            merge_sorted_into(&mask, &mut merged);
+            for run in occ.exploitable_runs(row) {
+                for m in &merged {
+                    if let Some(clip) = run.intersection(m) {
+                        if !clip.is_empty() {
+                            vertices.push((row, clip));
+                        }
+                    }
+                }
+            }
+        }
+        vertices
+    }
+
+    #[test]
+    fn sweep_mask_matches_per_row_rescan() {
+        for (pf, util) in [(1.4, 0.6), (0.9, 0.8), (1.1, 0.4)] {
+            let (tech, layout, routing, a) = analyzed(pf, util);
+            let timing = sta::analyze(&layout, &routing, &tech);
+            let oracle = rescan_vertices(&layout, &timing, &tech);
+            let mut from_regions: Vec<(u32, Interval)> = a
+                .regions
+                .iter()
+                .flat_map(|r| r.rows.iter().copied())
+                .collect();
+            from_regions.sort_unstable();
+            // Region rows are the threshold-surviving subset of the vertex
+            // set, so every one must appear verbatim in the oracle scan.
+            let mut oracle_sorted = oracle.clone();
+            oracle_sorted.sort_unstable();
+            for v in &from_regions {
+                assert!(
+                    oracle_sorted.binary_search(v).is_ok(),
+                    "sweep produced a vertex the rescan never saw: {v:?}"
+                );
+            }
+            // And the total exploitable weight must match exactly: the
+            // sweep found neither more nor fewer exploitable sites.
+            let lax = analyze_regions(&layout, &routing, &timing, &tech, 1);
+            let oracle_sites: u64 = oracle.iter().map(|(_, iv)| iv.len() as u64).sum();
+            assert_eq!(lax.er_sites, oracle_sites);
+        }
+    }
+
     #[test]
     fn merge_intervals_collapses_overlaps() {
-        let merged = merge_intervals(vec![
+        let mut ivs = vec![
             Interval::new(5, 9),
             Interval::new(0, 3),
             Interval::new(8, 12),
             Interval::new(3, 4),
-        ]);
+        ];
+        ivs.sort_unstable();
+        let mut merged = Vec::new();
+        merge_sorted_into(&ivs, &mut merged);
         assert_eq!(merged, vec![Interval::new(0, 4), Interval::new(5, 12)]);
     }
 }

@@ -46,23 +46,26 @@ pub fn analyze(layout: &Layout, routing: &RoutingState, tech: &Technology) -> Ti
 struct StaMetrics {
     /// Incremental analyses satisfied from the base report (no RC moved).
     clean_hits: obs::Counter,
-    /// Incremental analyses that fell back to the from-scratch pass
-    /// because the edit touched too many nets for cone propagation to pay.
-    cone_fallbacks: obs::Counter,
-    /// Nets re-propagated through the cone machinery.
+    /// Nets re-propagated through the frontier machinery.
     cone_nets: obs::Counter,
     /// Nets the RC diff never inspected because a caller-supplied
     /// `dirty_nets` list proved them untouched.
     diff_skipped: obs::Counter,
+    /// Cells the forward frontier actually re-evaluated, per call.
+    frontier_len: obs::Histogram,
+    /// Re-evaluated cells whose output arrival came out unchanged — the
+    /// frontier stopped growing through them (converged early).
+    early_exits: obs::Counter,
 }
 
 fn metrics() -> &'static StaMetrics {
     static METRICS: std::sync::OnceLock<StaMetrics> = std::sync::OnceLock::new();
     METRICS.get_or_init(|| StaMetrics {
         clean_hits: obs::counter("sta.clean_hits"),
-        cone_fallbacks: obs::counter("sta.cone_fallbacks"),
         cone_nets: obs::counter("sta.cone_nets"),
         diff_skipped: obs::counter("sta.diff_skipped"),
+        frontier_len: obs::histogram("sta.frontier_len"),
+        early_exits: obs::counter("sta.early_exits"),
     })
 }
 
@@ -306,6 +309,24 @@ pub struct TimingGraph {
     ff_endpoint_idx: Vec<usize>,
     /// Index where `PrimaryOutput` endpoints start in the slack vector.
     po_endpoint_base: usize,
+    /// Deepest combinational level (-1 when the design has no
+    /// combinational cells); bounds the frontier scratch's bucket count.
+    max_level: i32,
+    /// Per cell: intrinsic gate delay in ps (0 for untimed cells).
+    /// Flattened out of the library so the propagation loops read one
+    /// array instead of chasing `cell -> kind -> library` pointers.
+    delay_intrinsic: Vec<f64>,
+    /// Per cell: drive resistance term of the linear delay model (ps/fF).
+    delay_drive: Vec<f64>,
+    /// Per cell: setup time in ps (0 for non-sequential cells).
+    setup: Vec<f64>,
+    /// Per cell: driven net id (`u32::MAX` when the cell has no output).
+    cell_output: Vec<u32>,
+    /// CSR offsets into [`cell_in_nets`](Self::cell_in_nets), one slot
+    /// per cell plus a tail.
+    cell_in_off: Vec<u32>,
+    /// Flattened per-cell input net ids (all cells, in cell order).
+    cell_in_nets: Vec<u32>,
 }
 
 impl TimingGraph {
@@ -319,9 +340,19 @@ impl TimingGraph {
         let mut driver_cell: Vec<Option<CellId>> = vec![None; n_nets];
         let mut incident_cells: Vec<Vec<CellId>> = vec![Vec::new(); n_nets];
         let mut ff_endpoint_idx = vec![usize::MAX; n_cells];
+        let mut delay_intrinsic = vec![0.0; n_cells];
+        let mut delay_drive = vec![0.0; n_cells];
+        let mut setup = vec![0.0; n_cells];
+        let mut cell_output = vec![u32::MAX; n_cells];
         let mut n_ff = 0usize;
         for (cid, cell) in design.cells_iter() {
             let kind = tech.library.kind(cell.kind);
+            delay_intrinsic[cid.0 as usize] = kind.intrinsic;
+            delay_drive[cid.0 as usize] = kind.drive_res;
+            setup[cid.0 as usize] = kind.setup;
+            if let Some(out) = cell.output {
+                cell_output[cid.0 as usize] = out.0;
+            }
             if kind.is_filler() {
                 continue;
             }
@@ -393,6 +424,18 @@ impl TimingGraph {
                 None => -1,
             })
             .collect();
+        let max_level = level.iter().copied().max().unwrap_or(-1);
+
+        // Flatten the per-cell input lists: the propagation loops walk
+        // them for every frontier visit, and a CSR keeps those walks on
+        // two contiguous arrays.
+        let mut cell_in_off = Vec::with_capacity(n_cells + 1);
+        let mut cell_in_nets = Vec::new();
+        cell_in_off.push(0u32);
+        for (_, cell) in design.cells_iter() {
+            cell_in_nets.extend(cell.inputs.iter().map(|n| n.0));
+            cell_in_off.push(cell_in_nets.len() as u32);
+        }
 
         Self {
             level,
@@ -404,6 +447,134 @@ impl TimingGraph {
             incident_cells,
             ff_endpoint_idx,
             po_endpoint_base: n_ff,
+            max_level,
+            delay_intrinsic,
+            delay_drive,
+            setup,
+            cell_output,
+            cell_in_off,
+            cell_in_nets,
+        }
+    }
+}
+
+impl TimingGraph {
+    /// The input net ids of `cell`, from the flattened CSR.
+    #[inline]
+    fn cell_inputs(&self, cell: u32) -> &[u32] {
+        let ci = cell as usize;
+        &self.cell_in_nets[self.cell_in_off[ci] as usize..self.cell_in_off[ci + 1] as usize]
+    }
+}
+
+/// Reusable per-thread scratch for frontier propagation: level-bucketed
+/// pending queues with generation-stamped membership, mirroring the
+/// router's `MazeScratch`. Stamp planes and buckets are allocated once per
+/// thread and grow monotonically; bumping the generation invalidates every
+/// stamped membership in O(1), so a re-analysis touches only memory
+/// proportional to its frontier, never to the design.
+#[derive(Default)]
+struct StaScratch {
+    /// Current generation; a stamp equal to this marks live membership.
+    generation: u32,
+    /// Per cell: queued into `fwd_buckets` this generation.
+    cell_stamp: Vec<u32>,
+    /// Per cell: per-cell slack already repatched this generation.
+    touch_stamp: Vec<u32>,
+    /// Per net: queued into `bwd_buckets` this generation.
+    net_stamp: Vec<u32>,
+    /// Per net: arrival rewritten this generation.
+    arr_stamp: Vec<u32>,
+    /// Per net: required time rewritten this generation.
+    req_stamp: Vec<u32>,
+    /// Pending combinational cells, bucketed by topological level.
+    fwd_buckets: Vec<Vec<u32>>,
+    /// Pending nets, bucketed by combinational-driver level + 1.
+    bwd_buckets: Vec<Vec<u32>>,
+    /// Nets whose arrival was rewritten, in rewrite order.
+    arr_changed: Vec<u32>,
+    /// Nets whose required time was rewritten, in rewrite order.
+    req_changed: Vec<u32>,
+}
+
+impl StaScratch {
+    /// Opens a new generation sized for `n_cells`/`n_nets`/`n_levels`.
+    fn begin(&mut self, n_cells: usize, n_nets: usize, n_levels: usize) {
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Generation wrapped: flush every stamp so stale entries
+                // from ~4 billion analyses ago cannot alias the new one.
+                self.cell_stamp.iter_mut().for_each(|s| *s = 0);
+                self.touch_stamp.iter_mut().for_each(|s| *s = 0);
+                self.net_stamp.iter_mut().for_each(|s| *s = 0);
+                self.arr_stamp.iter_mut().for_each(|s| *s = 0);
+                self.req_stamp.iter_mut().for_each(|s| *s = 0);
+                1
+            }
+        };
+        if self.cell_stamp.len() < n_cells {
+            self.cell_stamp.resize(n_cells, 0);
+            self.touch_stamp.resize(n_cells, 0);
+        }
+        if self.net_stamp.len() < n_nets {
+            self.net_stamp.resize(n_nets, 0);
+            self.arr_stamp.resize(n_nets, 0);
+            self.req_stamp.resize(n_nets, 0);
+        }
+        if self.fwd_buckets.len() < n_levels {
+            self.fwd_buckets.resize_with(n_levels, Vec::new);
+        }
+        if self.bwd_buckets.len() < n_levels + 1 {
+            self.bwd_buckets.resize_with(n_levels + 1, Vec::new);
+        }
+        self.arr_changed.clear();
+        self.req_changed.clear();
+        // The passes drain their buckets as they run, but a fault-injection
+        // panic can unwind mid-pass and leave residue for the next call.
+        for b in &mut self.fwd_buckets {
+            b.clear();
+        }
+        for b in &mut self.bwd_buckets {
+            b.clear();
+        }
+    }
+}
+
+thread_local! {
+    static STA_SCRATCH: std::cell::RefCell<StaScratch> =
+        std::cell::RefCell::new(StaScratch::default());
+}
+
+/// Queues a combinational cell for forward re-evaluation (no-op for
+/// untimed cells or cells already queued this generation).
+fn push_fwd(s: &mut StaScratch, graph: &TimingGraph, c: u32) {
+    let lv = graph.level[c as usize];
+    if lv >= 0 && s.cell_stamp[c as usize] != s.generation {
+        s.cell_stamp[c as usize] = s.generation;
+        s.fwd_buckets[lv as usize].push(c);
+    }
+}
+
+/// Queues a net for backward required-time recomputation (no-op when
+/// already queued this generation).
+fn push_bwd(s: &mut StaScratch, graph: &TimingGraph, n: u32) {
+    if s.net_stamp[n as usize] != s.generation {
+        s.net_stamp[n as usize] = s.generation;
+        let b = (graph.net_driver_level[n as usize] + 1) as usize;
+        s.bwd_buckets[b].push(n);
+    }
+}
+
+/// A net's driver reads its own load when computing gate delay, so a load
+/// change shifts the required times of the driver's *input* nets: queue
+/// them all.
+fn seed_driver_inputs(s: &mut StaScratch, graph: &TimingGraph, design: &Design, n: u32) {
+    if let Some(d) = graph.driver_cell[n as usize] {
+        if graph.level[d.0 as usize] >= 0 {
+            for &inp in &design.cell(d).inputs {
+                push_bwd(s, graph, inp.0);
+            }
         }
     }
 }
@@ -453,7 +624,6 @@ fn analyze_incremental_inner(
     tech: &Technology,
     dirty_nets: Option<&[NetId]>,
 ) -> TimingReport {
-    use std::collections::BTreeSet;
     STA_DIVERGE.check();
     let design = layout.design();
     let clock = design.clock;
@@ -494,20 +664,10 @@ fn analyze_incremental_inner(
         metrics().clean_hits.incr();
         return base.clone();
     }
-    // Dense edits (an NDR change perturbs every routed net) pay the cone
-    // machinery's worklist overhead for no savings — the from-scratch
-    // pass, which computes the identical result, is cheaper there.
-    if changed_nets.len() * 4 > design.nets.len() {
-        metrics().cone_fallbacks.incr();
-        obs::trace(obs::Topic::Sta, || {
-            format!(
-                "sta: dense edit ({} of {} nets) — from-scratch fallback",
-                changed_nets.len(),
-                design.nets.len(),
-            )
-        });
-        return analyze_inner(layout, routing, tech);
-    }
+    // Even a dense edit (an NDR change perturbs every routed net) stays on
+    // the frontier path: with the cached `TimingGraph` it degenerates to a
+    // levelized full sweep that still skips `analyze_inner`'s re-Kahn and
+    // arrival sort, so no from-scratch fallback threshold is needed.
     metrics().cone_nets.add(changed_nets.len() as u64);
 
     let TimingReport {
@@ -519,169 +679,207 @@ fn analyze_incremental_inner(
         mut wire_delay,
         mut net_load,
     } = base.clone();
-    let mut changed: BTreeSet<u32> = BTreeSet::new();
     for &nid in &changed_nets {
         wire_delay[nid.0 as usize] = wire_delay_ps(design, routing, tech, nid);
         net_load[nid.0 as usize] = net_load_ff(design, routing, tech, nid);
-        changed.insert(nid.0);
     }
+    // Flat-array gate delay: one indexed read per term, no pointer chase
+    // through the cell table and library. Identical expressions to
+    // `CellKind::delay`, so every propagated value is bit-identical.
     let gate_delay = |cell: CellId, net_load: &[f64]| -> f64 {
-        let c = design.cell(cell);
-        let kind = tech.library.kind(c.kind);
-        let load = c.output.map_or(0.0, |o| net_load[o.0 as usize]);
-        kind.delay(load)
+        let ci = cell.0 as usize;
+        let load = match graph.cell_output[ci] {
+            u32::MAX => 0.0,
+            o => net_load[o as usize],
+        };
+        graph.delay_intrinsic[ci] + graph.delay_drive[ci] * load
     };
 
-    // 2. Forward cone: re-evaluate consumers (input arrival terms moved)
-    // and combinational drivers (their gate delay reads the changed load)
-    // in ascending level order; propagate on value change.
-    let mut fwd: BTreeSet<(i32, u32)> = BTreeSet::new();
-    for &n in &changed {
-        for &c in &graph.comb_consumers[n as usize] {
-            fwd.insert((graph.level[c.0 as usize], c.0));
-        }
-        if let Some(d) = graph.driver_cell[n as usize] {
-            if graph.level[d.0 as usize] >= 0 {
-                fwd.insert((graph.level[d.0 as usize], d.0));
+    let n_levels = (graph.max_level + 1) as usize;
+    STA_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let s = &mut *scratch;
+        s.begin(design.cells.len(), design.nets.len(), n_levels);
+
+        // 2. Forward frontier: re-evaluate consumers (input arrival terms
+        // moved) and combinational drivers (their gate delay reads the
+        // changed load) level by level; propagate only while arrivals
+        // actually move. Cells within a level are independent — their
+        // inputs come from strictly lower levels, all finalized before the
+        // level's bucket drains — so bucket order within a level cannot
+        // affect the values written.
+        for &nid in &changed_nets {
+            let n = nid.0 as usize;
+            for &c in &graph.comb_consumers[n] {
+                push_fwd(s, graph, c.0);
+            }
+            if let Some(d) = graph.driver_cell[n] {
+                push_fwd(s, graph, d.0);
             }
         }
-    }
-    let mut arr_changed: BTreeSet<u32> = BTreeSet::new();
-    let mut fwd_steps: u64 = 0;
-    while let Some((_, cidx)) = fwd.pop_first() {
-        fwd_steps += 1;
-        if fwd_steps & 0xFF == 0 {
-            STA_DIVERGE.check();
-        }
-        let cid = CellId(cidx);
-        let cell = design.cell(cid);
-        let mut in_arrival = 0.0f64;
-        for &inp in &cell.inputs {
-            let a = arrival[inp.0 as usize];
-            let a = if a == f64::NEG_INFINITY { 0.0 } else { a };
-            in_arrival = in_arrival.max(a + wire_delay[inp.0 as usize]);
-        }
-        let out_arrival = in_arrival + gate_delay(cid, &net_load);
-        if let Some(out) = cell.output {
-            let o = out.0 as usize;
-            if arrival[o] != out_arrival {
-                arrival[o] = out_arrival;
-                arr_changed.insert(out.0);
-                for &c in &graph.comb_consumers[o] {
-                    fwd.insert((graph.level[c.0 as usize], c.0));
+        let mut fwd_steps: u64 = 0;
+        let mut early_exits: u64 = 0;
+        for lv in 0..n_levels {
+            let bucket = std::mem::take(&mut s.fwd_buckets[lv]);
+            for &cidx in &bucket {
+                fwd_steps += 1;
+                if fwd_steps & 0xFF == 0 {
+                    STA_DIVERGE.check();
+                }
+                let cid = CellId(cidx);
+                let mut in_arrival = 0.0f64;
+                for &inp in graph.cell_inputs(cidx) {
+                    let a = arrival[inp as usize];
+                    let a = if a == f64::NEG_INFINITY { 0.0 } else { a };
+                    in_arrival = in_arrival.max(a + wire_delay[inp as usize]);
+                }
+                let out_arrival = in_arrival + gate_delay(cid, &net_load);
+                if graph.cell_output[cidx as usize] != u32::MAX {
+                    let out = NetId(graph.cell_output[cidx as usize]);
+                    let o = out.0 as usize;
+                    if arrival[o] != out_arrival {
+                        arrival[o] = out_arrival;
+                        if s.arr_stamp[o] != s.generation {
+                            s.arr_stamp[o] = s.generation;
+                            s.arr_changed.push(out.0);
+                        }
+                        // Fanout lives at strictly higher levels, so these
+                        // pushes never land in the bucket being drained.
+                        for &c in &graph.comb_consumers[o] {
+                            push_fwd(s, graph, c.0);
+                        }
+                    } else {
+                        early_exits += 1;
+                    }
                 }
             }
+            let mut bucket = bucket;
+            bucket.clear();
+            s.fwd_buckets[lv] = bucket;
         }
-    }
+        metrics().frontier_len.record(fwd_steps);
+        metrics().early_exits.add(early_exits);
 
-    // 3. Backward cone: pull-recompute each affected net's required time
-    // (the full min over its FF, PO, and combinational-consumer terms) in
-    // descending driver-level order, so every consumer's required time is
-    // final before it is read.
-    let mut bwd: BTreeSet<(i32, u32)> = BTreeSet::new();
-    let seed_driver_inputs = |bwd: &mut BTreeSet<(i32, u32)>, n: u32| {
-        if let Some(d) = graph.driver_cell[n as usize] {
-            if graph.level[d.0 as usize] >= 0 {
-                for &inp in &design.cell(d).inputs {
-                    bwd.insert((graph.net_driver_level[inp.0 as usize], inp.0));
+        // 3. Backward frontier: pull-recompute each affected net's
+        // required time (the full min over its FF, PO, and combinational-
+        // consumer terms) in descending driver-level order, so every
+        // consumer's required time is final before it is read. Pushes from
+        // a draining bucket target strictly lower buckets (a driver's
+        // inputs sit below the driver's own level).
+        for &nid in &changed_nets {
+            push_bwd(s, graph, nid.0);
+            // The driver's gate delay changed with its load, which shifts
+            // the required times of the driver's own inputs.
+            seed_driver_inputs(s, graph, design, nid.0);
+        }
+        for b in (0..n_levels + 1).rev() {
+            let bucket = std::mem::take(&mut s.bwd_buckets[b]);
+            for &nidx in &bucket {
+                let ni = nidx as usize;
+                let mut r = f64::INFINITY;
+                for &ff in &graph.ff_consumers[ni] {
+                    r = r.min((period - graph.setup[ff.0 as usize]) - wire_delay[ni]);
+                }
+                if graph.po_count[ni] > 0 {
+                    r = r.min(period - design.constraints.output_delay);
+                }
+                for &c in &graph.comb_consumers[ni] {
+                    let out = graph.cell_output[c.0 as usize];
+                    if out == u32::MAX {
+                        continue;
+                    }
+                    let r_out = required[out as usize];
+                    if r_out == f64::INFINITY {
+                        continue;
+                    }
+                    r = r.min(r_out - gate_delay(c, &net_load) - wire_delay[ni]);
+                }
+                if required[ni] != r {
+                    required[ni] = r;
+                    if s.req_stamp[ni] != s.generation {
+                        s.req_stamp[ni] = s.generation;
+                        s.req_changed.push(nidx);
+                    }
+                    seed_driver_inputs(s, graph, design, nidx);
                 }
             }
+            let mut bucket = bucket;
+            bucket.clear();
+            s.bwd_buckets[b] = bucket;
         }
-    };
-    for &n in &changed {
-        bwd.insert((graph.net_driver_level[n as usize], n));
-        // The driver's gate delay changed with its load, which shifts the
-        // required times of the driver's own inputs.
-        seed_driver_inputs(&mut bwd, n);
-    }
-    let mut req_changed: BTreeSet<u32> = BTreeSet::new();
-    while let Some((_, nidx)) = bwd.pop_last() {
-        let ni = nidx as usize;
-        let mut r = f64::INFINITY;
-        for &ff in &graph.ff_consumers[ni] {
-            let kind = tech.library.kind(design.cell(ff).kind);
-            r = r.min((period - kind.setup) - wire_delay[ni]);
-        }
-        if graph.po_count[ni] > 0 {
-            r = r.min(period - design.constraints.output_delay);
-        }
-        for &c in &graph.comb_consumers[ni] {
-            let Some(out) = design.cell(c).output else {
-                continue;
-            };
-            let r_out = required[out.0 as usize];
-            if r_out == f64::INFINITY {
-                continue;
-            }
-            r = r.min(r_out - gate_delay(c, &net_load) - wire_delay[ni]);
-        }
-        if required[ni] != r {
-            required[ni] = r;
-            req_changed.insert(nidx);
-            seed_driver_inputs(&mut bwd, nidx);
-        }
-    }
 
-    // 4. Patch endpoint slacks whose inputs moved.
-    for &n in changed.union(&arr_changed) {
-        let ni = n as usize;
-        for &ff in &graph.ff_consumers[ni] {
-            let kind = tech.library.kind(design.cell(ff).kind);
-            let a = arrival[ni];
-            let a = if a == f64::NEG_INFINITY { 0.0 } else { a };
-            let at_pin = a + wire_delay[ni];
-            endpoint_slacks[graph.ff_endpoint_idx[ff.0 as usize]].1 =
-                (period - kind.setup) - at_pin;
-        }
-    }
-    for (i, &po) in design.primary_outputs.iter().enumerate() {
-        if arr_changed.contains(&po.0) {
-            let a = arrival[po.0 as usize];
-            let a = if a == f64::NEG_INFINITY { 0.0 } else { a };
-            endpoint_slacks[graph.po_endpoint_base + i].1 =
-                (period - design.constraints.output_delay) - a;
-        }
-    }
-
-    // 5. Patch per-cell slack around every net whose slack moved.
-    let slack_of = |net: usize, arrival: &[f64], required: &[f64]| -> f64 {
-        let a = arrival[net];
-        let r = required[net];
-        if a == f64::NEG_INFINITY || r == f64::INFINITY {
-            f64::INFINITY
-        } else {
-            r - a
-        }
-    };
-    let mut touched: BTreeSet<u32> = BTreeSet::new();
-    for &n in arr_changed.union(&req_changed) {
-        for &c in &graph.incident_cells[n as usize] {
-            touched.insert(c.0);
-        }
-    }
-    for &cidx in &touched {
-        let cell = design.cell(CellId(cidx));
-        let mut s = f64::INFINITY;
-        for &inp in &cell.inputs {
-            if Some(inp) != clock {
-                s = s.min(slack_of(inp.0 as usize, &arrival, &required));
+        // 4. Patch endpoint slacks whose inputs moved. A net present in
+        // both lists is patched twice with the identical value.
+        for n in changed_nets
+            .iter()
+            .map(|nid| nid.0)
+            .chain(s.arr_changed.iter().copied())
+        {
+            let ni = n as usize;
+            for &ff in &graph.ff_consumers[ni] {
+                let a = arrival[ni];
+                let a = if a == f64::NEG_INFINITY { 0.0 } else { a };
+                let at_pin = a + wire_delay[ni];
+                endpoint_slacks[graph.ff_endpoint_idx[ff.0 as usize]].1 =
+                    (period - graph.setup[ff.0 as usize]) - at_pin;
             }
         }
-        if let Some(out) = cell.output {
-            s = s.min(slack_of(out.0 as usize, &arrival, &required));
+        for (i, &po) in design.primary_outputs.iter().enumerate() {
+            if s.arr_stamp[po.0 as usize] == s.generation {
+                let a = arrival[po.0 as usize];
+                let a = if a == f64::NEG_INFINITY { 0.0 } else { a };
+                endpoint_slacks[graph.po_endpoint_base + i].1 =
+                    (period - design.constraints.output_delay) - a;
+            }
         }
-        cell_slack[cidx as usize] = s;
-    }
 
-    TimingReport {
-        clock_period,
-        arrival,
-        required,
-        endpoint_slacks,
-        cell_slack,
-        wire_delay,
-        net_load,
-    }
+        // 5. Patch per-cell slack around every net whose slack moved. The
+        // touch stamp dedups; order is irrelevant because each cell's
+        // slack is a pure function of the final arrival/required planes.
+        let slack_of = |net: usize, arrival: &[f64], required: &[f64]| -> f64 {
+            let a = arrival[net];
+            let r = required[net];
+            if a == f64::NEG_INFINITY || r == f64::INFINITY {
+                f64::INFINITY
+            } else {
+                r - a
+            }
+        };
+        let arr_changed = std::mem::take(&mut s.arr_changed);
+        let req_changed = std::mem::take(&mut s.req_changed);
+        for &n in arr_changed.iter().chain(req_changed.iter()) {
+            for &c in &graph.incident_cells[n as usize] {
+                if s.touch_stamp[c.0 as usize] == s.generation {
+                    continue;
+                }
+                s.touch_stamp[c.0 as usize] = s.generation;
+                let mut worst = f64::INFINITY;
+                for &inp in graph.cell_inputs(c.0) {
+                    if Some(NetId(inp)) != clock {
+                        worst = worst.min(slack_of(inp as usize, &arrival, &required));
+                    }
+                }
+                let out = graph.cell_output[c.0 as usize];
+                if out != u32::MAX {
+                    worst = worst.min(slack_of(out as usize, &arrival, &required));
+                }
+                cell_slack[c.0 as usize] = worst;
+            }
+        }
+        // Hand the capacity back for the next generation.
+        s.arr_changed = arr_changed;
+        s.req_changed = req_changed;
+
+        TimingReport {
+            clock_period,
+            arrival,
+            required,
+            endpoint_slacks,
+            cell_slack,
+            wire_delay,
+            net_load,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -4,7 +4,10 @@ use netlist::{CellId, NetId};
 ///
 /// All times are in picoseconds relative to the capturing clock edge at
 /// `clock_period`.
-#[derive(Debug, Clone)]
+///
+/// Equality is exact over every stored plane (no epsilon): it is the
+/// bit-identity oracle the incremental-vs-dense equivalence tests assert.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingReport {
     pub(crate) clock_period: f64,
     /// Arrival time at each net's driver output pin (`f64::NEG_INFINITY`

@@ -1,0 +1,141 @@
+//! Proptest oracle pinning the frontier-driven incremental STA to the
+//! dense from-scratch pass: over random *sequences* of layout edits —
+//! cell moves, flip-flop (clock-net consumer) moves, and NDR rule changes
+//! that perturb the RC of nearly every routed net — each step's
+//! incremental re-analysis must equal `sta::analyze` bit for bit, both
+//! with and without a caller-supplied dirty-net bound.
+
+use std::sync::OnceLock;
+
+use layout::Layout;
+use netlist::{bench, CellId, NetId};
+use proptest::prelude::*;
+use tech::{RouteRule, Technology};
+
+struct Fixture {
+    tech: Technology,
+    layout: Layout,
+    routing: route::RoutingState,
+    report: sta::TimingReport,
+    graph: sta::TimingGraph,
+    /// Movable cells, any kind.
+    movable: Vec<CellId>,
+    /// Movable sequential cells: their clock pins sit on the clock net,
+    /// which every STA path must keep skipping.
+    flops: Vec<CellId>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let tech = Technology::nangate45_like();
+        let mut spec = bench::tiny_spec();
+        spec.period_factor = 0.9; // tight enough that required times bind
+        let design = bench::generate(&spec, &tech);
+        let mut layout = Layout::empty_floorplan(design, &tech, 0.6);
+        place::global_place(&mut layout, &tech, 7);
+        place::refine_wirelength(&mut layout, &tech, 2, 7);
+        let routing = route::route_design(&layout, &tech);
+        let report = sta::analyze(&layout, &routing, &tech);
+        let graph = sta::TimingGraph::new(layout.design(), &tech);
+        let movable: Vec<CellId> = layout
+            .design()
+            .cells_iter()
+            .map(|(id, _)| id)
+            .filter(|&id| !layout.occupancy().is_locked(id))
+            .collect();
+        let flops: Vec<CellId> = layout
+            .design()
+            .cells_iter()
+            .filter(|(_, c)| tech.library.kind(c.kind).is_sequential())
+            .map(|(id, _)| id)
+            .filter(|&id| !layout.occupancy().is_locked(id))
+            .collect();
+        assert!(!movable.is_empty(), "tiny design has movable cells");
+        Fixture {
+            tech,
+            layout,
+            routing,
+            report,
+            graph,
+            movable,
+            flops,
+        }
+    })
+}
+
+/// Moves `cell` to the nearest gap of a pseudo-random target site; a
+/// failed search leaves the layout unchanged (still a valid edit step).
+fn move_cell(layout: &mut Layout, cell: CellId, row_seed: u32, col_seed: u32) {
+    let fp = *layout.floorplan();
+    let Some(w) = layout.occupancy().cell_width(cell) else {
+        return;
+    };
+    let target = geom::SitePos::new(row_seed % fp.rows(), col_seed % fp.cols());
+    let span = fp.rows().max(fp.cols());
+    if let Some(gap) = layout.occupancy().find_gap(w, target, span) {
+        let _ = layout.occupancy_mut().move_cell(cell, gap);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn frontier_incremental_matches_dense_over_edit_sequences(
+        ops in proptest::collection::vec((0u8..=2, any::<u32>(), any::<u32>()), 1..4),
+    ) {
+        let fx = fixture();
+        let mut cur_layout = fx.layout.clone();
+        let mut cur_routing = fx.routing.clone();
+        let mut cur_report = fx.report.clone();
+        for (kind, s1, s2) in ops {
+            let mut edited = cur_layout.clone();
+            match kind {
+                // Move an arbitrary movable cell.
+                0 => {
+                    let c = fx.movable[s1 as usize % fx.movable.len()];
+                    move_cell(&mut edited, c, s2, s1 ^ s2);
+                }
+                // Move a flip-flop: exercises the clock-net skip on both
+                // the RC diff and the frontier seeds.
+                1 if !fx.flops.is_empty() => {
+                    let c = fx.flops[s1 as usize % fx.flops.len()];
+                    move_cell(&mut edited, c, s2, s1 ^ s2);
+                }
+                // NDR rule change: perturbs the RC of (nearly) every
+                // routed net — the dense edit that used to force the
+                // from-scratch fallback.
+                _ => {
+                    let scale = 0.8 + (s1 % 9) as f64 * 0.1;
+                    edited.set_route_rule(RouteRule::uniform(scale));
+                }
+            }
+            let rerouted = route::route_design(&edited, &fx.tech);
+            let full = sta::analyze(&edited, &rerouted, &fx.tech);
+            // Alternate between the unbounded RC diff and a tight
+            // caller-supplied dirty list (sorted by construction).
+            let dirty: Option<Vec<NetId>> = (s2 & 1 == 0).then(|| {
+                edited
+                    .design()
+                    .nets_iter()
+                    .map(|(id, _)| id)
+                    .filter(|&id| rerouted.net_rc(id) != cur_routing.net_rc(id))
+                    .collect()
+            });
+            let inc = sta::analyze_incremental(
+                &fx.graph,
+                &cur_report,
+                &cur_routing,
+                &edited,
+                &rerouted,
+                &fx.tech,
+                dirty.as_deref(),
+            );
+            prop_assert_eq!(&full, &inc, "kind {} dirty {}", kind, dirty.is_some());
+            cur_layout = edited;
+            cur_routing = rerouted;
+            cur_report = full;
+        }
+    }
+}
