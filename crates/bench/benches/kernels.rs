@@ -32,7 +32,10 @@ fn bench_sta_incremental(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("sta_incremental");
     for (name, cfg) in [("cell_shift", &shift), ("rule_change", &widened)] {
-        let snap = apply_flow(&base, &tech, cfg, 7);
+        let snap = FlowRun::new(&base, &tech, cfg)
+            .seed(7)
+            .unchecked()
+            .snapshot();
         group.bench_function(name, |b| {
             b.iter(|| {
                 std::hint::black_box(sta::analyze_incremental(

@@ -19,7 +19,11 @@ fn bench_pipeline(c: &mut Criterion) {
         let base = implement_baseline(&spec, &tech).unwrap();
         group.bench_function(format!("flow_candidate_cs/{name}"), |b| {
             b.iter(|| {
-                std::hint::black_box(run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1))
+                std::hint::black_box(
+                    FlowRun::new(&base, &tech, &FlowConfig::cell_shift_default())
+                        .unchecked()
+                        .metrics(),
+                )
             })
         });
     }
@@ -50,18 +54,35 @@ fn bench_incremental(c: &mut Criterion) {
     group.bench_function("population_full", |b| {
         b.iter(|| {
             for cfg in &cfgs {
-                std::hint::black_box(run_flow(&base, &tech, cfg, 7));
+                std::hint::black_box(
+                    FlowRun::new(&base, &tech, cfg)
+                        .seed(7)
+                        .unchecked()
+                        .metrics(),
+                );
             }
         })
     });
     let engine = EvalEngine::new(&base, &tech);
     for cfg in &cfgs {
-        std::hint::black_box(run_flow_with_unchecked(&engine, &tech, cfg, 7));
+        std::hint::black_box(
+            FlowRun::new(engine.base(), &tech, cfg)
+                .engine(&engine)
+                .seed(7)
+                .unchecked()
+                .metrics(),
+        );
     }
     group.bench_function("population_incremental", |b| {
         b.iter(|| {
             for cfg in &cfgs {
-                std::hint::black_box(run_flow_with_unchecked(&engine, &tech, cfg, 7));
+                std::hint::black_box(
+                    FlowRun::new(engine.base(), &tech, cfg)
+                        .engine(&engine)
+                        .seed(7)
+                        .unchecked()
+                        .metrics(),
+                );
             }
         })
     });

@@ -18,19 +18,22 @@ fn main() {
     let _ba = defenses::apply_ba(&base, &tech);
     println!("ba {:.1}s", t.elapsed().as_secs_f64());
     let t = Instant::now();
-    let m = gdsii_guard::flow::run_flow(&base, &tech, &gdsii_guard::FlowConfig::lda_default(), 1);
+    let m = gdsii_guard::flow::FlowRun::new(&base, &tech, &gdsii_guard::FlowConfig::lda_default())
+        .unchecked()
+        .metrics();
     println!(
         "one LDA eval {:.1}s (sec {:.3})",
         t.elapsed().as_secs_f64(),
         m.security
     );
     let t = Instant::now();
-    let m = gdsii_guard::flow::run_flow(
+    let m = gdsii_guard::flow::FlowRun::new(
         &base,
         &tech,
         &gdsii_guard::FlowConfig::cell_shift_default(),
-        1,
-    );
+    )
+    .unchecked()
+    .metrics();
     println!(
         "one CS eval {:.1}s (sec {:.3})",
         t.elapsed().as_secs_f64(),

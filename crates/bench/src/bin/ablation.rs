@@ -22,16 +22,19 @@ fn main() {
     for name in ["Camellia", "MISTY", "CAST", "openMSP430_2"] {
         let spec = netlist::bench::spec_by_name(name).expect("known");
         let base = implement_baseline(&spec, &tech).unwrap();
-        let cs = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
-        let lda = run_flow(
+        let cs = FlowRun::new(&base, &tech, &FlowConfig::cell_shift_default())
+            .unchecked()
+            .metrics();
+        let lda = FlowRun::new(
             &base,
             &tech,
             &FlowConfig {
                 op: OpSelect::Lda { n: 8, n_iter: 2 },
                 scales: [1.0; 10],
             },
-            1,
-        );
+        )
+        .unchecked()
+        .metrics();
         let timing = if spec.period_factor > 1.0 {
             "loose"
         } else {
@@ -51,10 +54,12 @@ fn main() {
     println!("\n=== Ablation 2: Routing Width Scaling on/off (MISTY, CS placement) ===");
     let spec = netlist::bench::spec_by_name("MISTY").expect("known");
     let base = implement_baseline(&spec, &tech).unwrap();
-    let plain = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
+    let plain = FlowRun::new(&base, &tech, &FlowConfig::cell_shift_default())
+        .unchecked()
+        .metrics();
     let mut cfg = FlowConfig::cell_shift_default();
     cfg.scales = [1.0, 1.5, 1.5, 1.5, 1.5, 1.5, 1.2, 1.2, 1.2, 1.2];
-    let rws = run_flow(&base, &tech, &cfg, 1);
+    let rws = FlowRun::new(&base, &tech, &cfg).unchecked().metrics();
     println!(
         "RWS off: sites {:>6} tracks {:>8.0} tns {:>7.0}",
         plain.er_sites, plain.er_tracks, plain.tns_ps
@@ -84,7 +89,10 @@ fn main() {
     let mut random_feasible = 0usize;
     for _ in 0..budget {
         let g = Genome::random(&mut rng);
-        let m = run_flow(&base, &tech, &g.to_config(), 7);
+        let m = FlowRun::new(&base, &tech, &g.to_config())
+            .seed(7)
+            .unchecked()
+            .metrics();
         if m.feasible(base.power_mw(), base.drc) {
             random_feasible += 1;
             random_best = random_best.min(m.security);

@@ -455,7 +455,11 @@ fn main() {
         for _ in 0..REPS {
             engine.reset_metrics_memo();
             let eval = |p: &EvalPoint| {
-                run_flow_with_unchecked(&engine, &tech, &p.config, p.genome.flow_seed())
+                FlowRun::new(engine.base(), &tech, &p.config)
+                    .engine(&engine)
+                    .seed(p.genome.flow_seed())
+                    .unchecked()
+                    .metrics()
             };
             best = best.min(replay(&points, threads, eval));
         }
@@ -463,15 +467,25 @@ fn main() {
     };
 
     // Full-evaluate path: every candidate re-implements the chip.
-    let full_replay_wall_secs =
-        measure(&|p: &EvalPoint| run_flow(&base, &tech, &p.config, p.genome.flow_seed()));
+    let full_replay_wall_secs = measure(&|p: &EvalPoint| {
+        FlowRun::new(&base, &tech, &p.config)
+            .seed(p.genome.flow_seed())
+            .unchecked()
+            .metrics()
+    });
     route::set_parallelism(0);
 
     // The replays must agree with the recorded metrics — a corrupted
     // benchmark is worse than a slow one.
     let check: Vec<FlowMetrics> = points
         .iter()
-        .map(|p| run_flow_with_unchecked(&engine, &tech, &p.config, p.genome.flow_seed()))
+        .map(|p| {
+            FlowRun::new(engine.base(), &tech, &p.config)
+                .engine(&engine)
+                .seed(p.genome.flow_seed())
+                .unchecked()
+                .metrics()
+        })
         .collect();
     for (p, m) in points.iter().zip(&check) {
         // Quarantined candidates carry penalty metrics by construction, so

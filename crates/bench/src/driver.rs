@@ -106,7 +106,9 @@ fn select_pareto_point(
         })
         .map(|p| p.config.clone())
         .unwrap_or_else(gdsii_guard::FlowConfig::cell_shift_default);
-    let snap = gdsii_guard::flow::apply_flow(base, tech, &chosen, 1);
+    let snap = gdsii_guard::flow::FlowRun::new(base, tech, &chosen)
+        .unchecked()
+        .snapshot();
     (snap, chosen)
 }
 

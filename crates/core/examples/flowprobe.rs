@@ -10,16 +10,19 @@ fn main() {
     );
     for spec in bench::all_specs() {
         let base = implement_baseline(&spec, &tech).unwrap();
-        let cs = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
-        let lda = run_flow(
+        let cs = FlowRun::new(&base, &tech, &FlowConfig::cell_shift_default())
+            .unchecked()
+            .metrics();
+        let lda = FlowRun::new(
             &base,
             &tech,
             &FlowConfig {
                 op: OpSelect::Lda { n: 8, n_iter: 2 },
                 scales: [1.0; 10],
             },
-            1,
-        );
+        )
+        .unchecked()
+        .metrics();
         println!(
             "{:<14} {:>8} | {:>10.3} {:>8.0} | {:>10.3} {:>8.0}",
             spec.name, base.security.er_sites, cs.security, cs.tns_ps, lda.security, lda.tns_ps

@@ -80,7 +80,7 @@ fn main() {
                 op: OpSelect::Lda { n, n_iter: it },
                 scales: [1.0; 10],
             };
-            let m = run_flow(&base, &tech, &cfg, 1);
+            let m = FlowRun::new(&base, &tech, &cfg).unchecked().metrics();
             println!(
                 "  LDA n={n} it={it}: sec {:.3} sites {} tracks {:.0} tns {:.0}",
                 m.security, m.er_sites, m.er_tracks, m.tns_ps

@@ -1,65 +1,174 @@
 //! `ggd` — the GDSII-Guard command-line front end.
 //!
 //! ```text
-//! ggd [--verbose] analyze <design>                      # implement + report baseline metrics
-//! ggd [--verbose] harden  <design> [cs|lda] [out.gds]   # apply one flow config, export GDSII
-//! ggd [--verbose] explore <design> [pop] [gens]         # NSGA-II Pareto exploration
-//! ggd list                                              # list the benchmark designs
+//! ggd [--verbose] analyze --design <name>                 # implement + report baseline metrics
+//! ggd [--verbose] harden  --design <name> [--op cs|lda] [--out out.gds]
+//! ggd [--verbose] explore --design <name> [--pop N] [--gens N] [--seed N]
+//! ggd serve --socket <path> [--runners N]                 # exploration-as-a-service daemon
+//! ggd submit|status|watch|pause|resume|cancel|result …    # client for a running daemon
+//! ggd list                                                # list the benchmark designs
 //! ```
 //!
 //! Designs are the twelve benchmark specs of `netlist::bench` (AES_1 …
-//! TDEA). All runs are deterministic. `--verbose` turns the telemetry
-//! subsystem on and prints the span/metric tree to stderr when the
-//! command finishes; `GG_TRACE=route,lda,sta,nsga2` additionally streams
-//! per-phase trace lines.
+//! TDEA) plus the miniature `TINY` smoke design. All runs are
+//! deterministic: `ggd explore` is a thin submit-and-watch over an
+//! in-process job server and prints bit-identical output to the historic
+//! one-shot path. `--verbose` turns the telemetry subsystem on and
+//! prints the span/metric tree to stderr when the command finishes —
+//! including on error paths, now that `main` returns `Result`.
+//!
+//! The historical positional forms (`ggd harden TINY lda out.gds`,
+//! `ggd explore TINY 8 4`) are kept as deprecated aliases of the flags:
+//! `harden <design> [cs|lda] [out.gds]` maps to `--design/--op/--out`,
+//! and `explore <design> [pop] [gens]` maps to `--design/--pop/--gens`.
+
+use std::path::PathBuf;
 
 use gdsii_guard::obs::diagln;
 use gdsii_guard::prelude::*;
+use gdsii_guard::serve::{
+    BaselineSummary, Client, JobEvent, JobSpec, JobState, Server, ServerConfig,
+};
+use gdsii_guard::Error;
+use ggjson::{FromJson, Json, ToJson};
 use tech::Technology;
 
-fn usage() -> ! {
-    diagln!(
-        "usage: ggd [--verbose] <command> [args]\n\
-         \n\
-         commands:\n\
-         \x20 list                                  list benchmark designs\n\
-         \x20 analyze <design>                      baseline metrics\n\
-         \x20 harden  <design> [cs|lda] [out.gds]   harden + optional GDSII export\n\
-         \x20 explore <design> [pop] [gens]         NSGA-II Pareto front"
-    );
-    std::process::exit(2);
+const USAGE: &str = "usage: ggd [--verbose] <command> [flags]\n\
+   \n\
+   one-shot commands:\n\
+   \x20 list                                     list benchmark designs\n\
+   \x20 analyze --design <name>                  baseline metrics\n\
+   \x20 harden  --design <name> [--op cs|lda] [--out out.gds]\n\
+   \x20 explore --design <name> [--pop N] [--gens N] [--seed N] [--out front.json]\n\
+   \n\
+   daemon:\n\
+   \x20 serve   --socket <path> [--runners N] [--data-dir <dir>]\n\
+   \n\
+   client commands (all accept --socket <path>; default $GGD_SOCKET,\n\
+   else ggd.sock under the system temp dir):\n\
+   \x20 submit  <explore|harden|analyze> --design <name> [--priority N]\n\
+   \x20         [--pop N] [--gens N] [--seed N] [--threads N] [--op cs|lda]\n\
+   \x20         [--out <path>] [--checkpoint <path>] [--resume]\n\
+   \x20 status  <job>                            one job's state\n\
+   \x20 watch   <job> [--from K]                 stream events until terminal\n\
+   \x20 pause   <job>                            park at next generation boundary\n\
+   \x20 resume  <job>                            re-queue a paused job\n\
+   \x20 cancel  <job>                            cancel a job\n\
+   \x20 result  <job>                            final result payload (JSON)\n\
+   \x20 jobs                                     all jobs\n\
+   \x20 stats                                    scheduler + baseline-cache counters\n\
+   \x20 shutdown                                 stop the daemon\n\
+   \n\
+   deprecated positional aliases (still accepted):\n\
+   \x20 analyze <design>                ≡ --design\n\
+   \x20 harden  <design> [cs|lda] [out.gds]      ≡ --design/--op/--out\n\
+   \x20 explore <design> [pop] [gens]   ≡ --design/--pop/--gens";
+
+/// Everything the flag parser can collect; each command reads the
+/// subset it understands.
+#[derive(Default)]
+struct Opts {
+    design: Option<String>,
+    pop: Option<usize>,
+    gens: Option<usize>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    out: Option<String>,
+    op: Option<String>,
+    socket: Option<PathBuf>,
+    priority: Option<u8>,
+    from: Option<u64>,
+    runners: Option<usize>,
+    data_dir: Option<PathBuf>,
+    checkpoint: Option<String>,
+    resume: bool,
+    help: bool,
+    positionals: Vec<String>,
 }
 
-fn spec_or_die(name: &str) -> netlist::bench::DesignSpec {
-    netlist::bench::spec_by_name(name).unwrap_or_else(|| {
-        diagln!("unknown design '{name}'; run `ggd list`");
-        std::process::exit(2);
-    })
+fn parse_opts(args: &[String]) -> Result<Opts, Error> {
+    fn value<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<String, Error> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| Error::InvalidArgs(format!("{flag} needs a value")))
+    }
+    fn num<'a, T: std::str::FromStr>(
+        it: &mut impl Iterator<Item = &'a String>,
+        flag: &str,
+    ) -> Result<T, Error> {
+        let v = value(it, flag)?;
+        v.parse()
+            .map_err(|_| Error::InvalidArgs(format!("{flag} got '{v}', not a number")))
+    }
+
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => o.help = true,
+            "--resume" => o.resume = true,
+            "--design" => o.design = Some(value(&mut it, a)?),
+            "--pop" => o.pop = Some(num(&mut it, a)?),
+            "--gens" => o.gens = Some(num(&mut it, a)?),
+            "--seed" => o.seed = Some(num(&mut it, a)?),
+            "--threads" => o.threads = Some(num(&mut it, a)?),
+            "--out" => o.out = Some(value(&mut it, a)?),
+            "--op" => o.op = Some(value(&mut it, a)?),
+            "--socket" => o.socket = Some(PathBuf::from(value(&mut it, a)?)),
+            "--priority" => o.priority = Some(num(&mut it, a)?),
+            "--from" => o.from = Some(num(&mut it, a)?),
+            "--runners" => o.runners = Some(num(&mut it, a)?),
+            "--data-dir" => o.data_dir = Some(PathBuf::from(value(&mut it, a)?)),
+            "--checkpoint" => o.checkpoint = Some(value(&mut it, a)?),
+            s if s.starts_with("--") => {
+                return Err(Error::InvalidArgs(format!("unknown flag '{s}'")))
+            }
+            _ => o.positionals.push(a.clone()),
+        }
+    }
+    Ok(o)
 }
 
-fn baseline_or_die(name: &str, tech: &Technology) -> Snapshot {
-    implement_baseline(&spec_or_die(name), tech).unwrap_or_else(|e| {
-        diagln!("cannot implement baseline for '{name}': {e}");
-        std::process::exit(1);
-    })
+impl Opts {
+    /// The design name, from `--design` or the deprecated positional.
+    fn design(&self, positional_idx: usize) -> Result<String, Error> {
+        self.design
+            .clone()
+            .or_else(|| self.positionals.get(positional_idx).cloned())
+            .ok_or_else(|| Error::InvalidArgs("no design named; use --design <name>".into()))
+    }
+
+    /// A numeric positional (deprecated alias for a flag).
+    fn positional_num<T: std::str::FromStr>(&self, idx: usize) -> Option<T> {
+        self.positionals.get(idx).and_then(|s| s.parse().ok())
+    }
+
+    /// The job id every client command takes as its positional.
+    fn job_id(&self) -> Result<u64, Error> {
+        self.positionals
+            .first()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::InvalidArgs("expected a numeric job id".into()))
+    }
+
+    /// The daemon socket path: `--socket`, `$GGD_SOCKET`, or the default
+    /// under the system temp dir.
+    fn socket(&self) -> PathBuf {
+        self.socket
+            .clone()
+            .or_else(|| std::env::var_os("GGD_SOCKET").map(PathBuf::from))
+            .unwrap_or_else(|| std::env::temp_dir().join("ggd.sock"))
+    }
+}
+
+fn baseline(name: &str, tech: &Technology) -> Result<Snapshot, Error> {
+    let spec = gdsii_guard::serve::baseline::resolve_spec(name)
+        .ok_or_else(|| Error::InvalidArgs(format!("unknown design '{name}'; run `ggd list`")))?;
+    implement_baseline(&spec, tech)
 }
 
 fn print_snapshot(label: &str, s: &Snapshot) {
-    println!(
-        "{label}: {} cells, {} exploitable sites in {} regions, {:.0} free tracks",
-        s.layout.design().cells.len(),
-        s.security.er_sites,
-        s.security.regions.len(),
-        s.security.er_tracks
-    );
-    println!(
-        "  TNS {:.1} ps (WNS {:.1}), power {:.3} mW, {} DRC violations, utilization {:.1} %",
-        s.tns_ps(),
-        s.timing.wns_ps(),
-        s.power_mw(),
-        s.drc,
-        s.layout.utilization() * 100.0
-    );
+    println!("{}", BaselineSummary::from_snapshot(s).render(label));
 }
 
 fn cmd_list() {
@@ -83,27 +192,36 @@ fn cmd_list() {
     }
 }
 
-fn cmd_analyze(name: &str) {
+fn cmd_analyze(o: &Opts) -> Result<(), Error> {
+    let name = o.design(0)?;
     let tech = Technology::nangate45_like();
-    let base = baseline_or_die(name, &tech);
+    let base = baseline(&name, &tech)?;
     print_snapshot("baseline", &base);
     let battery = secmetrics::attack::battery_success_rate(&base.security, &tech);
     println!("  Trojan battery success rate: {:.0} %", battery * 100.0);
+    Ok(())
 }
 
-fn cmd_harden(name: &str, op: &str, out: Option<&str>) {
+fn cmd_harden(o: &Opts) -> Result<(), Error> {
+    let name = o.design(0)?;
+    let op =
+        o.op.clone()
+            .or_else(|| o.positionals.get(1).cloned())
+            .unwrap_or_else(|| "cs".to_owned());
+    let out = o.out.clone().or_else(|| o.positionals.get(2).cloned());
     let tech = Technology::nangate45_like();
-    let base = baseline_or_die(name, &tech);
+    let base = baseline(&name, &tech)?;
     print_snapshot("baseline", &base);
-    let cfg = match op {
+    let cfg = match op.as_str() {
         "cs" => FlowConfig::cell_shift_default(),
         "lda" => FlowConfig::lda_default(),
         other => {
-            diagln!("unknown operator '{other}' (expected cs or lda)");
-            std::process::exit(2);
+            return Err(Error::InvalidArgs(format!(
+                "unknown operator '{other}' (expected cs or lda)"
+            )))
         }
     };
-    let mut hardened = apply_flow(&base, &tech, &cfg, 1);
+    let mut hardened = FlowRun::new(&base, &tech, &cfg).snapshot()?;
     print_snapshot("hardened", &hardened);
     let m = FlowMetrics::from_snapshot(&hardened, &base);
     println!(
@@ -117,25 +235,16 @@ fn cmd_harden(name: &str, op: &str, out: Option<&str>) {
         let hl = std::sync::Arc::make_mut(&mut hardened.layout);
         layout::insert_fillers(hl.occupancy_mut(), &tech);
         let lib = gdsii::layout_to_gds(&hardened.layout, &tech, Some(&hardened.routing));
-        match std::fs::write(path, lib.to_bytes()) {
-            Ok(()) => println!("  wrote {path}"),
-            Err(e) => {
-                diagln!("cannot write {path}: {e}");
-                std::process::exit(1);
-            }
-        }
+        std::fs::write(&path, lib.to_bytes())
+            .map_err(|e| Error::Io(format!("cannot write {path}: {e}")))?;
+        println!("  wrote {path}");
     }
+    Ok(())
 }
 
-fn cmd_explore(name: &str, pop: usize, gens: usize) {
-    let tech = Technology::nangate45_like();
-    let base = baseline_or_die(name, &tech);
-    print_snapshot("baseline", &base);
-    let params = Nsga2Params::builder()
-        .population(pop)
-        .generations(gens)
-        .build();
-    let result = explore(&base, &tech, &params);
+/// Renders the final Pareto front exactly as the one-shot CLI always
+/// has: evaluated-point count, then the front sorted by security.
+fn print_front(result: &ExploreResult) {
     println!(
         "evaluated {} configurations; Pareto front:",
         result.points.len()
@@ -159,41 +268,316 @@ fn cmd_explore(name: &str, pop: usize, gens: usize) {
     }
 }
 
-fn main() {
+/// One-line human rendering of a streamed job event.
+fn describe_event(e: &JobEvent) -> String {
+    let mut s = format!("[{:>4}] {}", e.tick, e.kind);
+    match e.kind.as_str() {
+        "generation" => {
+            if let Some(g) = e.generation {
+                s.push_str(&format!(" {g}"));
+            }
+            let points = e.data.get("points").and_then(Json::as_num);
+            let front = e.data.get("front_size").and_then(Json::as_num);
+            if let (Some(points), Some(front)) = (points, front) {
+                s.push_str(&format!(": {points} points evaluated, front size {front}"));
+            }
+            let added = e.data.get("added").and_then(Vec::<String>::from_json);
+            let removed = e.data.get("removed").and_then(Vec::<String>::from_json);
+            if let (Some(a), Some(r)) = (added, removed) {
+                if !a.is_empty() || !r.is_empty() {
+                    s.push_str(&format!(" (front +{} -{})", a.len(), r.len()));
+                }
+            }
+        }
+        "failed" => {
+            if let Some(why) = e.data.as_str() {
+                s.push_str(&format!(": {why}"));
+            }
+        }
+        _ => {}
+    }
+    s
+}
+
+/// Unpacks an explore job's result payload and prints the front.
+fn print_explore_payload(payload: &Json) -> Result<(), Error> {
+    let result = payload
+        .get("explore")
+        .and_then(ExploreResult::from_json)
+        .ok_or_else(|| Error::Serve("malformed explore result payload".into()))?;
+    print_front(&result);
+    Ok(())
+}
+
+/// `ggd explore` without `--socket`: submit-and-watch over an in-process
+/// server, output pinned bit-identical to the historic one-shot path.
+fn cmd_explore_local(o: &Opts) -> Result<(), Error> {
+    let name = o.design(0)?;
+    let mut spec = JobSpec::explore(&name);
+    spec.population = o.pop.or_else(|| o.positional_num(1)).unwrap_or(10);
+    spec.generations = o.gens.or_else(|| o.positional_num(2)).unwrap_or(3);
+    if let Some(seed) = o.seed {
+        spec.seed = seed;
+    }
+    if let Some(threads) = o.threads {
+        spec.threads = threads;
+    }
+    spec.out = o.out.clone();
+    spec.checkpoint = o.checkpoint.clone();
+    spec.resume = o.resume;
+
+    let data_dir = std::env::temp_dir().join(format!("ggd-oneshot-{}", std::process::id()));
+    let server = Server::start(ServerConfig {
+        socket: None,
+        data_dir: Some(data_dir.clone()),
+        runners: 1,
+    })?;
+    let id = server.submit(spec)?;
+    let mut cursor = 0u64;
+    let status = loop {
+        let (events, terminal) = server.events_since(id, cursor, true)?;
+        cursor += events.len() as u64;
+        for e in &events {
+            match e.kind.as_str() {
+                "baseline" => {
+                    if let Some(sum) = BaselineSummary::from_json(&e.data) {
+                        println!("{}", sum.render("baseline"));
+                    }
+                }
+                "generation" => diagln!("{}", describe_event(e)),
+                _ => {}
+            }
+        }
+        if terminal {
+            break server.status(id)?;
+        }
+    };
+    let outcome = match status.state {
+        JobState::Done => {
+            let payload = server.result(id)?;
+            print_explore_payload(&payload)
+        }
+        other => Err(Error::Serve(format!(
+            "explore job ended {}: {}",
+            other.as_str(),
+            status.error.unwrap_or_else(|| "no diagnostic".into())
+        ))),
+    };
+    server.stop();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    outcome
+}
+
+/// `ggd explore --socket <path>`: the same submit-and-watch against a
+/// remote daemon.
+fn cmd_explore_remote(o: &Opts) -> Result<(), Error> {
+    let name = o.design(0)?;
+    let mut spec = JobSpec::explore(&name);
+    spec.population = o.pop.or_else(|| o.positional_num(1)).unwrap_or(10);
+    spec.generations = o.gens.or_else(|| o.positional_num(2)).unwrap_or(3);
+    if let Some(seed) = o.seed {
+        spec.seed = seed;
+    }
+    if let Some(threads) = o.threads {
+        spec.threads = threads;
+    }
+    if let Some(priority) = o.priority {
+        spec.priority = priority;
+    }
+    spec.out = o.out.clone();
+    spec.checkpoint = o.checkpoint.clone();
+    spec.resume = o.resume;
+    let mut client = Client::connect(&o.socket())?;
+    let id = client.submit(&spec)?;
+    let status = client.watch(id, 0, |e| match e.kind.as_str() {
+        "baseline" => {
+            if let Some(sum) = BaselineSummary::from_json(&e.data) {
+                println!("{}", sum.render("baseline"));
+            }
+        }
+        "generation" => diagln!("{}", describe_event(e)),
+        _ => {}
+    })?;
+    match status.state {
+        JobState::Done => print_explore_payload(&client.result(id)?),
+        other => Err(Error::Serve(format!(
+            "explore job {id} ended {}: {}",
+            other.as_str(),
+            status.error.unwrap_or_else(|| "no diagnostic".into())
+        ))),
+    }
+}
+
+fn cmd_serve(o: &Opts) -> Result<(), Error> {
+    let socket = o.socket();
+    let server = Server::start(ServerConfig {
+        socket: Some(socket.clone()),
+        data_dir: o.data_dir.clone(),
+        runners: o.runners.unwrap_or(1).max(1),
+    })?;
+    diagln!("ggd serve: listening on {}", socket.display());
+    server.wait();
+    diagln!("ggd serve: shut down");
+    Ok(())
+}
+
+fn cmd_submit(o: &Opts) -> Result<(), Error> {
+    let kind = o.positionals.first().map(String::as_str).ok_or_else(|| {
+        Error::InvalidArgs("submit needs a job kind (explore|harden|analyze)".into())
+    })?;
+    let design = o.design(1)?;
+    let mut spec = match kind {
+        "explore" => JobSpec::explore(&design),
+        "analyze" => JobSpec::analyze(&design),
+        "harden" => JobSpec::harden(&design, o.op.as_deref().unwrap_or("cs")),
+        other => {
+            return Err(Error::InvalidArgs(format!(
+                "unknown job kind '{other}' (expected explore, harden, or analyze)"
+            )))
+        }
+    };
+    if let Some(pop) = o.pop {
+        spec.population = pop;
+    }
+    if let Some(gens) = o.gens {
+        spec.generations = gens;
+    }
+    if let Some(seed) = o.seed {
+        spec.seed = seed;
+    }
+    if let Some(threads) = o.threads {
+        spec.threads = threads;
+    }
+    if let Some(priority) = o.priority {
+        spec.priority = priority;
+    }
+    spec.out = o.out.clone();
+    spec.checkpoint = o.checkpoint.clone();
+    spec.resume = o.resume;
+    let mut client = Client::connect(&o.socket())?;
+    let id = client.submit(&spec)?;
+    println!("job {id}");
+    Ok(())
+}
+
+fn print_status(s: &gdsii_guard::serve::JobStatus) {
+    println!(
+        "job {} {} {} {}  priority {}  steps {}/{}  events {}{}",
+        s.id,
+        s.kind.as_str(),
+        s.design,
+        s.state.as_str(),
+        s.priority,
+        s.steps_done,
+        s.steps_total,
+        s.events,
+        s.error
+            .as_deref()
+            .map(|e| format!("  error: {e}"))
+            .unwrap_or_default()
+    );
+}
+
+fn cmd_watch(o: &Opts) -> Result<(), Error> {
+    let id = o.job_id()?;
+    let mut client = Client::connect(&o.socket())?;
+    let status = client.watch(id, o.from.unwrap_or(0), |e| {
+        println!("{}", describe_event(e));
+    })?;
+    print_status(&status);
+    Ok(())
+}
+
+fn main() -> Result<(), Error> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
     args.retain(|a| a != "--verbose" && a != "-v");
     if verbose {
         obs::set_enabled(true);
     }
-    match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
-        Some("analyze") => match args.get(1) {
-            Some(name) => cmd_analyze(name),
-            None => usage(),
-        },
-        Some("harden") => match args.get(1) {
-            Some(name) => cmd_harden(
-                name,
-                args.get(2).map_or("cs", String::as_str),
-                args.get(3).map(String::as_str),
-            ),
-            None => usage(),
-        },
-        Some("explore") => match args.get(1) {
-            Some(name) => {
-                let pop = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
-                let gens = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3);
-                cmd_explore(name, pop, gens);
-            }
-            None => usage(),
-        },
-        _ => usage(),
-    }
+    let outcome = dispatch(&args);
+    // Render telemetry even when the command failed — the old
+    // `process::exit` paths silently dropped it.
     if verbose {
         let snap = obs::snapshot();
         if !snap.is_empty() {
             diagln!("{}", snap.render());
+        }
+    }
+    outcome
+}
+
+fn dispatch(args: &[String]) -> Result<(), Error> {
+    let Some(command) = args.first().map(String::as_str) else {
+        diagln!("{USAGE}");
+        return Err(Error::InvalidArgs("no command given".into()));
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        diagln!("{USAGE}");
+        return Ok(());
+    }
+    let o = parse_opts(&args[1..])?;
+    if o.help {
+        diagln!("{USAGE}");
+        return Ok(());
+    }
+    match command {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "analyze" => cmd_analyze(&o),
+        "harden" => cmd_harden(&o),
+        "explore" => {
+            if o.socket.is_some() || std::env::var_os("GGD_SOCKET").is_some() {
+                cmd_explore_remote(&o)
+            } else {
+                cmd_explore_local(&o)
+            }
+        }
+        "serve" => cmd_serve(&o),
+        "submit" => cmd_submit(&o),
+        "status" => {
+            let s = Client::connect(&o.socket())?.status(o.job_id()?)?;
+            print_status(&s);
+            Ok(())
+        }
+        "pause" => {
+            let s = Client::connect(&o.socket())?.pause(o.job_id()?)?;
+            print_status(&s);
+            Ok(())
+        }
+        "resume" => {
+            let s = Client::connect(&o.socket())?.resume(o.job_id()?)?;
+            print_status(&s);
+            Ok(())
+        }
+        "cancel" => {
+            let s = Client::connect(&o.socket())?.cancel(o.job_id()?)?;
+            print_status(&s);
+            Ok(())
+        }
+        "watch" => cmd_watch(&o),
+        "result" => {
+            let payload = Client::connect(&o.socket())?.result(o.job_id()?)?;
+            print!("{}", ggjson::to_string_pretty(&payload));
+            Ok(())
+        }
+        "jobs" => {
+            for s in Client::connect(&o.socket())?.jobs()? {
+                print_status(&s);
+            }
+            Ok(())
+        }
+        "stats" => {
+            let stats = Client::connect(&o.socket())?.stats()?;
+            print!("{}", ggjson::to_string_pretty(&stats.to_json()));
+            Ok(())
+        }
+        "shutdown" => Client::connect(&o.socket())?.shutdown(),
+        other => {
+            diagln!("{USAGE}");
+            Err(Error::InvalidArgs(format!("unknown command '{other}'")))
         }
     }
 }

@@ -4,9 +4,10 @@
 //! [`layout::Layout::check_consistency`] and a poisoned operator-edit
 //! cache. Both now surface as [`Error`] from the validating entry points
 //! ([`crate::pipeline::evaluate`], [`crate::pipeline::implement_baseline`],
-//! [`crate::flow::apply_flow_with`]); the `_unchecked` twins keep the old
-//! infallible signatures for callers that construct layouts themselves and
-//! have already validated them.
+//! the checked [`crate::flow::FlowRun`] terminals); the
+//! [`crate::flow::FlowRun::unchecked`] path keeps the old infallible
+//! behaviour for callers that construct layouts themselves and have
+//! already validated them.
 
 use std::fmt;
 
@@ -30,6 +31,17 @@ pub enum Error {
     /// checksum/version mismatch, or a base snapshot that differs from the
     /// one the checkpoint was taken against).
     Checkpoint(String),
+    /// The job server refused a request or the socket transport failed
+    /// (unknown job, bad job spec, protocol violation, connect/read/write
+    /// error); the payload is the server's or transport's diagnostic.
+    Serve(String),
+    /// A command-line invocation could not be parsed (unknown subcommand,
+    /// unknown flag, missing or malformed argument). The payload is the
+    /// diagnostic; `ggd` prints the relevant usage text alongside it.
+    InvalidArgs(String),
+    /// A filesystem operation outside the checkpoint envelope failed
+    /// (e.g. writing an exported GDSII stream).
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -46,6 +58,15 @@ impl fmt::Display for Error {
             }
             Error::Checkpoint(why) => {
                 write!(f, "checkpoint error: {why}")
+            }
+            Error::Serve(why) => {
+                write!(f, "job server error: {why}")
+            }
+            Error::InvalidArgs(why) => {
+                write!(f, "invalid arguments: {why}")
+            }
+            Error::Io(why) => {
+                write!(f, "I/O error: {why}")
             }
         }
     }

@@ -187,28 +187,19 @@ fn edit_layout(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) 
     layout
 }
 
-/// Applies the full GDSII-Guard flow to the baseline: preprocess (lock
-/// assets), the selected anti-Trojan ECO placement operator, routing width
-/// scaling, re-route, and full metric extraction.
-///
-/// Infallible: the operators preserve layout consistency by construction
-/// (asserted in debug builds), so this goes through
+/// The full flow from the base snapshot: edit, re-route, full metric
+/// extraction. Infallible: the operators preserve layout consistency by
+/// construction (asserted in debug builds), so this goes through
 /// [`evaluate_unchecked`] and skips the redundant validation pass.
-pub fn apply_flow(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) -> Snapshot {
+fn oracle_snapshot(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) -> Snapshot {
     evaluate_unchecked(edit_layout(base, tech, cfg, seed), tech)
 }
 
-/// Applies the flow and returns its metrics in one call.
-pub fn run_flow(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) -> FlowMetrics {
-    let snap = apply_flow(base, tech, cfg, seed);
-    FlowMetrics::from_snapshot(&snap, base)
-}
-
-/// [`apply_flow`] through a prebuilt [`EvalEngine`]: same edit, but
-/// re-evaluation is incremental against the engine's cached baseline,
-/// and the placement-operator result (which cannot depend on the width
-/// scales applied after it) is memoized per `(operator, seed)` together
-/// with its patched Phase-A plan as a copy-on-write
+/// The incremental flow through a prebuilt [`EvalEngine`]: same edit, but
+/// re-evaluation is incremental against the engine's cached baseline, and
+/// the placement-operator result (which cannot depend on the width scales
+/// applied after it) is memoized per `(operator, seed)` together with its
+/// patched Phase-A plan as a copy-on-write
 /// [`crate::pipeline::CowSnapshot`]. A candidate that shares its operator
 /// with a previous one therefore skips the operator, the dirty-set diff,
 /// and the re-pattern — a cache hit is two refcount bumps, and a
@@ -217,7 +208,7 @@ pub fn run_flow(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64)
 /// Bit-identical to the oracle path: patterns are congestion-oblivious
 /// and usage is stored unscaled, so the plan cannot depend on the rule
 /// (see [`route::RoutePlan::set_rule`]).
-pub fn apply_flow_with(
+fn engine_snapshot(
     engine: &EvalEngine,
     tech: &Technology,
     cfg: &FlowConfig,
@@ -233,31 +224,15 @@ pub fn apply_flow_with(
     Ok(engine.evaluate_with_plan(layout, plan, tech, &dirty))
 }
 
-/// [`apply_flow_with`] for callers that treat a poisoned edit cache as a
-/// bug rather than a recoverable condition.
-///
-/// # Panics
-///
-/// Panics if a worker poisoned the engine's operator-edit cache.
-pub fn apply_flow_with_unchecked(
-    engine: &EvalEngine,
-    tech: &Technology,
-    cfg: &FlowConfig,
-    seed: u64,
-) -> Snapshot {
-    apply_flow_with(engine, tech, cfg, seed).expect("operator-edit cache poisoned")
-}
-
-/// [`run_flow`] through a prebuilt [`EvalEngine`].
-///
-/// On top of [`apply_flow_with`]'s structural caches this memoizes the
-/// *metrics* of each distinct `(operator, operator seed, rule)` triple:
-/// the flow is a pure function of that key, so a semantic duplicate — a
-/// different genome collapsing to the same key, which GA populations
-/// produce constantly — returns the provably identical result without
-/// re-running Phase B, STA, or the security analysis. Misses (and every
-/// fallible step) still go through the full incremental path.
-pub fn run_flow_with(
+/// The incremental flow's metric path. On top of [`engine_snapshot`]'s
+/// structural caches this memoizes the *metrics* of each distinct
+/// `(operator, operator seed, rule)` triple: the flow is a pure function
+/// of that key, so a semantic duplicate — a different genome collapsing
+/// to the same key, which GA populations produce constantly — returns the
+/// provably identical result without re-running Phase B, STA, or the
+/// security analysis. Misses (and every fallible step) still go through
+/// the full incremental path.
+fn engine_metrics(
     engine: &EvalEngine,
     tech: &Technology,
     cfg: &FlowConfig,
@@ -271,25 +246,253 @@ pub fn run_flow_with(
     if let Some(m) = engine.memoized_metrics(&key) {
         return Ok(m);
     }
-    let snap = apply_flow_with(engine, tech, cfg, seed)?;
+    let snap = engine_snapshot(engine, tech, cfg, seed)?;
     let m = FlowMetrics::from_snapshot(&snap, engine.base());
     engine.memoize_metrics(key, m);
     Ok(m)
 }
 
-/// [`run_flow_with`] with the panicking contract of
-/// [`apply_flow_with_unchecked`].
+/// One configured execution of the composed security flow `f(L_base; x)`.
+///
+/// `FlowRun` is the single entry point that replaced the old six-function
+/// family (`apply_flow`, `run_flow`, `apply_flow_with`,
+/// `apply_flow_with_unchecked`, `run_flow_with`,
+/// `run_flow_with_unchecked`): pick the *source* (the from-scratch oracle
+/// via [`FlowRun::new`], or the incremental path via [`FlowRun::engine`]),
+/// tune the run with [`seed`](FlowRun::seed), and finish with a terminal
+/// — [`snapshot`](FlowRun::snapshot) for the full evaluated layout or
+/// [`metrics`](FlowRun::metrics) for the fitness vector. Callers that
+/// treat a poisoned operator-edit cache as a bug rather than a
+/// recoverable condition opt into the panicking contract with
+/// [`unchecked`](FlowRun::unchecked).
+///
+/// ```no_run
+/// use gdsii_guard::prelude::*;
+/// use tech::Technology;
+/// # fn main() -> Result<(), gdsii_guard::Error> {
+/// let tech = Technology::nangate45_like();
+/// let base = implement_baseline(&netlist::bench::tiny_spec(), &tech)?;
+/// let cfg = FlowConfig::cell_shift_default();
+///
+/// // From-scratch oracle evaluation.
+/// let m = FlowRun::new(&base, &tech, &cfg).seed(7).metrics()?;
+///
+/// // Incremental evaluation through a shared engine.
+/// let engine = EvalEngine::new(&base, &tech);
+/// let inc = FlowRun::new(&base, &tech, &cfg)
+///     .seed(7)
+///     .engine(&engine)
+///     .metrics()?;
+/// assert_eq!(m, inc);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy)]
+#[must_use = "a FlowRun does nothing until `.snapshot()` or `.metrics()` runs it"]
+pub struct FlowRun<'a> {
+    base: &'a Snapshot,
+    engine: Option<&'a EvalEngine>,
+    tech: &'a Technology,
+    cfg: &'a FlowConfig,
+    seed: u64,
+}
+
+impl<'a> FlowRun<'a> {
+    /// Starts a flow run of `cfg` against the baseline snapshot, using the
+    /// from-scratch oracle path (every stage recomputed). The default seed
+    /// is 1, matching the historical convention of the examples and tests.
+    pub fn new(base: &'a Snapshot, tech: &'a Technology, cfg: &'a FlowConfig) -> Self {
+        Self {
+            base,
+            engine: None,
+            tech,
+            cfg,
+            seed: 1,
+        }
+    }
+
+    /// Sets the seed of the flow's internal RNG (feeds the ECO placement
+    /// operator; Cell Shift is deterministic and ignores it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Routes the run through a prebuilt [`EvalEngine`]: evaluation
+    /// becomes incremental against the engine's cached baseline, operator
+    /// edits and metrics are memoized, and results stay bit-identical to
+    /// the oracle path. The engine must have been built from the same
+    /// baseline passed to [`FlowRun::new`] — metrics are normalized
+    /// against [`EvalEngine::base`].
+    pub fn engine(mut self, engine: &'a EvalEngine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Switches the terminals to the panicking contract of the old
+    /// `*_unchecked` family: a poisoned operator-edit cache panics
+    /// instead of surfacing [`Error::EditCachePoisoned`].
+    pub fn unchecked(self) -> FlowRunUnchecked<'a> {
+        FlowRunUnchecked(self)
+    }
+
+    /// Runs the flow and returns the fully evaluated [`Snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Only the engine path can fail (poisoned operator-edit cache); the
+    /// oracle path always returns `Ok`.
+    pub fn snapshot(self) -> Result<Snapshot, Error> {
+        match self.engine {
+            Some(engine) => engine_snapshot(engine, self.tech, self.cfg, self.seed),
+            None => Ok(oracle_snapshot(self.base, self.tech, self.cfg, self.seed)),
+        }
+    }
+
+    /// Runs the flow and returns its [`FlowMetrics`], normalized against
+    /// the baseline.
+    ///
+    /// # Errors
+    ///
+    /// Only the engine path can fail (poisoned operator-edit cache); the
+    /// oracle path always returns `Ok`.
+    pub fn metrics(self) -> Result<FlowMetrics, Error> {
+        match self.engine {
+            Some(engine) => engine_metrics(engine, self.tech, self.cfg, self.seed),
+            None => {
+                let snap = oracle_snapshot(self.base, self.tech, self.cfg, self.seed);
+                Ok(FlowMetrics::from_snapshot(&snap, self.base))
+            }
+        }
+    }
+}
+
+/// A [`FlowRun`] with the panicking terminals of the old `*_unchecked`
+/// family (see [`FlowRun::unchecked`]).
+#[must_use = "a FlowRun does nothing until `.snapshot()` or `.metrics()` runs it"]
+pub struct FlowRunUnchecked<'a>(FlowRun<'a>);
+
+impl FlowRunUnchecked<'_> {
+    /// Runs the flow and returns the fully evaluated [`Snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker poisoned the engine's operator-edit cache.
+    pub fn snapshot(self) -> Snapshot {
+        self.0.snapshot().expect("operator-edit cache poisoned")
+    }
+
+    /// Runs the flow and returns its [`FlowMetrics`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker poisoned the engine's operator-edit cache.
+    pub fn metrics(self) -> FlowMetrics {
+        self.0.metrics().expect("operator-edit cache poisoned")
+    }
+}
+
+/// Applies the full GDSII-Guard flow to the baseline and returns the
+/// evaluated snapshot.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `FlowRun::new(base, tech, cfg).seed(seed).unchecked().snapshot()`"
+)]
+pub fn apply_flow(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) -> Snapshot {
+    FlowRun::new(base, tech, cfg)
+        .seed(seed)
+        .unchecked()
+        .snapshot()
+}
+
+/// Applies the flow and returns its metrics in one call.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `FlowRun::new(base, tech, cfg).seed(seed).unchecked().metrics()`"
+)]
+pub fn run_flow(base: &Snapshot, tech: &Technology, cfg: &FlowConfig, seed: u64) -> FlowMetrics {
+    FlowRun::new(base, tech, cfg)
+        .seed(seed)
+        .unchecked()
+        .metrics()
+}
+
+/// The old incremental snapshot path through a prebuilt [`EvalEngine`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `FlowRun::new(engine.base(), tech, cfg).engine(engine).seed(seed).snapshot()`"
+)]
+pub fn apply_flow_with(
+    engine: &EvalEngine,
+    tech: &Technology,
+    cfg: &FlowConfig,
+    seed: u64,
+) -> Result<Snapshot, Error> {
+    FlowRun::new(engine.base(), tech, cfg)
+        .engine(engine)
+        .seed(seed)
+        .snapshot()
+}
+
+/// The old panicking incremental snapshot path.
 ///
 /// # Panics
 ///
 /// Panics if a worker poisoned the engine's operator-edit cache.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `FlowRun::new(engine.base(), tech, cfg).engine(engine).seed(seed).unchecked().snapshot()`"
+)]
+pub fn apply_flow_with_unchecked(
+    engine: &EvalEngine,
+    tech: &Technology,
+    cfg: &FlowConfig,
+    seed: u64,
+) -> Snapshot {
+    FlowRun::new(engine.base(), tech, cfg)
+        .engine(engine)
+        .seed(seed)
+        .unchecked()
+        .snapshot()
+}
+
+/// The old incremental metrics path through a prebuilt [`EvalEngine`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `FlowRun::new(engine.base(), tech, cfg).engine(engine).seed(seed).metrics()`"
+)]
+pub fn run_flow_with(
+    engine: &EvalEngine,
+    tech: &Technology,
+    cfg: &FlowConfig,
+    seed: u64,
+) -> Result<FlowMetrics, Error> {
+    FlowRun::new(engine.base(), tech, cfg)
+        .engine(engine)
+        .seed(seed)
+        .metrics()
+}
+
+/// The old panicking incremental metrics path.
+///
+/// # Panics
+///
+/// Panics if a worker poisoned the engine's operator-edit cache.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `FlowRun::new(engine.base(), tech, cfg).engine(engine).seed(seed).unchecked().metrics()`"
+)]
 pub fn run_flow_with_unchecked(
     engine: &EvalEngine,
     tech: &Technology,
     cfg: &FlowConfig,
     seed: u64,
 ) -> FlowMetrics {
-    run_flow_with(engine, tech, cfg, seed).expect("operator-edit cache poisoned")
+    FlowRun::new(engine.base(), tech, cfg)
+        .engine(engine)
+        .seed(seed)
+        .unchecked()
+        .metrics()
 }
 
 #[cfg(test)]
@@ -307,7 +510,9 @@ mod tests {
     #[test]
     fn cell_shift_flow_improves_security() {
         let (tech, base) = base();
-        let m = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
+        let m = FlowRun::new(&base, &tech, &FlowConfig::cell_shift_default())
+            .unchecked()
+            .metrics();
         assert!(
             m.security < 0.5,
             "cell shift should cut exploitable space sharply, got {}",
@@ -335,7 +540,9 @@ mod tests {
             &tech,
         )
         .unwrap();
-        let m = run_flow(&base, &tech, &FlowConfig::lda_default(), 1);
+        let m = FlowRun::new(&base, &tech, &FlowConfig::lda_default())
+            .unchecked()
+            .metrics();
         assert!(
             m.security < 1.0,
             "LDA should reduce exploitable space, got {}",
@@ -347,9 +554,9 @@ mod tests {
     fn width_scaling_cuts_tracks_beyond_sites() {
         let (tech, base) = base();
         let mut cfg = FlowConfig::cell_shift_default();
-        let plain = run_flow(&base, &tech, &cfg, 1);
+        let plain = FlowRun::new(&base, &tech, &cfg).unchecked().metrics();
         cfg.scales = [1.0, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5];
-        let scaled = run_flow(&base, &tech, &cfg, 1);
+        let scaled = FlowRun::new(&base, &tech, &cfg).unchecked().metrics();
         // Same placement operator; the track metric must drop further
         // relative to sites when wires widen (or both are already zero).
         let plain_ratio = if plain.er_sites > 0 {
@@ -400,8 +607,15 @@ mod tests {
             FlowConfig::lda_default(),
             scaled,
         ] {
-            let full = run_flow(&base, &tech, &cfg, 7);
-            let inc = run_flow_with(&engine, &tech, &cfg, 7).unwrap();
+            let full = FlowRun::new(&base, &tech, &cfg)
+                .seed(7)
+                .unchecked()
+                .metrics();
+            let inc = FlowRun::new(&base, &tech, &cfg)
+                .seed(7)
+                .engine(&engine)
+                .metrics()
+                .unwrap();
             assert_eq!(full, inc, "incremental diverged on {cfg:?}");
         }
     }
@@ -410,7 +624,9 @@ mod tests {
     fn flow_leaves_baseline_untouched() {
         let (tech, base) = base();
         let before = base.security.er_sites;
-        let _ = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
+        let _ = FlowRun::new(&base, &tech, &FlowConfig::cell_shift_default())
+            .unchecked()
+            .metrics();
         assert_eq!(base.security.er_sites, before);
         base.layout.check_consistency(&tech).unwrap();
     }

@@ -17,6 +17,9 @@
 //!    Table-I parameter space.
 //! 5. [`nsga2`] — the multi-objective (security, timing) exploration with
 //!    DRC and power constraints, yielding Pareto-optimal hardened layouts.
+//! 6. [`serve`] — exploration-as-a-service: the multi-tenant job daemon
+//!    behind `ggd serve` (queued jobs with priorities, checkpoint-backed
+//!    pause/resume, streaming progress over a Unix-domain socket).
 //!
 //! # Examples
 //!
@@ -62,13 +65,14 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod rws;
 pub mod sandbox;
+pub mod serve;
 
 pub use checkpoint::Checkpoint;
 pub use error::Error;
-pub use flow::{FlowConfig, FlowMetrics, OpSelect};
+pub use flow::{FlowConfig, FlowMetrics, FlowRun, FlowRunUnchecked, OpSelect};
 pub use nsga2::{
-    explore, explore_with, EvalPoint, ExploreOptions, ExploreResult, Genome, Nsga2Params,
-    Nsga2ParamsBuilder, QuarantineEntry,
+    explore, explore_with, explore_with_engine, EvalPoint, ExploreOptions, ExploreResult, Genome,
+    Nsga2Params, Nsga2ParamsBuilder, QuarantineEntry,
 };
 pub use pipeline::{CowSnapshot, EvalEngine, Snapshot};
 pub use sandbox::{EvalFailure, EvalStatus};
@@ -84,21 +88,25 @@ pub use obs;
 /// use gdsii_guard::prelude::*;
 /// ```
 pub mod prelude {
-    pub use crate::checkpoint::Checkpoint;
-    pub use crate::error::Error;
+    #[allow(deprecated)]
     pub use crate::flow::{
         apply_flow, apply_flow_with, apply_flow_with_unchecked, run_flow, run_flow_with,
-        run_flow_with_unchecked, FlowConfig, FlowMetrics, OpSelect,
+        run_flow_with_unchecked,
     };
+
+    pub use crate::checkpoint::Checkpoint;
+    pub use crate::error::Error;
+    pub use crate::flow::{FlowConfig, FlowMetrics, FlowRun, FlowRunUnchecked, OpSelect};
     pub use crate::nsga2::{
-        explore, explore_with, EvalPoint, ExploreOptions, ExploreResult, Genome, Nsga2Params,
-        Nsga2ParamsBuilder, QuarantineEntry,
+        explore, explore_with, explore_with_engine, EvalPoint, ExploreOptions, ExploreResult,
+        Genome, Nsga2Params, Nsga2ParamsBuilder, QuarantineEntry,
     };
     pub use crate::pipeline::{
         evaluate, evaluate_unchecked, implement_baseline, implement_baseline_unchecked,
         CowSnapshot, EvalEngine, Snapshot,
     };
     pub use crate::sandbox::{EvalFailure, EvalStatus};
+    pub use crate::serve;
     pub use obs;
 }
 

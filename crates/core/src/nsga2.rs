@@ -638,15 +638,36 @@ pub fn explore_with(
     params: &Nsga2Params,
     opts: &ExploreOptions,
 ) -> Result<ExploreResult, Error> {
-    faults::ensure_init();
-    let policy = SandboxPolicy {
-        deadline: opts.deadline,
-    };
-    let threads = params.resolved_threads();
     // One incremental-evaluation engine, shared read-only by all workers:
     // the baseline route plan, levelized timing graph, and power model are
     // built once here instead of once per candidate.
     let engine = EvalEngine::new(base, tech);
+    explore_with_engine(&engine, tech, params, opts)
+}
+
+/// [`explore_with`] against a caller-owned [`EvalEngine`].
+///
+/// The scheduling hook of the `ggd serve` job daemon
+/// ([`crate::serve`]): a long-lived server keeps one engine per design and
+/// drives many (possibly interleaved, generation-stepped) explorations
+/// through it, so the baseline build is paid once per design and the
+/// engine's `(operator, seed)` edit and metrics memos are shared *across
+/// jobs*. Sharing is safe for bit-identity: a memo hit returns the
+/// provably identical result of recomputing (pinned by the
+/// incremental-equivalence suite), so results never depend on which jobs
+/// warmed the cache. The baseline snapshot is [`EvalEngine::base`].
+pub fn explore_with_engine(
+    engine: &EvalEngine,
+    tech: &Technology,
+    params: &Nsga2Params,
+    opts: &ExploreOptions,
+) -> Result<ExploreResult, Error> {
+    faults::ensure_init();
+    let base = engine.base();
+    let policy = SandboxPolicy {
+        deadline: opts.deadline,
+    };
+    let threads = params.resolved_threads();
 
     let mut rng;
     let mut cache: HashMap<Genome, FlowMetrics> = HashMap::new();
@@ -716,7 +737,7 @@ pub fn explore_with(
             obs::span("nsga2.generation", |_| {
                 evaluate_all(
                     &pop,
-                    &engine,
+                    engine,
                     tech,
                     &mut cache,
                     threads,
@@ -769,7 +790,7 @@ pub fn explore_with(
             }
             evaluate_all(
                 &offspring,
-                &engine,
+                engine,
                 tech,
                 &mut cache,
                 threads,
@@ -814,7 +835,7 @@ pub fn explore_with(
             }
             evaluate_all(
                 &next,
-                &engine,
+                engine,
                 tech,
                 &mut cache,
                 threads,

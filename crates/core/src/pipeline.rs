@@ -111,7 +111,7 @@ pub fn evaluate_unchecked(layout: impl Into<Arc<Layout>>, tech: &Technology) -> 
 /// suite.
 ///
 /// The engine additionally memoizes ECO *operator* results (see
-/// [`crate::flow::apply_flow_with`]): the placement edit of a candidate
+/// [`crate::flow::FlowRun::engine`]): the placement edit of a candidate
 /// depends only on the operator genes and its seed, never on the routing
 /// width scales, so a GA population that varies scales around the same
 /// operator re-uses one edited layout instead of re-running the operator.

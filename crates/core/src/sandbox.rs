@@ -6,10 +6,10 @@
 //! evaluation therefore runs inside [`catch_unwind`] with an optional
 //! cooperative wall-clock deadline, and a failure walks a *degrade chain*:
 //!
-//! 1. **Incremental eval** (stage 0): the normal
-//!    [`crate::flow::run_flow_with`] path through the [`EvalEngine`].
-//! 2. **Full re-eval** (stage 1): [`crate::flow::run_flow`] from the base
-//!    snapshot, bypassing every engine cache. By the incremental ==
+//! 1. **Incremental eval** (stage 0): the normal engine-backed
+//!    [`crate::flow::FlowRun`] path through the [`EvalEngine`].
+//! 2. **Full re-eval** (stage 1): an oracle [`crate::flow::FlowRun`] from
+//!    the base snapshot, bypassing every engine cache. By the incremental ==
 //!    full equivalence property, a recovered candidate's metrics are
 //!    bit-identical to what the healthy incremental path would have
 //!    produced, so a stage-0-only fault leaves the Pareto front unchanged.
@@ -189,7 +189,10 @@ pub fn evaluate_candidate(
 
     // Stage 0: incremental eval through the engine.
     let incremental = run_stage(generation, candidate, key, 0, policy, || {
-        crate::flow::run_flow_with(engine, tech, &cfg, seed)
+        crate::flow::FlowRun::new(engine.base(), tech, &cfg)
+            .engine(engine)
+            .seed(seed)
+            .metrics()
     });
     let first = match incremental {
         Ok(m) => return (m, EvalStatus::Ok),
@@ -199,7 +202,9 @@ pub fn evaluate_candidate(
     // Stage 1: full re-eval from the base snapshot, bypassing every engine
     // cache (a poisoned memo or a stage-0-only fault cannot reach it).
     let full = run_stage(generation, candidate, key, 1, policy, || {
-        Ok(crate::flow::run_flow(engine.base(), tech, &cfg, seed))
+        crate::flow::FlowRun::new(engine.base(), tech, &cfg)
+            .seed(seed)
+            .metrics()
     });
     match full {
         Ok(m) => (m, EvalStatus::Degraded(first)),

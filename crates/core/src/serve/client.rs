@@ -1,0 +1,166 @@
+//! The typed socket client the `ggd` subcommands are built on.
+//!
+//! One [`Client`] is one connection; requests are serialized on it in
+//! order (the protocol has no interleaving), so a long `watch` occupies
+//! the connection until the job ends — open a second client for
+//! concurrent control traffic.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use ggjson::{FromJson, Json};
+
+use crate::error::Error;
+use crate::serve::job::{JobEvent, JobSpec, JobStatus};
+use crate::serve::proto::{Request, Response};
+use crate::serve::server::ServerStats;
+
+/// A connection to a running `ggd serve` daemon.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon's Unix-domain socket.
+    pub fn connect(socket: &Path) -> Result<Self, Error> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| Error::Serve(format!("cannot connect to {}: {e}", socket.display())))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| Error::Serve(format!("cannot clone socket: {e}")))?;
+        Ok(Self {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// Like [`Client::connect`], but retries for up to `patience` while
+    /// the daemon is still binding its socket.
+    pub fn connect_with_retry(socket: &Path, patience: Duration) -> Result<Self, Error> {
+        let start = std::time::Instant::now();
+        loop {
+            match Self::connect(socket) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= patience => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), Error> {
+        let mut line = req.to_line();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| Error::Serve(format!("cannot send request: {e}")))
+    }
+
+    fn recv(&mut self) -> Result<Response, Error> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| Error::Serve(format!("cannot read response: {e}")))?;
+        if n == 0 {
+            return Err(Error::Serve("server closed the connection".into()));
+        }
+        Response::from_line(line.trim_end())
+    }
+
+    /// Sends a single-response request and returns the `ok` payload.
+    fn round_trip(&mut self, req: &Request) -> Result<Json, Error> {
+        self.send(req)?;
+        match self.recv()? {
+            Response::Ok(payload) => Ok(payload),
+            Response::Err(why) => Err(Error::Serve(why)),
+            Response::Event(_) => Err(Error::Serve(
+                "unexpected event outside a watch stream".into(),
+            )),
+        }
+    }
+
+    fn typed<T: FromJson>(&mut self, req: &Request, what: &str) -> Result<T, Error> {
+        let payload = self.round_trip(req)?;
+        T::from_json(&payload)
+            .ok_or_else(|| Error::Serve(format!("malformed {what} payload from server")))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), Error> {
+        self.round_trip(&Request::Ping).map(|_| ())
+    }
+
+    /// Queues a job; returns its id.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, Error> {
+        let payload = self.round_trip(&Request::Submit(spec.clone()))?;
+        payload
+            .get("job")
+            .and_then(u64::from_json)
+            .ok_or_else(|| Error::Serve("submit reply lacks a job id".into()))
+    }
+
+    /// Point-in-time status of one job.
+    pub fn status(&mut self, id: u64) -> Result<JobStatus, Error> {
+        self.typed(&Request::Status(id), "status")
+    }
+
+    /// Status of every job, in submit order.
+    pub fn jobs(&mut self) -> Result<Vec<JobStatus>, Error> {
+        self.typed(&Request::Jobs, "jobs")
+    }
+
+    /// Parks a job at its next generation boundary; returns its status.
+    pub fn pause(&mut self, id: u64) -> Result<JobStatus, Error> {
+        self.typed(&Request::Pause(id), "pause")
+    }
+
+    /// Re-queues a paused job; returns its status.
+    pub fn resume(&mut self, id: u64) -> Result<JobStatus, Error> {
+        self.typed(&Request::Resume(id), "resume")
+    }
+
+    /// Cancels a job; returns its status.
+    pub fn cancel(&mut self, id: u64) -> Result<JobStatus, Error> {
+        self.typed(&Request::Cancel(id), "cancel")
+    }
+
+    /// Final result payload of a done job.
+    pub fn result(&mut self, id: u64) -> Result<Json, Error> {
+        self.round_trip(&Request::Result(id))
+    }
+
+    /// Scheduler and baseline-cache counters.
+    pub fn stats(&mut self) -> Result<ServerStats, Error> {
+        self.typed(&Request::Stats, "stats")
+    }
+
+    /// Asks the daemon to shut down.
+    pub fn shutdown(&mut self) -> Result<(), Error> {
+        self.round_trip(&Request::Shutdown).map(|_| ())
+    }
+
+    /// Streams a job's events from stream cursor `from` until the job is
+    /// terminal, invoking `on_event` per event; returns the final status.
+    pub fn watch(
+        &mut self,
+        id: u64,
+        from: u64,
+        mut on_event: impl FnMut(&JobEvent),
+    ) -> Result<JobStatus, Error> {
+        self.send(&Request::Watch { job: id, from })?;
+        loop {
+            match self.recv()? {
+                Response::Event(e) => on_event(&e),
+                Response::Ok(payload) => {
+                    return JobStatus::from_json(&payload)
+                        .ok_or_else(|| Error::Serve("malformed final status from watch".into()))
+                }
+                Response::Err(why) => return Err(Error::Serve(why)),
+            }
+        }
+    }
+}

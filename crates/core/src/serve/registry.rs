@@ -1,0 +1,623 @@
+//! The job registry: queue, lifecycle state machine, and event streams.
+//!
+//! One mutex guards all scheduling state; a condvar wakes runner threads
+//! when work arrives and `watch` readers when events land. Scheduling
+//! order is **priority descending, then submit order ascending** —
+//! strict priorities with FIFO inside each class. Runners claim one
+//! *scheduler step* at a time (one generation of an explore job, or the
+//! whole of an analyze/harden job), so a high-priority submit preempts a
+//! long-running low-priority explore at its next generation boundary
+//! without killing it.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use ggjson::Json;
+
+use crate::serve::job::{JobEvent, JobKind, JobSpec, JobState, JobStatus};
+
+/// Everything the registry tracks about one job.
+pub(crate) struct Job {
+    pub spec: JobSpec,
+    pub state: JobState,
+    /// Submit-order tiebreaker inside a priority class.
+    pub seq: u64,
+    /// Next scheduler step to run (for explore: the generation index
+    /// handed to `halt_after`).
+    pub next_step: u64,
+    /// Total scheduler steps this job runs.
+    pub total_steps: u64,
+    pub pause_requested: bool,
+    pub cancel_requested: bool,
+    /// Set by `resume`; the next claim emits a `resumed` event.
+    pub resumed_pending: bool,
+    pub events: Vec<JobEvent>,
+    pub result: Option<Json>,
+    pub error: Option<String>,
+    /// Checkpoint envelope backing pause/resume for this job.
+    pub checkpoint: PathBuf,
+    /// Pareto-front member keys as of the last generation, for computing
+    /// streamed front deltas.
+    pub front_keys: Vec<String>,
+}
+
+/// What a runner's completed step did to its job.
+pub(crate) enum StepOutcome {
+    /// One generation finished; the job stays alive. The payload becomes
+    /// a `generation` event.
+    Progress { generation: u64, data: Json },
+    /// The job produced its final result. `data` becomes the `done`
+    /// event payload (the full result is fetched via `result`).
+    Finished {
+        generation: Option<u64>,
+        data: Json,
+        result: Json,
+    },
+    /// The step failed; the job is dead.
+    Failed { error: String },
+}
+
+/// What `claim_next` handed out.
+pub(crate) enum Claim {
+    /// Run one step of this job.
+    Step(u64),
+    /// Nothing runnable right now.
+    Idle,
+    /// The registry is shutting down; the runner should exit.
+    Shutdown,
+}
+
+struct Inner {
+    jobs: BTreeMap<u64, Job>,
+    next_id: u64,
+    next_seq: u64,
+    /// Server-global event tick (total order across all jobs).
+    next_tick: u64,
+    shutdown: bool,
+}
+
+impl Inner {
+    fn push_event(&mut self, id: u64, kind: &str, generation: Option<u64>, data: Json) {
+        let tick = self.next_tick;
+        if let Some(job) = self.jobs.get_mut(&id) {
+            self.next_tick += 1;
+            job.events.push(JobEvent {
+                seq: job.events.len() as u64,
+                tick,
+                kind: kind.to_owned(),
+                generation,
+                data,
+            });
+        }
+    }
+}
+
+pub(crate) struct Registry {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                jobs: BTreeMap::new(),
+                next_id: 1,
+                next_seq: 0,
+                next_tick: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Queues a validated spec; returns the job id.
+    pub fn submit(&self, spec: JobSpec, checkpoint: PathBuf) -> u64 {
+        let mut inner = self.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let total_steps = match spec.kind {
+            // Steps 0..=generations: the initial population counts as one.
+            JobKind::Explore => spec.generations as u64 + 1,
+            _ => 1,
+        };
+        inner.jobs.insert(
+            id,
+            Job {
+                spec,
+                state: JobState::Queued,
+                seq,
+                next_step: 0,
+                total_steps,
+                pause_requested: false,
+                cancel_requested: false,
+                resumed_pending: false,
+                events: Vec::new(),
+                result: None,
+                error: None,
+                checkpoint,
+                front_keys: Vec::new(),
+            },
+        );
+        inner.push_event(id, "queued", None, Json::Null);
+        drop(inner);
+        self.cv.notify_all();
+        id
+    }
+
+    /// Claims the highest-priority queued job and marks it running.
+    /// With `block`, waits until a job is runnable or shutdown begins.
+    pub fn claim_next(&self, block: bool) -> Claim {
+        let mut inner = self.lock();
+        loop {
+            if inner.shutdown {
+                return Claim::Shutdown;
+            }
+            let pick = inner
+                .jobs
+                .iter()
+                .filter(|(_, j)| j.state == JobState::Queued)
+                .min_by_key(|(_, j)| (std::cmp::Reverse(j.spec.priority), j.seq))
+                .map(|(id, _)| *id);
+            if let Some(id) = pick {
+                let (first_step, resumed) = match inner.jobs.get_mut(&id) {
+                    Some(job) => {
+                        job.state = JobState::Running;
+                        let resumed = std::mem::take(&mut job.resumed_pending);
+                        (job.next_step == 0, resumed)
+                    }
+                    None => continue,
+                };
+                if resumed {
+                    inner.push_event(id, "resumed", None, Json::Null);
+                } else if first_step {
+                    inner.push_event(id, "started", None, Json::Null);
+                }
+                drop(inner);
+                self.cv.notify_all();
+                return Claim::Step(id);
+            }
+            if !block {
+                return Claim::Idle;
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Applies a completed step's outcome and the pending pause/cancel
+    /// requests, in that order of precedence: cancel > pause > continue.
+    pub fn finish_step(&self, id: u64, outcome: StepOutcome) {
+        let mut inner = self.lock();
+        match outcome {
+            StepOutcome::Failed { error } => {
+                if let Some(job) = inner.jobs.get_mut(&id) {
+                    job.state = JobState::Failed;
+                    job.error = Some(error.clone());
+                }
+                inner.push_event(id, "failed", None, Json::Str(error));
+            }
+            StepOutcome::Finished {
+                generation,
+                data,
+                result,
+            } => {
+                if let Some(job) = inner.jobs.get_mut(&id) {
+                    job.next_step += 1;
+                    job.result = Some(result);
+                    job.state = JobState::Done;
+                }
+                inner.push_event(id, "done", generation, data);
+            }
+            StepOutcome::Progress { generation, data } => {
+                let follow_up = match inner.jobs.get_mut(&id) {
+                    Some(job) => {
+                        job.next_step += 1;
+                        if job.cancel_requested {
+                            job.state = JobState::Cancelled;
+                            Some("cancelled")
+                        } else if job.pause_requested {
+                            job.pause_requested = false;
+                            job.state = JobState::Paused;
+                            Some("paused")
+                        } else {
+                            job.state = JobState::Queued;
+                            None
+                        }
+                    }
+                    None => None,
+                };
+                inner.push_event(id, "generation", Some(generation), data);
+                if let Some(kind) = follow_up {
+                    inner.push_event(id, kind, None, Json::Null);
+                }
+            }
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Requests a pause: queued jobs park immediately, running jobs park
+    /// at their next generation boundary.
+    pub fn pause(&self, id: u64) -> Result<(), String> {
+        let mut inner = self.lock();
+        let newly_paused = match inner.jobs.get_mut(&id) {
+            Some(job) => match job.state {
+                JobState::Queued => {
+                    job.state = JobState::Paused;
+                    true
+                }
+                JobState::Running => {
+                    job.pause_requested = true;
+                    false
+                }
+                JobState::Paused => false,
+                s => return Err(format!("cannot pause a {} job", s.as_str())),
+            },
+            None => return Err(format!("no job {id}")),
+        };
+        if newly_paused {
+            inner.push_event(id, "paused", None, Json::Null);
+        }
+        drop(inner);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Re-queues a paused job. It re-enters the back of its priority
+    /// class (a fresh submit-order ticket, FIFO fairness preserved).
+    pub fn resume(&self, id: u64) -> Result<(), String> {
+        let mut inner = self.lock();
+        let seq = inner.next_seq;
+        match inner.jobs.get_mut(&id) {
+            Some(job) => match job.state {
+                JobState::Paused => {
+                    job.state = JobState::Queued;
+                    job.seq = seq;
+                    job.resumed_pending = true;
+                }
+                JobState::Queued | JobState::Running => {
+                    // Un-park a pause that has not landed yet.
+                    job.pause_requested = false;
+                }
+                s => return Err(format!("cannot resume a {} job", s.as_str())),
+            },
+            None => return Err(format!("no job {id}")),
+        }
+        inner.next_seq += 1;
+        drop(inner);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Requests cancellation: queued/paused jobs die immediately, running
+    /// jobs die at their next generation boundary.
+    pub fn cancel(&self, id: u64) -> Result<(), String> {
+        let mut inner = self.lock();
+        let now_cancelled = match inner.jobs.get_mut(&id) {
+            Some(job) => match job.state {
+                JobState::Queued | JobState::Paused => {
+                    job.state = JobState::Cancelled;
+                    true
+                }
+                JobState::Running => {
+                    job.cancel_requested = true;
+                    false
+                }
+                _ => false, // already terminal: cancel is idempotent
+            },
+            None => return Err(format!("no job {id}")),
+        };
+        if now_cancelled {
+            inner.push_event(id, "cancelled", None, Json::Null);
+        }
+        drop(inner);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Point-in-time status of one job.
+    pub fn status(&self, id: u64) -> Result<JobStatus, String> {
+        let inner = self.lock();
+        inner
+            .jobs
+            .get(&id)
+            .map(|j| status_of(id, j))
+            .ok_or_else(|| format!("no job {id}"))
+    }
+
+    /// Status of every job, in id (submit) order.
+    pub fn jobs(&self) -> Vec<JobStatus> {
+        let inner = self.lock();
+        inner.jobs.iter().map(|(id, j)| status_of(*id, j)).collect()
+    }
+
+    /// Events of job `id` from stream position `from` on, plus whether
+    /// the job is terminal. With `wait`, blocks until there is at least
+    /// one new event, the job is terminal, or `timeout` expires.
+    pub fn events_since(
+        &self,
+        id: u64,
+        from: u64,
+        wait: bool,
+        timeout: Duration,
+    ) -> Result<(Vec<JobEvent>, bool), String> {
+        let mut inner = self.lock();
+        loop {
+            let Some(job) = inner.jobs.get(&id) else {
+                return Err(format!("no job {id}"));
+            };
+            let fresh: Vec<JobEvent> = job.events.iter().skip(from as usize).cloned().collect();
+            let terminal = job.state.is_terminal();
+            if !fresh.is_empty() || terminal || !wait || inner.shutdown {
+                return Ok((fresh, terminal));
+            }
+            let (guard, out) = self
+                .cv
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(|p| p.into_inner());
+            inner = guard;
+            if out.timed_out() {
+                let Some(job) = inner.jobs.get(&id) else {
+                    return Err(format!("no job {id}"));
+                };
+                return Ok((Vec::new(), job.state.is_terminal()));
+            }
+        }
+    }
+
+    /// Final result payload of a `done` job.
+    pub fn result(&self, id: u64) -> Result<Json, String> {
+        let inner = self.lock();
+        let Some(job) = inner.jobs.get(&id) else {
+            return Err(format!("no job {id}"));
+        };
+        match (&job.state, &job.result) {
+            (JobState::Done, Some(r)) => Ok(r.clone()),
+            (JobState::Failed, _) => Err(format!(
+                "job {id} failed: {}",
+                job.error.as_deref().unwrap_or("unknown error")
+            )),
+            (s, _) => Err(format!("job {id} is {}, not done", s.as_str())),
+        }
+    }
+
+    /// Reads the fields a runner needs to execute one step.
+    pub fn step_inputs(&self, id: u64) -> Option<(JobSpec, u64, PathBuf)> {
+        let inner = self.lock();
+        inner
+            .jobs
+            .get(&id)
+            .map(|j| (j.spec.clone(), j.next_step, j.checkpoint.clone()))
+    }
+
+    /// Installs the job's current Pareto-front member keys and returns
+    /// the previous set, so runners can stream front deltas.
+    pub fn replace_front(&self, id: u64, front: Vec<String>) -> Vec<String> {
+        let mut inner = self.lock();
+        inner
+            .jobs
+            .get_mut(&id)
+            .map(|j| std::mem::replace(&mut j.front_keys, front))
+            .unwrap_or_default()
+    }
+
+    /// Appends an auxiliary event (e.g. `baseline`) to a job's stream.
+    pub fn emit(&self, id: u64, kind: &str, generation: Option<u64>, data: Json) {
+        let mut inner = self.lock();
+        inner.push_event(id, kind, generation, data);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Begins shutdown: wakes every waiter; runners exit at their next
+    /// claim, watchers return what they have.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutdown(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    /// Whether any job is queued or running.
+    pub fn has_live_work(&self) -> bool {
+        self.lock()
+            .jobs
+            .values()
+            .any(|j| matches!(j.state, JobState::Queued | JobState::Running))
+    }
+}
+
+fn status_of(id: u64, job: &Job) -> JobStatus {
+    JobStatus {
+        id,
+        state: job.state,
+        kind: job.spec.kind,
+        design: job.spec.design.clone(),
+        priority: job.spec.priority,
+        steps_done: job.next_step,
+        steps_total: job.total_steps,
+        events: job.events.len() as u64,
+        error: job.error.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::job::JobSpec;
+
+    fn ckpt(n: u64) -> PathBuf {
+        PathBuf::from(format!("/tmp/unused-{n}.ckpt"))
+    }
+
+    fn spec(priority: u8) -> JobSpec {
+        JobSpec {
+            priority,
+            ..JobSpec::analyze("TINY")
+        }
+    }
+
+    fn kinds(reg: &Registry, id: u64) -> Vec<String> {
+        let (events, _) = reg
+            .events_since(id, 0, false, Duration::from_millis(1))
+            .expect("job exists");
+        events.into_iter().map(|e| e.kind).collect()
+    }
+
+    #[test]
+    fn higher_priority_claims_first() {
+        let reg = Registry::new();
+        let low = reg.submit(spec(0), ckpt(1));
+        let high = reg.submit(spec(5), ckpt(2));
+        let mid = reg.submit(spec(2), ckpt(3));
+        let order: Vec<u64> = (0..3)
+            .map(|_| match reg.claim_next(false) {
+                Claim::Step(id) => id,
+                _ => panic!("expected a runnable job"),
+            })
+            .collect();
+        assert_eq!(order, vec![high, mid, low]);
+    }
+
+    #[test]
+    fn fifo_within_a_priority_class() {
+        let reg = Registry::new();
+        let ids: Vec<u64> = (0..4).map(|n| reg.submit(spec(3), ckpt(n))).collect();
+        for expected in &ids {
+            match reg.claim_next(false) {
+                Claim::Step(id) => assert_eq!(id, *expected),
+                _ => panic!("expected a runnable job"),
+            }
+        }
+        assert!(matches!(reg.claim_next(false), Claim::Idle));
+    }
+
+    #[test]
+    fn cancel_while_queued_never_runs() {
+        let reg = Registry::new();
+        let a = reg.submit(spec(0), ckpt(1));
+        let b = reg.submit(spec(0), ckpt(2));
+        reg.cancel(b).expect("queued job cancels");
+        assert!(matches!(reg.claim_next(false), Claim::Step(id) if id == a));
+        assert!(matches!(reg.claim_next(false), Claim::Idle));
+        assert_eq!(kinds(&reg, b), vec!["queued", "cancelled"]);
+        let status = reg.status(b).expect("status");
+        assert_eq!(status.state, JobState::Cancelled);
+        assert_eq!(status.steps_done, 0);
+    }
+
+    #[test]
+    fn pause_while_running_lands_at_the_generation_boundary() {
+        let reg = Registry::new();
+        let mut explore = JobSpec::explore("TINY");
+        explore.generations = 3;
+        let id = reg.submit(explore, ckpt(1));
+        assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == id));
+        // Pause arrives mid-step: the job keeps running...
+        reg.pause(id).expect("running job accepts pause");
+        assert_eq!(reg.status(id).expect("status").state, JobState::Running);
+        // ...and parks only once the in-flight generation completes.
+        reg.finish_step(
+            id,
+            StepOutcome::Progress {
+                generation: 0,
+                data: Json::Null,
+            },
+        );
+        let status = reg.status(id).expect("status");
+        assert_eq!(status.state, JobState::Paused);
+        assert_eq!(status.steps_done, 1);
+        assert_eq!(
+            kinds(&reg, id),
+            vec!["queued", "started", "generation", "paused"]
+        );
+        // Nothing runnable while paused; resume re-queues and re-claims.
+        assert!(matches!(reg.claim_next(false), Claim::Idle));
+        reg.resume(id).expect("paused job resumes");
+        assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == id));
+        assert_eq!(
+            kinds(&reg, id),
+            vec!["queued", "started", "generation", "paused", "resumed"]
+        );
+    }
+
+    #[test]
+    fn cancel_while_running_lands_at_the_generation_boundary() {
+        let reg = Registry::new();
+        let id = reg.submit(JobSpec::explore("TINY"), ckpt(1));
+        assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == id));
+        reg.cancel(id).expect("running job accepts cancel");
+        assert_eq!(reg.status(id).expect("status").state, JobState::Running);
+        reg.finish_step(
+            id,
+            StepOutcome::Progress {
+                generation: 0,
+                data: Json::Null,
+            },
+        );
+        assert_eq!(reg.status(id).expect("status").state, JobState::Cancelled);
+        assert!(matches!(reg.claim_next(false), Claim::Idle));
+        assert!(reg.result(id).is_err());
+    }
+
+    #[test]
+    fn resumed_jobs_requeue_behind_their_class() {
+        let reg = Registry::new();
+        let a = reg.submit(spec(1), ckpt(1));
+        reg.pause(a).expect("queued job pauses");
+        let b = reg.submit(spec(1), ckpt(2));
+        reg.resume(a).expect("paused job resumes");
+        // `a` was submitted first but re-entered the class after `b`.
+        assert!(matches!(reg.claim_next(false), Claim::Step(id) if id == b));
+        assert!(matches!(reg.claim_next(false), Claim::Step(id) if id == a));
+    }
+
+    #[test]
+    fn ticks_order_events_across_jobs() {
+        let reg = Registry::new();
+        let a = reg.submit(spec(0), ckpt(1));
+        let b = reg.submit(spec(0), ckpt(2));
+        let (ea, _) = reg
+            .events_since(a, 0, false, Duration::from_millis(1))
+            .expect("a exists");
+        let (eb, _) = reg
+            .events_since(b, 0, false, Duration::from_millis(1))
+            .expect("b exists");
+        assert!(
+            ea[0].tick < eb[0].tick,
+            "global ticks order cross-job events"
+        );
+        assert_eq!(ea[0].seq, 0);
+        assert_eq!(eb[0].seq, 0);
+    }
+
+    #[test]
+    fn terminal_states_refuse_transitions() {
+        let reg = Registry::new();
+        let id = reg.submit(spec(0), ckpt(1));
+        reg.cancel(id).expect("cancel");
+        assert!(reg.pause(id).is_err());
+        assert!(reg.resume(id).is_err());
+        reg.cancel(id).expect("cancel is idempotent");
+        assert!(reg.pause(99).is_err());
+    }
+
+    #[test]
+    fn shutdown_unblocks_claims() {
+        let reg = Registry::new();
+        reg.shutdown();
+        assert!(matches!(reg.claim_next(true), Claim::Shutdown));
+        assert!(reg.is_shutdown());
+    }
+}

@@ -1,0 +1,632 @@
+//! The job server: runner threads, step execution, and the socket front
+//! end.
+//!
+//! A [`Server`] owns one job registry and one [`BaselineCache`]. Runner
+//! threads pull *scheduler steps* from the registry — one NSGA-II
+//! generation of an explore job (via [`crate::nsga2::explore_with_engine`]
+//! with `halt_after`), or the whole of an analyze/harden job — so
+//! priorities take effect at generation boundaries and a pause/cancel
+//! request lands exactly where a checkpoint was just written. Explore
+//! jobs are therefore bit-identical across any pause/resume pattern, by
+//! the same checkpoint-resume property the kill-matrix test pins.
+//!
+//! With `runners: 0` nothing runs until [`Server::step_once`] /
+//! [`Server::run_until_idle`] — the deterministic mode the scheduler
+//! tests drive.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ggjson::Json;
+use tech::Technology;
+
+use crate::error::Error;
+use crate::flow::{FlowConfig, FlowMetrics, FlowRun};
+use crate::nsga2::{explore_with_engine, ExploreOptions, ExploreResult, Nsga2Params};
+use crate::serve::baseline::{BaselineCache, DesignContext};
+use crate::serve::job::{BaselineSummary, JobEvent, JobKind, JobSpec, JobStatus};
+use crate::serve::proto::{Request, Response};
+use crate::serve::registry::{Claim, Registry, StepOutcome};
+
+/// How a [`Server`] is stood up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Unix-domain socket to listen on; `None` runs in-process only
+    /// (submit/watch through the [`Server`] methods).
+    pub socket: Option<PathBuf>,
+    /// Directory for per-job checkpoint envelopes; `None` uses
+    /// `ggd-serve-<pid>` under the system temp directory.
+    pub data_dir: Option<PathBuf>,
+    /// Runner threads; `0` means no background execution — tests drive
+    /// the scheduler with [`Server::step_once`].
+    pub runners: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            socket: None,
+            data_dir: None,
+            runners: 1,
+        }
+    }
+}
+
+/// Scheduler and shared-baseline-cache counters, as returned by `stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Jobs ever submitted.
+    pub jobs: u64,
+    /// Baseline contexts constructed (one per distinct design, counting
+    /// failed builds).
+    pub baseline_builds: u64,
+    /// Baseline requests served from cache instead of rebuilding.
+    pub baseline_hits: u64,
+}
+
+ggjson::json_struct!(ServerStats {
+    jobs,
+    baseline_builds,
+    baseline_hits
+});
+
+struct Shared {
+    registry: Registry,
+    baselines: BaselineCache,
+    data_dir: PathBuf,
+    socket_path: Option<PathBuf>,
+    ckpt_counter: AtomicU64,
+}
+
+/// A running job server. Dropping it without [`Server::stop`] leaves
+/// its threads running detached for the rest of the process.
+pub struct Server {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Stands the server up: creates the data directory, binds the
+    /// socket (if configured), and spawns the runner threads.
+    pub fn start(cfg: ServerConfig) -> Result<Self, Error> {
+        let data_dir = cfg.data_dir.unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("ggd-serve-{}", std::process::id()))
+        });
+        std::fs::create_dir_all(&data_dir)
+            .map_err(|e| Error::Io(format!("cannot create {}: {e}", data_dir.display())))?;
+        let listener =
+            match &cfg.socket {
+                Some(path) => {
+                    // A stale socket file from a dead server blocks bind.
+                    let _ = std::fs::remove_file(path);
+                    Some(UnixListener::bind(path).map_err(|e| {
+                        Error::Serve(format!("cannot bind {}: {e}", path.display()))
+                    })?)
+                }
+                None => None,
+            };
+        let shared = Arc::new(Shared {
+            registry: Registry::new(),
+            baselines: BaselineCache::new(Technology::nangate45_like()),
+            data_dir,
+            socket_path: cfg.socket,
+            ckpt_counter: AtomicU64::new(0),
+        });
+        let mut threads = Vec::new();
+        for i in 0..cfg.runners {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ggd-runner-{i}"))
+                    .spawn(move || runner_loop(&sh))
+                    .map_err(|e| Error::Serve(format!("cannot spawn runner: {e}")))?,
+            );
+        }
+        if let Some(listener) = listener {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ggd-accept".to_owned())
+                    .spawn(move || accept_loop(&sh, listener))
+                    .map_err(|e| Error::Serve(format!("cannot spawn acceptor: {e}")))?,
+            );
+        }
+        Ok(Self { shared, threads })
+    }
+
+    /// Validates and queues a job; returns its id.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, Error> {
+        spec.validate().map_err(Error::Serve)?;
+        let checkpoint = match &spec.checkpoint {
+            Some(path) => PathBuf::from(path),
+            None => {
+                let n = self.shared.ckpt_counter.fetch_add(1, Ordering::Relaxed);
+                self.shared.data_dir.join(format!("job{n}.ckpt"))
+            }
+        };
+        Ok(self.shared.registry.submit(spec, checkpoint))
+    }
+
+    /// Point-in-time status of one job.
+    pub fn status(&self, id: u64) -> Result<JobStatus, Error> {
+        self.shared.registry.status(id).map_err(Error::Serve)
+    }
+
+    /// Status of every job, in submit order.
+    pub fn jobs(&self) -> Vec<JobStatus> {
+        self.shared.registry.jobs()
+    }
+
+    /// Parks a job at its next generation boundary (immediately if it is
+    /// still queued).
+    pub fn pause(&self, id: u64) -> Result<(), Error> {
+        self.shared.registry.pause(id).map_err(Error::Serve)
+    }
+
+    /// Re-queues a paused job at the back of its priority class.
+    pub fn resume(&self, id: u64) -> Result<(), Error> {
+        self.shared.registry.resume(id).map_err(Error::Serve)
+    }
+
+    /// Cancels a job (at its next generation boundary if running).
+    pub fn cancel(&self, id: u64) -> Result<(), Error> {
+        self.shared.registry.cancel(id).map_err(Error::Serve)
+    }
+
+    /// Final result payload of a done job.
+    pub fn result(&self, id: u64) -> Result<Json, Error> {
+        self.shared.registry.result(id).map_err(Error::Serve)
+    }
+
+    /// Events of job `id` from stream cursor `from`, plus whether the
+    /// job is terminal. With `wait`, blocks until news arrives (bounded
+    /// by an internal poll interval).
+    pub fn events_since(
+        &self,
+        id: u64,
+        from: u64,
+        wait: bool,
+    ) -> Result<(Vec<JobEvent>, bool), Error> {
+        self.shared
+            .registry
+            .events_since(id, from, wait, Duration::from_millis(200))
+            .map_err(Error::Serve)
+    }
+
+    /// Scheduler and baseline-cache counters.
+    pub fn stats(&self) -> ServerStats {
+        let (baseline_builds, baseline_hits) = self.shared.baselines.stats();
+        ServerStats {
+            jobs: self.shared.registry.jobs().len() as u64,
+            baseline_builds,
+            baseline_hits,
+        }
+    }
+
+    /// Claims and executes exactly one scheduler step on the calling
+    /// thread; returns whether there was anything to run. The `runners:
+    /// 0` test mode's drive shaft.
+    pub fn step_once(&self) -> bool {
+        match self.shared.registry.claim_next(false) {
+            Claim::Step(id) => {
+                let outcome = execute_step(&self.shared, id);
+                self.shared.registry.finish_step(id, outcome);
+                true
+            }
+            Claim::Idle | Claim::Shutdown => false,
+        }
+    }
+
+    /// Runs scheduler steps on the calling thread until no job is queued
+    /// or running.
+    pub fn run_until_idle(&self) {
+        while self.step_once() {}
+    }
+
+    /// Whether any job is queued or running.
+    pub fn has_live_work(&self) -> bool {
+        self.shared.registry.has_live_work()
+    }
+
+    /// Begins shutdown without waiting: runners exit at their next
+    /// claim, watchers drain, the acceptor unblocks.
+    pub fn begin_shutdown(&self) {
+        self.shared.registry.shutdown();
+        if let Some(path) = &self.shared.socket_path {
+            // Unblock the acceptor's blocking `accept`.
+            let _ = UnixStream::connect(path);
+        }
+    }
+
+    /// Blocks until the server shuts down (a client sends `shutdown`,
+    /// or another thread calls [`Server::begin_shutdown`]), then joins
+    /// every thread and removes the socket file. Daemon mode.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.shared.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Shuts down and joins: [`Server::begin_shutdown`] + [`Server::wait`].
+    pub fn stop(self) {
+        self.begin_shutdown();
+        self.wait();
+    }
+}
+
+fn runner_loop(shared: &Shared) {
+    loop {
+        match shared.registry.claim_next(true) {
+            Claim::Shutdown => break,
+            Claim::Idle => {}
+            Claim::Step(id) => {
+                let outcome = execute_step(shared, id);
+                shared.registry.finish_step(id, outcome);
+            }
+        }
+    }
+}
+
+/// Runs one claimed scheduler step, converting panics into job failures
+/// so a poisoned candidate cannot take the server down.
+fn execute_step(shared: &Shared, id: u64) -> StepOutcome {
+    let Some((spec, step, ckpt)) = shared.registry.step_inputs(id) else {
+        return StepOutcome::Failed {
+            error: format!("job {id} vanished from the registry"),
+        };
+    };
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_step(shared, id, &spec, step, &ckpt)
+    })) {
+        Ok(outcome) => outcome,
+        Err(panic) => StepOutcome::Failed {
+            error: format!("step panicked: {}", panic_message(&panic)),
+        },
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+fn run_step(shared: &Shared, id: u64, spec: &JobSpec, step: u64, ckpt: &Path) -> StepOutcome {
+    let ctx = match shared.baselines.get(&spec.design) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            return StepOutcome::Failed {
+                error: e.to_string(),
+            }
+        }
+    };
+    if step == 0 {
+        shared
+            .registry
+            .emit(id, "baseline", None, ggjson::ToJson::to_json(&ctx.summary));
+    }
+    match spec.kind {
+        JobKind::Analyze => run_analyze(&ctx, shared.baselines.tech()),
+        JobKind::Harden => run_harden(&ctx, shared.baselines.tech(), spec),
+        JobKind::Explore => run_explore_step(shared, id, &ctx, spec, step, ckpt),
+    }
+}
+
+fn run_analyze(ctx: &DesignContext, tech: &Technology) -> StepOutcome {
+    let battery = secmetrics::attack::battery_success_rate(&ctx.base().security, tech);
+    let result = Json::Obj(vec![
+        ("baseline".to_owned(), ggjson::ToJson::to_json(&ctx.summary)),
+        ("battery_success".to_owned(), Json::Num(battery)),
+    ]);
+    StepOutcome::Finished {
+        generation: None,
+        data: result.clone(),
+        result,
+    }
+}
+
+fn run_harden(ctx: &DesignContext, tech: &Technology, spec: &JobSpec) -> StepOutcome {
+    let cfg = match spec.op.as_str() {
+        "cs" => FlowConfig::cell_shift_default(),
+        "lda" => FlowConfig::lda_default(),
+        other => {
+            return StepOutcome::Failed {
+                error: format!("unknown operator '{other}' (expected cs or lda)"),
+            }
+        }
+    };
+    // The oracle path (no engine), seed 1: the exact computation the
+    // one-shot `ggd harden` has always run.
+    let mut hardened = match FlowRun::new(ctx.base(), tech, &cfg).snapshot() {
+        Ok(s) => s,
+        Err(e) => {
+            return StepOutcome::Failed {
+                error: e.to_string(),
+            }
+        }
+    };
+    let metrics = FlowMetrics::from_snapshot(&hardened, ctx.base());
+    let battery = secmetrics::attack::battery_success_rate(&hardened.security, tech);
+    let mut wrote = Json::Null;
+    if let Some(path) = &spec.out {
+        // The snapshot's layout is Arc-shared; un-share before mutating.
+        let hl = std::sync::Arc::make_mut(&mut hardened.layout);
+        layout::insert_fillers(hl.occupancy_mut(), tech);
+        let lib = gdsii::layout_to_gds(&hardened.layout, tech, Some(&hardened.routing));
+        if let Err(e) = std::fs::write(path, lib.to_bytes()) {
+            return StepOutcome::Failed {
+                error: format!("cannot write {path}: {e}"),
+            };
+        }
+        wrote = Json::Str(path.clone());
+    }
+    let result = Json::Obj(vec![
+        ("baseline".to_owned(), ggjson::ToJson::to_json(&ctx.summary)),
+        (
+            "hardened".to_owned(),
+            ggjson::ToJson::to_json(&BaselineSummary::from_snapshot(&hardened)),
+        ),
+        ("metrics".to_owned(), ggjson::ToJson::to_json(&metrics)),
+        ("battery_success".to_owned(), Json::Num(battery)),
+        ("wrote".to_owned(), wrote),
+    ]);
+    StepOutcome::Finished {
+        generation: None,
+        data: result.clone(),
+        result,
+    }
+}
+
+fn run_explore_step(
+    shared: &Shared,
+    id: u64,
+    ctx: &DesignContext,
+    spec: &JobSpec,
+    step: u64,
+    ckpt: &Path,
+) -> StepOutcome {
+    let params = Nsga2Params::builder()
+        .population(spec.population)
+        .generations(spec.generations)
+        .seed(spec.seed)
+        .threads(spec.threads)
+        .build();
+    let opts = ExploreOptions {
+        checkpoint: Some(ckpt.to_path_buf()),
+        resume: step > 0 || spec.resume,
+        halt_after: Some(step as usize),
+        deadline: None,
+    };
+    let result = match explore_with_engine(&ctx.engine, shared.baselines.tech(), &params, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            return StepOutcome::Failed {
+                error: e.to_string(),
+            }
+        }
+    };
+    let data = progress_data(shared, id, &result);
+    if step < spec.generations as u64 {
+        return StepOutcome::Progress {
+            generation: step,
+            data,
+        };
+    }
+    // Final generation: assemble the result payload and artifacts.
+    let mut wrote = Json::Null;
+    if let Some(path) = &spec.out {
+        if let Err(e) = std::fs::write(path, ggjson::to_vec_pretty(&result)) {
+            return StepOutcome::Failed {
+                error: format!("cannot write {path}: {e}"),
+            };
+        }
+        wrote = Json::Str(path.clone());
+    }
+    let payload = Json::Obj(vec![
+        ("baseline".to_owned(), ggjson::ToJson::to_json(&ctx.summary)),
+        ("explore".to_owned(), ggjson::ToJson::to_json(&result)),
+        ("wrote".to_owned(), wrote),
+    ]);
+    StepOutcome::Finished {
+        generation: Some(step),
+        data,
+        result: payload,
+    }
+}
+
+/// Builds one `generation` event payload: evaluated-point count, front
+/// size, front-membership deltas against the previous generation, and —
+/// when telemetry is on — the cumulative obs snapshot.
+fn progress_data(shared: &Shared, id: u64, result: &ExploreResult) -> Json {
+    let front = result.pareto_front();
+    let keys: Vec<String> = front
+        .iter()
+        .map(|p| ggjson::to_string_compact(&p.genome))
+        .collect();
+    let prev = shared.registry.replace_front(id, keys.clone());
+    let added: Vec<String> = keys.iter().filter(|k| !prev.contains(k)).cloned().collect();
+    let removed: Vec<String> = prev.iter().filter(|k| !keys.contains(k)).cloned().collect();
+    let mut members = vec![
+        ("points".to_owned(), Json::Num(result.points.len() as f64)),
+        ("front_size".to_owned(), Json::Num(front.len() as f64)),
+        ("added".to_owned(), ggjson::ToJson::to_json(&added)),
+        ("removed".to_owned(), ggjson::ToJson::to_json(&removed)),
+    ];
+    let snap = obs::snapshot();
+    if !snap.is_empty() {
+        if let Some(obs_json) = ggjson::from_str::<Json>(&snap.to_json()) {
+            members.push(("obs".to_owned(), obs_json));
+        }
+    }
+    Json::Obj(members)
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: UnixListener) {
+    // `incoming` never returns `None`; shutdown is signalled by a flag
+    // plus a dummy self-connection that unblocks the accept.
+    for conn in listener.incoming() {
+        if shared.registry.is_shutdown() {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let sh = Arc::clone(shared);
+                std::thread::spawn(move || handle_conn(&sh, stream));
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, stream: UnixStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if handle_line(shared, &line, &mut writer).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_line(writer: &mut UnixStream, resp: &Response) -> std::io::Result<()> {
+    let mut line = resp.to_line();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+fn handle_line(shared: &Shared, line: &str, writer: &mut UnixStream) -> std::io::Result<()> {
+    let req = match Request::from_line(line) {
+        Ok(req) => req,
+        Err(e) => return write_line(writer, &Response::Err(e.to_string())),
+    };
+    let reply = |r: Result<Json, String>| match r {
+        Ok(payload) => Response::Ok(payload),
+        Err(why) => Response::Err(why),
+    };
+    match req {
+        Request::Ping => write_line(writer, &Response::Ok(Json::Str("pong".into()))),
+        Request::Jobs => write_line(
+            writer,
+            &Response::Ok(ggjson::ToJson::to_json(&shared.registry.jobs())),
+        ),
+        Request::Stats => {
+            let (baseline_builds, baseline_hits) = shared.baselines.stats();
+            let stats = ServerStats {
+                jobs: shared.registry.jobs().len() as u64,
+                baseline_builds,
+                baseline_hits,
+            };
+            write_line(writer, &Response::Ok(ggjson::ToJson::to_json(&stats)))
+        }
+        Request::Shutdown => {
+            shared.registry.shutdown();
+            let out = write_line(writer, &Response::Ok(Json::Str("bye".into())));
+            if let Some(path) = &shared.socket_path {
+                let _ = UnixStream::connect(path);
+            }
+            out
+        }
+        Request::Submit(spec) => {
+            let resp = match spec.validate() {
+                Err(why) => Response::Err(why),
+                Ok(()) => {
+                    let checkpoint = match &spec.checkpoint {
+                        Some(path) => PathBuf::from(path),
+                        None => {
+                            let n = shared.ckpt_counter.fetch_add(1, Ordering::Relaxed);
+                            shared.data_dir.join(format!("job{n}.ckpt"))
+                        }
+                    };
+                    let id = shared.registry.submit(spec, checkpoint);
+                    Response::Ok(Json::Obj(vec![("job".to_owned(), Json::Num(id as f64))]))
+                }
+            };
+            write_line(writer, &resp)
+        }
+        Request::Status(id) => write_line(
+            writer,
+            &reply(
+                shared
+                    .registry
+                    .status(id)
+                    .map(|s| ggjson::ToJson::to_json(&s)),
+            ),
+        ),
+        Request::Pause(id) => write_line(
+            writer,
+            &reply(shared.registry.pause(id).and_then(|()| {
+                shared
+                    .registry
+                    .status(id)
+                    .map(|s| ggjson::ToJson::to_json(&s))
+            })),
+        ),
+        Request::Resume(id) => write_line(
+            writer,
+            &reply(shared.registry.resume(id).and_then(|()| {
+                shared
+                    .registry
+                    .status(id)
+                    .map(|s| ggjson::ToJson::to_json(&s))
+            })),
+        ),
+        Request::Cancel(id) => write_line(
+            writer,
+            &reply(shared.registry.cancel(id).and_then(|()| {
+                shared
+                    .registry
+                    .status(id)
+                    .map(|s| ggjson::ToJson::to_json(&s))
+            })),
+        ),
+        Request::Result(id) => write_line(writer, &reply(shared.registry.result(id))),
+        Request::Watch { job, from } => {
+            let mut cursor = from;
+            loop {
+                let (events, terminal) = match shared.registry.events_since(
+                    job,
+                    cursor,
+                    true,
+                    Duration::from_millis(200),
+                ) {
+                    Ok(pair) => pair,
+                    Err(why) => return write_line(writer, &Response::Err(why)),
+                };
+                cursor += events.len() as u64;
+                for e in events {
+                    write_line(writer, &Response::Event(e))?;
+                }
+                if terminal {
+                    let resp = reply(
+                        shared
+                            .registry
+                            .status(job)
+                            .map(|s| ggjson::ToJson::to_json(&s)),
+                    );
+                    return write_line(writer, &resp);
+                }
+                if shared.registry.is_shutdown() {
+                    return write_line(writer, &Response::Err("server shutting down".to_owned()));
+                }
+            }
+        }
+    }
+}

@@ -77,8 +77,8 @@ proptest! {
             }
         };
         let cfg = FlowConfig { op, scales };
-        let full = run_flow(base, tech, &cfg, seed);
-        let inc = run_flow_with(engine, tech, &cfg, seed).unwrap();
+        let full = FlowRun::new(base, tech, &cfg).seed(seed).unchecked().metrics();
+        let inc = FlowRun::new(engine.base(), tech, &cfg).engine(engine).seed(seed).metrics().unwrap();
         prop_assert_eq!(full, inc, "flow metrics diverged on {:?}", cfg);
     }
 

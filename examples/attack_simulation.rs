@@ -51,7 +51,9 @@ fn main() {
     let base = implement_baseline(&spec, &tech).unwrap();
     report("baseline layout", &base.security, &tech);
 
-    let hardened = apply_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
+    let hardened = FlowRun::new(&base, &tech, &FlowConfig::cell_shift_default())
+        .unchecked()
+        .snapshot();
     report("GDSII-Guard hardened layout", &hardened.security, &tech);
 
     println!(

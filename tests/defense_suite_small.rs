@@ -15,7 +15,9 @@ fn present_defense_sweep_has_paper_shape() {
 
     let bisa = defenses::apply_bisa(&base, &tech);
     let ba = defenses::apply_ba(&base, &tech);
-    let gg = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
+    let gg = FlowRun::new(&base, &tech, &FlowConfig::cell_shift_default())
+        .unchecked()
+        .metrics();
 
     let sec = |s: &gdsii_guard::Snapshot| security_score(&s.security, &base.security, 0.5);
 
@@ -36,8 +38,12 @@ fn openmsp430_1_loose_design_prefers_cell_shift() {
     let spec = bench::spec_by_name("openMSP430_1").expect("known design");
     let base = implement_baseline(&spec, &tech).unwrap();
     assert_eq!(base.tns_ps(), 0.0, "openMSP430_1 closes timing at baseline");
-    let cs = run_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
-    let lda = run_flow(&base, &tech, &FlowConfig::lda_default(), 1);
+    let cs = FlowRun::new(&base, &tech, &FlowConfig::cell_shift_default())
+        .unchecked()
+        .metrics();
+    let lda = FlowRun::new(&base, &tech, &FlowConfig::lda_default())
+        .unchecked()
+        .metrics();
     assert!(
         cs.security < lda.security,
         "loose design: CS {} should beat LDA {}",

@@ -37,7 +37,9 @@ fn baseline_pipeline_produces_coherent_snapshot() {
 fn cell_shift_flow_hardens_loose_design() {
     let tech = Technology::nangate45_like();
     let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
-    let hardened = apply_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
+    let hardened = FlowRun::new(&base, &tech, &FlowConfig::cell_shift_default())
+        .unchecked()
+        .snapshot();
     let sec = secmetrics::security_score(&hardened.security, &base.security, 0.5);
     assert!(
         sec < 0.5,
@@ -69,7 +71,7 @@ fn lda_flow_hardens_tight_design_with_bounded_timing_cost() {
         op: OpSelect::Lda { n: 8, n_iter: 1 },
         scales: [1.0; 10],
     };
-    let m = run_flow(&base, &tech, &cfg, 1);
+    let m = FlowRun::new(&base, &tech, &cfg).unchecked().metrics();
     assert!(
         m.security < 0.95,
         "LDA should improve security, got {}",
@@ -85,9 +87,9 @@ fn rws_reduces_tracks_at_a_wire_cost() {
     let tech = Technology::nangate45_like();
     let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
     let mut cfg = FlowConfig::cell_shift_default();
-    let before = run_flow(&base, &tech, &cfg, 1);
+    let before = FlowRun::new(&base, &tech, &cfg).unchecked().metrics();
     cfg.scales = [1.0, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5];
-    let after = run_flow(&base, &tech, &cfg, 1);
+    let after = FlowRun::new(&base, &tech, &cfg).unchecked().metrics();
     // Track metric falls at least as fast as the site metric when wires
     // widen (the Fig. 4 observation that tracks trail sites by ~15 %).
     let ratio = |m: &gdsii_guard::FlowMetrics| {
@@ -135,7 +137,9 @@ fn defenses_keep_netlist_functionality() {
 fn hardened_layout_exports_to_gdsii_and_back() {
     let tech = Technology::nangate45_like();
     let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
-    let mut hardened = apply_flow(&base, &tech, &FlowConfig::cell_shift_default(), 1);
+    let mut hardened = FlowRun::new(&base, &tech, &FlowConfig::cell_shift_default())
+        .unchecked()
+        .snapshot();
     layout::insert_fillers(
         std::sync::Arc::make_mut(&mut hardened.layout).occupancy_mut(),
         &tech,

@@ -284,6 +284,44 @@ pub fn to_vec_pretty<T: ToJson + ?Sized>(value: &T) -> Vec<u8> {
     to_string_pretty(value).into_bytes()
 }
 
+/// Serializes a value as compact single-line JSON (no newlines, no
+/// indentation) — the framing format of newline-delimited protocols.
+/// Control characters inside strings are escaped, so the output never
+/// contains a literal newline.
+pub fn to_string_compact<T: ToJson + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_compact(&mut out, &value.to_json());
+    out
+}
+
+fn write_compact(out: &mut String, v: &Json) {
+    match v {
+        Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => write_value(out, v, 0),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Parses a value from JSON bytes.
 pub fn from_slice<T: FromJson>(bytes: &[u8]) -> Option<T> {
     let text = std::str::from_utf8(bytes).ok()?;
@@ -656,5 +694,26 @@ mod tests {
     fn option_round_trip() {
         assert_eq!(from_str::<Option<u32>>("null"), Some(None));
         assert_eq!(from_str::<Option<u32>>("7"), Some(Some(7)));
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let v = Json::Obj(vec![
+            ("k".into(), Json::Str("line\nbreak \"q\"".into())),
+            (
+                "a".into(),
+                Json::Arr(vec![Json::Num(1.5), Json::Null, Json::Bool(true)]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let line = to_string_compact(&v);
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(parse(&line), Some(v.clone()));
+        // Compact and pretty render the same value.
+        assert_eq!(parse(&to_string_pretty(&v)), Some(v));
+        assert_eq!(
+            line,
+            r#"{"k":"line\nbreak \"q\"","a":[1.5,null,true],"empty":{}}"#
+        );
     }
 }
