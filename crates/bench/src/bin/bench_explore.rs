@@ -385,7 +385,25 @@ fn main() {
     let verbose = args.iter().any(|a| a == "--verbose");
     let resume = args.iter().any(|a| a == "--resume");
     let tech = Technology::nangate45_like();
-    let spec = netlist::bench::tiny_spec();
+    // `--design NAME` swaps the benchmark subject (default TINY); names
+    // resolve through the serve roster, so scaled `NAME@xN` forms work and
+    // a typo dies here with the full roster instead of deep in the run.
+    let spec = match args.iter().position(|a| a == "--design") {
+        Some(i) => {
+            let name = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--design needs a value");
+                std::process::exit(2);
+            });
+            gdsii_guard::serve::baseline::resolve_spec(name).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown design '{name}'; known designs: {}",
+                    gdsii_guard::serve::baseline::known_designs()
+                );
+                std::process::exit(2);
+            })
+        }
+        None => netlist::bench::tiny_spec(),
+    };
 
     // Instrumented pass: baseline + exploration with telemetry on. The
     // smoke mode (and the telemetry_regression test) pin down that the
@@ -416,6 +434,16 @@ fn main() {
     if verbose {
         println!("telemetry of the instrumented explore run:");
         println!("{}", telemetry.render());
+        // Peak-memory gauges published by the eval engine: resident bytes
+        // of the baseline's occupancy/routing structures plus the
+        // byte-accounted eval-cache footprint (see GG_EVAL_CACHE_BYTES).
+        for g in [
+            "mem.occupancy_bytes",
+            "mem.route_planes_bytes",
+            "eval.cache_bytes",
+        ] {
+            println!("mem: {g} = {:.0}", telemetry.gauge(g).unwrap_or(0.0));
+        }
     }
 
     // The replays distribute candidates exactly like `nsga2::evaluate_all`,

@@ -161,9 +161,22 @@ impl Opts {
     }
 }
 
+/// Fails fast on a design name the benchmark roster does not know,
+/// listing every accepted name — shared by the local commands and
+/// `submit`, so a typo dies at the CLI instead of inside the daemon.
+fn validate_design(name: &str) -> Result<(), Error> {
+    if gdsii_guard::serve::baseline::resolve_spec(name).is_none() {
+        return Err(Error::InvalidArgs(format!(
+            "unknown design '{name}'; known designs: {}",
+            gdsii_guard::serve::baseline::known_designs()
+        )));
+    }
+    Ok(())
+}
+
 fn baseline(name: &str, tech: &Technology) -> Result<Snapshot, Error> {
-    let spec = gdsii_guard::serve::baseline::resolve_spec(name)
-        .ok_or_else(|| Error::InvalidArgs(format!("unknown design '{name}'; run `ggd list`")))?;
+    validate_design(name)?;
+    let spec = gdsii_guard::serve::baseline::resolve_spec(name).expect("validated above");
     implement_baseline(&spec, tech)
 }
 
@@ -426,6 +439,7 @@ fn cmd_submit(o: &Opts) -> Result<(), Error> {
         Error::InvalidArgs("submit needs a job kind (explore|harden|analyze)".into())
     })?;
     let design = o.design(1)?;
+    validate_design(&design)?;
     let mut spec = match kind {
         "explore" => JobSpec::explore(&design),
         "analyze" => JobSpec::analyze(&design),

@@ -345,6 +345,67 @@ impl ExploreResult {
             .copied()
             .collect()
     }
+
+    /// Dominated 2-D hypervolume of the explored Pareto front with
+    /// respect to a reference point, on the minimization objectives
+    /// `(Security, −TNS)`. Points not strictly better than the reference
+    /// in both objectives contribute nothing; an empty front scores 0.
+    /// Bigger is better — more of the trade-off plane is dominated.
+    pub fn hypervolume(&self, reference: [f64; 2]) -> f64 {
+        hypervolume_2d(
+            self.pareto_front()
+                .iter()
+                .map(|p| p.metrics.objectives())
+                .collect(),
+            reference,
+        )
+    }
+
+    /// The reference point [`Self::hypervolume`] wants when no external
+    /// one is given: the feasible nadir (componentwise worst) nudged 5 %
+    /// of the objective span outward, so every feasible point — including
+    /// the nadir itself — dominates it and contributes volume. `None` if
+    /// no point is feasible.
+    pub fn nadir_reference(&self) -> Option<[f64; 2]> {
+        let mut lo = [f64::INFINITY; 2];
+        let mut hi = [f64::NEG_INFINITY; 2];
+        let mut any = false;
+        for p in &self.points {
+            if !p.metrics.feasible(self.base_power_mw, self.base_drc) {
+                continue;
+            }
+            any = true;
+            let o = p.metrics.objectives();
+            for k in 0..2 {
+                lo[k] = lo[k].min(o[k]);
+                hi[k] = hi[k].max(o[k]);
+            }
+        }
+        any.then(|| {
+            [0, 1].map(|k| {
+                let span = (hi[k] - lo[k]).max(1.0);
+                hi[k] + 0.05 * span
+            })
+        })
+    }
+}
+
+/// The 2-D sweep behind [`ExploreResult::hypervolume`]: sort the
+/// (mutually non-dominated) points ascending in the first objective, then
+/// stack one slab per point — width to the next point's first coordinate
+/// (the reference for the last), height up to the reference.
+fn hypervolume_2d(points: Vec<[f64; 2]>, r: [f64; 2]) -> f64 {
+    let mut pts: Vec<[f64; 2]> = points
+        .into_iter()
+        .filter(|o| o[0] < r[0] && o[1] < r[1])
+        .collect();
+    pts.sort_by(|a, b| a[0].total_cmp(&b[0]).then(a[1].total_cmp(&b[1])));
+    let mut hv = 0.0;
+    for (i, p) in pts.iter().enumerate() {
+        let next0 = pts.get(i + 1).map_or(r[0], |q| q[0]);
+        hv += (r[1] - p[1]) * (next0 - p[0]);
+    }
+    hv
 }
 
 /// Plain Pareto domination on minimization objectives.
@@ -1059,6 +1120,28 @@ mod tests {
                 assert!(!dominates(&a.metrics.objectives(), &b.metrics.objectives()));
             }
         }
+        // The nadir-referenced hypervolume of a non-empty front is
+        // positive, and pushing the reference further out only grows it.
+        let r = result.nadir_reference().expect("feasible points exist");
+        let hv = result.hypervolume(r);
+        assert!(hv > 0.0, "hypervolume {hv}");
+        assert!(result.hypervolume([r[0] + 100.0, r[1] + 100.0]) > hv);
+    }
+
+    #[test]
+    fn hypervolume_sweep_matches_hand_computed_rectangles() {
+        let r = [10.0, 10.0];
+        // One point: a single rectangle to the reference corner.
+        assert_eq!(hypervolume_2d(vec![[1.0, 5.0]], r), 9.0 * 5.0);
+        // Two staircase points: inclusion-exclusion gives 45 + 56 − 35.
+        let hv = hypervolume_2d(vec![[3.0, 2.0], [1.0, 5.0]], r);
+        assert!((hv - 66.0).abs() < 1e-12, "hv {hv}");
+        // Duplicates collapse to one rectangle's worth of volume.
+        let dup = hypervolume_2d(vec![[1.0, 5.0], [1.0, 5.0]], r);
+        assert_eq!(dup, 45.0);
+        // Points at or beyond the reference contribute nothing.
+        assert_eq!(hypervolume_2d(vec![[10.0, 1.0], [2.0, 12.0]], r), 0.0);
+        assert_eq!(hypervolume_2d(vec![], r), 0.0);
     }
 
     #[test]

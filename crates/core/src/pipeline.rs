@@ -130,8 +130,41 @@ pub struct EvalEngine {
     /// concurrent hit lookups share the lock instead of convoying on a
     /// `Mutex`, which matters when the evaluation loop oversubscribes the
     /// machine and a preempted lock holder stalls every other worker.
-    edit_cache: RwLock<HashMap<(OpSelect, u64), CowSnapshot>>,
+    edit_cache: RwLock<EditCache>,
     metrics_memo: RwLock<HashMap<EvalKey, crate::flow::FlowMetrics>>,
+    /// Byte budget of the edit cache (`GG_EVAL_CACHE_BYTES`, read at
+    /// construction). Entries are LRU-evicted once their accounted
+    /// unshared bytes exceed this.
+    cache_budget: u64,
+    /// Monotonic access clock driving LRU eviction; bumped on every
+    /// edit-cache hit and insert without taking the write lock.
+    clock: std::sync::atomic::AtomicU64,
+    /// Mirrors of the two caches' accounted bytes, so either path can
+    /// republish the combined `eval.cache_bytes` gauge without the
+    /// other's lock.
+    edit_bytes_now: std::sync::atomic::AtomicU64,
+    memo_bytes_now: std::sync::atomic::AtomicU64,
+}
+
+/// The operator-edit cache: memoized [`CowSnapshot`]s plus the running
+/// total of their accounted unshared bytes.
+#[derive(Debug, Default)]
+struct EditCache {
+    map: HashMap<(OpSelect, u64), EditEntry>,
+    /// Sum of every entry's `bytes`.
+    bytes: u64,
+}
+
+/// One cached operator edit with its byte accounting and LRU stamp.
+#[derive(Debug)]
+struct EditEntry {
+    snap: CowSnapshot,
+    /// Unshared-with-baseline bytes this entry pins (what evicting it
+    /// approximately frees).
+    bytes: u64,
+    /// Engine clock value of the last hit or the insert; atomic so the
+    /// hit path stamps it under the read lock.
+    last_used: std::sync::atomic::AtomicU64,
 }
 
 /// Key of one memoized end-to-end evaluation: the operator, the seed it
@@ -215,14 +248,43 @@ impl CowSnapshot {
 
 /// Bound on memoized operator edits; a GA run touches a handful of
 /// distinct `(operator, seed)` pairs, so this only guards pathological
-/// callers from unbounded growth.
+/// callers from unbounded growth. The byte budget
+/// (`GG_EVAL_CACHE_BYTES`) usually binds first on big designs.
 const EDIT_CACHE_CAP: usize = 64;
+
+/// Default edit-cache byte budget when `GG_EVAL_CACHE_BYTES` is unset:
+/// generous enough that a TINY-class exploration never evicts, small
+/// enough that a long explore on a 100k-cell design stays bounded.
+const EVAL_CACHE_BYTES_DEFAULT: u64 = 256 << 20;
+
+/// Approximate resident bytes of one metrics-memo entry (key + value +
+/// `HashMap` slot overhead).
+const MEMO_ENTRY_BYTES: u64 =
+    (size_of::<EvalKey>() + size_of::<crate::flow::FlowMetrics>() + 2 * size_of::<u64>()) as u64;
+
+/// Point-in-time byte footprint of an [`EvalEngine`], as surfaced by
+/// `ggd stats` and the bench suite (see
+/// [`EvalEngine::memory_footprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryFootprint {
+    /// Resident bytes of the baseline layout's occupancy index.
+    pub occupancy_bytes: u64,
+    /// Usage-plane pages held by the baseline routing plus the Phase-A
+    /// plan (Arc-deduplicated).
+    pub route_planes_bytes: u64,
+    /// Accounted bytes of the operator-edit cache and metrics memo.
+    pub cache_bytes: u64,
+}
 
 /// Registry handles for the operator-edit cache, resolved once.
 struct CacheMetrics {
     hits: obs::Counter,
     misses: obs::Counter,
     memo_hits: obs::Counter,
+    /// Entries dropped by the byte-budget / capacity LRU.
+    evictions: obs::Counter,
+    /// Accounted bytes across the edit cache and metrics memo.
+    bytes: obs::Gauge,
 }
 
 fn cache_metrics() -> &'static CacheMetrics {
@@ -232,6 +294,23 @@ fn cache_metrics() -> &'static CacheMetrics {
         hits: obs::counter("eval.cache_hits"),
         misses: obs::counter("eval.cache_misses"),
         memo_hits: obs::counter("eval.memo_hits"),
+        evictions: obs::counter("eval.cache_evictions"),
+        bytes: obs::gauge("eval.cache_bytes"),
+    })
+}
+
+/// Registry handles for the per-design memory-footprint gauges.
+struct MemMetrics {
+    occupancy: obs::Gauge,
+    route_planes: obs::Gauge,
+}
+
+fn mem_metrics() -> &'static MemMetrics {
+    use std::sync::OnceLock;
+    static METRICS: OnceLock<MemMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| MemMetrics {
+        occupancy: obs::gauge("mem.occupancy_bytes"),
+        route_planes: obs::gauge("mem.route_planes_bytes"),
     })
 }
 
@@ -242,15 +321,71 @@ static EVAL_PANIC: faults::Point = faults::Point::new("eval.panic");
 
 impl EvalEngine {
     /// Builds the engine's caches from an implemented baseline.
+    ///
+    /// Reads `GG_EVAL_CACHE_BYTES` (bytes, decimal) as the edit-cache
+    /// byte budget; unset or unparsable falls back to the 256 MiB
+    /// default. Publishes the baseline's `mem.occupancy_bytes` /
+    /// `mem.route_planes_bytes` gauges.
     pub fn new(base: &Snapshot, tech: &Technology) -> Self {
-        Self {
+        let cache_budget = std::env::var("GG_EVAL_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(EVAL_CACHE_BYTES_DEFAULT);
+        let engine = Self {
             base: base.clone(),
             plan: route::plan_route(&base.layout, tech),
             graph: sta::TimingGraph::new(base.layout.design(), tech),
             power_model: power::PowerModel::new(&base.layout, tech),
-            edit_cache: RwLock::new(HashMap::new()),
+            edit_cache: RwLock::new(EditCache::default()),
             metrics_memo: RwLock::new(HashMap::new()),
+            cache_budget,
+            clock: std::sync::atomic::AtomicU64::new(0),
+            edit_bytes_now: std::sync::atomic::AtomicU64::new(0),
+            memo_bytes_now: std::sync::atomic::AtomicU64::new(0),
+        };
+        engine.publish_memory_gauges();
+        engine
+    }
+
+    /// Publishes this engine's memory-footprint gauges: the baseline
+    /// occupancy's resident bytes, the usage-plane pages held by the
+    /// baseline routing plus the Phase-A plan, and the accounted bytes
+    /// of the two candidate caches.
+    pub fn publish_memory_gauges(&self) {
+        use std::sync::atomic::Ordering;
+        let m = mem_metrics();
+        m.occupancy
+            .set(self.base.layout.occupancy().occupancy_bytes() as f64);
+        m.route_planes.set(
+            (self.base.routing.grid().planes_bytes() + self.plan.grid().planes_bytes()) as f64,
+        );
+        cache_metrics().bytes.set(
+            (self.edit_bytes_now.load(Ordering::Relaxed)
+                + self.memo_bytes_now.load(Ordering::Relaxed)) as f64,
+        );
+    }
+
+    /// The engine's current byte footprint, read directly from the
+    /// structures — unlike the gauges, this works with telemetry
+    /// disabled, so `ggd stats` can always report it.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        use std::sync::atomic::Ordering;
+        MemoryFootprint {
+            occupancy_bytes: self.base.layout.occupancy().occupancy_bytes(),
+            route_planes_bytes: self.base.routing.grid().planes_bytes()
+                + self.plan.grid().planes_bytes(),
+            cache_bytes: self.edit_bytes_now.load(Ordering::Relaxed)
+                + self.memo_bytes_now.load(Ordering::Relaxed),
         }
+    }
+
+    /// Republishes `eval.cache_bytes` from the two byte mirrors.
+    fn publish_cache_bytes(&self) {
+        use std::sync::atomic::Ordering;
+        cache_metrics().bytes.set(
+            (self.edit_bytes_now.load(Ordering::Relaxed)
+                + self.memo_bytes_now.load(Ordering::Relaxed)) as f64,
+        );
     }
 
     /// Looks up the memoized metrics of a semantically identical earlier
@@ -270,8 +405,13 @@ impl EvalEngine {
         if let Ok(mut memo) = self.metrics_memo.write() {
             if memo.len() < METRICS_MEMO_CAP {
                 memo.insert(key, m);
+                self.memo_bytes_now.store(
+                    memo.len() as u64 * MEMO_ENTRY_BYTES,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
             }
         }
+        self.publish_cache_bytes();
     }
 
     /// Drops every memoized evaluation result while keeping the heavier
@@ -282,7 +422,10 @@ impl EvalEngine {
     pub fn reset_metrics_memo(&self) {
         if let Ok(mut memo) = self.metrics_memo.write() {
             memo.clear();
+            self.memo_bytes_now
+                .store(0, std::sync::atomic::Ordering::Relaxed);
         }
+        self.publish_cache_bytes();
     }
 
     /// Looks up the memoized [`CowSnapshot`] of an operator edit, or
@@ -302,16 +445,24 @@ impl EvalEngine {
         seed: u64,
         make: impl FnOnce() -> Layout,
     ) -> Result<CowSnapshot, Error> {
+        use std::sync::atomic::Ordering;
         EVAL_PANIC.check();
         let m = cache_metrics();
         if let Some(hit) = self
             .edit_cache
             .read()
             .map_err(|_| Error::EditCachePoisoned)?
+            .map
             .get(&(op, seed))
         {
             m.hits.incr();
-            return Ok(hit.clone());
+            // LRU stamp under the read lock: the clock is engine-global
+            // and the stamp is atomic, so hits never serialize.
+            hit.last_used.store(
+                self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+                Ordering::Relaxed,
+            );
+            return Ok(hit.snap.clone());
         }
         m.misses.incr();
         // Computed outside the lock: a racing duplicate costs one extra
@@ -324,14 +475,62 @@ impl EvalEngine {
             plan: Arc::new(plan),
             dirty: Arc::new(dirty.nets),
         };
+        // Byte accounting: what this entry pins beyond the baseline the
+        // engine holds anyway (copy-on-write shards/pages/segment lists
+        // it owns privately).
+        let bytes = entry
+            .layout
+            .occupancy()
+            .unshared_bytes(self.base.layout.occupancy())
+            + entry.plan.approx_unshared_bytes(&self.plan)
+            + (entry.dirty.capacity() * size_of::<NetId>()) as u64;
         let mut cache = self
             .edit_cache
             .write()
             .map_err(|_| Error::EditCachePoisoned)?;
-        if cache.len() < EDIT_CACHE_CAP {
-            cache.insert((op, seed), entry.clone());
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        cache.bytes += bytes;
+        if let Some(old) = cache.map.insert(
+            (op, seed),
+            EditEntry {
+                snap: entry.clone(),
+                bytes,
+                last_used: std::sync::atomic::AtomicU64::new(stamp),
+            },
+        ) {
+            // Racing duplicate: the loser's bytes leave the account.
+            cache.bytes -= old.bytes;
         }
+        // LRU eviction under the byte budget (`GG_EVAL_CACHE_BYTES`) and
+        // the entry-count backstop. The entry just inserted carries the
+        // freshest stamp, so it is evicted only if it alone exceeds the
+        // budget — and even then the handle already returned keeps it
+        // alive for the caller.
+        while cache.map.len() > 1
+            && (cache.bytes > self.cache_budget || cache.map.len() > EDIT_CACHE_CAP)
+        {
+            let victim = cache
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+                .expect("non-empty cache has an LRU entry");
+            let evicted = cache.map.remove(&victim).expect("victim key just observed");
+            cache.bytes -= evicted.bytes;
+            m.evictions.incr();
+        }
+        self.edit_bytes_now.store(cache.bytes, Ordering::Relaxed);
+        drop(cache);
+        self.publish_cache_bytes();
         Ok(entry)
+    }
+
+    /// Overrides the edit-cache byte budget, bypassing
+    /// `GG_EVAL_CACHE_BYTES` (tests can't set process env without racing
+    /// parallel tests).
+    #[doc(hidden)]
+    pub fn set_cache_budget_for_tests(&mut self, bytes: u64) {
+        self.cache_budget = bytes;
     }
 
     /// The baseline snapshot the engine was built from.
@@ -570,5 +769,44 @@ mod tests {
         drop(first);
         assert_eq!(Arc::strong_count(probe.layout()), 2);
         assert_eq!(Arc::strong_count(&probe.plan), 2);
+    }
+
+    /// Under a starvation-level byte budget the cache LRU-evicts down to
+    /// one entry per insert, and an evicted edit recomputes (a miss)
+    /// instead of erroring. Handed-out snapshots survive eviction: the
+    /// caller's `Arc` keeps the layout alive.
+    #[test]
+    fn edit_cache_byte_budget_evicts_lru() {
+        let tech = Technology::nangate45_like();
+        let base = implement_baseline(&bench::tiny_spec(), &tech).unwrap();
+        let mut engine = EvalEngine::new(&base, &tech);
+        engine.set_cache_budget_for_tests(1);
+        let make = || {
+            let mut l = Layout::clone(&base.layout);
+            crate::preprocess::lock_critical_cells(&mut l);
+            crate::cell_shift::cell_shift(&mut l, &tech, secmetrics::THRESH_ER);
+            l
+        };
+        let op = OpSelect::CellShift;
+        let a = engine.cached_edit(&tech, op, 1, make).unwrap();
+        // Inserting a second edit blows the 1-byte budget and evicts the
+        // first (older LRU stamp).
+        let _b = engine.cached_edit(&tech, op, 2, make).unwrap();
+        // Seed 1 is gone: this lookup must recompute, not hit.
+        let recomputed = std::cell::Cell::new(false);
+        let a2 = engine
+            .cached_edit(&tech, op, 1, || {
+                recomputed.set(true);
+                make()
+            })
+            .unwrap();
+        assert!(recomputed.get(), "evicted entry must miss");
+        // Determinism: the recomputation reproduces the same edit even
+        // though the cache forgot it; the old handle stays valid.
+        assert_eq!(
+            a.layout().occupancy().occupied_sites(),
+            a2.layout().occupancy().occupied_sites()
+        );
+        assert!(!Arc::ptr_eq(a.layout(), a2.layout()));
     }
 }

@@ -16,7 +16,7 @@ use netlist::bench::DesignSpec;
 use tech::Technology;
 
 use crate::error::Error;
-use crate::pipeline::{implement_baseline, EvalEngine, Snapshot};
+use crate::pipeline::{implement_baseline, EvalEngine, MemoryFootprint, Snapshot};
 use crate::serve::job::BaselineSummary;
 
 /// An implemented design shared by every job targeting it: the spec it
@@ -92,6 +92,26 @@ impl BaselineCache {
         outcome.clone()
     }
 
+    /// Summed [`MemoryFootprint`] of every successfully built context —
+    /// what the cache currently pins in memory across all designs.
+    /// Slots still building are skipped (a non-blocking peek).
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let slots: Vec<Slot> = {
+            let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+            slots.values().map(Arc::clone).collect()
+        };
+        let mut total = MemoryFootprint::default();
+        for slot in slots {
+            if let Some(Ok(ctx)) = slot.get() {
+                let m = ctx.engine.memory_footprint();
+                total.occupancy_bytes += m.occupancy_bytes;
+                total.route_planes_bytes += m.route_planes_bytes;
+                total.cache_bytes += m.cache_bytes;
+            }
+        }
+        total
+    }
+
     /// `(builds, hits)` counters: how many contexts were constructed vs
     /// served from cache. `builds` counts failed builds too.
     pub fn stats(&self) -> (u64, u64) {
@@ -117,14 +137,26 @@ impl BaselineCache {
 
 /// Resolves a design name to its benchmark spec.
 ///
-/// Accepts the twelve `netlist::bench` specs plus `TINY`, the miniature
-/// smoke-test design the CI drills run (it is not part of the published
-/// benchmark table, so `spec_by_name` does not know it).
+/// Accepts the twelve `netlist::bench` specs (optionally with a
+/// `@x{factor}` scale suffix, e.g. `AES_2@x7`) plus `TINY`, the
+/// miniature smoke-test design the CI drills run (it is not part of the
+/// published benchmark table, so `parse_spec` does not know it).
 pub fn resolve_spec(design: &str) -> Option<DesignSpec> {
     if design == "TINY" {
         return Some(netlist::bench::tiny_spec());
     }
-    netlist::bench::spec_by_name(design)
+    netlist::bench::parse_spec(design)
+}
+
+/// One-line roster of every name [`resolve_spec`] accepts, for fail-fast
+/// CLI diagnostics.
+pub fn known_designs() -> String {
+    let mut names = vec!["TINY"];
+    names.extend(netlist::bench::known_names());
+    format!(
+        "{} (append @x<N> to scale, e.g. AES_2@x7)",
+        names.join(", ")
+    )
 }
 
 #[cfg(test)]
@@ -136,6 +168,18 @@ mod tests {
         assert_eq!(resolve_spec("TINY").map(|s| s.name), Some("TINY"));
         assert!(resolve_spec("AES_1").is_some());
         assert!(resolve_spec("NOPE").is_none());
+    }
+
+    #[test]
+    fn resolver_accepts_scale_suffix_and_roster_lists_everything() {
+        let big = resolve_spec("AES_2@x7").expect("scaled spec resolves");
+        assert_eq!(big.target_cells, 7 * 16_000);
+        assert!(resolve_spec("NOPE@x2").is_none());
+        assert!(resolve_spec("TINY@x2").is_none(), "TINY does not scale");
+        let roster = known_designs();
+        assert!(roster.starts_with("TINY, AES_1"));
+        assert!(roster.contains("TDEA"));
+        assert!(roster.contains("@x<N>"));
     }
 
     #[test]

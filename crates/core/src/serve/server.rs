@@ -67,13 +67,56 @@ pub struct ServerStats {
     pub baseline_builds: u64,
     /// Baseline requests served from cache instead of rebuilding.
     pub baseline_hits: u64,
+    /// Resident bytes of every cached baseline's occupancy index.
+    pub occupancy_bytes: u64,
+    /// Usage-plane bytes across cached baselines (routing + Phase-A plan,
+    /// Arc-deduplicated per engine).
+    pub route_planes_bytes: u64,
+    /// Accounted candidate-cache bytes across cached engines (bounded per
+    /// engine by `GG_EVAL_CACHE_BYTES`).
+    pub eval_cache_bytes: u64,
+    /// Process peak resident set (`VmHWM`), 0 where procfs is absent.
+    pub peak_rss_bytes: u64,
 }
 
 ggjson::json_struct!(ServerStats {
     jobs,
     baseline_builds,
-    baseline_hits
+    baseline_hits,
+    occupancy_bytes,
+    route_planes_bytes,
+    eval_cache_bytes,
+    peak_rss_bytes
 });
+
+/// The process high-water resident set in bytes, from
+/// `/proc/self/status`; 0 on platforms without procfs.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Assembles the stats payload from the shared server state.
+fn collect_stats(shared: &Shared) -> ServerStats {
+    let (baseline_builds, baseline_hits) = shared.baselines.stats();
+    let mem = shared.baselines.memory_footprint();
+    ServerStats {
+        jobs: shared.registry.jobs().len() as u64,
+        baseline_builds,
+        baseline_hits,
+        occupancy_bytes: mem.occupancy_bytes,
+        route_planes_bytes: mem.route_planes_bytes,
+        eval_cache_bytes: mem.cache_bytes,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
 
 struct Shared {
     registry: Registry,
@@ -198,14 +241,9 @@ impl Server {
             .map_err(Error::Serve)
     }
 
-    /// Scheduler and baseline-cache counters.
+    /// Scheduler, baseline-cache, and memory-footprint counters.
     pub fn stats(&self) -> ServerStats {
-        let (baseline_builds, baseline_hits) = self.shared.baselines.stats();
-        ServerStats {
-            jobs: self.shared.registry.jobs().len() as u64,
-            baseline_builds,
-            baseline_hits,
-        }
+        collect_stats(&self.shared)
     }
 
     /// Claims and executes exactly one scheduler step on the calling
@@ -527,15 +565,10 @@ fn handle_line(shared: &Shared, line: &str, writer: &mut UnixStream) -> std::io:
             writer,
             &Response::Ok(ggjson::ToJson::to_json(&shared.registry.jobs())),
         ),
-        Request::Stats => {
-            let (baseline_builds, baseline_hits) = shared.baselines.stats();
-            let stats = ServerStats {
-                jobs: shared.registry.jobs().len() as u64,
-                baseline_builds,
-                baseline_hits,
-            };
-            write_line(writer, &Response::Ok(ggjson::ToJson::to_json(&stats)))
-        }
+        Request::Stats => write_line(
+            writer,
+            &Response::Ok(ggjson::ToJson::to_json(&collect_stats(shared))),
+        ),
         Request::Shutdown => {
             shared.registry.shutdown();
             let out = write_line(writer, &Response::Ok(Json::Str("bye".into())));

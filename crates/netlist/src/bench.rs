@@ -114,6 +114,61 @@ pub fn spec_by_name(name: &str) -> Option<DesignSpec> {
     all_specs().into_iter().find(|s| s.name == name)
 }
 
+/// The stock design names in suite order, for fail-fast CLI validation
+/// messages.
+pub fn known_names() -> Vec<&'static str> {
+    all_specs().iter().map(|s| s.name).collect()
+}
+
+/// Scales a spec to `factor`× its stock size: the cell target and the
+/// state/datapath register bank grow linearly (a wider datapath), while
+/// the key bank and pipeline depth stay fixed — key width and round
+/// structure are algorithm properties, not size properties. The clock
+/// period re-derives automatically (wire delay grows with
+/// `sqrt(cells)`), the seed is mixed with the factor so scaled variants
+/// generate decorrelated netlists, and the name gains an `@x{factor}`
+/// suffix that round-trips through [`parse_spec`].
+///
+/// The suffixed name is interned with a deliberate bounded leak
+/// (`Box::leak`): specs carry `&'static str` names, and a process
+/// resolves at most a handful of distinct scale factors.
+pub fn scale_spec(spec: &DesignSpec, factor: u32) -> DesignSpec {
+    assert!(factor >= 1, "scale factor must be positive");
+    if factor == 1 {
+        return spec.clone();
+    }
+    let name: &'static str = Box::leak(format!("{}@x{}", spec.name, factor).into_boxed_str());
+    DesignSpec {
+        name,
+        seed: spec.seed ^ (0x5CA1E000 + u64::from(factor)),
+        target_cells: spec.target_cells * factor as usize,
+        utilization: spec.utilization,
+        key_ffs: spec.key_ffs,
+        state_ffs: spec.state_ffs * factor as usize,
+        levels: spec.levels,
+        period_factor: spec.period_factor,
+    }
+}
+
+/// Resolves `"NAME"` or `"NAME@xN"` (the scaled-suite naming
+/// convention) to a spec: the bare name is a stock [`all_specs`] entry,
+/// the suffixed form is that entry through [`scale_spec`].
+///
+/// ```
+/// assert!(netlist::bench::parse_spec("Camellia").is_some());
+/// let big = netlist::bench::parse_spec("Camellia@x8").unwrap();
+/// assert_eq!(big.target_cells, 8 * 2_800);
+/// assert!(netlist::bench::parse_spec("Camellia@x0").is_none());
+/// assert!(netlist::bench::parse_spec("DES@x2").is_none());
+/// ```
+pub fn parse_spec(name: &str) -> Option<DesignSpec> {
+    if let Some((base, suffix)) = name.split_once("@x") {
+        let factor: u32 = suffix.parse().ok().filter(|&f| (1..=1024).contains(&f))?;
+        return spec_by_name(base).map(|s| scale_spec(&s, factor));
+    }
+    spec_by_name(name)
+}
+
 /// A deliberately small spec for unit tests across the workspace.
 pub fn tiny_spec() -> DesignSpec {
     DesignSpec {
@@ -421,6 +476,37 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} invalid: {e}", spec.name));
             assert_eq!(d.cells.len(), spec.target_cells, "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn scaled_spec_generates_validates_and_parses_back() {
+        let tech = Technology::nangate45_like();
+        let base = spec_by_name("TDEA").unwrap();
+        let big = scale_spec(&base, 3);
+        assert_eq!(big.name, "TDEA@x3");
+        assert_eq!(big.target_cells, 3 * base.target_cells);
+        assert_eq!(big.key_ffs, base.key_ffs, "key width is algorithmic");
+        assert_eq!(big.state_ffs, 3 * base.state_ffs);
+        assert_eq!(big.levels, base.levels);
+        assert_ne!(big.seed, base.seed);
+        assert!(big.clock_period() > base.clock_period());
+        let parsed = parse_spec("TDEA@x3").unwrap();
+        assert_eq!(parsed.target_cells, big.target_cells);
+        assert_eq!(parsed.seed, big.seed);
+        let d = generate(&big, &tech);
+        d.validate(&tech).expect("scaled design valid");
+        assert_eq!(d.cells.len(), big.target_cells);
+    }
+
+    #[test]
+    fn scale_by_one_is_identity_and_known_names_match_suite() {
+        let base = spec_by_name("AES_1").unwrap();
+        let same = scale_spec(&base, 1);
+        assert_eq!(same.name, "AES_1");
+        assert_eq!(same.seed, base.seed);
+        let names = known_names();
+        assert_eq!(names.len(), 12);
+        assert!(names.contains(&"openMSP430_2"));
     }
 
     #[test]

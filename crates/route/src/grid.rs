@@ -15,6 +15,109 @@ pub const GCELL_H_ROWS: u32 = 3;
 /// an interior gcell 4 (the NDR width scale is applied at read time).
 pub const QUANTA_PER_TRACK: i64 = 4;
 
+/// Log2 of the page edge in gcells: usage planes are tiled into
+/// 16×16-gcell pages so a copy-on-write write after a clone copies one
+/// 2 KiB page instead of the whole plane.
+const PAGE_SHIFT: u32 = 4;
+
+/// Page edge in gcells.
+const PAGE_W: u32 = 1 << PAGE_SHIFT;
+
+/// Cells per page.
+const PAGE_CELLS: usize = (PAGE_W * PAGE_W) as usize;
+
+/// One 16×16-gcell tile of usage quanta.
+type Page = [i64; PAGE_CELLS];
+
+/// One layer's usage quanta, chunked into tile-major copy-on-write
+/// pages. Cells outside the `nx × ny` grid (padding in edge pages) are
+/// never written and stay zero, so derived `PartialEq` over pages is
+/// exactly cell equality.
+///
+/// All pages of a fresh grid share a single zeroed allocation (across
+/// layers too); a write un-shares only the page it lands in
+/// ([`Arc::make_mut`]). Cloning a plane bumps one refcount per page —
+/// warm candidate snapshots copy only the pages they actually touch
+/// instead of whole planes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PagedPlane {
+    nx: u32,
+    ny: u32,
+    /// Pages per row of tiles: `ceil(nx / 16)`.
+    tiles_x: u32,
+    /// Tile-major: page `(tx, ty)` at `ty * tiles_x + tx`.
+    pages: Vec<Arc<Page>>,
+}
+
+impl PagedPlane {
+    fn new(nx: u32, ny: u32, zero: &Arc<Page>) -> Self {
+        let tiles_x = nx.div_ceil(PAGE_W).max(1);
+        let tiles_y = ny.div_ceil(PAGE_W).max(1);
+        Self {
+            nx,
+            ny,
+            tiles_x,
+            pages: vec![Arc::clone(zero); (tiles_x * tiles_y) as usize],
+        }
+    }
+
+    #[inline]
+    fn loc(&self, x: u32, y: u32) -> (usize, usize) {
+        let t = ((y >> PAGE_SHIFT) * self.tiles_x + (x >> PAGE_SHIFT)) as usize;
+        let off = (((y & (PAGE_W - 1)) << PAGE_SHIFT) | (x & (PAGE_W - 1))) as usize;
+        (t, off)
+    }
+
+    /// Usage quanta at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> i64 {
+        let (t, off) = self.loc(x, y);
+        self.pages[t][off]
+    }
+
+    /// Adds `q` quanta at `(x, y)`, copying the page if shared. Returns
+    /// the new value.
+    #[inline]
+    fn add(&mut self, x: u32, y: u32, q: i64) -> i64 {
+        let (t, off) = self.loc(x, y);
+        let page = Arc::make_mut(&mut self.pages[t]);
+        page[off] += q;
+        page[off]
+    }
+
+    /// Visits every cell in flat row-major order — `(y * nx + x, value)`
+    /// with the flat index strictly increasing — the exact order the
+    /// pre-paging dense planes iterated in, so float accumulations over
+    /// this walk are bit-identical to theirs.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(usize, i64)) {
+        for y in 0..self.ny {
+            let ty = y >> PAGE_SHIFT;
+            let py = ((y & (PAGE_W - 1)) << PAGE_SHIFT) as usize;
+            let base = (y * self.nx) as usize;
+            for tx in 0..self.tiles_x {
+                let x0 = tx << PAGE_SHIFT;
+                if x0 >= self.nx {
+                    break;
+                }
+                let count = (self.nx - x0).min(PAGE_W) as usize;
+                let page = &self.pages[(ty * self.tiles_x + tx) as usize];
+                for (dx, &v) in page[py..py + count].iter().enumerate() {
+                    f(base + x0 as usize + dx, v);
+                }
+            }
+        }
+    }
+
+    /// Raw pointer identity of the page covering `(x, y)` — exposed so
+    /// copy-on-write tests can assert page sharing.
+    #[doc(hidden)]
+    pub fn page_ptr(&self, x: u32, y: u32) -> *const () {
+        let (t, _) = self.loc(x, y);
+        Arc::as_ptr(&self.pages[t]) as *const ()
+    }
+}
+
 /// The routing grid: gcell tiling of the core plus per-layer, per-gcell
 /// track capacities and usage counters.
 ///
@@ -30,20 +133,22 @@ pub const QUANTA_PER_TRACK: i64 = 4;
 /// properties the incremental reroute path relies on to reproduce a
 /// from-scratch route bit for bit.
 ///
-/// Usage planes are copy-on-write: each layer's quanta live behind an
-/// `Arc`, so cloning a grid (plan memoization, best-state snapshots,
-/// region-worker scratch grids) costs one refcount bump per layer, and a
-/// plane is deep-copied only on the first write after a clone
-/// ([`Arc::make_mut`] in [`RouteGrid::add_quanta`]).
+/// Usage planes are copy-on-write at page granularity: each layer is a
+/// [`PagedPlane`] of 16×16-gcell tiles behind `Arc`s, so cloning a grid
+/// (plan memoization, best-state snapshots, region-worker scratch
+/// grids) costs one refcount bump per page, and a write deep-copies
+/// only the 2 KiB page it lands in ([`Arc::make_mut`] in
+/// [`RouteGrid::add_quanta`]) — warm candidates no longer copy whole
+/// planes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouteGrid {
     nx: u32,
     ny: u32,
     /// Capacity in tracks per gcell per layer (index 0 = M1, always 0.0).
     cap: [f64; NUM_METAL_LAYERS],
-    /// Usage in quanta (quarter-tracks, unscaled), `usage[layer][y * nx + x]`.
-    /// Copy-on-write per layer; see the type-level docs.
-    usage: Vec<Arc<Vec<i64>>>,
+    /// Usage in quanta (quarter-tracks, unscaled), paged per layer.
+    /// Copy-on-write per page; see [`PagedPlane`].
+    usage: Vec<PagedPlane>,
     /// Active NDR scale per layer.
     scales: [f64; NUM_METAL_LAYERS],
     dirs: [LayerDir; NUM_METAL_LAYERS],
@@ -63,10 +168,12 @@ impl RouteGrid {
         let ny = fp.rows().div_ceil(GCELL_H_ROWS).max(1);
         let span_x = GCELL_W_SITES as Dbu * SITE_W;
         let span_y = GCELL_H_ROWS as Dbu * SITE_H;
-        // All layers start out sharing one zeroed plane; the first write
-        // on a layer un-shares it (copy-on-write).
-        let zero = Arc::new(vec![0i64; (nx * ny) as usize]);
-        let usage = vec![zero; NUM_METAL_LAYERS];
+        // All layers start out sharing one zeroed page across every
+        // tile; the first write on a page un-shares it (copy-on-write).
+        let zero: Arc<Page> = Arc::new([0i64; PAGE_CELLS]);
+        let usage = (0..NUM_METAL_LAYERS)
+            .map(|_| PagedPlane::new(nx, ny, &zero))
+            .collect();
         let mut grid = Self {
             nx,
             ny,
@@ -171,13 +278,9 @@ impl RouteGrid {
         }
     }
 
-    fn idx(&self, g: GcellPos) -> usize {
-        (g.y * self.nx + g.x) as usize
-    }
-
     /// Track usage of layer `m` at `g`, in NDR-scaled track-equivalents.
     pub fn usage(&self, m: usize, g: GcellPos) -> f64 {
-        self.scaled(m, self.usage[m - 1][self.idx(g)])
+        self.scaled(m, self.usage[m - 1].get(g.x, g.y))
     }
 
     fn scaled(&self, m: usize, quanta: i64) -> f64 {
@@ -186,19 +289,67 @@ impl RouteGrid {
 
     /// Adds `q` usage quanta (quarter-tracks, unscaled) on layer `m` at
     /// `g`; negative values rip usage back out. First write after a clone
-    /// deep-copies the layer's plane (copy-on-write).
+    /// deep-copies the 16×16-gcell page it lands in (copy-on-write).
     pub fn add_quanta(&mut self, m: usize, g: GcellPos, q: i64) {
-        let i = self.idx(g);
-        let plane = Arc::make_mut(&mut self.usage[m - 1]);
-        plane[i] += q;
-        debug_assert!(plane[i] >= 0, "usage went negative");
+        let v = self.usage[m - 1].add(g.x, g.y, q);
+        debug_assert!(v >= 0, "usage went negative");
+        let _ = v;
     }
 
-    /// Read-only view of layer `m`'s usage plane in unscaled quanta,
-    /// indexed `y * nx + x`. Exposed so equivalence tests can compare two
-    /// grids exactly.
-    pub fn plane(&self, m: usize) -> &[i64] {
+    /// Unscaled usage quanta of layer `m` at gcell `(x, y)` — the paged
+    /// replacement for indexing a flat plane slice; the maze router's
+    /// congestion cost reads through this.
+    #[inline]
+    pub fn quanta_at(&self, m: usize, x: u32, y: u32) -> i64 {
+        self.usage[m - 1].get(x, y)
+    }
+
+    /// Read-only view of layer `m`'s paged usage plane in unscaled
+    /// quanta. Exposed so equivalence tests can compare two grids
+    /// exactly and assert page-level copy-on-write sharing.
+    pub fn plane(&self, m: usize) -> &PagedPlane {
         &self.usage[m - 1]
+    }
+
+    /// Resident heap bytes of the usage planes, with pages shared
+    /// between layers (or with other grid clones already counted by the
+    /// caller's walk of this grid) counted once via pointer identity.
+    pub fn planes_bytes(&self) -> u64 {
+        let mut seen = std::collections::HashSet::new();
+        let mut bytes = 0u64;
+        for plane in &self.usage {
+            bytes += (plane.pages.capacity() * size_of::<Arc<Page>>()) as u64;
+            for p in &plane.pages {
+                if seen.insert(Arc::as_ptr(p)) {
+                    bytes += size_of::<Page>() as u64;
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Resident page bytes of this grid *not* shared with `base`: pages
+    /// whose `Arc`s diverged through copy-on-write writes, deduplicated
+    /// by pointer within this grid. Approximately what dropping this
+    /// grid frees while `base` stays alive.
+    pub fn unshared_planes_bytes(&self, base: &RouteGrid) -> u64 {
+        let mut base_pages = std::collections::HashSet::new();
+        for plane in &base.usage {
+            for p in &plane.pages {
+                base_pages.insert(Arc::as_ptr(p));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut bytes = 0u64;
+        for plane in &self.usage {
+            for p in &plane.pages {
+                let ptr = Arc::as_ptr(p);
+                if !base_pages.contains(&ptr) && seen.insert(ptr) {
+                    bytes += size_of::<Page>() as u64;
+                }
+            }
+        }
+        bytes
     }
 
     /// Free tracks on layer `m` at `g` (clamped at zero when overflowed).
@@ -223,11 +374,11 @@ impl RouteGrid {
     pub fn deep_overflow_pairs(&self, tol: f64) -> u32 {
         let mut n = 0;
         for m in 2..=NUM_METAL_LAYERS {
-            for &u in self.usage[m - 1].iter() {
+            self.usage[m - 1].for_each(|_, u| {
                 if self.scaled(m, u) > self.cap[m - 1] + tol {
                     n += 1;
                 }
-            }
+            });
         }
         n
     }
@@ -236,11 +387,11 @@ impl RouteGrid {
     pub fn overflow_pairs(&self) -> u32 {
         let mut n = 0;
         for m in 2..=NUM_METAL_LAYERS {
-            for &u in self.usage[m - 1].iter() {
+            self.usage[m - 1].for_each(|_, u| {
                 if self.scaled(m, u) > self.cap[m - 1] + 1e-9 {
                     n += 1;
                 }
-            }
+            });
         }
         n
     }
@@ -249,9 +400,9 @@ impl RouteGrid {
     pub fn total_overflow(&self) -> f64 {
         let mut t = 0.0;
         for m in 2..=NUM_METAL_LAYERS {
-            for &u in self.usage[m - 1].iter() {
+            self.usage[m - 1].for_each(|_, u| {
                 t += (self.scaled(m, u) - self.cap[m - 1]).max(0.0);
-            }
+            });
         }
         t
     }
@@ -277,7 +428,7 @@ impl RouteGrid {
         };
         for m in 2..=NUM_METAL_LAYERS {
             let cap = self.cap[m - 1];
-            for (i, &u) in self.usage[m - 1].iter().enumerate() {
+            self.usage[m - 1].for_each(|i, u| {
                 let scaled = self.scaled(m, u);
                 set.total += (scaled - cap).max(0.0);
                 if scaled > cap + 1e-9 {
@@ -286,7 +437,7 @@ impl RouteGrid {
                     set.words[bit / 64] |= 1 << (bit % 64);
                     set.cell_words[i / 64] |= 1 << (i % 64);
                 }
-            }
+            });
         }
         set
     }
@@ -448,17 +599,83 @@ mod tests {
         g.add_quanta(2, p, 4);
         g.add_quanta(3, p, 4);
         let snap = g.clone();
-        // A clone shares every plane with its source.
+        // A clone shares every page with its source.
         for m in 2..=NUM_METAL_LAYERS {
-            assert_eq!(snap.plane(m).as_ptr(), g.plane(m).as_ptr(), "layer {m}");
+            assert_eq!(
+                snap.plane(m).page_ptr(p.x, p.y),
+                g.plane(m).page_ptr(p.x, p.y),
+                "layer {m}"
+            );
         }
-        // Writing one layer un-shares exactly that plane.
+        // Writing one layer un-shares exactly the page written.
         g.add_quanta(2, p, 4);
-        assert_ne!(snap.plane(2).as_ptr(), g.plane(2).as_ptr());
-        assert_eq!(snap.plane(3).as_ptr(), g.plane(3).as_ptr());
+        assert_ne!(
+            snap.plane(2).page_ptr(p.x, p.y),
+            g.plane(2).page_ptr(p.x, p.y)
+        );
+        assert_eq!(
+            snap.plane(3).page_ptr(p.x, p.y),
+            g.plane(3).page_ptr(p.x, p.y)
+        );
         // The clone kept the pre-write value; the source sees the write.
         assert!((snap.usage(2, p) - 1.0).abs() < 1e-12);
         assert!((g.usage(2, p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_planes_share_one_zero_page_across_layers() {
+        let g = grid();
+        let p0 = g.plane(2).page_ptr(0, 0);
+        for m in 2..=NUM_METAL_LAYERS {
+            assert_eq!(g.plane(m).page_ptr(0, 0), p0, "layer {m}");
+        }
+        // The shared-page accounting reports one page plus the Arc
+        // tables (the 10×7 grid is a single 16×16 tile per layer).
+        assert_eq!(
+            g.planes_bytes(),
+            (PAGE_CELLS * size_of::<i64>()) as u64
+                + (NUM_METAL_LAYERS * size_of::<Arc<Page>>()) as u64
+        );
+    }
+
+    #[test]
+    fn paged_for_each_walks_row_major() {
+        // A grid wider than one page exercises the tile-crossing walk.
+        let tech = Technology::nangate45_like();
+        let fp = Floorplan::new(120, 800); // nx = 40 gcells, ny = 40
+        let mut g = RouteGrid::new(&fp, &tech, &RouteRule::default());
+        assert!(g.nx() > PAGE_W && g.ny() > PAGE_W);
+        // Scatter writes across pages, mirror into a flat shadow plane.
+        let mut shadow = vec![0i64; (g.nx() * g.ny()) as usize];
+        for k in 0..200u32 {
+            let x = (k * 7) % g.nx();
+            let y = (k * 13) % g.ny();
+            let q = (k % 9) as i64 + 1;
+            g.add_quanta(3, GcellPos::new(x, y), q);
+            shadow[(y * g.nx() + x) as usize] += q;
+        }
+        let mut walked = vec![0i64; shadow.len()];
+        let mut last: i64 = -1;
+        g.plane(3).for_each(|i, v| {
+            assert!(i as i64 > last, "flat index not strictly increasing");
+            last = i as i64;
+            walked[i] = v;
+        });
+        assert_eq!(
+            last as usize,
+            shadow.len() - 1,
+            "walk must visit every cell"
+        );
+        assert_eq!(walked, shadow);
+        for y in 0..g.ny() {
+            for x in 0..g.nx() {
+                assert_eq!(
+                    g.quanta_at(3, x, y),
+                    shadow[(y * g.nx() + x) as usize],
+                    "({x}, {y})"
+                );
+            }
+        }
     }
 
     #[test]

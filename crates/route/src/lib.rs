@@ -29,7 +29,7 @@ mod grid;
 mod router;
 mod rrr;
 
-pub use grid::{OverflowSet, RouteGrid, GCELL_H_ROWS, GCELL_W_SITES, QUANTA_PER_TRACK};
+pub use grid::{OverflowSet, PagedPlane, RouteGrid, GCELL_H_ROWS, GCELL_W_SITES, QUANTA_PER_TRACK};
 pub use router::{
     dirty_between, finalize_route, finalize_route_serial, finalize_route_with, plan_route,
     plan_update, route_design, DirtySet, NetRc, RoutePlan, RouteSeg, RoutingState,

@@ -144,6 +144,34 @@ impl RoutePlan {
     pub fn set_rule(&mut self, tech: &Technology, rule: &tech::RouteRule) {
         self.grid.set_rule(tech, rule);
     }
+
+    /// The plan's usage grid (Phase-A pattern usage).
+    pub fn grid(&self) -> &RouteGrid {
+        &self.grid
+    }
+
+    /// Approximate resident heap bytes of this plan *not* shared with
+    /// `base`: diverged usage pages plus per-net segment/edge lists
+    /// whose `Arc`s differ from the base plan's (patched nets own their
+    /// lists; untouched nets share the base's). This is roughly what
+    /// evicting this plan frees while `base` stays cached — the eval
+    /// cache's byte-budget unit.
+    pub fn approx_unshared_bytes(&self, base: &RoutePlan) -> u64 {
+        let mut bytes = self.grid.unshared_planes_bytes(&base.grid);
+        for (i, s) in self.segs.iter().enumerate() {
+            let shared = base.segs.get(i).is_some_and(|b| Arc::ptr_eq(s, b));
+            if !shared {
+                bytes += (s.capacity() * size_of::<RouteSeg>()) as u64;
+            }
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            let shared = base.edges.get(i).is_some_and(|b| Arc::ptr_eq(e, b));
+            if !shared {
+                bytes += (e.capacity() * size_of::<(GcellPos, GcellPos)>()) as u64;
+            }
+        }
+        bytes
+    }
 }
 
 /// Extra wire modeled per pin for pin escape / via stacks, in DBU of M2.
@@ -456,13 +484,12 @@ fn cell_cost(
     y: u32,
     x: u32,
 ) -> u32 {
-    let i = (y * grid.nx() + x) as usize;
     let over = 1.0 + OVERFLOW_PENALTY * penalty_mult;
     let mut best = f64::INFINITY;
     for &m in grid.layers_with_dir(dir) {
         let k = &consts[m - 1]; // layers are 1-based
         let c = if k.cap > 0.0 {
-            let u = grid.plane(m)[i] as f64 * k.per_quantum;
+            let u = grid.quanta_at(m, x, y) as f64 * k.per_quantum;
             if u + k.scale > k.cap {
                 over
             } else {
@@ -761,10 +788,37 @@ impl MazeScratch {
         }
     }
 
+    /// Window size below which the scratch never shrinks: re-growing
+    /// small arrays is cheap, and typical rip-up windows all fit here.
+    const SHRINK_FLOOR: usize = 1 << 15;
+
     /// Prepares the scratch for a window of `cells` cells: grows the
     /// arrays if needed and invalidates every previous entry in O(1) by
     /// bumping the generation (O(n) only on the rare counter wrap).
+    ///
+    /// Grow-only reuse would let one full-chip window (100k+ gcells on
+    /// the scaled suite) pin window-sized arrays in every router thread
+    /// for the rest of the process; when the retained arrays dwarf the
+    /// current window, the scratch is released back to it, so steady-
+    /// state per-thread memory tracks the windows actually in use
+    /// rather than the largest window ever seen.
     fn begin(&mut self, cells: usize) {
+        let retained = self.stamp.len();
+        if retained > Self::SHRINK_FLOOR && retained / 4 > cells {
+            let keep = cells.max(Self::SHRINK_FLOOR);
+            self.dist.truncate(keep);
+            self.dist.shrink_to_fit();
+            self.prev.truncate(keep);
+            self.prev.shrink_to_fit();
+            self.cost_h.truncate(keep);
+            self.cost_h.shrink_to_fit();
+            self.cost_v.truncate(keep);
+            self.cost_v.shrink_to_fit();
+            self.stamp.truncate(keep);
+            self.stamp.shrink_to_fit();
+            self.cost_stamp.truncate(keep);
+            self.cost_stamp.shrink_to_fit();
+        }
         if self.stamp.len() < cells {
             self.dist.resize(cells, [u64::MAX; 2]);
             self.prev.resize(cells, [(u32::MAX, u32::MAX, 0); 2]);

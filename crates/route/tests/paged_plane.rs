@@ -1,0 +1,96 @@
+//! Proptest oracle pinning the paged usage planes to a flat reference:
+//! under random add/rip/clone interleavings the tile-major paged storage
+//! must read back cell-for-cell identical to a plain `y * nx + x` flat
+//! vector, the row-major `for_each` walk must visit exactly that vector
+//! in order, and the whole-grid overflow census must match a grid that
+//! saw the same quanta without any page sharing history.
+
+use geom::GcellPos;
+use layout::Floorplan;
+use proptest::prelude::*;
+use route::{RouteGrid, GCELL_H_ROWS, GCELL_W_SITES};
+use tech::{RouteRule, Technology, NUM_METAL_LAYERS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn paged_planes_match_flat_reference(
+        dims in (2u32..48, 2u32..34),
+        ops in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), 2usize..=10, 1i64..4000, any::<bool>()),
+            1..80,
+        ),
+    ) {
+        let tech = Technology::nangate45_like();
+        let fp = Floorplan::new(dims.1 * GCELL_H_ROWS, dims.0 * GCELL_W_SITES);
+        let mut grid = RouteGrid::new(&fp, &tech, &RouteRule::default());
+        // An independent grid replaying the same quanta with no clone
+        // history: page-sharing must be unobservable through every read.
+        let mut fresh = RouteGrid::new(&fp, &tech, &RouteRule::default());
+        let n = (grid.nx() * grid.ny()) as usize;
+        let mut flat = vec![vec![0i64; n]; NUM_METAL_LAYERS];
+        let mut snapshots: Vec<(RouteGrid, Vec<Vec<i64>>)> = Vec::new();
+        for (step, &(x, y, m, q, rip)) in ops.iter().enumerate() {
+            let g = GcellPos::new(x % grid.nx(), y % grid.ny());
+            let i = (g.y * grid.nx() + g.x) as usize;
+            // Rips never take a cell negative (mirrors the router, which
+            // only rips quanta it previously committed).
+            let q = if rip { -(q.min(flat[m - 1][i])) } else { q };
+            grid.add_quanta(m, g, q);
+            fresh.add_quanta(m, g, q);
+            flat[m - 1][i] += q;
+            // Periodic clones force page sharing; later writes must
+            // copy-on-write without disturbing the snapshot.
+            if step % 9 == 0 {
+                snapshots.push((grid.clone(), flat.clone()));
+                if snapshots.len() > 3 {
+                    snapshots.remove(0);
+                }
+            }
+        }
+        for m in 2..=NUM_METAL_LAYERS {
+            // Cell reads and the row-major walk agree with the flat
+            // reference.
+            let mut walked = vec![0i64; n];
+            let mut last: i64 = -1;
+            let mut ordered = true;
+            grid.plane(m).for_each(|i, v| {
+                ordered &= i as i64 > last;
+                last = i as i64;
+                walked[i] = v;
+            });
+            prop_assert!(ordered, "walk order broke on layer {}", m);
+            prop_assert_eq!(last as usize, n - 1);
+            prop_assert_eq!(&walked, &flat[m - 1], "layer {}", m);
+            for y in 0..grid.ny() {
+                for x in 0..grid.nx() {
+                    prop_assert_eq!(
+                        grid.quanta_at(m, x, y),
+                        flat[m - 1][(y * grid.nx() + x) as usize],
+                        "layer {} at ({}, {})", m, x, y
+                    );
+                }
+            }
+        }
+        // Census equality with the sharing-free replay, including float
+        // totals (same walk order, same summation order).
+        prop_assert_eq!(grid.overflow_pairs(), fresh.overflow_pairs());
+        prop_assert_eq!(grid.total_overflow(), fresh.total_overflow());
+        prop_assert_eq!(grid.overflow_set().pairs(), fresh.overflow_set().pairs());
+        prop_assert!(grid == fresh, "paged grids with identical quanta must compare equal");
+        // Snapshots still read the values they were taken at.
+        for (snap, at) in &snapshots {
+            for m in 2..=NUM_METAL_LAYERS {
+                for y in 0..snap.ny() {
+                    for x in 0..snap.nx() {
+                        prop_assert_eq!(
+                            snap.quanta_at(m, x, y),
+                            at[m - 1][(y * snap.nx() + x) as usize]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

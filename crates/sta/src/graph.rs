@@ -498,8 +498,32 @@ struct StaScratch {
 }
 
 impl StaScratch {
+    /// Entry count below which the stamp planes never shrink: re-growing
+    /// small arrays costs more than retaining them, and every design up
+    /// to this size shares one allocation high-water mark.
+    const SHRINK_FLOOR: usize = 1 << 15;
+
     /// Opens a new generation sized for `n_cells`/`n_nets`/`n_levels`.
     fn begin(&mut self, n_cells: usize, n_nets: usize, n_levels: usize) {
+        // A thread-local scratch survives across designs; after a
+        // 100k-cell analysis it must not pin that design's stamp planes
+        // for a TINY one. Once the retained high-water mark exceeds 4x
+        // the live demand (and the floor), drop to the demanded size.
+        let retained = self.cell_stamp.len().max(self.net_stamp.len());
+        if retained > Self::SHRINK_FLOOR && retained / 4 > n_cells.max(n_nets) {
+            let keep_cells = n_cells.max(Self::SHRINK_FLOOR);
+            self.cell_stamp.truncate(keep_cells);
+            self.cell_stamp.shrink_to_fit();
+            self.touch_stamp.truncate(keep_cells);
+            self.touch_stamp.shrink_to_fit();
+            let keep_nets = n_nets.max(Self::SHRINK_FLOOR);
+            self.net_stamp.truncate(keep_nets);
+            self.net_stamp.shrink_to_fit();
+            self.arr_stamp.truncate(keep_nets);
+            self.arr_stamp.shrink_to_fit();
+            self.req_stamp.truncate(keep_nets);
+            self.req_stamp.shrink_to_fit();
+        }
         self.generation = match self.generation.checked_add(1) {
             Some(g) => g,
             None => {
