@@ -373,6 +373,74 @@ fn smoke() {
         "kill/resume cycle diverged from the uninterrupted run"
     );
     println!("smoke: kill/resume cycle bit-identical");
+
+    // Journal overhead drill: run the same tiny explore through an
+    // in-process job server with the durable WAL enabled and demand the
+    // cumulative append wall (`journal.write_secs`) stays under 2 % of
+    // the explore wall — crash-safety must be nearly free.
+    {
+        use gdsii_guard::serve::{JobSpec, Server, ServerConfig};
+        // Best-of-REPS like the telemetry gate: a single rep's ~16 ms
+        // wall is noise-dominated on a shared box.
+        let mut best_frac = f64::INFINITY;
+        let mut best_line = String::new();
+        for rep in 0..REPS {
+            let jdir =
+                std::env::temp_dir().join(format!("gg-bench-journal-{}-{rep}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&jdir);
+            gdsii_guard::obs::reset();
+            gdsii_guard::obs::set_enabled(true);
+            let server = Server::start(ServerConfig {
+                socket: None,
+                data_dir: Some(jdir.join("data")),
+                journal_dir: Some(jdir.join("journal")),
+                runners: 0,
+                ..ServerConfig::default()
+            })
+            .expect("journal smoke server");
+            let mut spec = JobSpec::explore("TINY");
+            spec.population = 6;
+            spec.generations = 2;
+            server.submit(spec).expect("submit journaled explore");
+            // The submit append carries the journal's one fsync per job —
+            // a constant admission cost, not explore overhead. The 2 %
+            // budget gates the *per-generation* appends, so measure the
+            // gauge delta across the explore itself.
+            let before = gdsii_guard::obs::snapshot();
+            let secs0 = before.gauge("journal.write_secs").unwrap_or(0.0);
+            let t0 = Instant::now();
+            server.run_until_idle();
+            let journal_wall = t0.elapsed().as_secs_f64();
+            gdsii_guard::obs::set_enabled(false);
+            let t = gdsii_guard::obs::snapshot();
+            let journal_secs = t.gauge("journal.write_secs").unwrap_or(0.0) - secs0;
+            let journal_writes = t.counter("journal.writes") - before.counter("journal.writes");
+            assert!(
+                journal_writes > 0,
+                "journaled explore never appended — overhead gate is vacuous"
+            );
+            let frac = journal_secs / journal_wall;
+            if frac < best_frac {
+                best_frac = frac;
+                best_line = format!(
+                    "smoke: journal overhead {:.3} % ({journal_writes} explore-phase \
+                     appends, {journal_secs:.4}s of {journal_wall:.3}s explore wall; \
+                     {:.4}s total incl. the per-job submit fsync)",
+                    frac * 100.0,
+                    t.gauge("journal.write_secs").unwrap_or(0.0),
+                );
+            }
+            server.stop();
+            let _ = std::fs::remove_dir_all(&jdir);
+        }
+        println!("{best_line}");
+        assert!(
+            best_frac < 0.02,
+            "journal append wall is {:.2} % of the explore wall in the best of \
+             {REPS} reps (budget 2 %)",
+            best_frac * 100.0
+        );
+    }
     println!("smoke: OK (results bit-identical, overhead within budget)");
 }
 

@@ -21,8 +21,17 @@
 //! `ggd explore TINY 8 4`) are kept as deprecated aliases of the flags:
 //! `harden <design> [cs|lda] [out.gds]` maps to `--design/--op/--out`,
 //! and `explore <design> [pop] [gens]` maps to `--design/--pop/--gens`.
+//!
+//! `ggd serve` is **crash-safe** by default: job-lifecycle transitions
+//! are journaled under `--journal-dir` (default `$GG_JOURNAL_DIR`, else
+//! `results/journal`), and a restarted daemon pointed at the same
+//! journal re-queues every interrupted job and resumes explores from
+//! their checkpoints bit-identically. `--no-journal` opts out.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use gdsii_guard::obs::diagln;
 use gdsii_guard::prelude::*;
@@ -43,6 +52,9 @@ const USAGE: &str = "usage: ggd [--verbose] <command> [flags]\n\
    \n\
    daemon:\n\
    \x20 serve   --socket <path> [--runners N] [--data-dir <dir>]\n\
+   \x20         [--journal-dir <dir>|--no-journal] [--max-queued N]\n\
+   \x20         env: GG_JOURNAL_DIR, GG_MAX_QUEUED, GG_SERVE_MEM_BUDGET,\n\
+   \x20              GG_STUCK_MS (runner watchdog; default 8x GG_EVAL_DEADLINE_MS)\n\
    \n\
    client commands (all accept --socket <path>; default $GGD_SOCKET,\n\
    else ggd.sock under the system temp dir):\n\
@@ -80,6 +92,9 @@ struct Opts {
     from: Option<u64>,
     runners: Option<usize>,
     data_dir: Option<PathBuf>,
+    journal_dir: Option<PathBuf>,
+    no_journal: bool,
+    max_queued: Option<usize>,
     checkpoint: Option<String>,
     resume: bool,
     help: bool,
@@ -119,6 +134,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, Error> {
             "--from" => o.from = Some(num(&mut it, a)?),
             "--runners" => o.runners = Some(num(&mut it, a)?),
             "--data-dir" => o.data_dir = Some(PathBuf::from(value(&mut it, a)?)),
+            "--journal-dir" => o.journal_dir = Some(PathBuf::from(value(&mut it, a)?)),
+            "--no-journal" => o.no_journal = true,
+            "--max-queued" => o.max_queued = Some(num(&mut it, a)?),
             "--checkpoint" => o.checkpoint = Some(value(&mut it, a)?),
             s if s.starts_with("--") => {
                 return Err(Error::InvalidArgs(format!("unknown flag '{s}'")))
@@ -344,6 +362,7 @@ fn cmd_explore_local(o: &Opts) -> Result<(), Error> {
         socket: None,
         data_dir: Some(data_dir.clone()),
         runners: 1,
+        ..ServerConfig::default()
     })?;
     let id = server.submit(spec)?;
     let mut cursor = 0u64;
@@ -421,14 +440,54 @@ fn cmd_explore_remote(o: &Opts) -> Result<(), Error> {
     }
 }
 
+/// Reads a numeric env var; unset, empty, or unparsable yields `None`.
+fn env_num<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// The daemon's journal directory: `--no-journal` disables, else
+/// `--journal-dir`, `$GG_JOURNAL_DIR`, or `results/journal`.
+fn resolve_journal_dir(o: &Opts) -> Option<PathBuf> {
+    if o.no_journal {
+        return None;
+    }
+    o.journal_dir
+        .clone()
+        .or_else(|| std::env::var_os("GG_JOURNAL_DIR").map(PathBuf::from))
+        .or_else(|| Some(PathBuf::from("results/journal")))
+}
+
+/// The runner watchdog threshold: `$GG_STUCK_MS`, else 8× the
+/// cooperative eval deadline when one is configured (a step that blows
+/// through eight per-candidate budgets is wedged, not slow), else off.
+fn resolve_stuck_after() -> Option<Duration> {
+    env_num::<u64>("GG_STUCK_MS")
+        .or_else(|| env_num::<u64>("GG_EVAL_DEADLINE_MS").map(|ms| ms.saturating_mul(8)))
+        .map(Duration::from_millis)
+}
+
 fn cmd_serve(o: &Opts) -> Result<(), Error> {
     let socket = o.socket();
+    let journal_dir = resolve_journal_dir(o);
     let server = Server::start(ServerConfig {
         socket: Some(socket.clone()),
         data_dir: o.data_dir.clone(),
-        runners: o.runners.unwrap_or(1).max(1),
+        // An explicit `--runners 0` is honored: a queue-only daemon is
+        // useful for inspecting admission control and recovery.
+        runners: o.runners.unwrap_or(1),
+        journal_dir: journal_dir.clone(),
+        max_queued: o
+            .max_queued
+            .or_else(|| env_num("GG_MAX_QUEUED"))
+            .unwrap_or(0),
+        mem_budget_bytes: env_num("GG_SERVE_MEM_BUDGET").unwrap_or(0),
+        stuck_after: resolve_stuck_after(),
     })?;
     diagln!("ggd serve: listening on {}", socket.display());
+    match &journal_dir {
+        Some(dir) => diagln!("ggd serve: journaling jobs under {}", dir.display()),
+        None => diagln!("ggd serve: journal disabled; a crash forgets all jobs"),
+    }
     server.wait();
     diagln!("ggd serve: shut down");
     Ok(())

@@ -101,6 +101,13 @@ impl Checkpoint {
             f.write_all(envelope.as_bytes()).map_err(io)?;
             f.sync_all().map_err(io)?;
         }
+        // Keep the outgoing envelope as `<path>.prev` — the last-good
+        // fallback `load_with_fallback` resumes from when the primary is
+        // corrupt (torn by a crash, or bit-rotted on disk). Best-effort:
+        // a failed preserve must not block installing the new checkpoint.
+        if path.exists() {
+            let _ = std::fs::rename(path, prev_path(path));
+        }
         std::fs::rename(&tmp, path).map_err(io)?;
         record_write(t0.elapsed().as_secs_f64());
         Ok(())
@@ -135,6 +142,36 @@ impl Checkpoint {
             return Err(err(format!("checksum mismatch ({expect} != {actual})")));
         }
         Checkpoint::from_json(payload).ok_or_else(|| err("payload does not decode".into()))
+    }
+
+    /// [`Checkpoint::load`], falling back to the `<path>.prev` last-good
+    /// envelope when the primary is unreadable (missing, torn, failing
+    /// its FNV-1a checksum, or carrying the wrong format version).
+    ///
+    /// Returns the checkpoint plus whether the fallback was taken. A
+    /// successful fallback bumps the `checkpoint.corrupt_recovered`
+    /// counter and warns — resuming from the previous generation is
+    /// always sound (the missing generation re-runs deterministically),
+    /// so a corrupt primary degrades a job instead of erroring it. When
+    /// both envelopes fail, the *primary's* error is returned.
+    pub fn load_with_fallback(path: &Path) -> Result<(Self, bool), Error> {
+        let primary = match Self::load(path) {
+            Ok(cp) => return Ok((cp, false)),
+            Err(e) => e,
+        };
+        let prev = prev_path(path);
+        if prev.exists() {
+            if let Ok(cp) = Self::load(&prev) {
+                metrics().corrupt_recovered.incr();
+                obs::diagln!(
+                    "checkpoint: {} is corrupt ({primary}); resumed from last-good {}",
+                    path.display(),
+                    prev.display()
+                );
+                return Ok((cp, true));
+            }
+        }
+        Err(primary)
     }
 
     /// Checks that this checkpoint belongs to the run being resumed: same
@@ -172,6 +209,14 @@ impl Checkpoint {
     }
 }
 
+/// The `<path>.prev` sibling holding the previous good envelope (see
+/// [`Checkpoint::load_with_fallback`]).
+pub fn prev_path(path: &Path) -> std::path::PathBuf {
+    let mut p = path.as_os_str().to_owned();
+    p.push(".prev");
+    std::path::PathBuf::from(p)
+}
+
 /// Deterministic fingerprint of a base snapshot: its headline metrics plus
 /// design size, enough to catch resuming against the wrong design or a
 /// different baseline implementation.
@@ -193,8 +238,9 @@ pub fn fingerprint(base: &Snapshot) -> String {
     hex64(h)
 }
 
-/// FNV-1a over a byte slice.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte slice (shared with the job journal's per-line
+/// checksums).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);
@@ -224,6 +270,7 @@ static WRITE_NANOS: AtomicU64 = AtomicU64::new(0);
 struct CheckpointMetrics {
     writes: obs::Counter,
     write_secs: obs::Gauge,
+    corrupt_recovered: obs::Counter,
 }
 
 fn metrics() -> &'static CheckpointMetrics {
@@ -232,6 +279,7 @@ fn metrics() -> &'static CheckpointMetrics {
     METRICS.get_or_init(|| CheckpointMetrics {
         writes: obs::counter("checkpoint.writes"),
         write_secs: obs::gauge("checkpoint.write_secs"),
+        corrupt_recovered: obs::counter("checkpoint.corrupt_recovered"),
     })
 }
 
@@ -320,6 +368,74 @@ mod tests {
             Err(Error::Checkpoint(why)) => assert!(why.contains("version"), "{why}"),
             other => panic!("expected version failure, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_preserves_previous_envelope_and_fallback_recovers() {
+        let dir = std::env::temp_dir().join(format!("ggcp-prev-{}", std::process::id()));
+        let path = dir.join("checkpoint.ggjson");
+        let mut gen0 = sample();
+        gen0.generation = 0;
+        let mut gen1 = sample();
+        gen1.generation = 1;
+        gen0.save(&path).expect("save gen0");
+        assert!(!prev_path(&path).exists(), "first save has nothing to keep");
+        gen1.save(&path).expect("save gen1");
+        assert!(prev_path(&path).exists(), "second save keeps the last good");
+        assert_eq!(
+            Checkpoint::load(&prev_path(&path))
+                .expect("prev loads")
+                .generation,
+            0
+        );
+
+        // Healthy primary: no fallback taken.
+        let (cp, recovered) = Checkpoint::load_with_fallback(&path).expect("load");
+        assert_eq!((cp.generation, recovered), (1, false));
+
+        // Primary vanished (crash between the two installing renames):
+        // the fallback resumes from the previous generation.
+        std::fs::remove_file(&path).expect("remove primary");
+        let (cp, recovered) = Checkpoint::load_with_fallback(&path).expect("fallback");
+        assert_eq!((cp.generation, recovered), (0, true));
+
+        // Both gone: the primary's error surfaces.
+        std::fs::remove_file(prev_path(&path)).expect("remove prev");
+        assert!(Checkpoint::load_with_fallback(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Corrupt-a-byte matrix: flip single bytes across the primary
+    /// envelope and assert every flip either leaves the load intact
+    /// (whitespace between tokens) or degrades to the `.prev` fallback —
+    /// never an error, never a silently wrong payload.
+    #[test]
+    fn corrupt_byte_matrix_always_recovers() {
+        let dir = std::env::temp_dir().join(format!("ggcp-matrix-{}", std::process::id()));
+        let path = dir.join("checkpoint.ggjson");
+        let mut gen0 = sample();
+        gen0.generation = 0;
+        let mut gen1 = sample();
+        gen1.generation = 1;
+        gen0.save(&path).expect("save gen0");
+        gen1.save(&path).expect("save gen1");
+        let pristine = std::fs::read(&path).expect("read primary");
+        let mut fallbacks = 0u32;
+        for at in (0..pristine.len()).step_by(3) {
+            let mut bytes = pristine.clone();
+            bytes[at] ^= 0x4a;
+            std::fs::write(&path, &bytes).expect("write corrupted");
+            let (cp, recovered) = Checkpoint::load_with_fallback(&path)
+                .unwrap_or_else(|e| panic!("flip at byte {at} must recover, got {e}"));
+            if recovered {
+                assert_eq!(cp, gen0, "fallback must hand back the last good state");
+                fallbacks += 1;
+            } else {
+                assert_eq!(cp, gen1, "an accepted primary must decode unchanged");
+            }
+        }
+        assert!(fallbacks > 0, "the matrix must exercise the fallback path");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -35,6 +35,12 @@ pub enum Error {
     /// (unknown job, bad job spec, protocol violation, connect/read/write
     /// error); the payload is the server's or transport's diagnostic.
     Serve(String),
+    /// The job server is over its admission limits (queue depth or memory
+    /// budget) and refused a submit. Unlike [`Error::Serve`] this is
+    /// *retryable*: the same request is expected to succeed once load
+    /// drains, and [`crate::serve::Client`] retries it with backoff
+    /// before surfacing the error.
+    Busy(String),
     /// A command-line invocation could not be parsed (unknown subcommand,
     /// unknown flag, missing or malformed argument). The payload is the
     /// diagnostic; `ggd` prints the relevant usage text alongside it.
@@ -61,6 +67,9 @@ impl fmt::Display for Error {
             }
             Error::Serve(why) => {
                 write!(f, "job server error: {why}")
+            }
+            Error::Busy(why) => {
+                write!(f, "job server busy (retryable): {why}")
             }
             Error::InvalidArgs(why) => {
                 write!(f, "invalid arguments: {why}")

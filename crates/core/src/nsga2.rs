@@ -753,8 +753,11 @@ pub fn explore_with_engine(
     let mut ckpt_entries = 1usize;
 
     let resumed: Option<Checkpoint> = match (&opts.checkpoint, opts.resume) {
-        (Some(path), true) if path.exists() => {
-            let cp = Checkpoint::load(path)?;
+        (Some(path), true) if path.exists() || crate::checkpoint::prev_path(path).exists() => {
+            // A corrupt primary degrades to the `.prev` last-good
+            // envelope instead of erroring the run (the skipped
+            // generation re-runs deterministically).
+            let (cp, _recovered) = Checkpoint::load_with_fallback(path)?;
             cp.verify(base, params)?;
             Some(cp)
         }

@@ -13,7 +13,11 @@ use crate::pipeline::Snapshot;
 /// how jobs are stepped must be accompanied by (or at least audited
 /// against) the checkpoint format. A submit carrying a different version
 /// is refused with a typed error instead of being misinterpreted.
-pub const JOB_SPEC_VERSION: u32 = 1;
+///
+/// History: v2 added the `dedup` idempotency token (`ggjson` structs
+/// require every key on the wire, so adding a field is a breaking wire
+/// change even when semantically optional).
+pub const JOB_SPEC_VERSION: u32 = 2;
 
 /// What a job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +98,11 @@ pub struct JobSpec {
     pub checkpoint: Option<String>,
     /// Resume from `checkpoint` if it already holds a compatible run.
     pub resume: bool,
+    /// Idempotency token: a resubmit carrying a token the server has
+    /// already seen returns the existing job's id instead of queueing a
+    /// duplicate, making client-side submit retries safe. Tokens survive
+    /// restarts via the job journal. `None` disables deduplication.
+    pub dedup: Option<String>,
 }
 
 ggjson::json_struct!(JobSpec {
@@ -108,7 +117,8 @@ ggjson::json_struct!(JobSpec {
     op,
     out,
     checkpoint,
-    resume
+    resume,
+    dedup
 });
 
 impl JobSpec {
@@ -126,6 +136,7 @@ impl JobSpec {
             out: None,
             checkpoint: None,
             resume: false,
+            dedup: None,
         }
     }
 

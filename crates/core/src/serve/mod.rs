@@ -25,9 +25,15 @@
 //!   `halt_after`, persisting the standard checkpoint envelope, so
 //!   pause/resume/cancel reuse [`crate::checkpoint`] verbatim and a
 //!   paused-and-resumed job is bit-identical to an uninterrupted one.
+//! - [`journal`] — the durable job journal: a checksummed write-ahead
+//!   log of lifecycle transitions. On restart the server replays it,
+//!   re-queues non-terminal jobs in original order, and resumes explores
+//!   from their per-job checkpoints bit-identically (DESIGN.md §2j).
 //! - [`proto`] — the newline-delimited `ggjson` wire protocol
 //!   ([`proto::PROTO_VERSION`], message table in the module docs).
-//! - [`client`] — the typed client the `ggd` subcommands wrap.
+//! - [`client`] — the typed client the `ggd` subcommands wrap, with
+//!   bounded jittered-backoff retries, reconnection, and idempotent
+//!   submits via dedup tokens.
 //!
 //! ```no_run
 //! use gdsii_guard::serve::{Client, JobSpec, Server, ServerConfig};
@@ -47,11 +53,13 @@
 pub mod baseline;
 pub mod client;
 pub mod job;
+pub mod journal;
 pub mod proto;
 pub(crate) mod registry;
 pub mod server;
 
 pub use baseline::{BaselineCache, DesignContext};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use job::{BaselineSummary, JobEvent, JobKind, JobSpec, JobState, JobStatus, JOB_SPEC_VERSION};
+pub use journal::{Journal, JournalRecord};
 pub use server::{Server, ServerConfig, ServerStats};

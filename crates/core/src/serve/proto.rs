@@ -22,7 +22,11 @@
 //! | `{"v":1,"req":"shutdown"}`                     | `{"ok":"bye"}`                       |
 //!
 //! Any failure is a single `{"err":"diagnostic"}` line; the connection
-//! stays usable for further requests either way.
+//! stays usable for further requests either way. A submit refused by
+//! admission control (queue depth or memory budget, see
+//! [`crate::serve::ServerConfig`]) gets `{"busy":"why"}` instead — a
+//! *retryable* refusal the client retries with jittered backoff, unlike
+//! the terminal `{"err":…}`.
 
 use ggjson::{FromJson, Json, ToJson};
 
@@ -159,6 +163,9 @@ pub enum Response {
     Ok(Json),
     /// Request failed; the payload is the diagnostic.
     Err(String),
+    /// Request refused by admission control; retry after backoff. Maps
+    /// to [`Error::Busy`] on the client side.
+    Busy(String),
     /// One streamed job event (`watch` only, before the final `Ok`).
     Event(JobEvent),
 }
@@ -169,6 +176,7 @@ impl Response {
         let obj = match self {
             Response::Ok(payload) => Json::Obj(vec![("ok".to_owned(), payload.clone())]),
             Response::Err(why) => Json::Obj(vec![("err".to_owned(), Json::Str(why.clone()))]),
+            Response::Busy(why) => Json::Obj(vec![("busy".to_owned(), Json::Str(why.clone()))]),
             Response::Event(e) => Json::Obj(vec![("event".to_owned(), e.to_json())]),
         };
         ggjson::to_string_compact(&obj)
@@ -184,13 +192,16 @@ impl Response {
         if let Some(why) = j.get("err").and_then(Json::as_str) {
             return Ok(Response::Err(why.to_owned()));
         }
+        if let Some(why) = j.get("busy").and_then(Json::as_str) {
+            return Ok(Response::Busy(why.to_owned()));
+        }
         if let Some(e) = j.get("event") {
             let event = JobEvent::from_json(e)
                 .ok_or_else(|| Error::Serve("malformed event payload".into()))?;
             return Ok(Response::Event(event));
         }
         Err(Error::Serve(format!(
-            "response is neither ok, err, nor event: {line}"
+            "response is neither ok, err, busy, nor event: {line}"
         )))
     }
 }
@@ -226,6 +237,7 @@ mod tests {
         let resps = [
             Response::Ok(Json::Str("pong".into())),
             Response::Err("no job 9".into()),
+            Response::Busy("7 jobs queued (limit 4)".into()),
             Response::Event(JobEvent {
                 seq: 0,
                 tick: 4,

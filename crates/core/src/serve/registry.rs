@@ -8,15 +8,24 @@
 //! whole of an analyze/harden job), so a high-priority submit preempts a
 //! long-running low-priority explore at its next generation boundary
 //! without killing it.
+//!
+//! When constructed [`Registry::with_journal`], every lifecycle
+//! transition is appended to the durable [`Journal`] *before* the
+//! corresponding event is published — write-ahead ordering, so a watcher
+//! can never observe a transition the journal might forget. On restart,
+//! [`Registry::recover`] replays the log: non-terminal jobs re-enter the
+//! queue with their original submit-order tickets (priority/FIFO order
+//! preserved), terminal jobs come back queryable with their results.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use ggjson::Json;
 
 use crate::serve::job::{JobEvent, JobKind, JobSpec, JobState, JobStatus};
+use crate::serve::journal::{Journal, JournalRecord};
 
 /// Everything the registry tracks about one job.
 pub(crate) struct Job {
@@ -69,12 +78,26 @@ pub(crate) enum Claim {
     Shutdown,
 }
 
+/// What [`Registry::recover`] found in the journal.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RecoveryStats {
+    /// Jobs reconstructed from the journal.
+    pub jobs: u64,
+    /// Non-terminal jobs re-queued for execution.
+    pub requeued: u64,
+    /// Terminal jobs restored for `status`/`result` queries.
+    pub finished: u64,
+}
+
 struct Inner {
     jobs: BTreeMap<u64, Job>,
     next_id: u64,
     next_seq: u64,
     /// Server-global event tick (total order across all jobs).
     next_tick: u64,
+    /// Idempotency tokens already seen, mapped to their job ids
+    /// (rebuilt from `submitted` records on recovery).
+    dedup: HashMap<String, u64>,
     shutdown: bool,
 }
 
@@ -97,19 +120,29 @@ impl Inner {
 pub(crate) struct Registry {
     inner: Mutex<Inner>,
     cv: Condvar,
+    /// Write-ahead journal; `None` runs the registry volatile (tests,
+    /// `--no-journal`).
+    journal: Option<Arc<Journal>>,
 }
 
 impl Registry {
     pub fn new() -> Self {
+        Self::with_journal(None)
+    }
+
+    /// A registry whose transitions are journaled before publication.
+    pub fn with_journal(journal: Option<Arc<Journal>>) -> Self {
         Self {
             inner: Mutex::new(Inner {
                 jobs: BTreeMap::new(),
                 next_id: 1,
                 next_seq: 0,
                 next_tick: 0,
+                dedup: HashMap::new(),
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            journal,
         }
     }
 
@@ -117,9 +150,25 @@ impl Registry {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Queues a validated spec; returns the job id.
+    /// Journals one transition (no-op without a journal). Called while
+    /// holding the registry lock, *before* the matching `push_event` —
+    /// the journal has its own mutex and never takes ours, so the
+    /// ordering is deadlock-free.
+    fn jot(&self, rec: &JournalRecord) {
+        if let Some(j) = &self.journal {
+            j.append(rec);
+        }
+    }
+
+    /// Queues a validated spec; returns the job id. A spec carrying an
+    /// already-seen `dedup` token returns the existing job instead.
     pub fn submit(&self, spec: JobSpec, checkpoint: PathBuf) -> u64 {
         let mut inner = self.lock();
+        if let Some(tok) = &spec.dedup {
+            if let Some(&existing) = inner.dedup.get(tok) {
+                return existing;
+            }
+        }
         let id = inner.next_id;
         inner.next_id += 1;
         let seq = inner.next_seq;
@@ -129,6 +178,10 @@ impl Registry {
             JobKind::Explore => spec.generations as u64 + 1,
             _ => 1,
         };
+        if let Some(tok) = &spec.dedup {
+            inner.dedup.insert(tok.clone(), id);
+        }
+        self.jot(&JournalRecord::submitted(id, &spec, seq, &checkpoint));
         inner.jobs.insert(
             id,
             Job {
@@ -151,6 +204,21 @@ impl Registry {
         drop(inner);
         self.cv.notify_all();
         id
+    }
+
+    /// The job a dedup token maps to, if any (lets the server bypass
+    /// admission control for idempotent resubmits).
+    pub fn lookup_dedup(&self, token: &str) -> Option<u64> {
+        self.lock().dedup.get(token).copied()
+    }
+
+    /// Jobs currently waiting for a runner slot.
+    pub fn queued_count(&self) -> usize {
+        self.lock()
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .count()
     }
 
     /// Claims the highest-priority queued job and marks it running.
@@ -179,6 +247,7 @@ impl Registry {
                 if resumed {
                     inner.push_event(id, "resumed", None, Json::Null);
                 } else if first_step {
+                    self.jot(&JournalRecord::transition(id, "started"));
                     inner.push_event(id, "started", None, Json::Null);
                 }
                 drop(inner);
@@ -194,14 +263,27 @@ impl Registry {
 
     /// Applies a completed step's outcome and the pending pause/cancel
     /// requests, in that order of precedence: cancel > pause > continue.
+    ///
+    /// Late outcomes are dropped: if the job is no longer `Running` —
+    /// the watchdog already failed it as stuck, or it was recovered by a
+    /// restart — a wedged runner waking up afterwards must not resurrect
+    /// or re-terminate it.
     pub fn finish_step(&self, id: u64, outcome: StepOutcome) {
         let mut inner = self.lock();
+        if inner
+            .jobs
+            .get(&id)
+            .is_none_or(|j| j.state != JobState::Running)
+        {
+            return;
+        }
         match outcome {
             StepOutcome::Failed { error } => {
                 if let Some(job) = inner.jobs.get_mut(&id) {
                     job.state = JobState::Failed;
                     job.error = Some(error.clone());
                 }
+                self.jot(&JournalRecord::failed(id, &error));
                 inner.push_event(id, "failed", None, Json::Str(error));
             }
             StepOutcome::Finished {
@@ -211,9 +293,10 @@ impl Registry {
             } => {
                 if let Some(job) = inner.jobs.get_mut(&id) {
                     job.next_step += 1;
-                    job.result = Some(result);
+                    job.result = Some(result.clone());
                     job.state = JobState::Done;
                 }
+                self.jot(&JournalRecord::done(id, result));
                 inner.push_event(id, "done", generation, data);
             }
             StepOutcome::Progress { generation, data } => {
@@ -234,14 +317,192 @@ impl Registry {
                     }
                     None => None,
                 };
+                // The generation record lands *after* explore_with_engine
+                // persisted the step's checkpoint, so the journal never
+                // claims progress the checkpoint cannot replay.
+                self.jot(&JournalRecord::generation(id, generation));
                 inner.push_event(id, "generation", Some(generation), data);
                 if let Some(kind) = follow_up {
+                    self.jot(&JournalRecord::transition(id, kind));
                     inner.push_event(id, kind, None, Json::Null);
                 }
             }
         }
+        self.maybe_compact(&inner);
         drop(inner);
         self.cv.notify_all();
+    }
+
+    /// Rewrites the journal as a compact snapshot if the active segment
+    /// outgrew its threshold. Compaction failure downgrades to a
+    /// diagnostic — the old segments keep the log replayable.
+    fn maybe_compact(&self, inner: &Inner) {
+        let Some(j) = &self.journal else { return };
+        if !j.should_rotate() {
+            return;
+        }
+        if let Err(e) = j.rewrite(&snapshot_records(inner)) {
+            obs::diagln!("journal: compaction failed ({e}); staying on the old segment");
+        }
+    }
+
+    /// Immediately compacts the journal to a snapshot of current state
+    /// (used once after recovery so replay cost does not accrete across
+    /// restarts).
+    pub fn compact_now(&self) {
+        let inner = self.lock();
+        if let Some(j) = &self.journal {
+            if let Err(e) = j.rewrite(&snapshot_records(&inner)) {
+                obs::diagln!("journal: post-recovery compaction failed ({e})");
+            }
+        }
+    }
+
+    /// Rebuilds registry state from replayed journal records (call once,
+    /// before any runner starts claiming).
+    ///
+    /// Jobs that were `Running` at the crash re-queue with their original
+    /// ticket: the in-flight step re-runs, and for explores the
+    /// checkpoint envelope makes that re-run bit-identical (an
+    /// already-checkpointed generation is returned from the archive, not
+    /// recomputed). Each reconstructed job gets a synthesized event
+    /// prefix — `queued`, then `recovered` carrying `steps_done`, then
+    /// its terminal event if it has one — so `watch` clients see a
+    /// coherent stream.
+    pub fn recover(&self, records: &[JournalRecord]) -> RecoveryStats {
+        let mut inner = self.lock();
+        for rec in records {
+            let id = rec.job;
+            match rec.kind.as_str() {
+                "submitted" => {
+                    let Some(spec) = rec.spec.clone() else {
+                        continue;
+                    };
+                    let total_steps = match spec.kind {
+                        JobKind::Explore => spec.generations as u64 + 1,
+                        _ => 1,
+                    };
+                    if let Some(tok) = &spec.dedup {
+                        inner.dedup.insert(tok.clone(), id);
+                    }
+                    let checkpoint = PathBuf::from(rec.checkpoint.clone().unwrap_or_default());
+                    // Insert overwrites: a compaction snapshot may repeat
+                    // a job an older segment already introduced.
+                    inner.jobs.insert(
+                        id,
+                        Job {
+                            spec,
+                            state: JobState::Queued,
+                            seq: rec.seq,
+                            next_step: 0,
+                            total_steps,
+                            pause_requested: false,
+                            cancel_requested: false,
+                            resumed_pending: false,
+                            events: Vec::new(),
+                            result: None,
+                            error: None,
+                            checkpoint,
+                            front_keys: Vec::new(),
+                        },
+                    );
+                }
+                "started" => {
+                    if let Some(job) = inner.jobs.get_mut(&id) {
+                        job.state = JobState::Running;
+                    }
+                }
+                "generation" => {
+                    if let Some(job) = inner.jobs.get_mut(&id) {
+                        if let Some(g) = rec.generation {
+                            job.next_step = g + 1;
+                        }
+                    }
+                }
+                "paused" => {
+                    if let Some(job) = inner.jobs.get_mut(&id) {
+                        job.state = JobState::Paused;
+                    }
+                }
+                "resumed" => {
+                    if let Some(job) = inner.jobs.get_mut(&id) {
+                        job.state = JobState::Queued;
+                        job.seq = rec.seq;
+                    }
+                }
+                "cancelled" => {
+                    if let Some(job) = inner.jobs.get_mut(&id) {
+                        job.state = JobState::Cancelled;
+                    }
+                }
+                "done" => {
+                    if let Some(job) = inner.jobs.get_mut(&id) {
+                        job.state = JobState::Done;
+                        job.result = rec.result.clone();
+                        job.next_step = job.total_steps;
+                    }
+                }
+                "failed" => {
+                    if let Some(job) = inner.jobs.get_mut(&id) {
+                        job.state = JobState::Failed;
+                        job.error = rec.error.clone();
+                    }
+                }
+                other => {
+                    obs::diagln!("journal: ignoring unknown record kind '{other}'");
+                }
+            }
+        }
+        let mut stats = RecoveryStats::default();
+        let ids: Vec<u64> = inner.jobs.keys().copied().collect();
+        for id in ids {
+            let (steps_done, terminal, error) = match inner.jobs.get_mut(&id) {
+                Some(job) => {
+                    // The step in flight at the crash re-runs.
+                    if job.state == JobState::Running {
+                        job.state = JobState::Queued;
+                    }
+                    (job.next_step, job.state, job.error.clone())
+                }
+                None => continue,
+            };
+            stats.jobs += 1;
+            if terminal.is_terminal() {
+                stats.finished += 1;
+            } else {
+                stats.requeued += 1;
+            }
+            inner.push_event(id, "queued", None, Json::Null);
+            inner.push_event(
+                id,
+                "recovered",
+                None,
+                Json::Obj(vec![("steps_done".into(), Json::Num(steps_done as f64))]),
+            );
+            match terminal {
+                JobState::Done => inner.push_event(id, "done", None, Json::Null),
+                JobState::Cancelled => inner.push_event(id, "cancelled", None, Json::Null),
+                JobState::Failed => inner.push_event(
+                    id,
+                    "failed",
+                    None,
+                    Json::Str(error.unwrap_or_else(|| "unknown error".into())),
+                ),
+                JobState::Paused => inner.push_event(id, "paused", None, Json::Null),
+                JobState::Queued | JobState::Running => {}
+            }
+        }
+        inner.next_id = inner.jobs.keys().max().map_or(1, |m| m + 1);
+        inner.next_seq = inner
+            .jobs
+            .values()
+            .map(|j| j.seq + 1)
+            .max()
+            .unwrap_or(0)
+            .max(inner.next_seq);
+        drop(inner);
+        self.cv.notify_all();
+        stats
     }
 
     /// Requests a pause: queued jobs park immediately, running jobs park
@@ -264,6 +525,7 @@ impl Registry {
             None => return Err(format!("no job {id}")),
         };
         if newly_paused {
+            self.jot(&JournalRecord::transition(id, "paused"));
             inner.push_event(id, "paused", None, Json::Null);
         }
         drop(inner);
@@ -276,20 +538,25 @@ impl Registry {
     pub fn resume(&self, id: u64) -> Result<(), String> {
         let mut inner = self.lock();
         let seq = inner.next_seq;
-        match inner.jobs.get_mut(&id) {
+        let requeued = match inner.jobs.get_mut(&id) {
             Some(job) => match job.state {
                 JobState::Paused => {
                     job.state = JobState::Queued;
                     job.seq = seq;
                     job.resumed_pending = true;
+                    true
                 }
                 JobState::Queued | JobState::Running => {
                     // Un-park a pause that has not landed yet.
                     job.pause_requested = false;
+                    false
                 }
                 s => return Err(format!("cannot resume a {} job", s.as_str())),
             },
             None => return Err(format!("no job {id}")),
+        };
+        if requeued {
+            self.jot(&JournalRecord::resumed(id, seq));
         }
         inner.next_seq += 1;
         drop(inner);
@@ -316,6 +583,7 @@ impl Registry {
             None => return Err(format!("no job {id}")),
         };
         if now_cancelled {
+            self.jot(&JournalRecord::transition(id, "cancelled"));
             inner.push_event(id, "cancelled", None, Json::Null);
         }
         drop(inner);
@@ -436,6 +704,43 @@ impl Registry {
             .values()
             .any(|j| matches!(j.state, JobState::Queued | JobState::Running))
     }
+}
+
+/// The minimal record sequence reproducing every job's current state,
+/// used as the compaction snapshot: `submitted`, a `generation` marking
+/// completed progress for live jobs, and the parked/terminal transition.
+fn snapshot_records(inner: &Inner) -> Vec<JournalRecord> {
+    let mut recs = Vec::new();
+    for (&id, job) in &inner.jobs {
+        recs.push(JournalRecord::submitted(
+            id,
+            &job.spec,
+            job.seq,
+            &job.checkpoint,
+        ));
+        if job.next_step > 0 && !job.state.is_terminal() {
+            recs.push(JournalRecord::generation(id, job.next_step - 1));
+        }
+        match job.state {
+            JobState::Done => {
+                recs.push(JournalRecord::done(
+                    id,
+                    job.result.clone().unwrap_or(Json::Null),
+                ));
+            }
+            JobState::Failed => {
+                recs.push(JournalRecord::failed(
+                    id,
+                    job.error.as_deref().unwrap_or("unknown error"),
+                ));
+            }
+            JobState::Cancelled => recs.push(JournalRecord::transition(id, "cancelled")),
+            JobState::Paused => recs.push(JournalRecord::transition(id, "paused")),
+            // Queued replays as-is; Running re-queues on recovery anyway.
+            JobState::Queued | JobState::Running => {}
+        }
+    }
+    recs
 }
 
 fn status_of(id: u64, job: &Job) -> JobStatus {
@@ -619,5 +924,186 @@ mod tests {
         reg.shutdown();
         assert!(matches!(reg.claim_next(true), Claim::Shutdown));
         assert!(reg.is_shutdown());
+    }
+
+    #[test]
+    fn late_outcomes_from_retired_runners_are_dropped() {
+        let reg = Registry::new();
+        let id = reg.submit(spec(0), ckpt(1));
+        assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == id));
+        // The watchdog declares the job stuck...
+        reg.finish_step(
+            id,
+            StepOutcome::Failed {
+                error: "stuck".into(),
+            },
+        );
+        assert_eq!(reg.status(id).expect("status").state, JobState::Failed);
+        // ...then the wedged runner wakes up and reports success. Dropped.
+        reg.finish_step(
+            id,
+            StepOutcome::Finished {
+                generation: None,
+                data: Json::Null,
+                result: Json::Num(1.0),
+            },
+        );
+        let status = reg.status(id).expect("status");
+        assert_eq!(status.state, JobState::Failed);
+        assert_eq!(status.error.as_deref(), Some("stuck"));
+        assert!(reg.result(id).is_err());
+    }
+
+    fn journal_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ggreg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Drives a journaled registry through a mixed workload, "crashes"
+    /// (drops it), recovers a fresh registry from the journal, and checks
+    /// every job's position and the claim order survived.
+    #[test]
+    fn recovery_restores_jobs_order_and_results() {
+        let dir = journal_dir("recover");
+        let (running, paused, queued_hi, queued_lo, finished);
+        {
+            let journal = Arc::new(Journal::open(&dir).expect("open journal"));
+            let reg = Registry::with_journal(Some(journal));
+            let mut explore = JobSpec::explore("TINY");
+            explore.generations = 4;
+            running = reg.submit(explore.clone(), ckpt(1));
+            paused = reg.submit(explore.clone(), ckpt(2));
+            finished = reg.submit(spec(0), ckpt(3));
+            // `running` completes two generations, then goes mid-step 2.
+            for g in 0..2 {
+                assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == running));
+                reg.finish_step(
+                    running,
+                    StepOutcome::Progress {
+                        generation: g,
+                        data: Json::Null,
+                    },
+                );
+            }
+            assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == running));
+            // `paused` parks after one generation.
+            assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == paused));
+            reg.pause(paused).expect("pause");
+            reg.finish_step(
+                paused,
+                StepOutcome::Progress {
+                    generation: 0,
+                    data: Json::Null,
+                },
+            );
+            // `finished` runs to completion.
+            assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == finished));
+            reg.finish_step(
+                finished,
+                StepOutcome::Finished {
+                    generation: None,
+                    data: Json::Null,
+                    result: Json::Num(42.0),
+                },
+            );
+            queued_hi = reg.submit(spec(9), ckpt(4));
+            queued_lo = reg.submit(spec(0), ckpt(5));
+            // Crash: drop the registry with `running` mid-step.
+        }
+        let journal = Arc::new(Journal::open(&dir).expect("reopen journal"));
+        let records = Journal::replay(&dir).expect("replay");
+        let reg = Registry::with_journal(Some(journal));
+        let stats = reg.recover(&records);
+        assert_eq!(stats.jobs, 5);
+        assert_eq!(
+            stats.requeued, 4,
+            "running + paused + queued ×2 are non-terminal"
+        );
+        assert_eq!(stats.finished, 1);
+
+        let st = reg.status(running).expect("status");
+        assert_eq!(st.state, JobState::Queued, "in-flight job re-queued");
+        assert_eq!(st.steps_done, 2, "completed generations survive");
+        assert_eq!(reg.status(paused).expect("status").state, JobState::Paused);
+        assert_eq!(
+            reg.result(finished).expect("done job keeps its result"),
+            Json::Num(42.0)
+        );
+        // Claim order: priority first, then original submit order.
+        assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == queued_hi));
+        assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == running));
+        assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == queued_lo));
+        assert!(matches!(reg.claim_next(false), Claim::Idle));
+        // New submits get fresh ids past the recovered ones.
+        let next = reg.submit(spec(0), ckpt(6));
+        assert!(next > queued_lo);
+        // Synthesized event prefix is coherent.
+        assert_eq!(kinds(&reg, paused), vec!["queued", "recovered", "paused"]);
+        assert_eq!(kinds(&reg, finished), vec!["queued", "recovered", "done"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dedup_tokens_are_idempotent_and_survive_recovery() {
+        let dir = journal_dir("dedup");
+        let first;
+        {
+            let journal = Arc::new(Journal::open(&dir).expect("open journal"));
+            let reg = Registry::with_journal(Some(journal));
+            let mut s = spec(0);
+            s.dedup = Some("tok-1".into());
+            first = reg.submit(s.clone(), ckpt(1));
+            assert_eq!(reg.submit(s.clone(), ckpt(2)), first, "resubmit dedups");
+            assert_eq!(reg.lookup_dedup("tok-1"), Some(first));
+            assert_eq!(reg.lookup_dedup("tok-2"), None);
+        }
+        let records = Journal::replay(&dir).expect("replay");
+        let reg = Registry::new();
+        reg.recover(&records);
+        assert_eq!(
+            reg.lookup_dedup("tok-1"),
+            Some(first),
+            "token survives restart"
+        );
+        let mut s = spec(0);
+        s.dedup = Some("tok-1".into());
+        assert_eq!(
+            reg.submit(s, ckpt(3)),
+            first,
+            "post-restart resubmit dedups"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_snapshot_replays_identically() {
+        let dir = journal_dir("compact");
+        let journal = Arc::new(Journal::open_with(&dir, 64, false).expect("open"));
+        let reg = Registry::with_journal(Some(journal));
+        let a = reg.submit(spec(2), ckpt(1));
+        let b = reg.submit(spec(0), ckpt(2));
+        assert!(matches!(reg.claim_next(false), Claim::Step(i) if i == a));
+        reg.finish_step(
+            a,
+            StepOutcome::Finished {
+                generation: None,
+                data: Json::Null,
+                result: Json::Num(7.0),
+            },
+        );
+        let before: Vec<JobStatus> = reg.jobs();
+        reg.compact_now();
+        let records = Journal::replay(&dir).expect("replay");
+        let reg2 = Registry::new();
+        reg2.recover(&records);
+        let after: Vec<JobStatus> = reg2.jobs();
+        assert_eq!(before.len(), after.len());
+        for (x, y) in before.iter().zip(&after) {
+            assert_eq!((x.id, x.state, x.steps_done), (y.id, y.state, y.steps_done));
+        }
+        assert_eq!(reg2.result(a).expect("result"), Json::Num(7.0));
+        assert_eq!(reg2.status(b).expect("status").state, JobState::Queued);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -13,14 +13,25 @@
 //! With `runners: 0` nothing runs until [`Server::step_once`] /
 //! [`Server::run_until_idle`] — the deterministic mode the scheduler
 //! tests drive.
+//!
+//! **Crash safety and containment** (DESIGN.md §2j): with a
+//! `journal_dir` configured, every lifecycle transition is journaled
+//! before publication and [`Server::start`] replays the journal —
+//! non-terminal jobs re-queue in their original order and explores
+//! resume bit-identically from their checkpoints. Runner threads are
+//! *supervised*: a runner that dies (thread panic outside the step
+//! sandbox) or wedges past `stuck_after` has its in-flight job marked
+//! failed and is replaced, so the pool never silently shrinks. Submits
+//! beyond `max_queued` or the memory budget are refused with a
+//! retryable [`Response::Busy`] instead of growing without bound.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ggjson::Json;
 use tech::Technology;
@@ -30,6 +41,7 @@ use crate::flow::{FlowConfig, FlowMetrics, FlowRun};
 use crate::nsga2::{explore_with_engine, ExploreOptions, ExploreResult, Nsga2Params};
 use crate::serve::baseline::{BaselineCache, DesignContext};
 use crate::serve::job::{BaselineSummary, JobEvent, JobKind, JobSpec, JobStatus};
+use crate::serve::journal::Journal;
 use crate::serve::proto::{Request, Response};
 use crate::serve::registry::{Claim, Registry, StepOutcome};
 
@@ -45,6 +57,21 @@ pub struct ServerConfig {
     /// Runner threads; `0` means no background execution — tests drive
     /// the scheduler with [`Server::step_once`].
     pub runners: usize,
+    /// Durable job-journal directory (`GG_JOURNAL_DIR`). `None` runs
+    /// volatile: a crash forgets every job.
+    pub journal_dir: Option<PathBuf>,
+    /// Admission limit on queued jobs (`GG_MAX_QUEUED`); `0` = unlimited.
+    /// Submits beyond it get a retryable `Busy` refusal.
+    pub max_queued: usize,
+    /// Admission memory budget in bytes (`GG_SERVE_MEM_BUDGET`); `0` =
+    /// unlimited. Submits are refused while peak RSS or the eval-cache
+    /// footprint exceeds it.
+    pub mem_budget_bytes: u64,
+    /// Watchdog threshold (`GG_STUCK_MS`): a runner whose step exceeds
+    /// this wall time is declared wedged — its job fails as stuck and
+    /// the runner is replaced. `None` disables stuck detection (dead
+    /// runners are still replaced).
+    pub stuck_after: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +80,10 @@ impl Default for ServerConfig {
             socket: None,
             data_dir: None,
             runners: 1,
+            journal_dir: None,
+            max_queued: 0,
+            mem_budget_bytes: 0,
+            stuck_after: None,
         }
     }
 }
@@ -77,6 +108,14 @@ pub struct ServerStats {
     pub eval_cache_bytes: u64,
     /// Process peak resident set (`VmHWM`), 0 where procfs is absent.
     pub peak_rss_bytes: u64,
+    /// Jobs currently waiting for a runner slot.
+    pub queued: u64,
+    /// Submits refused by admission control this server lifetime.
+    pub busy_rejects: u64,
+    /// Runner threads replaced by the supervisor (died or wedged).
+    pub runner_restarts: u64,
+    /// Non-terminal jobs re-queued from the journal at startup.
+    pub recovered_jobs: u64,
 }
 
 ggjson::json_struct!(ServerStats {
@@ -86,7 +125,11 @@ ggjson::json_struct!(ServerStats {
     occupancy_bytes,
     route_planes_bytes,
     eval_cache_bytes,
-    peak_rss_bytes
+    peak_rss_bytes,
+    queued,
+    busy_rejects,
+    runner_restarts,
+    recovered_jobs
 });
 
 /// The process high-water resident set in bytes, from
@@ -115,6 +158,10 @@ fn collect_stats(shared: &Shared) -> ServerStats {
         route_planes_bytes: mem.route_planes_bytes,
         eval_cache_bytes: mem.cache_bytes,
         peak_rss_bytes: peak_rss_bytes(),
+        queued: shared.registry.queued_count() as u64,
+        busy_rejects: shared.busy_rejects.load(Ordering::Relaxed),
+        runner_restarts: shared.runner_restarts.load(Ordering::Relaxed),
+        recovered_jobs: shared.recovered_jobs,
     }
 }
 
@@ -124,6 +171,76 @@ struct Shared {
     data_dir: PathBuf,
     socket_path: Option<PathBuf>,
     ckpt_counter: AtomicU64,
+    /// Admission limits (0 = unlimited).
+    max_queued: usize,
+    mem_budget_bytes: u64,
+    busy_rejects: AtomicU64,
+    runner_restarts: AtomicU64,
+    /// Non-terminal jobs re-queued from the journal at startup.
+    recovered_jobs: u64,
+}
+
+/// Per-runner heartbeat the supervisor watches: which job the runner is
+/// executing and since when, plus the retirement flag that tells an
+/// abandoned (wedged) runner not to claim further work if it ever wakes.
+#[derive(Default)]
+struct Flight {
+    busy: Mutex<Option<(u64, Instant)>>,
+    retired: AtomicBool,
+}
+
+struct RunnerSlot {
+    handle: JoinHandle<()>,
+    flight: Arc<Flight>,
+}
+
+/// Admission gate, checked before a submit enters the queue. Idempotent
+/// resubmits (a dedup token the registry already knows) bypass the gate
+/// — they map to an existing job, adding no load. Refusals are counted
+/// in `serve.busy_rejects` and surface as the retryable `Busy` response.
+fn admit(shared: &Shared, spec: &JobSpec) -> Result<(), String> {
+    if let Some(tok) = &spec.dedup {
+        if shared.registry.lookup_dedup(tok).is_some() {
+            return Ok(());
+        }
+    }
+    let refuse = |why: String| {
+        shared.busy_rejects.fetch_add(1, Ordering::Relaxed);
+        busy_metric().incr();
+        Err(why)
+    };
+    if shared.max_queued > 0 {
+        let queued = shared.registry.queued_count();
+        if queued >= shared.max_queued {
+            return refuse(format!(
+                "{queued} jobs queued (limit {})",
+                shared.max_queued
+            ));
+        }
+    }
+    if shared.mem_budget_bytes > 0 {
+        let rss = peak_rss_bytes();
+        let cache = shared.baselines.memory_footprint().cache_bytes;
+        if rss > shared.mem_budget_bytes || cache > shared.mem_budget_bytes {
+            return refuse(format!(
+                "memory budget exceeded (peak RSS {rss} B, eval cache {cache} B, budget {} B)",
+                shared.mem_budget_bytes
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn busy_metric() -> &'static obs::Counter {
+    use std::sync::OnceLock;
+    static M: OnceLock<obs::Counter> = OnceLock::new();
+    M.get_or_init(|| obs::counter("serve.busy_rejects"))
+}
+
+fn restart_metric() -> &'static obs::Counter {
+    use std::sync::OnceLock;
+    static M: OnceLock<obs::Counter> = OnceLock::new();
+    M.get_or_init(|| obs::counter("serve.runner_restarts"))
 }
 
 /// A running job server. Dropping it without [`Server::stop`] leaves
@@ -137,6 +254,10 @@ impl Server {
     /// Stands the server up: creates the data directory, binds the
     /// socket (if configured), and spawns the runner threads.
     pub fn start(cfg: ServerConfig) -> Result<Self, Error> {
+        // Arm `GG_FAULTS` before the first journal append: the
+        // service-level points (`journal.write`, `serve.runner_panic`)
+        // fire long before any evaluation sandbox would arm them.
+        faults::ensure_init();
         let data_dir = cfg.data_dir.unwrap_or_else(|| {
             std::env::temp_dir().join(format!("ggd-serve-{}", std::process::id()))
         });
@@ -153,21 +274,55 @@ impl Server {
                 }
                 None => None,
             };
+        // Replay the journal (if any) before runners exist, so recovery
+        // happens against a quiescent registry.
+        let (registry, recovered_jobs) = match &cfg.journal_dir {
+            Some(dir) => {
+                let records = Journal::replay(dir)?;
+                let journal = Arc::new(Journal::open(dir)?);
+                let registry = Registry::with_journal(Some(journal));
+                let stats = registry.recover(&records);
+                if stats.jobs > 0 {
+                    registry.compact_now();
+                    obs::diagln!(
+                        "journal: recovered {} job(s) from {} ({} re-queued, {} already terminal)",
+                        stats.jobs,
+                        dir.display(),
+                        stats.requeued,
+                        stats.finished
+                    );
+                }
+                (registry, stats.requeued)
+            }
+            None => (Registry::new(), 0),
+        };
         let shared = Arc::new(Shared {
-            registry: Registry::new(),
+            registry,
             baselines: BaselineCache::new(Technology::nangate45_like()),
             data_dir,
             socket_path: cfg.socket,
             ckpt_counter: AtomicU64::new(0),
+            max_queued: cfg.max_queued,
+            mem_budget_bytes: cfg.mem_budget_bytes,
+            busy_rejects: AtomicU64::new(0),
+            runner_restarts: AtomicU64::new(0),
+            recovered_jobs,
         });
         let mut threads = Vec::new();
-        for i in 0..cfg.runners {
+        if cfg.runners > 0 {
+            // Runners live under the supervisor, which replaces any that
+            // die or wedge; only the supervisor handle is joined on stop.
+            let mut slots = Vec::new();
+            for i in 0..cfg.runners {
+                slots.push(spawn_runner(&shared, i)?);
+            }
             let sh = Arc::clone(&shared);
+            let stuck_after = cfg.stuck_after;
             threads.push(
                 std::thread::Builder::new()
-                    .name(format!("ggd-runner-{i}"))
-                    .spawn(move || runner_loop(&sh))
-                    .map_err(|e| Error::Serve(format!("cannot spawn runner: {e}")))?,
+                    .name("ggd-supervisor".to_owned())
+                    .spawn(move || supervisor_loop(&sh, slots, stuck_after))
+                    .map_err(|e| Error::Serve(format!("cannot spawn supervisor: {e}")))?,
             );
         }
         if let Some(listener) = listener {
@@ -182,9 +337,12 @@ impl Server {
         Ok(Self { shared, threads })
     }
 
-    /// Validates and queues a job; returns its id.
+    /// Validates and queues a job; returns its id. Refuses with the
+    /// retryable [`Error::Busy`] when admission limits are exceeded
+    /// (idempotent resubmits bypass the gate).
     pub fn submit(&self, spec: JobSpec) -> Result<u64, Error> {
         spec.validate().map_err(Error::Serve)?;
+        admit(&self.shared, &spec).map_err(Error::Busy)?;
         let checkpoint = match &spec.checkpoint {
             Some(path) => PathBuf::from(path),
             None => {
@@ -300,15 +458,124 @@ impl Server {
     }
 }
 
-fn runner_loop(shared: &Shared) {
+fn spawn_runner(shared: &Arc<Shared>, idx: usize) -> Result<RunnerSlot, Error> {
+    let flight = Arc::new(Flight::default());
+    let sh = Arc::clone(shared);
+    let fl = Arc::clone(&flight);
+    let handle = std::thread::Builder::new()
+        .name(format!("ggd-runner-{idx}"))
+        .spawn(move || runner_loop(&sh, &fl))
+        .map_err(|e| Error::Serve(format!("cannot spawn runner: {e}")))?;
+    Ok(RunnerSlot { handle, flight })
+}
+
+fn runner_loop(shared: &Shared, flight: &Flight) {
+    // Deterministic drill: kills the runner *thread* (outside the step
+    // sandbox) to exercise the supervisor's died-runner path.
+    static RUNNER_PANIC: faults::Point = faults::Point::new("serve.runner_panic");
     loop {
+        if flight.retired.load(Ordering::Relaxed) {
+            break;
+        }
         match shared.registry.claim_next(true) {
             Claim::Shutdown => break,
             Claim::Idle => {}
             Claim::Step(id) => {
+                *flight.busy.lock().unwrap_or_else(|p| p.into_inner()) = Some((id, Instant::now()));
+                if RUNNER_PANIC.fires_external(id) {
+                    std::panic::panic_any(faults::FaultPayload::Injected {
+                        point: "serve.runner_panic",
+                    });
+                }
                 let outcome = execute_step(shared, id);
+                *flight.busy.lock().unwrap_or_else(|p| p.into_inner()) = None;
                 shared.registry.finish_step(id, outcome);
             }
+        }
+    }
+}
+
+/// Watches the runner pool: joins and replaces runners whose thread
+/// died (failing their in-flight job), and — with a `stuck_after`
+/// threshold — retires runners wedged past the heartbeat, failing the
+/// stuck job and abandoning the thread (the `retired` flag plus the
+/// registry's late-outcome guard contain it if it ever wakes).
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    mut slots: Vec<RunnerSlot>,
+    stuck_after: Option<Duration>,
+) {
+    let mut next_idx = slots.len();
+    loop {
+        if shared.registry.is_shutdown() {
+            for slot in slots {
+                slot.flight.retired.store(true, Ordering::Relaxed);
+                let _ = slot.handle.join();
+            }
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        for slot in &mut slots {
+            let died = slot.handle.is_finished();
+            let stuck = !died
+                && stuck_after.is_some_and(|limit| {
+                    matches!(
+                        *slot.flight.busy.lock().unwrap_or_else(|p| p.into_inner()),
+                        Some((_, t0)) if t0.elapsed() > limit
+                    )
+                });
+            if !died && !stuck {
+                continue;
+            }
+            if died && shared.registry.is_shutdown() {
+                continue; // normal exit, handled by the join above
+            }
+            let Ok(fresh) = spawn_runner(shared, next_idx) else {
+                obs::diagln!("supervisor: cannot respawn runner; retrying");
+                continue;
+            };
+            next_idx += 1;
+            let old = std::mem::replace(slot, fresh);
+            old.flight.retired.store(true, Ordering::Relaxed);
+            let in_flight = old
+                .flight
+                .busy
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take();
+            if died {
+                let _ = old.handle.join(); // collect the panic
+                if let Some((job, _)) = in_flight {
+                    shared.registry.finish_step(
+                        job,
+                        StepOutcome::Failed {
+                            error: "runner thread died mid-step (runner restarted)".into(),
+                        },
+                    );
+                }
+                obs::diagln!("supervisor: runner died; pool restored");
+            } else {
+                // Wedged: the thread cannot be joined — abandon it. Its
+                // eventual finish_step is dropped by the late-outcome
+                // guard, and the retired flag stops further claims.
+                if let Some((job, t0)) = in_flight {
+                    shared.registry.finish_step(
+                        job,
+                        StepOutcome::Failed {
+                            error: format!(
+                                "stuck: step exceeded the {} ms watchdog (ran {} ms); \
+                                 runner restarted",
+                                stuck_after.map_or(0, |d| d.as_millis()),
+                                t0.elapsed().as_millis()
+                            ),
+                        },
+                    );
+                }
+                drop(old.handle);
+                obs::diagln!("supervisor: runner wedged; abandoned and replaced");
+            }
+            shared.runner_restarts.fetch_add(1, Ordering::Relaxed);
+            restart_metric().incr();
         }
     }
 }
@@ -331,12 +598,20 @@ fn execute_step(shared: &Shared, id: u64) -> StepOutcome {
     }
 }
 
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(fp) = faults::payload_of(panic) {
+        return match fp {
+            faults::FaultPayload::Injected { point } => format!("injected fault at {point}"),
+            faults::FaultPayload::DeadlineExceeded { budget_ms } => {
+                format!("deadline exceeded ({budget_ms} ms budget)")
+            }
+        };
+    }
     panic
         .downcast_ref::<&str>()
-        .copied()
-        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
-        .unwrap_or("opaque panic payload")
+        .map(|s| (*s).to_owned())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_owned())
 }
 
 fn run_step(shared: &Shared, id: u64, spec: &JobSpec, step: u64, ckpt: &Path) -> StepOutcome {
@@ -443,7 +718,10 @@ fn run_explore_step(
         checkpoint: Some(ckpt.to_path_buf()),
         resume: step > 0 || spec.resume,
         halt_after: Some(step as usize),
-        deadline: None,
+        // Cooperative per-candidate budget: a wedged evaluation trips
+        // its own deadline long before the supervisor's watchdog has to
+        // declare the whole runner stuck.
+        deadline: crate::sandbox::SandboxPolicy::from_env().deadline,
     };
     let result = match explore_with_engine(&ctx.engine, shared.baselines.tech(), &params, &opts) {
         Ok(r) => r,
@@ -580,17 +858,20 @@ fn handle_line(shared: &Shared, line: &str, writer: &mut UnixStream) -> std::io:
         Request::Submit(spec) => {
             let resp = match spec.validate() {
                 Err(why) => Response::Err(why),
-                Ok(()) => {
-                    let checkpoint = match &spec.checkpoint {
-                        Some(path) => PathBuf::from(path),
-                        None => {
-                            let n = shared.ckpt_counter.fetch_add(1, Ordering::Relaxed);
-                            shared.data_dir.join(format!("job{n}.ckpt"))
-                        }
-                    };
-                    let id = shared.registry.submit(spec, checkpoint);
-                    Response::Ok(Json::Obj(vec![("job".to_owned(), Json::Num(id as f64))]))
-                }
+                Ok(()) => match admit(shared, &spec) {
+                    Err(why) => Response::Busy(why),
+                    Ok(()) => {
+                        let checkpoint = match &spec.checkpoint {
+                            Some(path) => PathBuf::from(path),
+                            None => {
+                                let n = shared.ckpt_counter.fetch_add(1, Ordering::Relaxed);
+                                shared.data_dir.join(format!("job{n}.ckpt"))
+                            }
+                        };
+                        let id = shared.registry.submit(spec, checkpoint);
+                        Response::Ok(Json::Obj(vec![("job".to_owned(), Json::Num(id as f64))]))
+                    }
+                },
             };
             write_line(writer, &resp)
         }

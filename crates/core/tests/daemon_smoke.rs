@@ -37,6 +37,11 @@ impl Daemon {
                 socket.to_str().expect("utf-8 path"),
                 "--data-dir",
                 dir.join("data").to_str().expect("utf-8 path"),
+                // Journal into the scratch dir, not the CWD-relative
+                // default: a stale journal from a previous run would be
+                // recovered as extra jobs and skew the stats asserts.
+                "--journal-dir",
+                dir.join("journal").to_str().expect("utf-8 path"),
                 "--runners",
                 "1",
             ])

@@ -20,6 +20,7 @@ fn test_server(tag: &str) -> Server {
         socket: None,
         data_dir: Some(data_dir),
         runners: 0,
+        ..ServerConfig::default()
     })
     .expect("server starts")
 }

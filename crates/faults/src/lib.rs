@@ -71,6 +71,8 @@ pub const POINTS: &[&str] = &[
     "sta.diverge",
     "eval.panic",
     "eco.legalize",
+    "journal.write",
+    "serve.runner_panic",
 ];
 
 // ---------------------------------------------------------------------------
@@ -375,6 +377,40 @@ impl Point {
     }
 }
 
+impl Point {
+    /// Context-free firing decision for *service-level* points (journal
+    /// appends, runner supervision) that run outside any evaluation
+    /// sandbox. Unlike [`Point::check`] it never panics — it returns
+    /// whether an armed trigger matches so the caller can convert the
+    /// fault into its own failure mode (an `io::Error`, a deliberate
+    /// runner death). `always` always matches, a probability hashes
+    /// `(point, key, seed)` deterministically, and generation-addressed
+    /// triggers never match out here (there is no generation).
+    pub fn fires_external(&self, key: u64) -> bool {
+        if !ARMED.load(Ordering::Relaxed) {
+            return false;
+        }
+        let fire = match config().lock() {
+            Ok(c) => c.entries.iter().any(|e| {
+                e.point == self.name
+                    && match e.trigger {
+                        Trigger::Always => true,
+                        Trigger::Prob(p) => {
+                            let h = splitmix64(hash_str(self.name) ^ key ^ c.seed.rotate_left(17));
+                            unit(h) < p
+                        }
+                        Trigger::Generation(_) | Trigger::GenCandidate(_, _) => false,
+                    }
+            }),
+            Err(_) => false,
+        };
+        if fire {
+            injected_metric().add(1);
+        }
+        fire
+    }
+}
+
 fn fires(e: &Entry, ctx: Ctx, seed: u64, point: &str) -> bool {
     if ctx.stage > 0 && !e.persistent {
         return false;
@@ -579,6 +615,32 @@ mod tests {
         let hits = first.iter().filter(|&&b| b).count();
         assert!((10..=54).contains(&hits), "p=0.5 over 64 keys, got {hits}");
         clear();
+    }
+
+    #[test]
+    fn external_points_fire_without_a_context() {
+        let _g = lock();
+        arm_spec("journal.write:always").expect("arm");
+        static J: Point = Point::new("journal.write");
+        static OTHER: Point = Point::new("serve.runner_panic");
+        // No push_context anywhere: the service-level API still decides.
+        assert!(J.fires_external(0));
+        assert!(!OTHER.fires_external(0), "only the armed point matches");
+
+        // Probabilities are deterministic per (key, seed) and neither
+        // always-on nor always-off at p=0.5.
+        arm_spec("journal.write:0.5,seed=3").expect("arm");
+        let first: Vec<bool> = (0..64).map(|k| J.fires_external(k)).collect();
+        let second: Vec<bool> = (0..64).map(|k| J.fires_external(k)).collect();
+        assert_eq!(first, second);
+        let hits = first.iter().filter(|&&b| b).count();
+        assert!((10..=54).contains(&hits), "p=0.5 over 64 keys, got {hits}");
+
+        // Generation-addressed triggers never match context-free checks.
+        arm_spec("journal.write:gen0").expect("arm");
+        assert!(!J.fires_external(0));
+        clear();
+        assert!(!J.fires_external(0), "disarmed spec never fires");
     }
 
     #[test]
